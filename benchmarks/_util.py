@@ -1,0 +1,23 @@
+"""Shared benchmark-harness helpers.
+
+Every table/figure bench writes its regenerated rows to
+``benchmarks/results/<name>.txt`` *and* prints them, so both interactive
+(``pytest benchmarks/ --benchmark-only -s``) and archived output exist.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

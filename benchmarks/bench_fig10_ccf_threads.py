@@ -1,0 +1,23 @@
+"""Fig. 10: Pipelined-GPU (2 GPUs) run time vs CCF thread count.
+
+Paper: time drops from ~42 s at 1 thread to ~28 s at 2, then is nearly
+flat -- "performance is limited by GPU computations".
+"""
+
+from benchmarks._util import emit, once
+from repro.analysis.report import format_series
+from repro.simulate.experiments import fig10_ccf_threads
+
+
+def test_fig10_ccf_threads(benchmark):
+    series = once(benchmark, fig10_ccf_threads)
+    text = format_series(
+        "ccf_threads", "seconds", [(t, round(s, 1)) for t, s in series],
+        title="Fig. 10 -- Pipelined-GPU (2 GPUs) vs CCF threads, 42x59 grid",
+    )
+    emit("fig10_ccf_threads", text)
+
+    times = dict(series)
+    assert times[1] > 1.3 * times[2]          # 1 thread is CCF-bound
+    assert times[2] / times[16] < 1.35        # flat beyond ~2
+    assert all(times[t] >= times[t + 1] - 1e-9 for t in range(1, 16))

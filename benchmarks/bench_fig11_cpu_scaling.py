@@ -1,0 +1,29 @@
+"""Fig. 11: strong scaling of Pipelined-CPU, threads 1-16.
+
+Paper: near-linear speedup up to the 8 physical cores, then a much
+shallower slope through the hyper-threaded region to ~7.5x at 16 threads
+(the Table II Pipelined-CPU speedup), finishing near 84 s.
+"""
+
+import pytest
+
+from benchmarks._util import emit, once
+from repro.analysis.report import format_series
+from repro.simulate.experiments import fig11_cpu_scaling
+
+
+def test_fig11_cpu_scaling(benchmark):
+    rows = once(benchmark, fig11_cpu_scaling)
+    text = format_series(
+        "threads", "seconds",
+        [(t, round(s, 1), round(sp, 2)) for t, s, sp in rows],
+        title="Fig. 11 -- Pipelined-CPU scaling, 42x59 grid (3rd col: speedup)",
+    )
+    emit("fig11_cpu_scaling", text)
+
+    by_t = {t: sp for t, _, sp in rows}
+    assert by_t[8] > 6.5                      # near-linear to physical cores
+    slope_lo = (by_t[8] - by_t[4]) / 4
+    slope_hi = (by_t[16] - by_t[8]) / 8
+    assert slope_hi < 0.3 * slope_lo          # two-slope shape
+    assert rows[-1][1] == pytest.approx(84, rel=0.15)

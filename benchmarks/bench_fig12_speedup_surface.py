@@ -1,0 +1,31 @@
+"""Fig. 12: Pipelined-CPU speedup surface over (threads, grid size).
+
+Paper: the Fig. 11 scaling behaviour "is consistent across varying grid
+sizes (128 to 1024 tiles per grid)".
+"""
+
+from benchmarks._util import emit, once
+from repro.simulate.experiments import fig12_speedup_surface
+
+
+def test_fig12_speedup_surface(benchmark):
+    data = once(benchmark, fig12_speedup_surface)
+    surface = data["surface"]
+    threads = [1, 2, 4, 8, 12, 16]
+    lines = [
+        "Fig. 12 -- Pipelined-CPU speedup surface (rows: tiles, cols: threads)",
+        "tiles  " + "".join(f"T={t:<6}" for t in threads),
+    ]
+    for n in data["tiles"]:
+        lines.append(f"{n:5d}  " + "".join(f"{surface[(n, t)]:<8.2f}" for t in threads))
+    emit("fig12_speedup_surface", "\n".join(lines))
+
+    # Consistency across grid sizes: speedup at a given thread count varies
+    # by < 15 % from 128 to 1024 tiles (the paper's claim).
+    for t in (4, 8, 16):
+        col = [surface[(n, t)] for n in data["tiles"]]
+        assert max(col) / min(col) < 1.15, f"inconsistent at T={t}"
+    # And the Fig. 11 shape holds at every grid size.
+    for n in data["tiles"]:
+        assert surface[(n, 8)] > 6.0
+        assert surface[(n, 16)] >= surface[(n, 8)]

@@ -1,0 +1,32 @@
+"""Fig. 5: the virtual-memory performance cliff.
+
+Regenerates the speedup-vs-(tiles, threads) surface of the FFT-only,
+never-free workload on the 24 GB configuration of the evaluation machine.
+The paper's observation: speedup "falls off a cliff, across all thread
+counts, when the tile count changes from 832 to 864".
+"""
+
+from benchmarks._util import emit, once
+from repro.simulate.experiments import fig5_vm_cliff
+
+
+def test_fig5_vm_cliff(benchmark):
+    data = once(benchmark, fig5_vm_cliff)
+    sp = data["speedup"]
+    tiles = data["tiles"]
+    threads = [1, 2, 4, 8, 12, 16]
+    header = "tiles  " + "".join(f"T={t:<6}" for t in threads)
+    lines = [
+        "Fig. 5 -- speedup vs tile count (FFT workload, no frees, 24 GiB RAM)",
+        header,
+    ]
+    for n in tiles:
+        lines.append(
+            f"{n:5d}  " + "".join(f"{sp[(n, t)]:<8.2f}" for t in threads)
+        )
+    lines.append(f"\ncliff at: {data['cliff_at']} tiles (paper: between 832 and 864)")
+    emit("fig5_vm_cliff", "\n".join(lines))
+
+    assert data["cliff_at"] == 864
+    for t in (4, 8, 16):
+        assert sp[(1024, t)] < 0.65 * sp[(832, t)]

@@ -1,0 +1,117 @@
+"""Microbenchmarks of the general-purpose pipeline framework itself.
+
+The paper's future work promises "a general purpose API for the pipeline"
+(Section VI.A); these benchmarks characterize that API's own overheads so
+users know what stage granularity amortizes them: monitor-queue transfer
+cost, per-item stage dispatch cost, and end-to-end throughput of a
+3-stage chain.
+"""
+
+import pytest
+
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.queues import MonitorQueue
+from repro.pipeline.stage import END_OF_STREAM
+
+
+def test_bench_queue_put_get(benchmark):
+    q = MonitorQueue()
+
+    def cycle():
+        for i in range(100):
+            q.put(i)
+        for _ in range(100):
+            q.get()
+
+    benchmark(cycle)
+
+
+def test_bench_bounded_queue_contended(benchmark):
+    """Producer/consumer pair across threads through a tiny queue."""
+    import threading
+
+    def run():
+        q = MonitorQueue(maxsize=4)
+        n = 500
+
+        def producer():
+            for i in range(n):
+                q.put(i)
+            q.close()
+
+        total = 0
+
+        def consumer():
+            nonlocal total
+            from repro.pipeline.queues import QueueClosed
+
+            while True:
+                try:
+                    total += q.get()
+                except QueueClosed:
+                    return
+
+        tp = threading.Thread(target=producer)
+        tc = threading.Thread(target=consumer)
+        tp.start(); tc.start()
+        tp.join(); tc.join()
+        assert total == n * (n - 1) // 2
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_bench_three_stage_chain_throughput(benchmark):
+    """Items/second through source -> 2-worker transform -> sink."""
+    N = 2000
+
+    def run():
+        pipe = Pipeline("bench")
+        it = iter(range(N))
+
+        def src(_i, _c):
+            try:
+                return next(it)
+            except StopIteration:
+                return END_OF_STREAM
+
+        acc = []
+
+        def sink(x, _c):
+            acc.append(x)
+            return None
+
+        pipe.add_chain(
+            [("src", src, 1), ("double", lambda x, c: 2 * x, 2), ("sink", sink, 1)],
+            queue_size=64,
+        )
+        pipe.run()
+        assert len(acc) == N
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_utilization_telemetry_identifies_bottleneck():
+    """The slow stage reports the highest utilization."""
+    import time
+
+    pipe = Pipeline("util")
+    it = iter(range(30))
+
+    def src(_i, _c):
+        try:
+            return next(it)
+        except StopIteration:
+            return END_OF_STREAM
+
+    def slow(x, _c):
+        time.sleep(0.002)
+        return x
+
+    pipe.add_chain([("src", src, 1), ("slow", slow, 1),
+                    ("sink", lambda x, c: None, 1)])
+    t0 = time.perf_counter()
+    pipe.run()
+    wall = time.perf_counter() - t0
+    util = pipe.utilization(wall)
+    assert util["slow"] == max(util.values())
+    assert util["slow"] > 0.5

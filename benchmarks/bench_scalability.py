@@ -1,0 +1,68 @@
+"""Scalability sweeps for the abstract's headline claim.
+
+"Our implementation scales well with both image sizes and the number of
+CPU cores and GPU cards in a machine."  Table II and Figs. 10-12 cover the
+core/GPU axes; this bench pins the remaining two axes explicitly:
+
+- **grid-size scaling** (more tiles): end-to-end time must grow linearly
+  in the pair count (no super-linear memory or scheduling blow-up);
+- **tile-size scaling** (bigger images): time must track the
+  ``hw log(hw)`` transform cost, not worse.
+"""
+
+import pytest
+
+from benchmarks._util import emit, once
+from repro.analysis.report import format_series
+from repro.simulate.costmodel import PAPER_MACHINE
+from repro.simulate.schedules import simulate_pipelined_cpu, simulate_pipelined_gpu
+
+
+def test_grid_size_scaling(benchmark):
+    grids = [(8, 16), (16, 16), (16, 32), (32, 32), (42, 59)]
+
+    def run():
+        out = []
+        for rows, cols in grids:
+            pairs = 2 * rows * cols - rows - cols
+            gpu = simulate_pipelined_gpu(PAPER_MACHINE, rows, cols, 2).makespan_seconds
+            cpu = simulate_pipelined_cpu(PAPER_MACHINE, rows, cols, 16).makespan_seconds
+            out.append((pairs, gpu, cpu))
+        return out
+
+    rows = once(benchmark, run)
+    text = format_series(
+        "pairs", "gpu_s", [(p, round(g, 2), round(c, 1)) for p, g, c in rows],
+        title="Grid-size scaling, Pipelined-GPU x2 (3rd col: Pipelined-CPU 16t)",
+    )
+    emit("scalability_grid", text)
+    # Linearity: seconds-per-pair stays within a tight band (< 10 % spread)
+    # as the grid grows 18x -- no super-linear blow-up anywhere.
+    per_pair = [g / p for p, g, _ in rows]
+    assert max(per_pair) / min(per_pair) < 1.10
+    per_pair_cpu = [c / p for p, _, c in rows]
+    assert max(per_pair_cpu) / min(per_pair_cpu) < 1.10
+
+
+def test_tile_size_scaling(benchmark):
+    import math
+
+    sizes = [(520, 696), (1040, 1392), (2080, 2784)]  # 1/4x, 1x, 4x area
+
+    def run():
+        return [
+            (h * w, simulate_pipelined_gpu(
+                PAPER_MACHINE, 16, 16, 1, tile=(h, w)
+            ).makespan_seconds)
+            for h, w in sizes
+        ]
+
+    rows = once(benchmark, run)
+    text = format_series(
+        "pixels", "seconds", [(hw, round(s, 2)) for hw, s in rows],
+        title="Tile-size scaling, Pipelined-GPU x1, 16x16 grid",
+    )
+    emit("scalability_tile", text)
+    # Time per (hw log hw) unit constant within 20 % across 16x in area.
+    units = [s / (hw * math.log2(hw)) for hw, s in rows]
+    assert max(units) / min(units) < 1.2

@@ -1,0 +1,46 @@
+"""Table I: operation counts & complexities.
+
+Regenerates the analytic table for the paper's 42x59 / 1392x1040 workload
+and validates it against an instrumented run of the reference
+implementation on a small grid (counts are exact functions of grid size,
+so small-grid verification covers the formulas).
+"""
+
+import pytest
+
+from benchmarks._util import emit, once
+from repro.analysis.opcounts import OperationCounts, table1_counts, verify_against_run
+from repro.analysis.report import format_table
+from repro.impls import SimpleCpu
+from repro.synth import make_synthetic_dataset
+
+
+def test_table1_analytic(benchmark):
+    def run():
+        return table1_counts(42, 59, 1040, 1392)
+
+    rows = once(benchmark, run)
+    c = OperationCounts(42, 59, 1040, 1392)
+    text = format_table(
+        ["operation", "count", "cost", "operand_bytes"],
+        [[r["operation"], r["count"], r["cost"], r["operand_bytes"]] for r in rows],
+        title="Table I -- operation counts for the 42x59 grid of 1392x1040 tiles",
+    )
+    text += (
+        f"\n\ntotal transforms (3nm-n-m): {c.total_transforms}"
+        f"\nforward-transform footprint: {c.forward_transform_total_bytes() / 1e9:.1f} GB"
+        f" (paper: ~53.5 GB with its rounding of 'nearly 22 MB' per transform)"
+    )
+    emit("table1_opcounts", text)
+    assert c.pairs == 4855
+
+
+def test_table1_matches_instrumented_run(tmp_path, benchmark):
+    ds = make_synthetic_dataset(
+        tmp_path / "ds", rows=4, cols=5, tile_height=48, tile_width=48,
+        overlap=0.25, seed=1,
+    )
+
+    res = once(benchmark, lambda: SimpleCpu().run(ds))
+    checks = verify_against_run(OperationCounts(4, 5, 48, 48), res.stats)
+    assert checks and all(checks.values())

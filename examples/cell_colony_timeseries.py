@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The paper's motivating workload: a live-cell time-series experiment.
+
+NIST biologists image a plate every 45 minutes for 5 days; stitching must
+finish "in a fraction of the imaging period" so researchers can inspect
+the plate and steer the experiment (Section I).  This example uses
+:class:`repro.synth.TimeSeriesExperiment` to simulate several scans of a
+growing culture (one fixed set of colony sites, expanding between scans),
+stitches every scan, and scores each against the steerability criterion --
+including the early, feature-poor scans that rule out feature-based
+stitchers.
+
+Run:  python examples/cell_colony_timeseries.py
+"""
+
+import tempfile
+import time
+
+from repro import Stitcher
+from repro.analysis.steerability import steerability
+from repro.synth import GrowthModel, ScanPlan, SpecimenParams, StageModel, TimeSeriesExperiment
+
+SCANS = 4
+IMAGING_PERIOD_S = 45 * 60  # the paper's 45 min scan interval
+
+
+def main() -> None:
+    experiment = TimeSeriesExperiment(
+        plan=ScanPlan(4, 5, tile_height=96, tile_width=96, overlap=0.2),
+        colony_count=5,
+        growth=GrowthModel(initial_cells=6, growth_rate=0.8, initial_radius=12.0),
+        specimen=SpecimenParams(cell_radius=2.5, granularity=0.025),
+        stage=StageModel(jitter_sigma=1.5, backlash_x=2.5, max_error=7.0),
+        seed=42,
+        imaging_period_s=IMAGING_PERIOD_S,
+    )
+    stitcher = Stitcher()
+    print(f"time-series experiment: {SCANS} scans of a 4x5 grid, "
+          f"period {IMAGING_PERIOD_S / 60:.0f} min\n")
+
+    root = tempfile.mkdtemp()
+    for scan, dataset in enumerate(experiment.acquire(root, scans=SCANS)):
+        t0 = time.perf_counter()
+        result = stitcher.stitch(dataset)
+        elapsed = time.perf_counter() - t0
+        report = steerability(elapsed, IMAGING_PERIOD_S, analysis_seconds=600)
+        err = result.position_errors()
+        mean_corr = sum(
+            t.correlation
+            for rows in (result.displacements.west, result.displacements.north)
+            for row in rows for t in row if t is not None
+        ) / result.stats["pairs"]
+        print(
+            f"scan {scan}: {elapsed:6.2f} s "
+            f"({100 * report.used_fraction:5.2f} % of period incl. 10 min "
+            f"analysis) | mean corr {mean_corr:.3f} | "
+            f"pos err max {err.max():.1f} px | "
+            f"steerable: {report.steerable}"
+        )
+
+    print(
+        "\nevery scan leaves the researcher most of the period to act: the "
+        "experiment is computationally steerable (the paper's Section I goal)."
+    )
+
+
+if __name__ == "__main__":
+    main()

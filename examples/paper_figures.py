@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation, in one run.
+
+Prints Table I, Table II (plus the laptop validation), and the data behind
+Figs. 5, 7/9, 10, 11 and 12, each next to the published values.  The same
+experiments run under pytest-benchmark in ``benchmarks/``; this script is
+the human-readable one-shot version.
+
+Run:  python examples/paper_figures.py           (takes ~1 minute)
+"""
+
+from repro.analysis.opcounts import table1_counts
+from repro.analysis.report import format_series, format_table
+from repro.simulate.experiments import (
+    PAPER_TABLE2,
+    fig5_vm_cliff,
+    fig7_fig9_profiles,
+    fig10_ccf_threads,
+    fig11_cpu_scaling,
+    fig12_speedup_surface,
+    table2_runtimes,
+)
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 74}\n{text}\n{'=' * 74}")
+
+
+def main() -> None:
+    banner("Table I -- operation counts (42x59 grid, 1392x1040 tiles)")
+    rows = table1_counts(42, 59, 1040, 1392)
+    print(format_table(
+        ["operation", "count", "cost", "operand bytes"],
+        [[r["operation"], r["count"], r["cost"], r["operand_bytes"]] for r in rows],
+    ))
+
+    banner("Table II -- run times & speedups (simulated evaluation machine)")
+    t2 = table2_runtimes()
+    print(format_table(
+        ["implementation", "time (s)", "S/CPU", "S/ImageJ", "paper (s)"],
+        [[r.implementation, round(r.seconds, 1), round(r.speedup_vs_simple_cpu, 1),
+          round(r.speedup_vs_imagej, 1), round(PAPER_TABLE2[r.implementation], 1)]
+         for r in t2],
+    ))
+
+    banner("Fig. 5 -- virtual-memory cliff (24 GiB machine, FFT-only, no frees)")
+    f5 = fig5_vm_cliff()
+    sp = f5["speedup"]
+    threads = [1, 4, 8, 16]
+    print("tiles  " + "".join(f"T={t:<7}" for t in threads))
+    for n in f5["tiles"]:
+        print(f"{n:5d}  " + "".join(f"{sp[(n, t)]:<9.2f}" for t in threads))
+    print(f"cliff at {f5['cliff_at']} tiles (paper: between 832 and 864)")
+
+    banner("Figs. 7 & 9 -- GPU profiles, 8x8 grid")
+    prof = fig7_fig9_profiles()
+    for name, paper_s in (("simple-gpu", 15.9), ("pipelined-gpu", 1.6)):
+        p = prof[name]
+        print(f"{name:14s} makespan {p['makespan']:6.2f} s (paper ~{paper_s} s), "
+              f"kernel density {p['kernel_density']:.3f}")
+    print(f"pipelining speedup: {prof['speedup']:.1f}x (paper: ~10-11.2x)")
+
+    banner("Fig. 10 -- Pipelined-GPU (2 GPUs) vs CCF threads")
+    print(format_series("ccf_threads", "s",
+                        [(t, round(s, 1)) for t, s in fig10_ccf_threads()]))
+
+    banner("Fig. 11 -- Pipelined-CPU strong scaling")
+    print(format_series("threads", "s",
+                        [(t, round(s, 1), round(spd, 2))
+                         for t, s, spd in fig11_cpu_scaling()]))
+
+    banner("Fig. 12 -- speedup surface (threads x tiles)")
+    f12 = fig12_speedup_surface()
+    surf = f12["surface"]
+    print("tiles  " + "".join(f"T={t:<7}" for t in threads))
+    for n in f12["tiles"]:
+        print(f"{n:5d}  " + "".join(f"{surf[(n, t)]:<9.2f}" for t in threads))
+
+
+if __name__ == "__main__":
+    main()

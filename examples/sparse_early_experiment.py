@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The feature-poor regime: why the paper uses phase correlation.
+
+Early live-cell plates have "few distinguishable features in the overlap
+region" (Section I) -- the regime that defeats feature-based stitchers.
+This example sweeps colony density from nearly-empty plates to confluent
+ones, stitching each with:
+
+- the paper's exact scheme (single peak, 4 non-negative interpretations),
+- the robust configuration (2 peaks, signed interpretations -- the scheme
+  the MIST successor adopted),
+
+and reports recovered-position accuracy for both, demonstrating where the
+paper-faithful scheme starts to benefit from the extensions.
+
+Run:  python examples/sparse_early_experiment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CcfMode, Stitcher, make_synthetic_dataset
+from repro.analysis.report import format_table
+from repro.synth.specimen import SpecimenParams
+
+DENSITIES = [
+    ("nearly empty", SpecimenParams(colony_count=1, cells_per_colony=4,
+                                    background_texture=0.01, fine_texture=0.015,
+                                    granularity=0.02)),
+    ("sparse", SpecimenParams(colony_count=3, cells_per_colony=12,
+                              granularity=0.025)),
+    ("moderate", SpecimenParams(colony_count=8, cells_per_colony=30)),
+    ("confluent", SpecimenParams(colony_count=20, cells_per_colony=60)),
+]
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp())
+    rows = []
+    for label, specimen in DENSITIES:
+        dataset = make_synthetic_dataset(
+            root / label.replace(" ", "_"),
+            rows=4, cols=4, tile_height=96, tile_width=96, overlap=0.2,
+            seed=17, specimen=specimen,
+        )
+        paper = Stitcher(ccf_mode=CcfMode.PAPER4, n_peaks=1).stitch(dataset)
+        robust = Stitcher(ccf_mode=CcfMode.EXTENDED, n_peaks=2).stitch(dataset)
+        rows.append([
+            label,
+            f"{paper.position_errors().mean():.1f}",
+            f"{robust.position_errors().mean():.1f}",
+        ])
+    print(format_table(
+        ["plate density", "paper scheme err (px)", "robust scheme err (px)"],
+        rows,
+        title="mean tile-position error vs specimen density (4x4 grid, 20% overlap)",
+    ))
+    print(
+        "\nPhase correlation locks on even on nearly-empty plates (specimen\n"
+        "granularity carries the signal); the signed-alias + multi-peak\n"
+        "extension removes the residual errors of the 4-combination scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

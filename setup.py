@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so editable installs work in offline
+environments lacking the `wheel` package (pip falls back to
+`setup.py develop` with --no-use-pep517).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: reproduction of "A Hybrid CPU-GPU System for Stitching Large
+Scale Optical Microscopy Images" (Blattner et al., ICPP 2014).
+
+Public API highlights:
+
+- :class:`repro.Stitcher` -- three-phase stitching facade;
+- :mod:`repro.impls` -- the six Table II implementations;
+- :mod:`repro.synth` -- synthetic microscope acquisitions with ground truth;
+- :mod:`repro.simulate` -- paper-scale performance reproduction (DES);
+- :mod:`repro.pipeline` -- the general-purpose pipeline framework.
+"""
+
+from repro.core import (
+    BlendMode,
+    CcfMode,
+    Stitcher,
+    StitchResult,
+    compose,
+    pciam,
+    resolve_absolute_positions,
+)
+from repro.io import TileDataset, read_tiff, write_tiff
+from repro.synth import make_synthetic_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Stitcher",
+    "StitchResult",
+    "BlendMode",
+    "CcfMode",
+    "pciam",
+    "compose",
+    "resolve_absolute_positions",
+    "TileDataset",
+    "read_tiff",
+    "write_tiff",
+    "make_synthetic_dataset",
+    "__version__",
+]

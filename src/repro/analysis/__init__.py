@@ -1,0 +1,24 @@
+"""Analysis helpers: operation counting (Table I), metrics, reporting."""
+
+from repro.analysis.opcounts import OperationCounts, table1_counts
+from repro.analysis.metrics import speedup_table, position_accuracy
+from repro.analysis.report import format_table, format_series
+from repro.analysis.steerability import SteerabilityReport, steerability
+from repro.analysis.quality import QualitySummary, quality_summary
+from repro.analysis.tracefmt import des_trace_events, gpu_trace_events, write_chrome_trace
+
+__all__ = [
+    "OperationCounts",
+    "table1_counts",
+    "speedup_table",
+    "position_accuracy",
+    "format_table",
+    "format_series",
+    "SteerabilityReport",
+    "steerability",
+    "QualitySummary",
+    "quality_summary",
+    "gpu_trace_events",
+    "des_trace_events",
+    "write_chrome_trace",
+]

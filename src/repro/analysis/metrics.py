@@ -1,0 +1,55 @@
+"""Derived metrics: speedups, accuracy scoring against ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.displacement import DisplacementResult
+from repro.core.global_opt import GlobalPositions
+
+
+def speedup_table(times: dict[str, float], baseline: str) -> dict[str, float]:
+    """Speedups of every entry relative to ``times[baseline]``."""
+    if baseline not in times:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(times)}")
+    base = times[baseline]
+    return {name: base / t for name, t in times.items()}
+
+
+def position_accuracy(
+    positions: GlobalPositions, true_positions
+) -> dict[str, float]:
+    """Euclidean error statistics of recovered vs true tile origins.
+
+    Both sets are re-anchored at their minimum before comparison (global
+    translation is unobservable).
+    """
+    true = np.asarray(true_positions, dtype=np.float64)
+    true = true - true.reshape(-1, 2).min(axis=0)
+    rec = positions.positions.astype(np.float64)
+    err = np.linalg.norm(rec - true, axis=-1).ravel()
+    return {
+        "max": float(err.max()),
+        "mean": float(err.mean()),
+        "rms": float(np.sqrt((err**2).mean())),
+        "perfect_fraction": float((err == 0).mean()),
+    }
+
+
+def displacement_agreement(
+    a: DisplacementResult, b: DisplacementResult
+) -> float:
+    """Fraction of pairs on which two phase-1 results agree exactly."""
+    if (a.rows, a.cols) != (b.rows, b.cols):
+        raise ValueError("grids differ")
+    total = 0
+    same = 0
+    for arr_a, arr_b in ((a.west, b.west), (a.north, b.north)):
+        for row_a, row_b in zip(arr_a, arr_b):
+            for ta, tb in zip(row_a, row_b):
+                if ta is None and tb is None:
+                    continue
+                total += 1
+                if ta is not None and tb is not None and (ta.tx, ta.ty) == (tb.tx, tb.ty):
+                    same += 1
+    return same / total if total else 1.0

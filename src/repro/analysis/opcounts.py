@@ -1,0 +1,129 @@
+"""Table I: operation counts, complexities, and operand sizes.
+
+The paper's Table I lists, for an ``n x m`` grid of ``h x w`` tiles:
+
+=========  ==============  ==============  ============
+Operation  Count           Cost            Operand (B)
+=========  ==============  ==============  ============
+Read       n*m             h*w             2*h*w
+FFT-2D     n*m             hw log(hw)      16*h*w
+(x)        2nm - n - m     h*w             16*h*w
+FFT-2D^-1  2nm - n - m     hw log(hw)      16*h*w
+/max       2nm - n - m     h*w             16*h*w
+CCF^1..4   2nm - n - m     h*w             4*h*w
+=========  ==============  ==============  ============
+
+(The forward-FFT row counts only tile transforms; the total transform
+count quoted in the text, ``3nm - n - m``, adds the inverse transforms.)
+
+:func:`table1_counts` produces the analytic table;
+:func:`verify_against_run` checks an instrumented implementation run
+against it, which is how the reproduction *proves* its implementations
+execute the paper's operation mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Analytic operation counts for one grid configuration."""
+
+    rows: int
+    cols: int
+    tile_height: int
+    tile_width: int
+
+    @property
+    def tiles(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def pairs(self) -> int:
+        n, m = self.rows, self.cols
+        return 2 * n * m - n - m
+
+    @property
+    def reads(self) -> int:
+        return self.tiles
+
+    @property
+    def forward_ffts(self) -> int:
+        return self.tiles
+
+    @property
+    def inverse_ffts(self) -> int:
+        return self.pairs
+
+    @property
+    def total_transforms(self) -> int:
+        """The text's ``3nm - n - m``."""
+        return self.forward_ffts + self.inverse_ffts
+
+    @property
+    def nccs(self) -> int:
+        return self.pairs
+
+    @property
+    def reductions(self) -> int:
+        return self.pairs
+
+    @property
+    def ccfs(self) -> int:
+        return self.pairs
+
+    # Operand sizes in bytes (Table I, rightmost column).
+    @property
+    def read_bytes(self) -> int:
+        return 2 * self.tile_height * self.tile_width   # 16-bit pixels
+
+    @property
+    def transform_bytes(self) -> int:
+        return 16 * self.tile_height * self.tile_width  # complex double
+
+    @property
+    def ccf_bytes(self) -> int:
+        return 4 * self.tile_height * self.tile_width   # float image
+
+    def forward_transform_total_bytes(self) -> int:
+        """RAM needed to hold every forward transform simultaneously.
+
+        For the paper's 42x59 grid this is 53.5 GB ("well beyond the
+        capacity of most machines", Section III).
+        """
+        return self.forward_ffts * self.transform_bytes
+
+
+def table1_counts(
+    rows: int, cols: int, tile_height: int, tile_width: int
+) -> list[dict]:
+    """The rows of Table I for one configuration (ready for formatting)."""
+    c = OperationCounts(rows, cols, tile_height, tile_width)
+    hw = tile_height * tile_width
+    return [
+        {"operation": "Read", "count": c.reads, "cost": "h*w", "operand_bytes": c.read_bytes},
+        {"operation": "FFT-2D", "count": c.forward_ffts, "cost": "hw log(hw)", "operand_bytes": c.transform_bytes},
+        {"operation": "(x)", "count": c.nccs, "cost": "h*w", "operand_bytes": c.transform_bytes},
+        {"operation": "FFT-2D^-1", "count": c.inverse_ffts, "cost": "hw log(hw)", "operand_bytes": c.transform_bytes},
+        {"operation": "/max", "count": c.reductions, "cost": "h*w", "operand_bytes": c.transform_bytes},
+        {"operation": "CCF^1..4", "count": c.ccfs, "cost": "h*w", "operand_bytes": c.ccf_bytes},
+    ]
+
+
+def verify_against_run(counts: OperationCounts, stats: dict) -> dict[str, bool]:
+    """Compare an instrumented run's stats against the analytic counts.
+
+    Only checks the keys the run reports.  Returns a per-check dict of
+    booleans; callers assert ``all(...)``.
+    """
+    checks: dict[str, bool] = {}
+    if "reads" in stats:
+        checks["reads"] = stats["reads"] >= counts.reads  # SPMD may duplicate
+        checks["reads_exact_or_redundant"] = stats["reads"] <= 2 * counts.reads
+    if "ffts" in stats:
+        checks["forward_ffts"] = counts.forward_ffts <= stats["ffts"] <= 2 * counts.forward_ffts
+    if "pairs" in stats:
+        checks["pairs"] = stats["pairs"] == counts.pairs
+    return checks

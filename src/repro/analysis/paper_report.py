@@ -1,0 +1,120 @@
+"""One-shot fidelity report: regenerate paper-vs-measured as markdown.
+
+``python -m repro report`` runs the calibrated experiments and emits a
+self-contained markdown report comparing every headline number against the
+published value -- the living version of EXPERIMENTS.md.  Useful after any
+cost-model change to see at a glance what drifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-vs-measured comparison line."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = "s"
+    tolerance: float = 0.35  # relative
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper if self.paper else float("nan")
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+    def row(self) -> list:
+        return [
+            self.name,
+            round(self.paper, 2),
+            round(self.measured, 2),
+            f"{self.ratio:.2f}",
+            "ok" if self.ok else "DRIFT",
+        ]
+
+
+def build_checks(rows: int = 42, cols: int = 59) -> list[Check]:
+    """Run the paper-scale experiments and collect every headline check."""
+    from repro.simulate.costmodel import LAPTOP, PAPER_MACHINE
+    from repro.simulate.experiments import (
+        PAPER_TABLE2,
+        fig7_fig9_profiles,
+        fig10_ccf_threads,
+        fig11_cpu_scaling,
+        table2_runtimes,
+    )
+    from repro.simulate.schedules import (
+        simulate_pipelined_cpu,
+        simulate_pipelined_gpu,
+    )
+
+    checks: list[Check] = []
+    t2 = {r.implementation: r for r in table2_runtimes(PAPER_MACHINE, rows, cols)}
+    for name, row in t2.items():
+        checks.append(Check(f"Table II: {name}", PAPER_TABLE2[name], row.seconds))
+
+    # Derived Table II ratios.
+    checks.append(Check(
+        "second-GPU factor",
+        1.87, t2["pipelined-gpu-1"].seconds / t2["pipelined-gpu-2"].seconds,
+        unit="x", tolerance=0.15,
+    ))
+    checks.append(Check(
+        "Pipelined-GPU x1 speedup vs Simple-CPU",
+        12.8, t2["pipelined-gpu-1"].speedup_vs_simple_cpu, unit="x", tolerance=0.25,
+    ))
+
+    prof = fig7_fig9_profiles(PAPER_MACHINE)
+    checks.append(Check("Fig. 7: Simple-GPU 8x8 makespan", 15.9,
+                        prof["simple-gpu"]["makespan"]))
+    checks.append(Check("Fig. 9: Pipelined-GPU 8x8 makespan", 1.6,
+                        prof["pipelined-gpu"]["makespan"]))
+    checks.append(Check("Fig. 7/9 pipelining speedup", 11.2, prof["speedup"],
+                        unit="x", tolerance=0.3))
+
+    fig10 = dict(fig10_ccf_threads(PAPER_MACHINE, rows, cols, ccf_threads=(1, 2)))
+    checks.append(Check("Fig. 10: 1 CCF thread", 42.0, fig10[1]))
+    checks.append(Check("Fig. 10: 2 CCF threads", 28.0, fig10[2]))
+
+    fig11 = {t: sp for t, _, sp in fig11_cpu_scaling(PAPER_MACHINE, rows, cols)}
+    checks.append(Check("Fig. 11: speedup at 16 threads", 7.5, fig11[16],
+                        unit="x", tolerance=0.2))
+
+    checks.append(Check(
+        "laptop Pipelined-GPU", 130.0,
+        simulate_pipelined_gpu(LAPTOP, rows, cols, 1).makespan_seconds,
+    ))
+    checks.append(Check(
+        "laptop Pipelined-CPU", 146.0,
+        simulate_pipelined_cpu(LAPTOP, rows, cols, 8).makespan_seconds,
+    ))
+    return checks
+
+
+def render_report(checks: list[Check]) -> str:
+    """Markdown report from a list of checks."""
+    from repro.analysis.report import format_table
+
+    table = format_table(
+        ["check", "paper", "measured", "ratio", "status"],
+        [c.row() for c in checks],
+        title="Paper-vs-measured fidelity report (calibrated simulator)",
+    )
+    n_ok = sum(1 for c in checks if c.ok)
+    footer = f"\n{n_ok}/{len(checks)} checks within tolerance."
+    if n_ok < len(checks):
+        drifted = ", ".join(c.name for c in checks if not c.ok)
+        footer += f"  DRIFTED: {drifted}"
+    return table + footer
+
+
+def fidelity_report(rows: int = 42, cols: int = 59) -> tuple[str, bool]:
+    """Build + render; returns ``(markdown, all_ok)``."""
+    checks = build_checks(rows, cols)
+    return render_report(checks), all(c.ok for c in checks)

@@ -1,0 +1,83 @@
+"""Phase-1 quality summary: correlation statistics over the grid.
+
+After stitching, users need to know *whether to trust* the result before
+composing a terabyte mosaic from it.  This summarizes the pairwise
+correlations (the CCF values phase 1 attaches to every translation): how
+many pairs are confident, where the weak regions are, and whether the
+stage model (per-direction medians) looks sane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.displacement import DisplacementResult
+from repro.grid.neighbors import Direction
+
+
+@dataclass
+class QualitySummary:
+    """Grid-level confidence report for a phase-1 result."""
+
+    pair_count: int
+    min_correlation: float
+    median_correlation: float
+    mean_correlation: float
+    low_confidence_pairs: int          # below the threshold
+    threshold: float
+    weak_tiles: list = field(default_factory=list)  # (row, col) near weak pairs
+    direction_medians: dict = field(default_factory=dict)
+
+    @property
+    def low_confidence_fraction(self) -> float:
+        return self.low_confidence_pairs / self.pair_count if self.pair_count else 0.0
+
+    @property
+    def trustworthy(self) -> bool:
+        """Heuristic gate: at most 10 % weak pairs and a sane median."""
+        return self.low_confidence_fraction <= 0.10 and self.median_correlation >= 0.5
+
+
+def quality_summary(
+    disp: DisplacementResult, threshold: float = 0.5
+) -> QualitySummary:
+    """Summarize a displacement result's confidence structure."""
+    corrs: list[float] = []
+    weak: set[tuple[int, int]] = set()
+    medians: dict[str, tuple[float, float]] = {}
+    for direction in (Direction.WEST, Direction.NORTH):
+        arr = disp.west if direction is Direction.WEST else disp.north
+        txs, tys = [], []
+        for r in range(disp.rows):
+            for c in range(disp.cols):
+                t = arr[r][c]
+                if t is None:
+                    continue
+                corrs.append(t.correlation)
+                txs.append(t.tx)
+                tys.append(t.ty)
+                if t.correlation < threshold:
+                    weak.add((r, c))
+                    weak.add((r, c - 1) if direction is Direction.WEST else (r - 1, c))
+        if txs:
+            medians[direction.value] = (
+                float(np.median(txs)), float(np.median(tys))
+            )
+    if not corrs:
+        return QualitySummary(
+            pair_count=0, min_correlation=0.0, median_correlation=0.0,
+            mean_correlation=0.0, low_confidence_pairs=0, threshold=threshold,
+        )
+    arr = np.asarray(corrs)
+    return QualitySummary(
+        pair_count=len(corrs),
+        min_correlation=float(arr.min()),
+        median_correlation=float(np.median(arr)),
+        mean_correlation=float(arr.mean()),
+        low_confidence_pairs=int((arr < threshold).sum()),
+        threshold=threshold,
+        weak_tiles=sorted(weak),
+        direction_medians=medians,
+    )

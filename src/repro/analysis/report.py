@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The harness prints the same rows/series the paper reports; these helpers
+keep the formatting in one place (monospace tables, no external deps).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(v, ndigits: int = 2) -> str:
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.{ndigits}f}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Monospace table with per-column width fitting."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xlabel: str, ylabel: str, points: Sequence[tuple], title: str = ""
+) -> str:
+    """Two-column series plus a coarse ASCII bar chart (for figure benches)."""
+    lines = []
+    if title:
+        lines.append(title)
+    ys = [float(p[1]) for p in points]
+    ymax = max(ys) if ys else 1.0
+    for x, y, *rest in points:
+        bar = "#" * max(1, int(40 * float(y) / ymax)) if ymax > 0 else ""
+        extra = ("  " + " ".join(_fmt(r) for r in rest)) if rest else ""
+        lines.append(f"{xlabel}={_fmt(x):>6}  {ylabel}={_fmt(float(y)):>10}  {bar}{extra}")
+    return "\n".join(lines)

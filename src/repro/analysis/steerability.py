@@ -1,0 +1,71 @@
+"""Computational steerability: the paper's time-budget criterion.
+
+Section I: "Image stitching must reconstruct a plate image in a fraction
+of the imaging period to allow researchers enough time to examine and
+analyze the acquired images and, if need be, intervene."  This module
+turns that sentence into a measurable report: given a stitching time, an
+imaging period, and the time the researcher's own analysis needs, is the
+experiment steerable, and how much slack remains?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SteerabilityReport:
+    """Outcome of the time-budget analysis for one configuration."""
+
+    stitch_seconds: float
+    analysis_seconds: float
+    imaging_period_seconds: float
+
+    @property
+    def used_fraction(self) -> float:
+        """Fraction of the period consumed by stitching + analysis."""
+        return (self.stitch_seconds + self.analysis_seconds) / self.imaging_period_seconds
+
+    @property
+    def slack_seconds(self) -> float:
+        """Time left for the researcher to decide and intervene."""
+        return self.imaging_period_seconds - self.stitch_seconds - self.analysis_seconds
+
+    @property
+    def steerable(self) -> bool:
+        """Stitching + analysis fit in the period with decision slack.
+
+        The criterion is a *fraction* of the period (we use <= 50 %): a
+        pipeline that only just fits leaves no time to act on what it
+        shows, which is the paper's whole point about ImageJ/Fiji (3.6 h of
+        stitching for a 45 min period is 480 % -- results arrive five scans
+        stale).
+        """
+        return self.used_fraction <= 0.5
+
+    @property
+    def scans_behind(self) -> int:
+        """How many scans pile up while one scan is processed (0 = live)."""
+        import math
+
+        return max(0, math.ceil(
+            (self.stitch_seconds + self.analysis_seconds)
+            / self.imaging_period_seconds
+        ) - 1)
+
+
+def steerability(
+    stitch_seconds: float,
+    imaging_period_seconds: float = 45 * 60.0,
+    analysis_seconds: float = 0.0,
+) -> SteerabilityReport:
+    """Build a report; raises on non-positive period."""
+    if imaging_period_seconds <= 0:
+        raise ValueError("imaging period must be positive")
+    if stitch_seconds < 0 or analysis_seconds < 0:
+        raise ValueError("times must be non-negative")
+    return SteerabilityReport(
+        stitch_seconds=stitch_seconds,
+        analysis_seconds=analysis_seconds,
+        imaging_period_seconds=imaging_period_seconds,
+    )

@@ -1,0 +1,85 @@
+"""Trace export: Chrome trace-event JSON from GPU/DES timelines.
+
+The paper inspects its implementations with NVIDIA's visual profiler
+(Figs. 7 and 9).  The equivalent here: export a virtual-GPU trace or a
+DES schedule to the Chrome trace-event format and open it in
+``chrome://tracing`` / Perfetto.  Each engine (or DES resource) becomes a
+timeline row; op names and durations carry over.
+
+Format reference: the "JSON Array Format" of the Trace Event
+specification -- a list of ``{"name", "ph": "X", "ts", "dur", "pid",
+"tid"}`` objects with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.gpu.profiler import GpuProfiler
+from repro.simulate.des import TaskGraphSimulator
+
+_US = 1e6  # trace-event timestamps are in microseconds
+
+
+def gpu_trace_events(profiler: GpuProfiler, pid: int = 0) -> list[dict]:
+    """Convert a virtual-GPU trace to trace-event dicts (one tid/engine)."""
+    tids: dict[str, int] = {}
+    out = []
+    for e in profiler.events:
+        tid = tids.setdefault(e.engine, len(tids))
+        out.append({
+            "name": e.name,
+            "ph": "X",
+            "ts": e.start * _US,
+            "dur": max(0.0, e.duration) * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": {"stream": e.stream, "nbytes": e.nbytes},
+        })
+    # Row labels so the viewer shows engine names.
+    for engine, tid in tids.items():
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": engine},
+        })
+    return out
+
+
+def des_trace_events(sim: TaskGraphSimulator, pid: int = 0) -> list[dict]:
+    """Convert a completed DES schedule to trace-event dicts.
+
+    Resources become threads; ops must have been scheduled (``run()``
+    called), unscheduled ops raise.
+    """
+    tids: dict[str, int] = {}
+    out = []
+    for o in sim.ops:
+        if not o.scheduled:
+            raise ValueError(f"op {o.name!r} was never scheduled; run() first")
+        tid = tids.setdefault(o.resource, len(tids))
+        out.append({
+            "name": o.name,
+            "ph": "X",
+            "ts": o.start * _US,
+            "dur": o.duration * _US,
+            "pid": pid,
+            "tid": tid,
+        })
+    for resource, tid in tids.items():
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": resource},
+        })
+    return out
+
+
+def write_chrome_trace(path: str | Path, events: list[dict]) -> None:
+    """Write trace events as a Chrome-loadable JSON array file."""
+    Path(path).write_text(json.dumps(events))

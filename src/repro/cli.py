@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``synth``     generate a synthetic acquisition (tiles + metadata)
+``stitch``    stitch an acquisition directory into a mosaic TIFF
+``info``      inspect a dataset or TIFF file
+``simulate``  run the paper-scale performance simulation (Table II)
+
+The CLI wraps the same public API the examples use; it exists so the tool
+is usable without writing Python, like the standalone executables the
+paper planned to release.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth import make_synthetic_dataset
+
+    ds = make_synthetic_dataset(
+        args.output,
+        rows=args.rows,
+        cols=args.cols,
+        tile_height=args.tile_size,
+        tile_width=args.tile_size,
+        overlap=args.overlap,
+        seed=args.seed,
+    )
+    print(f"wrote {len(ds)} tiles ({args.tile_size} px, {args.overlap:.0%} "
+          f"overlap) to {ds.directory}")
+    return 0
+
+
+def _cmd_stitch(args: argparse.Namespace) -> int:
+    from repro.core.compose import BlendMode
+    from repro.core.pciam import CcfMode
+    from repro.core.stitcher import Stitcher
+    from repro.fftlib.plans import PlanCache, PlanningMode
+    from repro.io.dataset import TileDataset
+    from repro.io.tiff import write_tiff
+
+    if args.pattern:
+        dataset = TileDataset.discover(
+            args.dataset, pattern=args.pattern, overlap=args.overlap
+        )
+        print(f"discovered {dataset.rows}x{dataset.cols} grid via {args.pattern!r}")
+    else:
+        dataset = TileDataset(args.dataset)
+    cache = PlanCache()
+    if args.wisdom and Path(args.wisdom).exists():
+        n = cache.import_wisdom(Path(args.wisdom).read_text())
+        print(f"imported {n} wisdom entries from {args.wisdom}")
+    stitcher = Stitcher(
+        ccf_mode=CcfMode.PAPER4 if args.paper_faithful else CcfMode.EXTENDED,
+        n_peaks=1 if args.paper_faithful else args.peaks,
+        real_transforms=args.real_transforms,
+        pad_to_smooth=args.pad,
+        position_method=args.positions,
+        refine=args.refine,
+        planning=PlanningMode(args.planning),
+        cache=cache,
+    )
+    t0 = time.perf_counter()
+    if args.impl == "stitcher":
+        result = stitcher.stitch(dataset)
+    else:
+        # Run one of the Table II implementations for phase 1, then the
+        # standard phases 2-3.
+        from repro.core.global_opt import resolve_absolute_positions
+        from repro.core.stitcher import StitchResult
+        from repro.impls import ALL_IMPLEMENTATIONS
+
+        impl_kwargs = {}
+        if args.impl in ("mt-cpu", "pipelined-cpu"):
+            impl_kwargs["workers"] = args.workers
+        elif args.impl == "pipelined-cpu-numa":
+            impl_kwargs["workers_per_socket"] = args.workers
+        elif args.impl == "pipelined-gpu":
+            impl_kwargs["devices"] = args.gpus
+        run = ALL_IMPLEMENTATIONS[args.impl](
+            ccf_mode=stitcher.ccf_mode, n_peaks=stitcher.n_peaks,
+            cache=cache, **impl_kwargs,
+        ).run(dataset)
+        positions = resolve_absolute_positions(
+            run.displacements, method=args.positions
+        )
+        result = StitchResult(
+            dataset=dataset, displacements=run.displacements,
+            positions=positions, phase1_seconds=run.wall_seconds,
+            phase2_seconds=0.0, implementation=args.impl, stats=run.stats,
+        )
+    elapsed = time.perf_counter() - t0
+    if args.wisdom:
+        Path(args.wisdom).write_text(cache.export_wisdom())
+        print(f"wisdom -> {args.wisdom}")
+    print(f"stitched {dataset.rows}x{dataset.cols} grid in {elapsed:.2f} s "
+          f"({result.stats['pairs']} pairs)")
+    errors = result.position_errors()
+    if errors is not None:
+        print(f"position error vs ground truth: max {errors.max():.1f} px")
+    if args.output:
+        mosaic = result.compose(BlendMode(args.blend), outline=args.outline)
+        top = float(mosaic.max()) or 1.0
+        scaled = (np.clip(mosaic / top, 0, 1) * 65535).astype(np.uint16)
+        write_tiff(args.output, scaled, description="repro mosaic")
+        print(f"mosaic {mosaic.shape[0]}x{mosaic.shape[1]} -> {args.output}")
+    if args.positions_json:
+        Path(args.positions_json).write_text(
+            json.dumps(result.positions.positions.tolist())
+        )
+        print(f"positions -> {args.positions_json}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.io.dataset import METADATA_FILENAME, TileDataset
+    from repro.io.tiff import read_tiff
+
+    path = Path(args.path)
+    if path.is_dir():
+        ds = TileDataset(path)
+        meta = ds.metadata
+        print(f"dataset: {path}")
+        print(f"  grid: {ds.rows} x {ds.cols} ({len(ds)} tiles)")
+        print(f"  tile: {meta.tile_height} x {meta.tile_width}, "
+              f"{meta.bit_depth}-bit")
+        print(f"  nominal overlap: {meta.overlap:.0%}")
+        print(f"  ground truth: {'yes' if meta.true_positions else 'no'}")
+    else:
+        arr, desc = read_tiff(path, return_description=True)
+        print(f"tiff: {path}")
+        print(f"  {arr.shape[0]} x {arr.shape[1]}, {arr.dtype}, "
+              f"range [{arr.min()}, {arr.max()}]")
+        if desc:
+            print(f"  description: {desc}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.simulate.costmodel import LAPTOP, PAPER_MACHINE
+    from repro.simulate.experiments import PAPER_TABLE2, table2_runtimes
+
+    machine = LAPTOP if args.machine == "laptop" else PAPER_MACHINE
+    rows = table2_runtimes(machine, rows=args.rows, cols=args.cols)
+    print(format_table(
+        ["implementation", "time (s)", "S/CPU", "paper (s)"],
+        [[r.implementation, round(r.seconds, 1),
+          round(r.speedup_vs_simple_cpu, 1),
+          round(PAPER_TABLE2.get(r.implementation, float("nan")), 1)]
+         for r in rows],
+        title=f"Table II projection, {args.rows}x{args.cols} grid on {machine.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid CPU-GPU image stitching (ICPP 2014 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("synth", help="generate a synthetic acquisition")
+    s.add_argument("output", type=Path)
+    s.add_argument("--rows", type=int, default=4)
+    s.add_argument("--cols", type=int, default=4)
+    s.add_argument("--tile-size", type=int, default=128)
+    s.add_argument("--overlap", type=float, default=0.15)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_synth)
+
+    s = sub.add_parser("stitch", help="stitch a dataset directory")
+    s.add_argument("dataset", type=Path)
+    s.add_argument("-o", "--output", type=Path, help="mosaic TIFF path")
+    s.add_argument("--blend", choices=[m.value for m in __import__(
+        "repro.core.compose", fromlist=["BlendMode"]).BlendMode],
+        default="overlay")
+    s.add_argument("--outline", action="store_true", help="highlight tiles (Fig. 14)")
+    s.add_argument("--peaks", type=int, default=2)
+    s.add_argument("--paper-faithful", action="store_true",
+                   help="Fig. 2 scheme verbatim: 1 peak, 4 interpretations")
+    s.add_argument("--real-transforms", action="store_true")
+    s.add_argument("--pad", action="store_true", help="pad FFTs to smooth sizes")
+    s.add_argument("--refine", action="store_true",
+                   help="stage-model filter + repair between phases 1 and 2")
+    s.add_argument("--positions", choices=["mst", "least_squares"], default="mst")
+    s.add_argument("--positions-json", type=Path)
+    s.add_argument("--planning",
+                   choices=["estimate", "measure", "patient", "exhaustive"],
+                   default="estimate", help="FFTW-style planning rigor")
+    s.add_argument("--wisdom", type=Path,
+                   help="planning-wisdom file (loaded if present, saved after)")
+    from repro.impls import ALL_IMPLEMENTATIONS as _IMPLS
+
+    s.add_argument("--impl", choices=["stitcher", *sorted(_IMPLS)],
+                   default="stitcher",
+                   help="phase-1 engine: the facade or a Table II implementation")
+    s.add_argument("--workers", type=int, default=2,
+                   help="worker threads for mt-cpu / pipelined-cpu impls")
+    s.add_argument("--gpus", type=int, default=1,
+                   help="virtual GPUs for the pipelined-gpu impl")
+    s.add_argument("--pattern", type=str, default=None,
+                   help="adopt a foreign directory: tile file pattern, e.g. "
+                        "'img_r{row:03d}_c{col:03d}.tif'")
+    s.add_argument("--overlap", type=float, default=0.1,
+                   help="nominal overlap for --pattern discovery")
+    s.set_defaults(func=_cmd_stitch)
+
+    s = sub.add_parser("info", help="inspect a dataset directory or TIFF")
+    s.add_argument("path", type=Path)
+    s.set_defaults(func=_cmd_info)
+
+    s = sub.add_parser("simulate", help="paper-scale performance simulation")
+    s.add_argument("--machine", choices=["paper", "laptop"], default="paper")
+    s.add_argument("--rows", type=int, default=42)
+    s.add_argument("--cols", type=int, default=59)
+    s.set_defaults(func=_cmd_simulate)
+
+    s = sub.add_parser("report", help="paper-vs-measured fidelity report")
+    s.add_argument("-o", "--output", type=Path, help="write markdown here")
+    s.set_defaults(func=_cmd_report)
+    return p
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_report import fidelity_report
+
+    text, all_ok = fidelity_report()
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"\nreport -> {args.output}")
+    return 0 if all_ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Cross-correlation factor over an overlap region (the paper's Fig. 3).
+
+``ccf(I1, I2)`` is the normalized dot product of the mean-centred overlap
+pixels -- Pearson correlation of the two views.  It disambiguates the
+periodic interpretations of the phase-correlation peak: the true
+translation's overlap really matches, the aliases' overlaps do not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ccf(i1: np.ndarray, i2: np.ndarray) -> float:
+    """Pearson correlation of two same-shaped overlap views in ``[-1, 1]``.
+
+    Degenerate overlaps (empty, or constant-intensity in either view --
+    common in feature-poor microscopy regions) return ``-1.0`` so they can
+    never win the interpretation contest against a real match.
+    """
+    if i1.shape != i2.shape:
+        raise ValueError(f"overlap views differ in shape: {i1.shape} vs {i2.shape}")
+    if i1.size == 0:
+        return -1.0
+    a = i1.ravel().astype(np.float64, copy=False)
+    b = i2.ravel().astype(np.float64, copy=False)
+    a = a - a.mean()
+    b = b - b.mean()
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return -1.0
+    # Clamp: float rounding can push |r| epsilon past 1.
+    return float(np.clip(np.dot(a, b) / (na * nb), -1.0, 1.0))
+
+
+def overlap_views(
+    i1: np.ndarray, i2: np.ndarray, tx: int, ty: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Views of the overlap implied by placing ``i2``'s origin at ``(tx, ty)``.
+
+    ``(tx, ty)`` is in ``i1``'s frame, each component in ``(-W, W)`` /
+    ``(-H, H)``.  Returns a pair of equal-shaped *views* (no copies -- the
+    paper's CCF stage runs four of these per pair and copying 2x4 overlap
+    regions per pair would dominate the stage).  Out-of-range translations
+    yield empty views.
+    """
+    h1, w1 = i1.shape
+    h2, w2 = i2.shape
+    # Overlap rectangle in i1 coordinates.
+    y0, y1 = max(ty, 0), min(h1, h2 + ty)
+    x0, x1 = max(tx, 0), min(w1, w2 + tx)
+    if y1 <= y0 or x1 <= x0:
+        empty = i1[0:0, 0:0]
+        return empty, empty
+    v1 = i1[y0:y1, x0:x1]
+    v2 = i2[y0 - ty : y1 - ty, x0 - tx : x1 - tx]
+    return v1, v2
+
+
+def ccf_at(i1: np.ndarray, i2: np.ndarray, tx: int, ty: int) -> float:
+    """CCF of the overlap at translation ``(tx, ty)`` (``-1.0`` if empty)."""
+    v1, v2 = overlap_views(i1, i2, tx, ty)
+    return ccf(v1, v2)
+
+
+def _parabolic_vertex(y_minus: float, y_0: float, y_plus: float) -> float:
+    """Sub-sample offset of the vertex of a parabola through 3 samples.
+
+    Returns a value in ``[-0.5, 0.5]``; degenerate (non-concave or flat)
+    neighbourhoods return 0.0 so the integer estimate survives untouched.
+    """
+    denom = y_minus - 2.0 * y_0 + y_plus
+    if denom >= -1e-12:  # not strictly concave at the peak
+        return 0.0
+    off = 0.5 * (y_minus - y_plus) / denom
+    return float(np.clip(off, -0.5, 0.5))
+
+
+def subpixel_refine(
+    i1: np.ndarray, i2: np.ndarray, tx: int, ty: int
+) -> tuple[float, float]:
+    """Sub-pixel translation estimate around an integer CCF winner.
+
+    Fits independent parabolas through the CCF values at ``tx - 1, tx,
+    tx + 1`` (and likewise in y) and returns the vertex ``(tx_f, ty_f)``.
+    The CCF surface is smooth near the true offset, so the parabolic
+    vertex recovers fractional stage positions to ~0.1 px; at image
+    borders (no neighbour sample) the integer estimate is returned.
+    """
+    h, w = i1.shape
+    c0 = ccf_at(i1, i2, tx, ty)
+    tx_f, ty_f = float(tx), float(ty)
+    if abs(tx - 1) < w and abs(tx + 1) < w:
+        cxm = ccf_at(i1, i2, tx - 1, ty)
+        cxp = ccf_at(i1, i2, tx + 1, ty)
+        tx_f += _parabolic_vertex(cxm, c0, cxp)
+    if abs(ty - 1) < h and abs(ty + 1) < h:
+        cym = ccf_at(i1, i2, tx, ty - 1)
+        cyp = ccf_at(i1, i2, tx, ty + 1)
+        ty_f += _parabolic_vertex(cym, c0, cyp)
+    return tx_f, ty_f

@@ -1,0 +1,175 @@
+"""Phase 2: resolve the over-constrained displacement graph (Section III).
+
+The pairwise translations over-constrain absolute positions: any cycle in
+the grid graph gives two path-sums for the same tile, and stage noise makes
+them disagree.  The paper offers two resolution strategies, both
+implemented here:
+
+``mst``
+    Select a subset of displacements forming a maximum-correlation spanning
+    tree and read positions off tree paths.  Low-confidence edges (blank
+    overlaps) are simply never selected when any better path exists.
+``least_squares``
+    Global adjustment: minimize ``sum_ij w_ij * ||p_j - p_i - d_ij||^2``
+    over all edges, with correlation-derived weights, anchored at tile
+    (0, 0).  This is the "global optimization approach to adjust them to a
+    path invariant state" the paper describes; it uses every measurement
+    instead of discarding the off-tree ones.
+
+Both return integer pixel positions normalized so ``min == (0, 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.core.displacement import DisplacementResult
+
+
+@dataclass
+class GlobalPositions:
+    """Absolute tile origins ``positions[rows, cols, 2]`` as ``(y, x)``.
+
+    ``mosaic_shape`` is the bounding canvas for a given tile size.
+    """
+
+    positions: np.ndarray  # int64 [rows, cols, 2] (y, x), min at (0, 0)
+    method: str
+    spanning_tree_correlation: float | None = None
+    #: Sub-pixel positions (float64, same normalization) when the
+    #: displacements carried fractional estimates; ``None`` otherwise.
+    positions_f: np.ndarray | None = None
+
+    @property
+    def rows(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.positions.shape[1]
+
+    def mosaic_shape(self, tile_shape: tuple[int, int]) -> tuple[int, int]:
+        h = int(self.positions[..., 0].max()) + tile_shape[0]
+        w = int(self.positions[..., 1].max()) + tile_shape[1]
+        return h, w
+
+
+def _edges(disp: DisplacementResult):
+    """Yield ``(u, v, translation)`` with u the west/north neighbour of v."""
+    for r in range(disp.rows):
+        for c in range(disp.cols):
+            t = disp.west[r][c]
+            if t is not None:
+                yield (r, c - 1), (r, c), t
+            t = disp.north[r][c]
+            if t is not None:
+                yield (r - 1, c), (r, c), t
+
+
+def _normalize(pos: np.ndarray) -> np.ndarray:
+    pos = pos - pos.reshape(-1, 2).min(axis=0)
+    return np.rint(pos).astype(np.int64)
+
+
+def _normalize_f(pos: np.ndarray) -> np.ndarray:
+    return pos - pos.reshape(-1, 2).min(axis=0)
+
+
+def _mst_positions(disp: DisplacementResult, subpixel: bool = False) -> GlobalPositions:
+    g = nx.Graph()
+    for u, v, t in _edges(disp):
+        # Maximum-correlation spanning tree == minimum of (1 - corr).
+        g.add_edge(u, v, weight=1.0 - t.correlation, translation=t, forward=(u, v))
+    for r in range(disp.rows):
+        for c in range(disp.cols):
+            g.add_node((r, c))
+    if disp.rows * disp.cols > 1 and not nx.is_connected(g):
+        raise ValueError("displacement graph is disconnected; cannot stitch")
+    tree = nx.minimum_spanning_tree(g, weight="weight")
+    pos = np.zeros((disp.rows, disp.cols, 2), dtype=np.float64)
+    root = (0, 0)
+    seen = {root}
+    # BFS from the root accumulating signed translations along tree edges.
+    stack = [root]
+    total_corr = 0.0
+    while stack:
+        u = stack.pop()
+        for v in tree.neighbors(u):
+            if v in seen:
+                continue
+            seen.add(v)
+            data = tree.edges[u, v]
+            t = data["translation"]
+            fu, fv = data["forward"]
+            sign = 1.0 if (fu, fv) == (u, v) else -1.0
+            dy, dx = (t.fy, t.fx) if subpixel else (float(t.ty), float(t.tx))
+            pos[v] = pos[u] + sign * np.array([dy, dx], dtype=np.float64)
+            total_corr += t.correlation
+            stack.append(v)
+    return GlobalPositions(
+        positions=_normalize(pos),
+        method="mst",
+        spanning_tree_correlation=total_corr,
+        positions_f=_normalize_f(pos) if subpixel else None,
+    )
+
+
+def _least_squares_positions(
+    disp: DisplacementResult, min_weight: float = 1e-3, subpixel: bool = False
+) -> GlobalPositions:
+    n = disp.rows * disp.cols
+
+    def idx(rc) -> int:
+        return rc[0] * disp.cols + rc[1]
+
+    rows_a, cols_a, vals, b_y, b_x, weights = [], [], [], [], [], []
+    eq = 0
+    for u, v, t in _edges(disp):
+        w = max(min_weight, (t.correlation + 1.0) / 2.0)
+        rows_a += [eq, eq]
+        cols_a += [idx(v), idx(u)]
+        vals += [w, -w]
+        dy, dx = (t.fy, t.fx) if subpixel else (float(t.ty), float(t.tx))
+        b_y.append(w * dy)
+        b_x.append(w * dx)
+        eq += 1
+    # Anchor tile (0,0) at the origin to pin the translation gauge freedom.
+    rows_a.append(eq)
+    cols_a.append(0)
+    vals.append(1.0)
+    b_y.append(0.0)
+    b_x.append(0.0)
+    eq += 1
+
+    a = sp.csr_matrix((vals, (rows_a, cols_a)), shape=(eq, n))
+    y = spla.lsqr(a, np.asarray(b_y), atol=1e-12, btol=1e-12)[0]
+    x = spla.lsqr(a, np.asarray(b_x), atol=1e-12, btol=1e-12)[0]
+    pos = np.stack([y, x], axis=-1).reshape(disp.rows, disp.cols, 2)
+    return GlobalPositions(
+        positions=_normalize(pos),
+        method="least_squares",
+        positions_f=_normalize_f(pos) if subpixel else None,
+    )
+
+
+def resolve_absolute_positions(
+    disp: DisplacementResult, method: str = "mst", subpixel: bool = False
+) -> GlobalPositions:
+    """Phase 2 entry point; ``method`` is ``"mst"`` or ``"least_squares"``.
+
+    ``subpixel=True`` resolves over the fractional translation estimates
+    (where present) and exposes ``GlobalPositions.positions_f`` alongside
+    the rounded integer positions composition uses.
+    """
+    if not disp.is_complete() and disp.pair_count() == 0 and len(disp.west) * len(disp.west[0]) > 1:
+        raise ValueError("no displacements computed")
+    if method == "mst":
+        return _mst_positions(disp, subpixel=subpixel)
+    if method == "least_squares":
+        return _least_squares_positions(disp, subpixel=subpixel)
+    raise ValueError(f"unknown method {method!r} (use 'mst' or 'least_squares')")

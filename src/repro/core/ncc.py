@@ -1,0 +1,46 @@
+"""Normalized correlation coefficient (steps 3-4 of the paper's Fig. 1).
+
+Given the forward transforms of two tiles, the NCC is the element-wise
+normalized conjugate product::
+
+    fc  = FFT_i .* conj(FFT_j)
+    NCC = fc ./ |fc|
+
+Only the *phase* of the cross-power spectrum survives, which is what makes
+phase correlation insensitive to illumination differences between exposures
+(the vignette and gain differences of adjacent microscope tiles).
+
+Sign convention (proved in the unit tests): with ``I_j(p) = I_i(p + t)``
+(tile *j*'s content is tile *i*'s shifted so that *j*'s origin sits at
+``+t`` in *i*'s frame), the inverse transform of the NCC peaks at
+``t mod (H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Magnitudes below this are treated as zero to avoid amplifying pure
+#: numerical noise into unit-magnitude phase (matches cuFFT-era float
+#: tolerances; the affected bins carry no signal).
+_EPS = 1e-12
+
+
+def normalized_correlation(
+    fft_i: np.ndarray, fft_j: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Element-wise normalized conjugate multiplication of two spectra.
+
+    ``out`` may alias either input (in-place update is safe and saves one
+    h x w complex allocation per pair, which matters at the paper's scale:
+    each such array is ~22 MB).
+    """
+    if fft_i.shape != fft_j.shape:
+        raise ValueError(f"spectra differ in shape: {fft_i.shape} vs {fft_j.shape}")
+    fc = np.multiply(fft_i, np.conj(fft_j), out=out)
+    mag = np.abs(fc)
+    # Zero-magnitude bins have undefined phase; leave them at zero rather
+    # than dividing 0/0.
+    np.maximum(mag, _EPS, out=mag)
+    fc /= mag
+    return fc

@@ -1,0 +1,193 @@
+"""PCIAM: phase-correlation image alignment for one adjacent pair (Fig. 2).
+
+``pciam(I_i, I_j)`` returns the translation of ``I_j``'s origin in
+``I_i``'s coordinate frame together with the winning cross-correlation
+factor.  The steps mirror the paper's pseudo-code exactly:
+
+1. forward FFTs of both tiles (cached transforms may be supplied),
+2. normalized correlation coefficient,
+3. inverse FFT,
+4. max-magnitude reduction to a peak index,
+5. CCF contest over the peak's periodic interpretations.
+
+The function accepts precomputed forward transforms because transform reuse
+across the four pairs incident to a tile is the core memory/compute
+trade-off every implementation in the paper manages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.ccf import ccf_at, subpixel_refine
+from repro.core.ncc import normalized_correlation
+from repro.core.peak import peak_candidates, top_peaks
+from repro.fftlib.plans import PlanCache, PlanningMode, TransformKind, default_cache
+from repro.fftlib.smooth import next_smooth_shape, pad_to_shape
+
+
+class CcfMode(Enum):
+    """Peak-interpretation scheme (see :mod:`repro.core.peak`)."""
+
+    PAPER4 = "paper4"      # the four non-negative combinations of Fig. 2
+    EXTENDED = "extended"  # signed aliases (MIST-style), handles ty < 0
+
+
+@dataclass(frozen=True)
+class PciamResult:
+    """Outcome of one pairwise alignment.
+
+    ``tx``/``ty`` are the integer translation (the paper's output);
+    ``tx_f``/``ty_f`` carry the sub-pixel estimate when requested
+    (otherwise they equal the integers).
+    """
+
+    correlation: float  # winning CCF in [-1, 1]
+    tx: int             # I_j origin x in I_i frame
+    ty: int             # I_j origin y in I_i frame
+    peak_value: float   # magnitude of the phase-correlation peak
+    peak_index: tuple[int, int]  # (py, px) in the transform grid
+    tx_f: float = 0.0
+    ty_f: float = 0.0
+
+    def __iter__(self):
+        yield self.correlation
+        yield self.tx
+        yield self.ty
+
+
+def forward_fft(
+    tile: np.ndarray,
+    fft_shape: tuple[int, int] | None = None,
+    cache: PlanCache | None = None,
+    mode: PlanningMode = PlanningMode.ESTIMATE,
+    real: bool = False,
+) -> np.ndarray:
+    """Forward transform of a tile, optionally zero-padded to ``fft_shape``.
+
+    This is the "FFT" pipeline stage: each tile's transform is computed
+    once and shared by its (up to four) incident pairs.
+
+    ``real=True`` selects the real-to-complex transform (the paper's
+    second future-work optimization): tiles are real-valued, so the
+    half-spectrum of shape ``(h, w // 2 + 1)`` carries all information at
+    roughly half the work and memory.  The resulting spectra plug into the
+    same NCC (Hermitian symmetry is preserved by the normalization) and
+    invert through ``irfft2``.
+    """
+    cache = cache if cache is not None else default_cache()
+    a = np.ascontiguousarray(tile, dtype=np.float64)
+    if fft_shape is not None and tuple(fft_shape) != a.shape:
+        a = pad_to_shape(a, fft_shape)
+    if real:
+        plan = cache.plan(a.shape, TransformKind.R2C, mode, allow_padding=False)
+        return plan.execute(a)
+    plan = cache.plan(a.shape, TransformKind.C2C_FORWARD, mode, allow_padding=False)
+    return plan.execute(a.astype(np.complex128))
+
+
+def smooth_fft_shape(tile_shape: tuple[int, int]) -> tuple[int, int]:
+    """The padded transform shape of the paper's future-work optimization."""
+    return next_smooth_shape(tile_shape)  # type: ignore[return-value]
+
+
+def pciam(
+    img_i: np.ndarray,
+    img_j: np.ndarray,
+    fft_i: np.ndarray | None = None,
+    fft_j: np.ndarray | None = None,
+    fft_shape: tuple[int, int] | None = None,
+    ccf_mode: CcfMode = CcfMode.PAPER4,
+    n_peaks: int = 1,
+    real_transforms: bool = False,
+    subpixel: bool = False,
+    cache: PlanCache | None = None,
+    planning: PlanningMode = PlanningMode.ESTIMATE,
+) -> PciamResult:
+    """Relative displacement of ``img_j`` with respect to ``img_i``.
+
+    Parameters
+    ----------
+    img_i, img_j:
+        Same-shape grayscale tiles (any real dtype).  ``img_j`` is the
+        east/south member of the pair under the package-wide convention.
+    fft_i, fft_j:
+        Optional precomputed forward transforms (from :func:`forward_fft`
+        with the same ``fft_shape``); whichever is missing is computed here.
+    fft_shape:
+        Transform size; ``None`` means the native tile shape.  Pass
+        :func:`smooth_fft_shape` of the tile shape to enable the padding
+        optimization.
+    ccf_mode:
+        Peak-interpretation scheme; ``PAPER4`` reproduces Fig. 2 verbatim.
+    n_peaks:
+        Number of correlation peaks whose interpretations enter the CCF
+        contest.  ``1`` is the paper's scheme; the Fiji plugin tests
+        several, which is more robust on feature-poor overlaps.
+    real_transforms:
+        Use real-to-complex transforms (half-spectrum NCC, ``irfft2``
+        inverse) -- the paper's future-work optimization.  Results are
+        identical to the complex path; work and footprint roughly halve.
+        Precomputed ``fft_i``/``fft_j`` must then be half-spectra from
+        ``forward_fft(..., real=True)``.
+
+    Returns the winning ``(correlation, tx, ty)`` plus peak diagnostics.
+    """
+    if img_i.shape != img_j.shape:
+        raise ValueError(
+            f"pciam requires same-size tiles, got {img_i.shape} vs {img_j.shape}"
+        )
+    cache = cache if cache is not None else default_cache()
+    shape = tuple(fft_shape) if fft_shape is not None else img_i.shape
+    spectrum_shape = (shape[0], shape[1] // 2 + 1) if real_transforms else shape
+    if fft_i is None:
+        fft_i = forward_fft(img_i, shape, cache, planning, real=real_transforms)
+    if fft_j is None:
+        fft_j = forward_fft(img_j, shape, cache, planning, real=real_transforms)
+    if fft_i.shape != spectrum_shape or fft_j.shape != spectrum_shape:
+        raise ValueError(
+            f"supplied transforms have shape {fft_i.shape}/{fft_j.shape}, "
+            f"expected {spectrum_shape}"
+        )
+
+    ncc = normalized_correlation(fft_i, fft_j)
+    if real_transforms:
+        import scipy.fft as _sfft
+
+        inv = _sfft.irfft2(ncc, s=shape)
+    else:
+        plan = cache.plan(shape, TransformKind.C2C_INVERSE, planning, allow_padding=False)
+        inv = plan.execute(ncc)
+    peaks = top_peaks(inv, n_peaks)
+    peak_val, py, px = peaks[0]
+
+    extended = ccf_mode is CcfMode.EXTENDED
+    seen: set[tuple[int, int]] = set()
+    best = (-np.inf, 0, 0)
+    for _mag, qy, qx in peaks:
+        for tx, ty in peak_candidates(qy, qx, shape, extended=extended):
+            if (tx, ty) in seen:
+                continue
+            seen.add((tx, ty))
+            c = ccf_at(img_i, img_j, tx, ty)
+            if c > best[0]:
+                best = (c, tx, ty)
+    corr, tx, ty = best
+    tx_f, ty_f = float(tx), float(ty)
+    if subpixel:
+        # Parabolic vertex of the CCF surface around the integer winner --
+        # recovers fractional stage positions (a successor-tool feature;
+        # the paper's pipeline reports integers).
+        tx_f, ty_f = subpixel_refine(img_i, img_j, int(tx), int(ty))
+    return PciamResult(
+        correlation=float(corr),
+        tx=int(tx),
+        ty=int(ty),
+        peak_value=peak_val,
+        peak_index=(py, px),
+        tx_f=tx_f,
+        ty_f=ty_f,
+    )

@@ -1,0 +1,160 @@
+"""Multi-resolution, on-demand mosaic rendering (the paper's viewer).
+
+Section III: "the third phase can be carried out on demand as part of
+visualizing the stitched image"; Section VI describes a prototype that
+generates "image pyramids for all the tiles in a grid and render[s] a
+stitched image at varying resolutions" (Figs. 13-14 come from it).
+
+:class:`MosaicPyramid` implements that viewer back-end:
+
+- tiles are downsampled per level by block averaging (factor ``2**level``),
+  lazily and with a small LRU cache, so zoomed-out views never touch
+  full-resolution pixels more than once;
+- :meth:`render_region` composes only the tiles intersecting a viewport,
+  so panning a 17k x 22k mosaic never materializes the whole canvas --
+  the paper "composes and renders the composite image without saving it".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.compose import BlendMode
+from repro.core.global_opt import GlobalPositions
+
+
+def downsample(tile: np.ndarray, factor: int) -> np.ndarray:
+    """Block-mean downsample by an integer factor (edge blocks padded).
+
+    Block averaging (rather than strided subsampling) is what image
+    pyramids use: it low-passes before decimation, so zoomed-out renders
+    do not alias.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return np.asarray(tile, dtype=np.float64)
+    h, w = tile.shape
+    ph = (-h) % factor
+    pw = (-w) % factor
+    a = np.asarray(tile, dtype=np.float64)
+    if ph or pw:
+        a = np.pad(a, ((0, ph), (0, pw)), mode="edge")
+    hh, ww = a.shape[0] // factor, a.shape[1] // factor
+    return a.reshape(hh, factor, ww, factor).mean(axis=(1, 3))
+
+
+class MosaicPyramid:
+    """Viewport renderer over stitched tile positions.
+
+    ``levels`` counts pyramid levels (level 0 = native resolution, level
+    ``k`` downsampled by ``2**k``).  ``cache_tiles`` bounds the per-level
+    LRU of downsampled tiles.
+    """
+
+    def __init__(
+        self,
+        load_tile,
+        positions: GlobalPositions,
+        tile_shape: tuple[int, int],
+        levels: int = 4,
+        cache_tiles: int = 64,
+    ) -> None:
+        if levels < 1:
+            raise ValueError("need at least one level")
+        max_factor = 2 ** (levels - 1)
+        if min(tile_shape) // max_factor < 1:
+            raise ValueError(
+                f"{levels} levels would shrink {tile_shape} tiles below 1 px"
+            )
+        self._load = load_tile
+        self.positions = positions
+        self.tile_shape = tuple(tile_shape)
+        self.levels = levels
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_limit = cache_tiles
+        self.tile_fetches = 0  # instrumentation for laziness tests
+
+    # -- geometry --------------------------------------------------------
+
+    def level_factor(self, level: int) -> int:
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level {level} outside [0, {self.levels})")
+        return 2**level
+
+    def level_shape(self, level: int) -> tuple[int, int]:
+        """Full-mosaic shape at a pyramid level."""
+        f = self.level_factor(level)
+        h, w = self.positions.mosaic_shape(self.tile_shape)
+        return (h + f - 1) // f, (w + f - 1) // f
+
+    def _tile_at(self, row: int, col: int, level: int) -> np.ndarray:
+        key = (row, col, level)
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.tile_fetches += 1
+        tile = downsample(self._load(row, col), self.level_factor(level))
+        self._cache[key] = tile
+        if len(self._cache) > self._cache_limit:
+            self._cache.popitem(last=False)
+        return tile
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self, level: int = 0, blend: BlendMode = BlendMode.OVERLAY) -> np.ndarray:
+        """Full mosaic at a level (convenience over :meth:`render_region`)."""
+        h, w = self.level_shape(level)
+        return self.render_region(0, 0, h, w, level=level, blend=blend)
+
+    def render_region(
+        self,
+        y: int,
+        x: int,
+        height: int,
+        width: int,
+        level: int = 0,
+        blend: BlendMode = BlendMode.OVERLAY,
+    ) -> np.ndarray:
+        """Compose the viewport ``[y, y+height) x [x, x+width)`` at a level.
+
+        Coordinates are in *level* pixels.  Only tiles intersecting the
+        viewport are loaded.  ``OVERLAY`` and ``AVERAGE`` blends are
+        supported (feathering needs global weights, which defeats windowed
+        rendering).
+        """
+        if height < 1 or width < 1:
+            raise ValueError("viewport must be at least 1x1")
+        if blend not in (BlendMode.OVERLAY, BlendMode.AVERAGE):
+            raise ValueError(f"windowed rendering supports OVERLAY/AVERAGE, not {blend}")
+        f = self.level_factor(level)
+        th = (self.tile_shape[0] + f - 1) // f
+        tw = (self.tile_shape[1] + f - 1) // f
+        canvas = np.zeros((height, width), dtype=np.float64)
+        weight = (
+            np.zeros((height, width), dtype=np.float64)
+            if blend is BlendMode.AVERAGE
+            else None
+        )
+        for r in range(self.positions.rows):
+            for c in range(self.positions.cols):
+                ty, tx = (int(v) // f for v in self.positions.positions[r, c])
+                # Intersect tile box with the viewport.
+                y0, y1 = max(ty, y), min(ty + th, y + height)
+                x0, x1 = max(tx, x), min(tx + tw, x + width)
+                if y1 <= y0 or x1 <= x0:
+                    continue
+                tile = self._tile_at(r, c, level)
+                src = tile[y0 - ty : y1 - ty, x0 - tx : x1 - tx]
+                dst = (slice(y0 - y, y1 - y), slice(x0 - x, x1 - x))
+                if blend is BlendMode.OVERLAY:
+                    canvas[dst] = src
+                else:
+                    canvas[dst] += src
+                    weight[dst] += 1.0
+        if weight is not None:
+            covered = weight > 0
+            canvas[covered] /= weight[covered]
+        return canvas

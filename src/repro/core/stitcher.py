@@ -1,0 +1,189 @@
+"""High-level stitching facade tying the three phases together.
+
+``Stitcher`` is the public entry point a downstream user reaches for::
+
+    from repro import Stitcher
+    from repro.io import TileDataset
+
+    result = Stitcher().stitch(TileDataset("path/to/acquisition"))
+    mosaic = result.compose()
+
+Implementation selection, FFT padding, peak-interpretation mode, traversal
+order and the phase-2 solver are all options with paper-faithful defaults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compose import BlendMode, compose
+from repro.core.displacement import DisplacementResult, compute_grid_displacements
+from repro.core.global_opt import GlobalPositions, resolve_absolute_positions
+from repro.core.pciam import CcfMode, smooth_fft_shape
+from repro.core.refine import RefineConfig, refine_displacements
+from repro.fftlib.plans import PlanCache, PlanningMode
+from repro.grid.traversal import Traversal
+from repro.io.dataset import TileDataset
+
+
+@dataclass
+class StitchResult:
+    """Everything the three phases produced, plus timing."""
+
+    dataset: TileDataset
+    displacements: DisplacementResult
+    positions: GlobalPositions
+    phase1_seconds: float
+    phase2_seconds: float
+    implementation: str = "simple-cpu"
+    stats: dict = field(default_factory=dict)
+
+    def compose(
+        self, blend: BlendMode = BlendMode.OVERLAY, outline: bool = False, dtype=np.float32
+    ) -> np.ndarray:
+        """Phase 3, on demand (the paper renders rather than always saving)."""
+        return compose(
+            self.dataset.load,
+            self.positions,
+            self.dataset.tile_shape,
+            blend=blend,
+            outline=outline,
+            dtype=dtype,
+        )
+
+    def position_errors(self) -> np.ndarray | None:
+        """Per-tile |recovered - truth| in pixels, when ground truth exists.
+
+        Both recovered and true positions are normalized to a (0, 0) origin
+        before comparison (absolute positions are only defined up to a
+        global translation).
+        """
+        if self.dataset.metadata.true_positions is None:
+            return None
+        true = np.asarray(self.dataset.metadata.true_positions, dtype=np.int64)
+        true = true - true.reshape(-1, 2).min(axis=0)
+        diff = self.positions.positions - true
+        return np.linalg.norm(diff.astype(np.float64), axis=-1)
+
+
+class Stitcher:
+    """Configurable three-phase stitcher (sequential reference execution).
+
+    For the parallel implementations of Table II, see :mod:`repro.impls`;
+    they produce identical displacements and plug into the same phase 2/3.
+    """
+
+    def __init__(
+        self,
+        traversal: Traversal = Traversal.CHAINED_DIAGONAL,
+        ccf_mode: CcfMode = CcfMode.EXTENDED,
+        n_peaks: int = 2,
+        real_transforms: bool = False,
+        subpixel: bool = False,
+        pad_to_smooth: bool = False,
+        position_method: str = "mst",
+        refine: bool | RefineConfig = False,
+        planning: PlanningMode = PlanningMode.ESTIMATE,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.traversal = traversal
+        self.ccf_mode = ccf_mode
+        self.n_peaks = n_peaks
+        self.real_transforms = real_transforms
+        self.subpixel = subpixel
+        self.pad_to_smooth = pad_to_smooth
+        self.position_method = position_method
+        # ``refine`` enables the MIST-style stage-model filter/repair pass
+        # between phases 1 and 2 (see repro.core.refine).
+        if refine is True:
+            refine = RefineConfig()
+        self.refine: RefineConfig | None = refine or None
+        self.planning = planning
+        self.cache = cache
+
+    def compute_displacements(self, dataset: TileDataset) -> DisplacementResult:
+        fft_shape = (
+            smooth_fft_shape(dataset.tile_shape) if self.pad_to_smooth else None
+        )
+        return compute_grid_displacements(
+            dataset.load,
+            dataset.rows,
+            dataset.cols,
+            traversal=self.traversal,
+            fft_shape=fft_shape,
+            ccf_mode=self.ccf_mode,
+            n_peaks=self.n_peaks,
+            real_transforms=self.real_transforms,
+            subpixel=self.subpixel,
+            cache=self.cache,
+            planning=self.planning,
+        )
+
+    def stitch(self, dataset: TileDataset) -> StitchResult:
+        """Run phases 1 and 2; phase 3 is on the result object."""
+        t0 = time.perf_counter()
+        disp = self.compute_displacements(dataset)
+        stats = dict(disp.stats)
+        if self.refine is not None:
+            disp, report = refine_displacements(disp, dataset.load, self.refine)
+            stats["refined_pairs"] = report.repaired
+            stats["unrepairable_pairs"] = report.unrepairable
+        t1 = time.perf_counter()
+        pos = resolve_absolute_positions(
+            disp, method=self.position_method, subpixel=self.subpixel
+        )
+        t2 = time.perf_counter()
+        return StitchResult(
+            dataset=dataset,
+            displacements=disp,
+            positions=pos,
+            phase1_seconds=t1 - t0,
+            phase2_seconds=t2 - t1,
+            stats=stats,
+        )
+
+    def stitch_channels(
+        self, datasets: list[TileDataset], reference: int = 0
+    ) -> list[StitchResult]:
+        """Multi-channel stitching: register once, compose per channel.
+
+        The paper's experiments acquire "two tile grids, one per color
+        channel" of the *same* plate scan; the stage moved once, so one
+        channel's displacements apply to all.  The reference channel (pick
+        the one with the most texture) is stitched normally; the others
+        reuse its positions, costing only phase 3 each.
+        """
+        if not datasets:
+            raise ValueError("need at least one channel")
+        if not 0 <= reference < len(datasets):
+            raise IndexError(f"reference channel {reference} of {len(datasets)}")
+        ref_ds = datasets[reference]
+        for i, ds in enumerate(datasets):
+            if (ds.rows, ds.cols) != (ref_ds.rows, ref_ds.cols) or (
+                ds.tile_shape != ref_ds.tile_shape
+            ):
+                raise ValueError(
+                    f"channel {i} geometry {ds.rows}x{ds.cols}/{ds.tile_shape} "
+                    f"differs from reference "
+                    f"{ref_ds.rows}x{ref_ds.cols}/{ref_ds.tile_shape}"
+                )
+        ref_result = self.stitch(ref_ds)
+        out: list[StitchResult] = []
+        for i, ds in enumerate(datasets):
+            if i == reference:
+                out.append(ref_result)
+            else:
+                out.append(
+                    StitchResult(
+                        dataset=ds,
+                        displacements=ref_result.displacements,
+                        positions=ref_result.positions,
+                        phase1_seconds=0.0,
+                        phase2_seconds=0.0,
+                        stats={"positions_from_channel": reference},
+                    )
+                )
+        return out

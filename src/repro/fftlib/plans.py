@@ -1,0 +1,273 @@
+"""FFT plans, planning modes, and the plan cache (FFTW-style).
+
+The paper (Section IV.A) describes FFTW's two-phase operation -- *plan*, then
+*execute* -- and the four planning modes it evaluated (``estimate``,
+``measure``, ``patient``, ``exhaustive``).  Planning picks an execution
+strategy for a fixed problem (shape, transform kind); its cost is amortized by
+caching and by *wisdom* (serialized planning decisions).
+
+This module reproduces that structure:
+
+- ``ESTIMATE`` picks a strategy from a heuristic without timing anything.
+- ``MEASURE`` / ``PATIENT`` / ``EXHAUSTIVE`` time candidate strategies for an
+  increasing number of trials and keep the fastest, exactly like FFTW's
+  escalating search effort.
+
+Two strategies exist for every problem:
+
+``direct``
+    Transform at the native size.
+``padded``
+    Zero-pad each axis to the next smooth length (products of 2/3/5/7) and
+    transform at the padded size.  This is the paper's future-work "padding
+    image tiles" optimization; whether it wins is decided empirically at
+    planning time, as FFTW would.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+import scipy.fft as _sfft
+
+from repro.fftlib.smooth import next_smooth_shape, pad_to_shape
+
+
+class PlanningMode(Enum):
+    """FFTW planning rigor levels (ordered by planning effort)."""
+
+    ESTIMATE = "estimate"
+    MEASURE = "measure"
+    PATIENT = "patient"
+    EXHAUSTIVE = "exhaustive"
+
+    @property
+    def trials(self) -> int:
+        """Number of timing trials per candidate strategy."""
+        return {"estimate": 0, "measure": 1, "patient": 3, "exhaustive": 5}[self.value]
+
+
+class TransformKind(Enum):
+    """Supported transform kinds.
+
+    ``R2C``/``C2R`` are the paper's second future-work optimization
+    (real-to-complex transforms halve both work and footprint).
+    """
+
+    C2C_FORWARD = "c2c_forward"
+    C2C_INVERSE = "c2c_inverse"
+    R2C = "r2c"
+    C2R = "c2r"
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of a planning problem: shape + kind (mode picks rigor only)."""
+
+    shape: tuple[int, ...]
+    kind: TransformKind
+
+    def to_json(self) -> dict:
+        return {"shape": list(self.shape), "kind": self.kind.value}
+
+    @staticmethod
+    def from_json(d: dict) -> "PlanKey":
+        return PlanKey(tuple(d["shape"]), TransformKind(d["kind"]))
+
+
+def _raw_transform(kind: TransformKind, a: np.ndarray, inverse_shape=None) -> np.ndarray:
+    if kind is TransformKind.C2C_FORWARD:
+        return _sfft.fft2(a)
+    if kind is TransformKind.C2C_INVERSE:
+        return _sfft.ifft2(a)
+    if kind is TransformKind.R2C:
+        return _sfft.rfft2(a)
+    if kind is TransformKind.C2R:
+        return _sfft.irfft2(a, s=inverse_shape)
+    raise ValueError(kind)  # pragma: no cover - exhaustive enum
+
+
+class Plan:
+    """An executable FFT plan for one problem shape and transform kind.
+
+    A plan owns its padded workspace (when the ``padded`` strategy won) so
+    repeated executions allocate nothing beyond the transform output.  Plans
+    are *not* thread-safe for concurrent execution because of the shared
+    workspace; each pipeline thread should hold its own plan (as FFTW
+    requires of its plan/buffer pairs), or pass ``reuse_workspace=False``.
+    """
+
+    def __init__(
+        self,
+        key: PlanKey,
+        strategy: str,
+        fft_shape: tuple[int, ...],
+        planning_time: float = 0.0,
+    ) -> None:
+        if strategy not in ("direct", "padded"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.key = key
+        self.strategy = strategy
+        self.fft_shape = fft_shape
+        self.planning_time = planning_time
+        self.executions = 0
+        self._workspace: np.ndarray | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Plan({self.key.shape}, {self.key.kind.value}, "
+            f"strategy={self.strategy}, fft_shape={self.fft_shape})"
+        )
+
+    def _padded_input(self, a: np.ndarray, reuse_workspace: bool) -> np.ndarray:
+        if not reuse_workspace:
+            return pad_to_shape(a, self.fft_shape)
+        if self._workspace is None or self._workspace.dtype != a.dtype:
+            self._workspace = np.zeros(self.fft_shape, dtype=a.dtype)
+        return pad_to_shape(a, self.fft_shape, out=self._workspace)
+
+    def execute(self, a: np.ndarray, reuse_workspace: bool = True) -> np.ndarray:
+        """Run the transform on ``a`` (shape must match the plan key)."""
+        if tuple(a.shape) != self.key.shape:
+            raise ValueError(
+                f"plan is for shape {self.key.shape}, got array of shape {a.shape}"
+            )
+        self.executions += 1
+        kind = self.key.kind
+        if self.strategy == "direct":
+            return _raw_transform(kind, a, inverse_shape=self.key.shape)
+        padded = self._padded_input(a, reuse_workspace)
+        return _raw_transform(kind, padded, inverse_shape=self.fft_shape)
+
+
+def _time_strategy(fn: Callable[[], np.ndarray], trials: int) -> float:
+    """Best-of-``trials`` wall time for one candidate execution."""
+    best = float("inf")
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class PlanCache:
+    """Caches plans per problem and holds wisdom (FFTW-style).
+
+    The cache is thread-safe for plan *lookup/creation*; executing the
+    returned plan concurrently from several threads is the caller's business
+    (see :class:`Plan`).
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict[PlanKey, Plan] = {}
+        self._wisdom: dict[PlanKey, str] = {}
+        self._lock = threading.Lock()
+        self.planning_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(
+        self,
+        shape: tuple[int, ...],
+        kind: TransformKind = TransformKind.C2C_FORWARD,
+        mode: PlanningMode = PlanningMode.ESTIMATE,
+        allow_padding: bool = True,
+    ) -> Plan:
+        """Return (creating if needed) the plan for ``shape``/``kind``.
+
+        Wisdom short-circuits planning: a problem whose strategy was already
+        decided (by a previous plan call or imported wisdom) is never
+        re-measured, which is how the paper amortizes its 4 min 20 s patient
+        planning cost.
+
+        ``allow_padding=False`` restricts planning to the shape-preserving
+        ``direct`` strategy.  Callers that do their own padding and depend on
+        the output shape (e.g. the correlation core, which must interpret
+        peak coordinates modulo the transform size) must set this.
+        """
+        key = PlanKey(tuple(int(n) for n in shape), kind)
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None and not (
+                allow_padding is False and cached.strategy != "direct"
+            ):
+                return cached
+            if not allow_padding:
+                plan = Plan(key, "direct", key.shape, planning_time=0.0)
+                # Cache only if nothing better is already cached.
+                self._plans.setdefault(key, plan)
+                return plan
+            plan = self._make_plan(key, mode)
+            self._plans[key] = plan
+            self._wisdom[key] = plan.strategy
+            self.planning_seconds += plan.planning_time
+            return plan
+
+    def _make_plan(self, key: PlanKey, mode: PlanningMode) -> Plan:
+        padded_shape = next_smooth_shape(key.shape)
+        if key in self._wisdom:
+            strategy = self._wisdom[key]
+            fft_shape = padded_shape if strategy == "padded" else key.shape
+            return Plan(key, strategy, fft_shape, planning_time=0.0)
+        if mode is PlanningMode.ESTIMATE or padded_shape == key.shape:
+            # Heuristic only: native size when already smooth, else direct
+            # (FFTW estimate mode also never measures; it guesses).
+            return Plan(key, "direct", key.shape, planning_time=0.0)
+
+        t0 = time.perf_counter()
+        trials = mode.trials
+        dtype = np.complex128 if key.kind in (
+            TransformKind.C2C_FORWARD, TransformKind.C2C_INVERSE, TransformKind.C2R
+        ) else np.float64
+        sample = np.ones(key.shape, dtype=dtype)
+        direct = Plan(key, "direct", key.shape)
+        padded = Plan(key, "padded", padded_shape)
+        t_direct = _time_strategy(lambda: direct.execute(sample), trials)
+        t_padded = _time_strategy(lambda: padded.execute(sample), trials)
+        planning_time = time.perf_counter() - t0
+        win = direct if t_direct <= t_padded else padded
+        return Plan(key, win.strategy, win.fft_shape, planning_time=planning_time)
+
+    # -- wisdom -----------------------------------------------------------
+
+    def export_wisdom(self) -> str:
+        """Serialize planning decisions to a JSON string."""
+        with self._lock:
+            entries = [
+                {"key": k.to_json(), "strategy": v} for k, v in self._wisdom.items()
+            ]
+        return json.dumps({"version": 1, "wisdom": entries})
+
+    def import_wisdom(self, blob: str) -> int:
+        """Load wisdom previously produced by :meth:`export_wisdom`.
+
+        Returns the number of entries imported.  Imported wisdom wins over
+        nothing (existing entries are kept), matching FFTW semantics where
+        wisdom accumulates.
+        """
+        data = json.loads(blob)
+        if data.get("version") != 1:
+            raise ValueError("unsupported wisdom version")
+        n = 0
+        with self._lock:
+            for entry in data["wisdom"]:
+                key = PlanKey.from_json(entry["key"])
+                if key not in self._wisdom:
+                    self._wisdom[key] = entry["strategy"]
+                    n += 1
+        return n
+
+
+_default_cache = PlanCache()
+
+
+def default_cache() -> PlanCache:
+    """Process-wide plan cache used by :mod:`repro.fftlib.transforms`."""
+    return _default_cache

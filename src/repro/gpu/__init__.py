@@ -1,0 +1,41 @@
+"""Simulated CUDA substrate (replaces the paper's Tesla C2070 cards).
+
+No GPU exists in this environment, so this package provides a *functional*
+emulation with the same structural constraints the paper's implementation
+had to respect:
+
+- explicit device memory with a hard capacity (:mod:`repro.gpu.memory`):
+  allocations are tracked in bytes and fail when the 6 GB-class card would
+  have failed;
+- streams (:mod:`repro.gpu.stream`): operations submitted to one stream
+  execute in submission order; distinct streams are unordered relative to
+  each other (the property the pipelined implementation exploits with one
+  stream per GPU stage);
+- kernels (:mod:`repro.gpu.kernels`): FFT / NCC / inverse-FFT / max-reduce
+  operating on device buffers with *real NumPy math* -- results are
+  bit-identical to the CPU path, only the hardware is simulated;
+- a profiler (:mod:`repro.gpu.profiler`) recording every copy and kernel
+  with engine attribution, standing in for ``nvvp`` in Figs. 7 and 9
+  (deterministic timing for those figures comes from
+  :mod:`repro.simulate`, which shares this package's cost constants).
+
+The emulation deliberately reproduces a Fermi-era quirk the paper calls
+out: cuFFT kernels cannot execute concurrently (register pressure), so the
+device serializes FFT work even across streams.
+"""
+
+from repro.gpu.device import VirtualGpu
+from repro.gpu.memory import DeviceAllocator, DeviceBuffer, DevicePool, OutOfDeviceMemory
+from repro.gpu.stream import Stream
+from repro.gpu.profiler import GpuProfiler, TraceEvent
+
+__all__ = [
+    "VirtualGpu",
+    "DeviceAllocator",
+    "DeviceBuffer",
+    "DevicePool",
+    "OutOfDeviceMemory",
+    "Stream",
+    "GpuProfiler",
+    "TraceEvent",
+]

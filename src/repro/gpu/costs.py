@@ -1,0 +1,148 @@
+"""Device/host operation cost constants (virtual-clock durations).
+
+These constants drive the virtual GPU's trace clock and the discrete-event
+simulator.  They are calibrated against the paper's *end-to-end* Table II
+results for the 42x59 grid (2478 tiles, 4879 pairs, 7357 transforms):
+
+=================  ========  =============================================
+Simple-CPU          636 s    7357 x 69 ms FFT (80 % of run time, per the
+                             paper) + 4879 x 25 ms of NCC/reduce/CCF
+Simple-GPU          556 s    fast kernels but ~18 ms of synchronous
+                             overhead per GPU call (the Fig. 7 gaps)
+Pipelined-GPU      49.7 s    GPU-compute bound: 7357 x 5 ms FFT +
+                             4879 x 1.8 ms NCC+reduce
+Pipelined-GPU x2   26.6 s    per-card compute halves (1.87x)
+=================  ========  =============================================
+
+Calibration note (recorded in EXPERIMENTS.md): the paper's Section IV.A
+micro-ratios ("cuFFT ~1.5x FFTW-patient", "NCC kernel ~2.3x CPU") are
+internally inconsistent with its own Table II -- at 46 ms per GPU FFT the
+7357 transforms alone would take 338 s, seven times the published 49.7 s
+end-to-end time.  We therefore calibrate the per-kernel constants to the
+end-to-end numbers, which are the reproducible claim, and attribute the
+Simple-GPU/Pipelined-GPU gap to the synchronous-call overhead the paper's
+own profiler analysis identifies (Fig. 7: gaps from synchronous copies,
+CPU reads and CCFs between kernels; Section IV.B: per-call allocations
+"force a global synchronization").
+
+Costs scale with tile area ``hw`` (element-wise kernels) or
+``hw log2(hw)`` (transforms), so grids of any tile size share one model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Reference tile of the paper's dataset.
+REF_H, REF_W = 1040, 1392
+REF_HW = REF_H * REF_W
+_REF_LOG = REF_HW * math.log2(REF_HW)
+
+
+def _per_elem(ref_seconds: float, hw: int) -> float:
+    return ref_seconds * hw / REF_HW
+
+
+def _fft_scale(ref_seconds: float, hw: int) -> float:
+    return ref_seconds * (hw * math.log2(max(hw, 2))) / _REF_LOG
+
+
+@dataclass(frozen=True)
+class GpuCostModel:
+    """Per-operation device durations, in seconds at the reference tile size.
+
+    ``sync_overhead`` is the per-call penalty paid only by *synchronous*
+    call patterns (the Simple-GPU architecture): plan setup, synchronous
+    launch, and the device-wide stalls of unpooled allocation.  Pipelined
+    implementations amortize or avoid all of it.
+    """
+
+    fft_seconds: float = 0.005          # cuFFT 2-D c2c, 1392x1040
+    ncc_seconds: float = 0.0012         # normalized conjugate multiply
+    reduce_seconds: float = 0.0006      # top-k magnitude reduction
+    h2d_bandwidth: float = 4.0e9        # bytes/s, pinned PCIe gen2
+    d2h_bandwidth: float = 4.0e9
+    p2p_bandwidth: float = 8.0e9        # device-to-device over the switch
+    copy_latency: float = 10e-6         # per-transfer fixed cost
+    kernel_launch: float = 5e-6
+    sync_overhead: float = 0.018        # per synchronous call (Simple-GPU)
+
+    def fft(self, hw: int) -> float:
+        return self.kernel_launch + _fft_scale(self.fft_seconds, hw)
+
+    def ncc(self, hw: int) -> float:
+        return self.kernel_launch + _per_elem(self.ncc_seconds, hw)
+
+    def reduce_max(self, hw: int) -> float:
+        return self.kernel_launch + _per_elem(self.reduce_seconds, hw)
+
+    def h2d(self, nbytes: int) -> float:
+        return self.copy_latency + nbytes / self.h2d_bandwidth
+
+    def d2h(self, nbytes: int) -> float:
+        return self.copy_latency + nbytes / self.d2h_bandwidth
+
+    def p2p(self, nbytes: int) -> float:
+        return self.copy_latency + nbytes / self.p2p_bandwidth
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Host-side durations (per worker thread) at the reference tile size.
+
+    ``read_seconds`` reflects the warm-page-cache regime of the paper's
+    measurements (10-run averages of a 6.68 GB dataset on a 48 GB machine):
+    an effective ~1.5 GB/s, not cold-disk bandwidth.
+    """
+
+    fft_seconds: float = 0.069          # FFTW patient plan, 1392x1040 c2c
+    ncc_seconds: float = 0.011          # SSE element-wise multiply+normalize
+    reduce_seconds: float = 0.006       # SSE max reduction
+    ccf_seconds: float = 0.008          # four overlap CCFs per pair
+    read_seconds: float = 0.00184       # 2.76 MB tile at ~1.5 GB/s (cached)
+    decode_seconds: float = 0.004       # TIFF strip unpack + convert
+
+    def fft(self, hw: int) -> float:
+        return _fft_scale(self.fft_seconds, hw)
+
+    def ncc(self, hw: int) -> float:
+        return _per_elem(self.ncc_seconds, hw)
+
+    def reduce_max(self, hw: int) -> float:
+        return _per_elem(self.reduce_seconds, hw)
+
+    def ccf(self, hw: int) -> float:
+        return _per_elem(self.ccf_seconds, hw)
+
+    def read(self, hw: int) -> float:
+        # Disk time scales with file bytes (2 B/px, 16-bit grayscale).
+        return _per_elem(self.read_seconds, hw)
+
+    def decode(self, hw: int) -> float:
+        return _per_elem(self.decode_seconds, hw)
+
+    def pair_cpu(self, hw: int) -> float:
+        """Full per-pair CPU displacement work (NCC + iFFT + reduce + CCF)."""
+        return self.ncc(hw) + self.fft(hw) + self.reduce_max(hw) + self.ccf(hw)
+
+
+#: Paper evaluation machine: 2x Xeon E-5620 (8 cores / 16 threads), 2x C2070.
+TESLA_C2070 = GpuCostModel()
+XEON_E5620 = CpuCostModel()
+
+#: Section VI laptop validation: i7-950 (4 cores) + GTX 560M.  Calibrated so
+#: Pipelined-GPU lands near the reported 130 s and Pipelined-CPU near 146 s.
+GTX_560M = GpuCostModel(
+    fft_seconds=0.014,
+    ncc_seconds=0.0035,
+    reduce_seconds=0.0017,
+    h2d_bandwidth=2.0e9,
+    d2h_bandwidth=2.0e9,
+)
+I7_950 = CpuCostModel(
+    fft_seconds=0.062,
+    ncc_seconds=0.012,
+    reduce_seconds=0.007,
+    ccf_seconds=0.009,
+)

@@ -1,0 +1,183 @@
+"""The virtual GPU device.
+
+Capacity, engines, streams, and data movement for one simulated card.  The
+default configuration matches the paper's NVIDIA Tesla C2070 (6 GB GDDR5,
+separate copy/compute engines, no concurrent cuFFT kernels).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.gpu.costs import TESLA_C2070, GpuCostModel
+from repro.gpu.memory import DeviceAllocator, DeviceBuffer, DevicePool
+from repro.gpu.profiler import GpuProfiler, TraceEvent
+from repro.gpu.stream import Stream
+
+#: 6 GB GDDR5 of the Tesla C2070.
+C2070_MEMORY_BYTES = 6 * 1024**3
+
+
+class VirtualGpu:
+    """One simulated CUDA device.
+
+    Engines (``h2d``, ``compute``, ``d2h``) each execute one operation at a
+    time on the virtual clock; streams provide ordering, the profiler
+    records everything.  All public data movement goes through
+    :meth:`h2d` / :meth:`d2h` so byte accounting is complete.
+    """
+
+    def __init__(
+        self,
+        device_id: int = 0,
+        memory_bytes: int = C2070_MEMORY_BYTES,
+        costs: GpuCostModel = TESLA_C2070,
+        name: str = "Tesla C2070 (virtual)",
+    ) -> None:
+        self.device_id = device_id
+        self.name = name
+        self.costs = costs
+        self.allocator = DeviceAllocator(memory_bytes)
+        self.profiler = GpuProfiler()
+        self._clock_lock = threading.Lock()
+        self._engine_free: dict[str, float] = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+        self._streams: list[Stream] = []
+        self.default_stream = self.create_stream()
+
+    # -- streams ------------------------------------------------------------
+
+    def create_stream(self) -> Stream:
+        s = Stream(self, len(self._streams))
+        self._streams.append(s)
+        return s
+
+    def synchronize(self) -> float:
+        """Virtual completion time of all work on all streams."""
+        return max((s.synchronize() for s in self._streams), default=0.0)
+
+    # -- virtual clock -------------------------------------------------------
+
+    def _schedule(
+        self,
+        name: str,
+        engine: str,
+        stream: int,
+        duration: float,
+        nbytes: int,
+        not_before: float,
+    ) -> TraceEvent:
+        if engine not in self._engine_free:
+            raise ValueError(f"unknown engine {engine!r}")
+        with self._clock_lock:
+            start = max(self._engine_free[engine], not_before)
+            end = start + duration
+            self._engine_free[engine] = end
+        event = TraceEvent(
+            name=name, engine=engine, stream=stream, start=start, end=end, nbytes=nbytes
+        )
+        self.profiler.record(event)
+        return event
+
+    # -- memory --------------------------------------------------------------
+
+    def alloc(self, shape: tuple[int, ...], dtype=np.complex128) -> DeviceBuffer:
+        return self.allocator.alloc(shape, dtype)
+
+    def free(self, buf: DeviceBuffer) -> None:
+        self.allocator.free(buf)
+
+    def create_pool(
+        self, count: int, shape: tuple[int, ...], dtype=np.complex128
+    ) -> DevicePool:
+        """The one-time transform pool of the pipelined implementation."""
+        return DevicePool(self.allocator, count, shape, dtype=dtype)
+
+    # -- data movement ----------------------------------------------------------
+
+    def h2d(
+        self,
+        host: np.ndarray,
+        dest: np.ndarray | DeviceBuffer,
+        stream: Stream | None = None,
+        not_before: float = 0.0,
+    ) -> TraceEvent:
+        """Copy host array into device memory (into ``dest``)."""
+        stream = stream or self.default_stream
+        target = dest.data if isinstance(dest, DeviceBuffer) else dest
+        if isinstance(dest, DeviceBuffer):
+            dest.require_live()
+        nbytes = host.nbytes
+
+        def do() -> None:
+            if target.shape != host.shape:
+                raise ValueError(
+                    f"h2d shape mismatch: host {host.shape} vs device {target.shape}"
+                )
+            target[...] = host
+
+        _, event = stream.submit(
+            "memcpy-h2d", "h2d", do, self.costs.h2d(nbytes), nbytes, not_before
+        )
+        return event
+
+    def p2p_from(
+        self,
+        src_device: "VirtualGpu",
+        src: np.ndarray | DeviceBuffer,
+        dest: np.ndarray | DeviceBuffer,
+        stream: Stream | None = None,
+        not_before: float = 0.0,
+    ) -> TraceEvent:
+        """Peer-to-peer copy: another card's memory into this card's.
+
+        The paper lists p2p copies as the enabler for scaling past two
+        GPUs (Section VI).  Modeled on this device's H2D engine at the
+        switch's p2p bandwidth; the caller supplies ``not_before`` (e.g.
+        the producing kernel's completion time) to keep the virtual
+        timeline causal across devices.
+        """
+        stream = stream or self.default_stream
+        source = src.data if isinstance(src, DeviceBuffer) else src
+        target = dest.data if isinstance(dest, DeviceBuffer) else dest
+        if isinstance(src, DeviceBuffer):
+            src.require_live()
+        if isinstance(dest, DeviceBuffer):
+            dest.require_live()
+        nbytes = source.nbytes
+
+        def do() -> None:
+            if target.shape != source.shape:
+                raise ValueError(
+                    f"p2p shape mismatch: src {source.shape} vs dst {target.shape}"
+                )
+            target[...] = source
+
+        _, event = stream.submit(
+            f"memcpy-p2p-from-gpu{src_device.device_id}", "h2d",
+            do, self.costs.p2p(nbytes), nbytes, not_before,
+        )
+        return event
+
+    def d2h(
+        self,
+        src: np.ndarray | DeviceBuffer,
+        stream: Stream | None = None,
+        not_before: float = 0.0,
+    ) -> tuple[np.ndarray, TraceEvent]:
+        """Copy device memory back to a fresh host array."""
+        stream = stream or self.default_stream
+        source = src.data if isinstance(src, DeviceBuffer) else src
+        if isinstance(src, DeviceBuffer):
+            src.require_live()
+        nbytes = source.nbytes
+        result, event = stream.submit(
+            "memcpy-d2h",
+            "d2h",
+            lambda: source.copy(),
+            self.costs.d2h(nbytes),
+            nbytes,
+            not_before,
+        )
+        return result, event

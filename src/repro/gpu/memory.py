@@ -1,0 +1,134 @@
+"""Device memory: buffers, an accounting allocator, and the transform pool.
+
+The C2070 has 6 GB of GDDR5; the paper's implementation must fit a grid
+whose transforms alone total 53.5 GB, so device memory is managed as a
+fixed pool of transform-sized buffers recycled by reference counting.  The
+allocator here enforces the capacity limit byte-for-byte, so any
+implementation that over-allocates fails in tests the way it would have
+failed on the card.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memmodel.pool import BufferPool
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Device allocation exceeded capacity."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A device-resident array.
+
+    ``data`` is host memory standing in for GDDR; code outside
+    :mod:`repro.gpu` must treat it as opaque and move data only through
+    explicit copies (``VirtualGpu.h2d`` / ``d2h``) -- tests enforce the
+    accounting this enables.
+    """
+
+    handle: int
+    nbytes: int
+    data: np.ndarray
+    freed: bool = False
+
+    def require_live(self) -> None:
+        if self.freed:
+            raise ValueError(f"use-after-free of device buffer {self.handle}")
+
+
+class DeviceAllocator:
+    """Byte-accounted allocator with a hard capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("device capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._next_handle = 1
+        self._live: dict[int, DeviceBuffer] = {}
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.alloc_count = 0
+
+    def alloc(self, shape: tuple[int, ...], dtype=np.complex128) -> DeviceBuffer:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        with self._lock:
+            if self.used_bytes + nbytes > self.capacity_bytes:
+                raise OutOfDeviceMemory(
+                    f"requested {nbytes} B with {self.used_bytes} of "
+                    f"{self.capacity_bytes} B in use"
+                )
+            handle = self._next_handle
+            self._next_handle += 1
+            buf = DeviceBuffer(handle=handle, nbytes=nbytes, data=np.empty(shape, dtype=dtype))
+            self._live[handle] = buf
+            self.used_bytes += nbytes
+            self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+            self.alloc_count += 1
+            return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        with self._lock:
+            if buf.handle not in self._live:
+                raise ValueError(f"double free of device buffer {buf.handle}")
+            del self._live[buf.handle]
+            self.used_bytes -= buf.nbytes
+            buf.freed = True
+
+    @property
+    def live_buffers(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+
+class DevicePool:
+    """The paper's fixed transform pool, on-device.
+
+    Allocated once at pipeline start-up ("to avoid any further allocations
+    which would force a global synchronization"), then recycled.  Acquire
+    blocks until a buffer is recycled, which throttles upstream stages.
+    """
+
+    def __init__(
+        self,
+        allocator: DeviceAllocator,
+        count: int,
+        shape: tuple[int, ...],
+        dtype=np.complex128,
+    ) -> None:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        # Reserve pool bytes against device capacity up front.
+        self._reservation = allocator.alloc(
+            (count * nbytes // np.dtype(np.uint8).itemsize,), dtype=np.uint8
+        )
+        self._allocator = allocator
+        self._pool = BufferPool(count, shape, dtype=dtype)
+        self.count = count
+        self.buffer_nbytes = nbytes
+
+    def acquire(self, blocking: bool = True, timeout: float | None = None) -> int:
+        return self._pool.acquire(blocking=blocking, timeout=timeout)
+
+    def release(self, idx: int) -> None:
+        self._pool.release(idx)
+
+    def array(self, idx: int) -> np.ndarray:
+        return self._pool.array(idx)
+
+    @property
+    def peak_in_use(self) -> int:
+        return self._pool.peak_in_use
+
+    @property
+    def free_count(self) -> int:
+        return self._pool.free_count
+
+    def destroy(self) -> None:
+        """Return the reservation to the device allocator."""
+        self._allocator.free(self._reservation)

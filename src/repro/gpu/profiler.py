@@ -1,0 +1,107 @@
+"""Execution tracing for the virtual GPU (the role of ``nvvp`` in the paper).
+
+Every copy and kernel submitted to a :class:`~repro.gpu.stream.Stream` is
+recorded as a :class:`TraceEvent` with engine attribution (H2D copy engine,
+compute engine, D2H copy engine -- the C2070 has separate copy and compute
+paths).  From the trace the profiler derives the quantities the paper reads
+off its Fig. 7 / Fig. 9 screenshots:
+
+- *kernel density*: fraction of the span during which the compute engine is
+  busy (Fig. 7 shows sparse kernels with gaps; Fig. 9 a dense row);
+- *concurrent streams*: how many distinct streams had events in flight;
+- byte counters for each copy direction (the paper minimizes D2H traffic to
+  a single scalar per pair).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One device operation: ``[start, end)`` in seconds on ``engine``."""
+
+    name: str
+    engine: str        # "h2d" | "compute" | "d2h" | "host"
+    stream: int
+    start: float
+    end: float
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class GpuProfiler:
+    """Thread-safe trace collector with derived occupancy metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- derived metrics ----------------------------------------------------
+
+    def span(self) -> tuple[float, float]:
+        """(first start, last end); ``(0, 0)`` when empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def busy_time(self, engine: str) -> float:
+        """Union length of the engine's busy intervals (overlap-merged)."""
+        spans = sorted(
+            (e.start, e.end) for e in self.events if e.engine == engine
+        )
+        total = 0.0
+        cur_start, cur_end = None, None
+        for s, e in spans:
+            if cur_end is None or s > cur_end:
+                if cur_end is not None:
+                    total += cur_end - cur_start
+                cur_start, cur_end = s, e
+            else:
+                cur_end = max(cur_end, e)
+        if cur_end is not None:
+            total += cur_end - cur_start
+        return total
+
+    def density(self, engine: str = "compute") -> float:
+        """Busy fraction of the engine over the whole trace span."""
+        t0, t1 = self.span()
+        if t1 <= t0:
+            return 0.0
+        return self.busy_time(engine) / (t1 - t0)
+
+    def streams_used(self) -> set[int]:
+        return {e.stream for e in self.events}
+
+    def bytes_copied(self, engine: str) -> int:
+        return sum(e.nbytes for e in self.events if e.engine == engine)
+
+    def count(self, name_prefix: str = "") -> int:
+        return sum(1 for e in self.events if e.name.startswith(name_prefix))
+
+    def max_concurrency(self) -> int:
+        """Maximum number of engines simultaneously busy."""
+        points: list[tuple[float, int]] = []
+        for e in self.events:
+            if e.engine == "host":
+                continue
+            points.append((e.start, 1))
+            points.append((e.end, -1))
+        points.sort()
+        cur = peak = 0
+        for _, delta in points:
+            cur += delta
+            peak = max(peak, cur)
+        return peak

@@ -1,0 +1,94 @@
+"""CUDA-like streams on the virtual device.
+
+Operations submitted to one stream execute (and are traced) in submission
+order; operations on different streams are unordered with respect to each
+other except where they contend for the same engine.  The virtual clock
+implements exactly the C2070's engine structure: one H2D copy engine, one
+D2H copy engine, one compute engine (kernels serialize -- the paper notes
+cuFFT's register pressure prevents concurrent kernels on Fermi).
+
+Functional execution is immediate and synchronous in *wall* time (the math
+really runs, on the submitting thread); the virtual clock is what encodes
+device concurrency.  A submitted op's virtual interval is::
+
+    start = max(engine_free, stream_last_end, not_before)
+    end   = start + modeled_duration
+
+``not_before`` lets callers express host-side dependencies (e.g. a
+synchronous copy cannot start before the host issued it).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.gpu.profiler import TraceEvent
+
+
+@dataclass(frozen=True)
+class Event:
+    """A CUDA-style event: a point on a stream's virtual timeline.
+
+    Recorded with :meth:`Stream.record_event`; another stream passes its
+    ``time`` as ``not_before`` (or uses :meth:`Stream.wait_event` semantics
+    by threading it into the next submit) to express cross-stream
+    dependencies -- how real CUDA code makes a displacement stream wait
+    for the FFT stream's output without host synchronization.
+    """
+
+    stream_id: int
+    time: float
+
+
+class Stream:
+    """An ordered operation queue on a :class:`~repro.gpu.device.VirtualGpu`."""
+
+    def __init__(self, device, stream_id: int) -> None:
+        self.device = device
+        self.stream_id = stream_id
+        self._lock = threading.Lock()
+        self.last_end = 0.0
+        self.ops_submitted = 0
+
+    def submit(
+        self,
+        name: str,
+        engine: str,
+        fn: Callable[[], Any],
+        duration: float,
+        nbytes: int = 0,
+        not_before: float = 0.0,
+    ) -> tuple[Any, TraceEvent]:
+        """Run ``fn`` now; place it on the virtual timeline.
+
+        Returns ``(fn result, trace event)``.  Thread-safe: the stream lock
+        serializes same-stream submissions (stream order), the device lock
+        serializes engine-clock updates.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration for {name}")
+        with self._lock:
+            result = fn()
+            event = self.device._schedule(
+                name=name,
+                engine=engine,
+                stream=self.stream_id,
+                duration=duration,
+                nbytes=nbytes,
+                not_before=max(not_before, self.last_end),
+            )
+            self.last_end = event.end
+            self.ops_submitted += 1
+        return result, event
+
+    def synchronize(self) -> float:
+        """Virtual time at which all submitted work completes."""
+        with self._lock:
+            return self.last_end
+
+    def record_event(self) -> Event:
+        """Mark the current end of this stream's work (CUDA event record)."""
+        with self._lock:
+            return Event(stream_id=self.stream_id, time=self.last_end)

@@ -1,0 +1,32 @@
+"""Tile-grid substrate: geometry, adjacency, and traversal orders.
+
+The stitching computation is structured around an ``n x m`` grid of
+overlapping tiles.  The memory behaviour of every implementation in the paper
+is governed by the *order* in which tiles are visited (Section IV.A: the
+chained-diagonal traversal frees transform memory earliest and is the
+default) and by the 4-neighbour adjacency that defines which relative
+displacements exist (Fig. 4: one *west* and one *north* translation per
+tile, where present).
+"""
+
+from repro.grid.tile_grid import TileGrid, GridPosition
+from repro.grid.neighbors import Direction, Pair, grid_pairs, pairs_for_tile
+from repro.grid.traversal import (
+    Traversal,
+    traverse,
+    peak_live_transforms,
+    release_schedule,
+)
+
+__all__ = [
+    "TileGrid",
+    "GridPosition",
+    "Direction",
+    "Pair",
+    "grid_pairs",
+    "pairs_for_tile",
+    "Traversal",
+    "traverse",
+    "peak_live_transforms",
+    "release_schedule",
+]

@@ -1,0 +1,123 @@
+"""Grid traversal orders and their memory consequences.
+
+The paper's sequential implementation (Section IV.A) frees a tile's
+transform "as soon as the relative displacements of its eastern, southern,
+western, and northern neighbors were computed" and supports row, column,
+diagonal, and *chained* traversal orders.  Chained-diagonal frees memory
+earliest and is the default; the minimum GPU buffer-pool size "must exceed
+the smallest dimension of the image grid" precisely because a diagonal
+wavefront keeps about one grid-diagonal of transforms live.
+
+:func:`peak_live_transforms` quantifies this: it replays a traversal against
+the release policy and reports the maximum number of simultaneously live
+transforms, which tests use to verify the chained-diagonal claim and which
+the GPU pool sizing logic uses directly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator
+
+from repro.grid.neighbors import pairs_for_tile
+from repro.grid.tile_grid import GridPosition, TileGrid
+
+
+class Traversal(Enum):
+    """Supported traversal orders (Section IV.A)."""
+
+    ROW = "row"
+    COLUMN = "column"
+    DIAGONAL = "diagonal"
+    CHAINED_ROW = "chained-row"
+    CHAINED_COLUMN = "chained-column"
+    CHAINED_DIAGONAL = "chained-diagonal"
+
+
+def traverse(grid: TileGrid, order: Traversal) -> Iterator[GridPosition]:
+    """Yield every grid position exactly once in the requested order.
+
+    "Chained" orders alternate direction between successive rows/columns/
+    anti-diagonals so consecutive tiles stay adjacent (the traversal is a
+    connected path), which keeps the working set compact.
+    """
+    rows, cols = grid.rows, grid.cols
+    if order is Traversal.ROW:
+        for r in range(rows):
+            for c in range(cols):
+                yield GridPosition(r, c)
+    elif order is Traversal.COLUMN:
+        for c in range(cols):
+            for r in range(rows):
+                yield GridPosition(r, c)
+    elif order is Traversal.CHAINED_ROW:
+        for r in range(rows):
+            rng = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+            for c in rng:
+                yield GridPosition(r, c)
+    elif order is Traversal.CHAINED_COLUMN:
+        for c in range(cols):
+            rng = range(rows) if c % 2 == 0 else range(rows - 1, -1, -1)
+            for r in rng:
+                yield GridPosition(r, c)
+    elif order in (Traversal.DIAGONAL, Traversal.CHAINED_DIAGONAL):
+        chained = order is Traversal.CHAINED_DIAGONAL
+        for d in range(rows + cols - 1):
+            r_lo = max(0, d - cols + 1)
+            r_hi = min(rows - 1, d)
+            rng = range(r_lo, r_hi + 1)
+            if chained and d % 2 == 1:
+                rng = range(r_hi, r_lo - 1, -1)
+            for r in rng:
+                yield GridPosition(r, d - r)
+    else:  # pragma: no cover - exhaustive enum
+        raise AssertionError(order)
+
+
+def release_schedule(
+    grid: TileGrid, order: Traversal
+) -> list[tuple[GridPosition, list[GridPosition]]]:
+    """Replay a traversal under the paper's early-free policy.
+
+    For each visited tile, pair computations become *ready* when both
+    members' transforms are live; a tile's transform is released once all
+    its incident pairs have been computed.  Returns, per visit,
+    ``(position, [transforms released after this visit])``.
+    """
+    visited: set[GridPosition] = set()
+    pairs_done: set = set()
+    released: set[GridPosition] = set()
+    out: list[tuple[GridPosition, list[GridPosition]]] = []
+
+    def incident_pairs(pos: GridPosition):
+        return pairs_for_tile(grid, pos.row, pos.col)
+
+    for pos in traverse(grid, order):
+        visited.add(pos)
+        # Compute every pair that just became ready.
+        for pair in incident_pairs(pos):
+            if pair.first in visited and pair.second in visited:
+                pairs_done.add(pair)
+        # Release any live transform whose incident pairs are all done.
+        newly = []
+        for cand in visited - released:
+            if all(p in pairs_done for p in incident_pairs(cand)):
+                released.add(cand)
+                newly.append(cand)
+        out.append((pos, sorted(newly)))
+    return out
+
+
+def peak_live_transforms(grid: TileGrid, order: Traversal) -> int:
+    """Maximum number of simultaneously live transforms for a traversal.
+
+    This is the quantity that crashes into the memory wall in Fig. 5 and
+    that sizes the GPU buffer pool in the pipelined implementation.
+    """
+    live = 0
+    peak = 0
+    for _pos, freed in release_schedule(grid, order):
+        live += 1
+        peak = max(peak, live)
+        live -= len(freed)
+    return peak

@@ -1,0 +1,66 @@
+"""Common interface and result type for the Table II implementations."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.core.displacement import DisplacementResult
+from repro.core.pciam import CcfMode
+from repro.fftlib.plans import PlanCache
+from repro.io.dataset import TileDataset
+
+
+@dataclass
+class RunResult:
+    """Phase-1 output plus instrumentation from one implementation run."""
+
+    implementation: str
+    displacements: DisplacementResult
+    wall_seconds: float
+    stats: dict = field(default_factory=dict)
+
+
+class Implementation(abc.ABC):
+    """A phase-1 (relative displacement) implementation.
+
+    Subclasses implement :meth:`_run`; the public :meth:`run` adds timing
+    and completeness checking.  Configuration shared by all
+    implementations: the peak-interpretation mode, the multi-peak count,
+    and the optional padded FFT shape (``None`` = native tile size).
+    """
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        ccf_mode: CcfMode = CcfMode.EXTENDED,
+        n_peaks: int = 2,
+        fft_shape: tuple[int, int] | None = None,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.ccf_mode = ccf_mode
+        self.n_peaks = n_peaks
+        self.fft_shape = fft_shape
+        self.cache = cache if cache is not None else PlanCache()
+
+    @abc.abstractmethod
+    def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
+        """Compute all pairwise displacements; return (result, stats)."""
+
+    def run(self, dataset: TileDataset) -> RunResult:
+        t0 = time.perf_counter()
+        disp, stats = self._run(dataset)
+        wall = time.perf_counter() - t0
+        if not disp.is_complete():
+            raise RuntimeError(
+                f"{self.name}: incomplete phase 1 "
+                f"({disp.pair_count()} of {2*disp.rows*disp.cols - disp.rows - disp.cols} pairs)"
+            )
+        return RunResult(
+            implementation=self.name,
+            displacements=disp,
+            wall_seconds=wall,
+            stats=stats,
+        )

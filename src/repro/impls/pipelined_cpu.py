@@ -1,0 +1,252 @@
+"""Pipelined-CPU: the 3-stage CPU pipeline (Section IV.B, last paragraph).
+
+"the CPU pipeline consists of three stages: reader, displacement/fft, and
+bookkeeping" and "includes all the memory mechanisms in its GPU
+counterpart" -- i.e. the fixed transform pool and reference-counted early
+release.
+
+Topology (queues are bounded monitor queues)::
+
+    reader --Q1--> compute (N workers) --Q2--> bookkeeper --(ready pairs)--+
+                      ^                                                    |
+                      +--------------------- Q1 <--------------------------+
+
+The compute stage handles two item kinds: a *tile* item is FFT'd into a
+pool slot; a *pair* item runs the displacement computation (NCC, inverse
+FFT, reduction, CCFs).  The bookkeeper is the single-threaded state
+machine (:class:`repro.pipeline.PairBookkeeper`): it turns FFT-ready
+events into pair work and pair completions into pool releases, and closes
+the queues when the last pair completes.
+
+The transform pool bounds memory exactly as on the GPU: if it is sized
+below the traversal wavefront the reader stalls; the default
+(2 x min(rows, cols) + 4) is safe for the chained-diagonal order (tests
+probe the boundary).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.fft as _sfft
+
+from repro.core.ccf import ccf_at
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.ncc import normalized_correlation
+from repro.core.peak import peak_candidates, top_peaks
+from repro.fftlib.smooth import pad_to_shape
+from repro.grid.neighbors import Pair
+from repro.grid.tile_grid import GridPosition, TileGrid
+from repro.grid.traversal import Traversal, traverse
+from repro.impls.base import Implementation
+from repro.io.dataset import TileDataset
+from repro.memmodel.pool import BufferPool
+from repro.pipeline.bookkeeper import PairBookkeeper
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.queues import MonitorQueue, QueueClosed
+from repro.pipeline.stage import END_OF_STREAM
+
+
+@dataclass
+class _TileItem:
+    pos: GridPosition
+    pixels: np.ndarray
+    #: Accumulated time this tile spent waiting for a pool slot (see the
+    #: requeue logic in the compute stage).
+    blocked_seconds: float = 0.0
+
+
+@dataclass
+class _FftDone:
+    pos: GridPosition
+    slot: int
+
+
+@dataclass
+class _PairItem:
+    pair: Pair
+
+
+@dataclass
+class _PairDone:
+    pair: Pair
+
+
+def default_pool_size(rows: int, cols: int) -> int:
+    """Safe transform-pool size for the chained-diagonal wavefront."""
+    return 2 * min(rows, cols) + 4
+
+
+class PipelinedCpu(Implementation):
+    """3-stage CPU pipeline (1.4 min at 16 threads on the paper's machine)."""
+
+    name = "pipelined-cpu"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        pool_size: int | None = None,
+        traversal: Traversal = Traversal.CHAINED_DIAGONAL,
+        queue_size: int = 8,
+        pool_timeout: float = 60.0,
+        **kw,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one compute worker, got {workers}")
+        super().__init__(**kw)
+        self.workers = workers
+        self.pool_size = pool_size
+        self.traversal = traversal
+        self.queue_size = queue_size
+        self.pool_timeout = pool_timeout
+
+    def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
+        rows, cols = dataset.rows, dataset.cols
+        grid = TileGrid(rows, cols)
+        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
+        pool_size = self.pool_size or default_pool_size(rows, cols)
+        pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
+        bk = PairBookkeeper(grid)
+        disp = DisplacementResult.empty(rows, cols)
+
+        pipe = Pipeline("pipelined-cpu")
+        # Q1 carries tile and pair work into the compute stage; it has two
+        # producers (reader + bookkeeper), so stages put into it manually and
+        # only the bookkeeper closes it (at end of computation).
+        q_work = pipe.queue(maxsize=0, name="work")
+        q_events = pipe.queue(maxsize=0, name="events")
+
+        # Reader memory bound: tile pixels in flight are limited by a
+        # semaphore released when the tile's FFT lands in a pool slot.
+        tiles_in_flight = threading.Semaphore(self.queue_size)
+
+        # Host-side state shared between stages, owned logically by the
+        # bookkeeper (single thread) except the read-only pixel/slot maps.
+        state_lock = threading.Lock()
+        pixels: dict[GridPosition, np.ndarray] = {}
+        slots: dict[GridPosition, int] = {}
+        stats_lock = threading.Lock()
+        stats = {"reads": 0, "ffts": 0, "pairs": 0}
+
+        order = iter(list(traverse(grid, self.traversal)))
+
+        def reader(_item, _ctx):
+            try:
+                pos = next(order)
+            except StopIteration:
+                return END_OF_STREAM
+            # Bounded wait so a pipeline abort cannot strand the reader on
+            # the semaphore.
+            while not tiles_in_flight.acquire(timeout=0.1):
+                if q_work.closed:
+                    return END_OF_STREAM
+            tile = dataset.load(pos.row, pos.col)
+            with stats_lock:
+                stats["reads"] += 1
+            q_work.put(_TileItem(pos, tile))
+            return None
+
+        def compute(item, _ctx):
+            if isinstance(item, _TileItem):
+                # Never block the whole worker pool on slot starvation: if
+                # no slot frees up quickly, requeue the tile behind any
+                # pending pair work (whose completion is what releases
+                # slots).  Blocking here with every worker would deadlock:
+                # tiles ahead of pairs in the FIFO would pin all workers.
+                try:
+                    slot = pool.acquire(timeout=0.05)
+                except TimeoutError:
+                    item.blocked_seconds += 0.05
+                    if item.blocked_seconds > self.pool_timeout:
+                        raise TimeoutError(
+                            f"transform pool ({pool.count} buffers) starved "
+                            f"for {self.pool_timeout}s; pool too small for "
+                            f"the traversal wavefront"
+                        )
+                    q_work.put(item)
+                    return None
+                buf = pool.array(slot)
+                src = item.pixels
+                if src.shape != fft_shape:
+                    src = pad_to_shape(src, fft_shape)
+                buf[...] = _sfft.fft2(src)
+                with state_lock:
+                    pixels[item.pos] = item.pixels
+                    slots[item.pos] = slot
+                with stats_lock:
+                    stats["ffts"] += 1
+                tiles_in_flight.release()
+                q_events.put(_FftDone(item.pos, slot))
+            elif isinstance(item, _PairItem):
+                pair = item.pair
+                with state_lock:
+                    img_i = pixels[pair.first]
+                    img_j = pixels[pair.second]
+                    fft_i = pool.array(slots[pair.first])
+                    fft_j = pool.array(slots[pair.second])
+                ncc = normalized_correlation(fft_i, fft_j)
+                inv = _sfft.ifft2(ncc)
+                peaks = top_peaks(inv, self.n_peaks)
+                best = (-np.inf, 0, 0)
+                seen = set()
+                from repro.core.pciam import CcfMode
+
+                extended = self.ccf_mode is CcfMode.EXTENDED
+                for _mag, py, px in peaks:
+                    for tx, ty in peak_candidates(py, px, fft_shape, extended=extended):
+                        if (tx, ty) in seen:
+                            continue
+                        seen.add((tx, ty))
+                        c = ccf_at(img_i, img_j, tx, ty)
+                        if c > best[0]:
+                            best = (c, tx, ty)
+                corr, tx, ty = best
+                disp.set(
+                    pair.direction,
+                    pair.second.row,
+                    pair.second.col,
+                    Translation(float(corr), int(tx), int(ty)),
+                )
+                with stats_lock:
+                    stats["pairs"] += 1
+                q_events.put(_PairDone(pair))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected work item {item!r}")
+            return None
+
+        def bookkeeper(event, _ctx):
+            if isinstance(event, _FftDone):
+                for pair in bk.transform_ready(event.pos):
+                    q_work.put(_PairItem(pair))
+            elif isinstance(event, _PairDone):
+                for pos in bk.pair_completed(event.pair):
+                    with state_lock:
+                        slot = slots.pop(pos)
+                        pixels.pop(pos)
+                    pool.release(slot)
+                if bk.all_pairs_completed():
+                    q_work.close()
+                    q_events.close()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected event {event!r}")
+            return None
+
+        pipe.stage("reader", reader, workers=1, input=None, output=None)
+        pipe.stage("compute", compute, workers=self.workers, input=q_work, output=None)
+        pipe.stage("bookkeeping", bookkeeper, workers=1, input=q_events, output=None)
+
+        # Degenerate 1x1 grid: no pairs, no events; close queues up front.
+        if bk.total_pairs == 0:
+            q_work.close()
+            q_events.close()
+            disp.stats = stats
+            return disp, stats
+
+        pipe.run()
+        stats["pool_peak_in_use"] = pool.peak_in_use
+        stats["pool_size"] = pool_size
+        stats.update({f"queue_{k}": v for k, v in pipe.stats()["queues"].items()})
+        disp.stats = stats
+        return disp, stats

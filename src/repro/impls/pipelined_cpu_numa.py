@@ -1,0 +1,236 @@
+"""Per-socket Pipelined-CPU (the paper's §IV.B future-work variant).
+
+"In the future, we will modify this implementation to create one execution
+pipeline per CPU socket."  The evaluation machine is a dual-socket Xeon;
+one pipeline per socket keeps each pipeline's working set on its socket's
+memory controller and halves contention on the shared queues.
+
+Structure: the grid is decomposed into contiguous column partitions (one
+per socket), exactly like the multi-GPU decomposition; each partition runs
+its own 3-stage pipeline (reader / compute / bookkeeping) with a private
+transform pool, and boundary ("ghost") columns are read and transformed by
+both adjacent partitions.  Outputs land in disjoint cells of the shared
+result.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.fft as _sfft
+
+from repro.core.ccf import ccf_at
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.ncc import normalized_correlation
+from repro.core.peak import peak_candidates, top_peaks
+from repro.core.pciam import CcfMode
+from repro.fftlib.smooth import pad_to_shape
+from repro.grid.neighbors import Pair, grid_pairs
+from repro.grid.tile_grid import GridPosition, TileGrid
+from repro.grid.traversal import Traversal, traverse
+from repro.impls.base import Implementation
+from repro.impls.pipelined_gpu import column_partitions
+from repro.io.dataset import TileDataset
+from repro.memmodel.pool import BufferPool
+from repro.pipeline.bookkeeper import PairBookkeeper
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import END_OF_STREAM
+
+
+@dataclass
+class _TileItem:
+    pos: GridPosition
+    pixels: np.ndarray
+    blocked_seconds: float = 0.0
+
+
+@dataclass
+class _FftDone:
+    pos: GridPosition
+    slot: int
+
+
+@dataclass
+class _PairItem:
+    pair: Pair
+
+
+@dataclass
+class _PairDone:
+    pair: Pair
+
+
+class PipelinedCpuNuma(Implementation):
+    """One 3-stage CPU pipeline per socket over a column partition."""
+
+    name = "pipelined-cpu-numa"
+
+    def __init__(
+        self,
+        sockets: int = 2,
+        workers_per_socket: int = 2,
+        pool_size: int | None = None,
+        traversal: Traversal = Traversal.CHAINED_DIAGONAL,
+        queue_size: int = 8,
+        pool_timeout: float = 60.0,
+        **kw,
+    ) -> None:
+        if sockets < 1:
+            raise ValueError("need at least one socket")
+        if workers_per_socket < 1:
+            raise ValueError("need at least one worker per socket")
+        super().__init__(**kw)
+        self.sockets = sockets
+        self.workers_per_socket = workers_per_socket
+        self.pool_size = pool_size
+        self.traversal = traversal
+        self.queue_size = queue_size
+        self.pool_timeout = pool_timeout
+
+    def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
+        rows, cols = dataset.rows, dataset.cols
+        grid = TileGrid(rows, cols)
+        disp = DisplacementResult.empty(rows, cols)
+        stats_lock = threading.Lock()
+        stats = {"reads": 0, "ffts": 0, "pairs": 0, "sockets": 0}
+
+        all_pairs = list(grid_pairs(grid))
+        pipelines = []
+        for k, (c0, c1) in enumerate(column_partitions(cols, self.sockets)):
+            pairs = frozenset(
+                p for p in all_pairs if c0 <= p.second.col < c1
+            )
+            if not pairs:
+                continue
+            stats["sockets"] += 1
+            pipelines.append(
+                self._build_pipeline(dataset, grid, disp, pairs, stats, stats_lock)
+            )
+
+        if not pipelines:  # 1x1 grid
+            disp.stats = stats
+            return disp, stats
+        for p in pipelines:
+            for s in p.stages:
+                s.start()
+        for p in pipelines:
+            p.join()
+        disp.stats = stats
+        return disp, stats
+
+    def _build_pipeline(
+        self, dataset, grid, disp, pairs, stats, stats_lock
+    ) -> Pipeline:
+        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
+        bk = PairBookkeeper(grid, pairs=pairs)
+        my_tiles = bk.tiles
+        tile_cols = sorted({p.col for p in my_tiles})
+        c_lo, c_hi = tile_cols[0], tile_cols[-1]
+        pool_size = self.pool_size or (2 * min(grid.rows, c_hi - c_lo + 1) + 4)
+        pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
+
+        pipe = Pipeline(f"pipelined-cpu-numa-{c_lo}")
+        q_work = pipe.queue(maxsize=0, name="work")
+        q_events = pipe.queue(maxsize=0, name="events")
+        tiles_in_flight = threading.Semaphore(self.queue_size)
+
+        state_lock = threading.Lock()
+        pixels: dict[GridPosition, np.ndarray] = {}
+        slots: dict[GridPosition, int] = {}
+
+        sub = TileGrid(grid.rows, c_hi - c_lo + 1)
+        order = iter(
+            [GridPosition(p.row, p.col + c_lo) for p in traverse(sub, self.traversal)
+             if GridPosition(p.row, p.col + c_lo) in my_tiles]
+        )
+        extended = self.ccf_mode is CcfMode.EXTENDED
+
+        def reader(_item, _ctx):
+            try:
+                pos = next(order)
+            except StopIteration:
+                return END_OF_STREAM
+            while not tiles_in_flight.acquire(timeout=0.1):
+                if q_work.closed:
+                    return END_OF_STREAM
+            tile = dataset.load(pos.row, pos.col)
+            with stats_lock:
+                stats["reads"] += 1
+            q_work.put(_TileItem(pos, tile))
+            return None
+
+        def compute(item, _ctx):
+            if isinstance(item, _TileItem):
+                try:
+                    slot = pool.acquire(timeout=0.05)
+                except TimeoutError:
+                    item.blocked_seconds += 0.05
+                    if item.blocked_seconds > self.pool_timeout:
+                        raise TimeoutError(
+                            f"transform pool ({pool.count}) starved for "
+                            f"{self.pool_timeout}s"
+                        )
+                    q_work.put(item)
+                    return None
+                buf = pool.array(slot)
+                src = item.pixels
+                if src.shape != fft_shape:
+                    src = pad_to_shape(src, fft_shape)
+                buf[...] = _sfft.fft2(src)
+                with state_lock:
+                    pixels[item.pos] = item.pixels
+                    slots[item.pos] = slot
+                with stats_lock:
+                    stats["ffts"] += 1
+                tiles_in_flight.release()
+                q_events.put(_FftDone(item.pos, slot))
+            elif isinstance(item, _PairItem):
+                pair = item.pair
+                with state_lock:
+                    img_i, img_j = pixels[pair.first], pixels[pair.second]
+                    fft_i = pool.array(slots[pair.first])
+                    fft_j = pool.array(slots[pair.second])
+                inv = _sfft.ifft2(normalized_correlation(fft_i, fft_j))
+                best = (-np.inf, 0, 0)
+                seen: set[tuple[int, int]] = set()
+                for _mag, py, px in top_peaks(inv, self.n_peaks):
+                    for tx, ty in peak_candidates(py, px, fft_shape, extended=extended):
+                        if (tx, ty) in seen:
+                            continue
+                        seen.add((tx, ty))
+                        c = ccf_at(img_i, img_j, tx, ty)
+                        if c > best[0]:
+                            best = (c, tx, ty)
+                corr, tx, ty = best
+                disp.set(pair.direction, pair.second.row, pair.second.col,
+                         Translation(float(corr), int(tx), int(ty)))
+                with stats_lock:
+                    stats["pairs"] += 1
+                q_events.put(_PairDone(pair))
+            else:  # pragma: no cover
+                raise TypeError(f"unexpected work item {item!r}")
+            return None
+
+        def bookkeeper(event, _ctx):
+            if isinstance(event, _FftDone):
+                for pair in bk.transform_ready(event.pos):
+                    q_work.put(_PairItem(pair))
+            elif isinstance(event, _PairDone):
+                for pos in bk.pair_completed(event.pair):
+                    with state_lock:
+                        pool.release(slots.pop(pos))
+                        pixels.pop(pos)
+                if bk.all_pairs_completed():
+                    q_work.close()
+                    q_events.close()
+            else:  # pragma: no cover
+                raise TypeError(f"unexpected event {event!r}")
+            return None
+
+        pipe.stage("reader", reader, workers=1, input=None, output=None)
+        pipe.stage("compute", compute, workers=self.workers_per_socket,
+                   input=q_work, output=None)
+        pipe.stage("bookkeeping", bookkeeper, workers=1, input=q_events, output=None)
+        return pipe

@@ -1,0 +1,168 @@
+"""Simple-GPU: synchronous single-stream port of Simple-CPU (Fig. 6).
+
+"The reference GPU implementation is single threaded on the CPU, executes
+CUDA memory copies synchronously, and invokes all kernels on the default
+stream."  It keeps forward transforms on-device in a tracked pool, frees
+them by the early-release policy, copies only the reduction result back,
+and runs the CCFs on the host -- all the paper's Simple-GPU optimizations,
+with the paper's Simple-GPU architectural flaw: every device operation
+round-trips through host synchronization, so the GPU idles during reads
+and CCFs (the gaps of Fig. 7).
+
+The host/device interleaving is modeled on the device's virtual clock: each
+synchronous submission carries ``not_before = host_clock`` and advances the
+host clock to the operation's end; host-only work (reads, CCFs) advances
+the host clock by its modeled duration.  The trace's compute-engine density
+is the quantity Fig. 7 visualizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ccf import ccf_at
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.peak import peak_candidates
+from repro.core.pciam import CcfMode
+from repro.fftlib.smooth import pad_to_shape
+from repro.gpu.costs import XEON_E5620, CpuCostModel
+from repro.gpu.device import VirtualGpu
+from repro.gpu.kernels import fft2_kernel, ifft2_kernel, ncc_kernel, reduce_max_kernel
+from repro.gpu.profiler import TraceEvent
+from repro.grid.neighbors import pairs_for_tile
+from repro.grid.tile_grid import GridPosition, TileGrid
+from repro.grid.traversal import Traversal, traverse
+from repro.impls.base import Implementation
+from repro.io.dataset import TileDataset
+
+
+class SimpleGpu(Implementation):
+    """Synchronous single-stream GPU port (9.3 min on the paper's machine)."""
+
+    name = "simple-gpu"
+
+    def __init__(
+        self,
+        device: VirtualGpu | None = None,
+        pool_size: int | None = None,
+        traversal: Traversal = Traversal.CHAINED_DIAGONAL,
+        host_costs: CpuCostModel = XEON_E5620,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.device = device
+        self.pool_size = pool_size
+        self.traversal = traversal
+        self.host_costs = host_costs
+        self.last_device: VirtualGpu | None = None
+
+    def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
+        device = self.device or VirtualGpu()
+        self.last_device = device
+        rows, cols = dataset.rows, dataset.cols
+        grid = TileGrid(rows, cols)
+        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
+        hw = fft_shape[0] * fft_shape[1]
+        # Pool: live transforms of the traversal wavefront plus one scratch
+        # slot for the NCC / inverse-FFT surface.
+        pool_size = self.pool_size or (2 * min(rows, cols) + 5)
+        pool = device.create_pool(pool_size, fft_shape)
+        stream = device.default_stream
+
+        disp = DisplacementResult.empty(rows, cols)
+        stats = {"reads": 0, "ffts": 0, "pairs": 0}
+        tiles: dict[GridPosition, np.ndarray] = {}
+        slots: dict[GridPosition, int] = {}
+        pairs_done: set = set()
+        host_clock = 0.0
+
+        def host_op(name: str, seconds: float) -> None:
+            nonlocal host_clock
+            device.profiler.record(
+                TraceEvent(name=name, engine="host", stream=-1,
+                           start=host_clock, end=host_clock + seconds)
+            )
+            host_clock += seconds
+
+        # One persistent staging buffer for H2D copies (device-side, real
+        # CUDA code would use pinned host + a device staging area).
+        staging = device.alloc(fft_shape, dtype=np.complex128)
+
+        def load_and_transform(pos: GridPosition) -> None:
+            nonlocal host_clock
+            tile = dataset.load(pos.row, pos.col)
+            host_op("read-tile", self.host_costs.read(hw) + self.host_costs.decode(hw))
+            stats["reads"] += 1
+            src = tile if tile.shape == fft_shape else pad_to_shape(tile, fft_shape)
+            slot = pool.acquire(blocking=False)
+            ev = device.h2d(src.astype(np.complex128), staging, stream, not_before=host_clock)
+            host_clock = ev.end  # synchronous copy: host blocks
+            ev = fft2_kernel(device, staging.data, pool.array(slot), stream, not_before=host_clock)
+            host_clock = ev.end  # default stream, synchronous: host waits
+            stats["ffts"] += 1
+            tiles[pos] = tile
+            slots[pos] = slot
+
+        def release_if_done(pos: GridPosition) -> None:
+            if pos not in slots:
+                return
+            if all(p in pairs_done for p in pairs_for_tile(grid, pos.row, pos.col)):
+                pool.release(slots.pop(pos))
+                tiles.pop(pos)
+
+        extended = self.ccf_mode is CcfMode.EXTENDED
+
+        for pos in traverse(grid, self.traversal):
+            load_and_transform(pos)
+            for pair in pairs_for_tile(grid, pos.row, pos.col):
+                if pair in pairs_done or pair.first not in slots or pair.second not in slots:
+                    continue
+                scratch = pool.acquire(blocking=False)
+                buf = pool.array(scratch)
+                ev = ncc_kernel(
+                    device, pool.array(slots[pair.first]), pool.array(slots[pair.second]),
+                    buf, stream, not_before=host_clock,
+                )
+                host_clock = ev.end
+                ev = ifft2_kernel(device, buf, buf, stream, not_before=host_clock)
+                host_clock = ev.end
+                peaks, ev = reduce_max_kernel(device, buf, stream,
+                                              not_before=host_clock, k=self.n_peaks)
+                host_clock = ev.end
+                # D2H of the reduction result only (O(k) scalars).
+                flat = np.array([v for p in peaks for v in p], dtype=np.float64)
+                _, ev = device.d2h(flat, stream, not_before=host_clock)
+                host_clock = ev.end
+                pool.release(scratch)
+
+                img_i, img_j = tiles[pair.first], tiles[pair.second]
+                best = (-np.inf, 0, 0)
+                seen: set[tuple[int, int]] = set()
+                for _mag, flat_idx in peaks:
+                    py, px = np.unravel_index(int(flat_idx), fft_shape)
+                    for tx, ty in peak_candidates(int(py), int(px), fft_shape, extended=extended):
+                        if (tx, ty) in seen:
+                            continue
+                        seen.add((tx, ty))
+                        c = ccf_at(img_i, img_j, tx, ty)
+                        if c > best[0]:
+                            best = (c, tx, ty)
+                host_op("ccf", self.host_costs.ccf(hw))
+                corr, tx, ty = best
+                disp.set(pair.direction, pair.second.row, pair.second.col,
+                         Translation(float(corr), int(tx), int(ty)))
+                pairs_done.add(pair)
+                stats["pairs"] += 1
+            release_if_done(pos)
+            for pair in pairs_for_tile(grid, pos.row, pos.col):
+                release_if_done(pair.first if pair.second == pos else pair.second)
+
+        device.free(staging)
+        pool.destroy()
+        stats["device_peak_bytes"] = device.allocator.peak_bytes
+        stats["gpu_compute_density"] = device.profiler.density("compute")
+        stats["d2h_bytes"] = device.profiler.bytes_copied("d2h")
+        stats["streams_used"] = len(device.profiler.streams_used() - {-1})
+        stats["virtual_makespan"] = max(device.synchronize(), host_clock)
+        disp.stats = stats
+        return disp, stats

@@ -1,0 +1,22 @@
+"""Storage substrate: a from-scratch TIFF codec and tile-dataset layout.
+
+The paper's implementation reads 16-bit grayscale TIFF tiles through libTIFF.
+This package replaces libTIFF with a minimal pure-Python codec
+(:mod:`repro.io.tiff`) supporting exactly the class of files optical
+microscopes emit in the paper's experiments -- single-plane, uncompressed,
+striped, 8/16-bit grayscale -- plus a dataset layer
+(:mod:`repro.io.dataset`) implementing the row/column file-naming patterns
+used to address a tile grid on disk.
+"""
+
+from repro.io.dataset import TileDataset, DatasetMetadata, FilePattern
+from repro.io.tiff import TiffError, read_tiff, write_tiff
+
+__all__ = [
+    "TiffError",
+    "read_tiff",
+    "write_tiff",
+    "TileDataset",
+    "DatasetMetadata",
+    "FilePattern",
+]

@@ -1,0 +1,512 @@
+"""Minimal TIFF 6.0 codec for microscope tiles.
+
+Scope (everything the paper's datasets need, nothing more):
+
+- baseline TIFF, little- or big-endian, classic (non-BigTIFF) headers;
+- single image (first IFD read; chained IFDs ignored on read);
+- grayscale (``PhotometricInterpretation`` 0/1), 1 sample/pixel;
+- 8- or 16-bit unsigned integer samples;
+- uncompressed (``Compression == 1``) or PackBits (``32773``) strips --
+  the two baseline-TIFF compressions microscope software emits;
+- strip-based layout (any ``RowsPerStrip``).
+
+Unsupported structure raises :class:`TiffError` with a precise message; a
+truncated or corrupt file never produces silently wrong pixels.  The writer
+always emits little-endian, single-IFD, striped files that this reader (and
+libTIFF/ImageJ) can read back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+# TIFF tag ids used here (TIFF 6.0 specification names).
+TAG_IMAGE_WIDTH = 256
+TAG_IMAGE_LENGTH = 257
+TAG_BITS_PER_SAMPLE = 258
+TAG_COMPRESSION = 259
+TAG_PHOTOMETRIC = 262
+TAG_IMAGE_DESCRIPTION = 270
+TAG_STRIP_OFFSETS = 273
+TAG_SAMPLES_PER_PIXEL = 277
+TAG_ROWS_PER_STRIP = 278
+TAG_STRIP_BYTE_COUNTS = 279
+TAG_PLANAR_CONFIG = 284
+TAG_SAMPLE_FORMAT = 339
+
+TYPE_BYTE = 1
+TYPE_ASCII = 2
+TYPE_SHORT = 3
+TYPE_LONG = 4
+
+_TYPE_SIZE = {TYPE_BYTE: 1, TYPE_ASCII: 1, TYPE_SHORT: 2, TYPE_LONG: 4}
+
+
+COMPRESSION_NONE = 1
+COMPRESSION_PACKBITS = 32773
+
+
+class TiffError(Exception):
+    """Raised for malformed or unsupported TIFF structure."""
+
+
+def packbits_encode(data: bytes) -> bytes:
+    """PackBits (Apple RLE) encoding, TIFF 6.0 Section 9.
+
+    Runs of >= 3 identical bytes become ``(1 - n, byte)``; everything else
+    is emitted as literal groups of <= 128 bytes.
+    """
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        # Measure the run starting at i.
+        run = 1
+        while i + run < n and run < 128 and data[i + run] == data[i]:
+            run += 1
+        if run >= 3:
+            out.append(257 - run)  # two's complement of 1 - run
+            out.append(data[i])
+            i += run
+            continue
+        # Literal segment: until the next >= 3-byte run or 128 bytes.
+        start = i
+        i += run
+        while i < n and i - start < 128:
+            run = 1
+            while i + run < n and run < 3 and data[i + run] == data[i]:
+                run += 1
+            if run >= 3:
+                break
+            i += run
+        i = min(i, start + 128)
+        out.append(i - start - 1)
+        out.extend(data[start:i])
+    return bytes(out)
+
+
+def packbits_decode(data: bytes, expected: int) -> bytes:
+    """Decode PackBits to exactly ``expected`` bytes (strict)."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while len(out) < expected:
+        if i >= n:
+            raise TiffError(
+                f"PackBits stream exhausted at {len(out)} of {expected} bytes"
+            )
+        ctrl = data[i]
+        i += 1
+        if ctrl < 128:  # literal run of ctrl + 1 bytes
+            end = i + ctrl + 1
+            if end > n:
+                raise TiffError("PackBits literal run overruns the strip")
+            out.extend(data[i:end])
+            i = end
+        elif ctrl == 128:  # no-op
+            continue
+        else:  # repeat next byte 257 - ctrl times
+            if i >= n:
+                raise TiffError("PackBits repeat run missing its byte")
+            out.extend(bytes([data[i]]) * (257 - ctrl))
+            i += 1
+    if len(out) != expected:
+        raise TiffError(
+            f"PackBits decoded {len(out)} bytes, expected {expected}"
+        )
+    return bytes(out)
+
+
+@dataclass
+class _Entry:
+    tag: int
+    type: int
+    count: int
+    values: tuple
+
+
+def _read_exact(data: bytes, offset: int, n: int, what: str) -> bytes:
+    if offset < 0 or offset + n > len(data):
+        raise TiffError(f"truncated file while reading {what} "
+                        f"(need {n} bytes at offset {offset}, file is {len(data)})")
+    return data[offset:offset + n]
+
+
+def _parse_ifd_entry(data: bytes, off: int, bo: str) -> _Entry:
+    raw = _read_exact(data, off, 12, "IFD entry")
+    tag, typ, count = struct.unpack(bo + "HHI", raw[:8])
+    size = _TYPE_SIZE.get(typ)
+    if size is None:
+        # Unknown value types are legal TIFF; carry no values.
+        return _Entry(tag, typ, count, ())
+    total = size * count
+    if total <= 4:
+        payload = raw[8:8 + total]
+    else:
+        (ptr,) = struct.unpack(bo + "I", raw[8:12])
+        payload = _read_exact(data, ptr, total, f"tag {tag} values")
+    fmt = {TYPE_BYTE: "B", TYPE_ASCII: "B", TYPE_SHORT: "H", TYPE_LONG: "I"}[typ]
+    values = struct.unpack(bo + fmt * count, payload)
+    return _Entry(tag, typ, count, values)
+
+
+def read_tiff(path: str | Path, return_description: bool = False):
+    """Read a grayscale TIFF into a NumPy array.
+
+    Returns the pixel array (``uint8`` or ``uint16``, shape ``(h, w)``), or a
+    ``(array, description)`` tuple when ``return_description`` is set (the
+    description is the ``ImageDescription`` tag contents, ``""`` if absent).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < 8:
+        raise TiffError("file too small to hold a TIFF header")
+    if data[:2] == b"II":
+        bo = "<"
+    elif data[:2] == b"MM":
+        bo = ">"
+    else:
+        raise TiffError(f"bad byte-order mark {data[:2]!r}")
+    (magic, ifd_off) = struct.unpack(bo + "HI", data[2:8])
+    if magic != 42:
+        raise TiffError(f"bad TIFF magic {magic} (BigTIFF is not supported)")
+
+    (n_entries,) = struct.unpack(bo + "H", _read_exact(data, ifd_off, 2, "IFD count"))
+    entries: dict[int, _Entry] = {}
+    for i in range(n_entries):
+        e = _parse_ifd_entry(data, ifd_off + 2 + 12 * i, bo)
+        entries[e.tag] = e
+
+    def one(tag: int, default=None):
+        e = entries.get(tag)
+        if e is None or not e.values:
+            if default is None:
+                raise TiffError(f"required tag {tag} missing")
+            return default
+        return e.values[0]
+
+    width = int(one(TAG_IMAGE_WIDTH))
+    height = int(one(TAG_IMAGE_LENGTH))
+    bits = int(one(TAG_BITS_PER_SAMPLE, 1))
+    compression = int(one(TAG_COMPRESSION, 1))
+    photometric = int(one(TAG_PHOTOMETRIC, 1))
+    spp = int(one(TAG_SAMPLES_PER_PIXEL, 1))
+    planar = int(one(TAG_PLANAR_CONFIG, 1))
+    sample_format = int(one(TAG_SAMPLE_FORMAT, 1))
+
+    if compression not in (COMPRESSION_NONE, COMPRESSION_PACKBITS):
+        raise TiffError(
+            f"unsupported compression {compression} (1=None, 32773=PackBits)"
+        )
+    if photometric not in (0, 1):
+        raise TiffError(f"unsupported photometric {photometric} (grayscale only)")
+    if spp != 1:
+        raise TiffError(f"unsupported samples/pixel {spp} (grayscale only)")
+    if planar != 1:
+        raise TiffError(f"unsupported planar configuration {planar}")
+    if sample_format != 1:
+        raise TiffError(f"unsupported sample format {sample_format} (uint only)")
+    if bits not in (8, 16):
+        raise TiffError(f"unsupported bit depth {bits} (8/16 only)")
+    if width <= 0 or height <= 0:
+        raise TiffError(f"bad dimensions {width}x{height}")
+
+    offsets_e = entries.get(TAG_STRIP_OFFSETS)
+    counts_e = entries.get(TAG_STRIP_BYTE_COUNTS)
+    if offsets_e is None or counts_e is None:
+        raise TiffError("strip offsets/byte-counts missing (tiled TIFF unsupported)")
+    if len(offsets_e.values) != len(counts_e.values):
+        raise TiffError("strip offset/count tables disagree in length")
+
+    bytes_per_row = width * (bits // 8)
+    expected = height * bytes_per_row
+    rows_per_strip = int(one(TAG_ROWS_PER_STRIP, height))
+    if rows_per_strip < 1:
+        raise TiffError(f"bad RowsPerStrip {rows_per_strip}")
+    chunks = []
+    total = 0
+    for s, (off, cnt) in enumerate(zip(offsets_e.values, counts_e.values)):
+        raw = _read_exact(data, off, cnt, "strip data")
+        if compression == COMPRESSION_PACKBITS:
+            r0 = s * rows_per_strip
+            r1 = min(height, r0 + rows_per_strip)
+            if r1 <= r0:
+                raise TiffError("more strips than image rows")
+            raw = packbits_decode(raw, (r1 - r0) * bytes_per_row)
+        chunks.append(raw)
+        total += len(raw)
+    if total != expected:
+        raise TiffError(
+            f"pixel data size mismatch: strips hold {total} bytes, "
+            f"image needs {expected}"
+        )
+    buf = b"".join(chunks)
+    dtype = np.dtype("u1") if bits == 8 else np.dtype(bo + "u2")
+    arr = np.frombuffer(buf, dtype=dtype).reshape(height, width)
+    arr = arr.astype(arr.dtype.newbyteorder("="), copy=True)
+    if photometric == 0:  # WhiteIsZero: invert to the usual BlackIsZero sense
+        arr = (np.iinfo(arr.dtype).max - arr).astype(arr.dtype)
+
+    if return_description:
+        desc_e = entries.get(TAG_IMAGE_DESCRIPTION)
+        desc = ""
+        if desc_e is not None and desc_e.values:
+            desc = bytes(desc_e.values).rstrip(b"\x00").decode("ascii", "replace")
+        return arr, desc
+    return arr
+
+
+def write_tiff(
+    path: str | Path,
+    array: np.ndarray,
+    description: str = "",
+    rows_per_strip: int | None = None,
+    compression: str = "none",
+) -> None:
+    """Write a grayscale ``uint8``/``uint16`` array as a TIFF.
+
+    Output is little-endian, single IFD, strip-based.  ``rows_per_strip``
+    defaults to roughly 8 KiB strips (libTIFF's default policy).
+    ``compression`` is ``"none"`` or ``"packbits"``.
+    """
+    if compression == "none":
+        comp_tag = COMPRESSION_NONE
+    elif compression == "packbits":
+        comp_tag = COMPRESSION_PACKBITS
+    else:
+        raise ValueError(f"unknown compression {compression!r} (none/packbits)")
+    a = np.asarray(array)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D grayscale array, got shape {a.shape}")
+    if a.dtype == np.uint8:
+        bits = 8
+    elif a.dtype == np.uint16:
+        bits = 16
+    else:
+        raise ValueError(f"unsupported dtype {a.dtype} (uint8/uint16 only)")
+    height, width = a.shape
+    bytes_per_row = width * (bits // 8)
+    if rows_per_strip is None:
+        rows_per_strip = max(1, 8192 // max(1, bytes_per_row))
+    rows_per_strip = min(rows_per_strip, height)
+    n_strips = (height + rows_per_strip - 1) // rows_per_strip
+
+    raw = a.astype("<" + ("u1" if bits == 8 else "u2"), copy=False).tobytes()
+    strip_payloads: list[bytes] = []
+    for s in range(n_strips):
+        r0 = s * rows_per_strip
+        r1 = min(height, r0 + rows_per_strip)
+        payload = raw[r0 * bytes_per_row : r1 * bytes_per_row]
+        if comp_tag == COMPRESSION_PACKBITS:
+            payload = packbits_encode(payload)
+        strip_payloads.append(payload)
+    pixel_bytes = b"".join(strip_payloads)
+    strip_counts = [len(p) for p in strip_payloads]
+
+    desc_bytes = description.encode("ascii", "replace") + b"\x00" if description else b""
+
+    entries: list[tuple[int, int, int, object]] = [
+        (TAG_IMAGE_WIDTH, TYPE_LONG, 1, (width,)),
+        (TAG_IMAGE_LENGTH, TYPE_LONG, 1, (height,)),
+        (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, (bits,)),
+        (TAG_COMPRESSION, TYPE_SHORT, 1, (comp_tag,)),
+        (TAG_PHOTOMETRIC, TYPE_SHORT, 1, (1,)),  # BlackIsZero
+        (TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, (1,)),
+        (TAG_ROWS_PER_STRIP, TYPE_LONG, 1, (rows_per_strip,)),
+        (TAG_PLANAR_CONFIG, TYPE_SHORT, 1, (1,)),
+        (TAG_SAMPLE_FORMAT, TYPE_SHORT, 1, (1,)),
+    ]
+    if desc_bytes:
+        entries.append((TAG_IMAGE_DESCRIPTION, TYPE_ASCII, len(desc_bytes), desc_bytes))
+    # Strip tables get placeholder values; patched once layout is known.
+    entries.append((TAG_STRIP_OFFSETS, TYPE_LONG, n_strips, None))
+    entries.append((TAG_STRIP_BYTE_COUNTS, TYPE_LONG, n_strips, tuple(strip_counts)))
+    entries.sort(key=lambda e: e[0])
+
+    header_size = 8
+    ifd_size = 2 + 12 * len(entries) + 4
+    # Out-of-line value area follows the IFD; strips follow that.
+    overflow_at = header_size + ifd_size
+    overflow: list[bytes] = []
+
+    def place(values: bytes) -> int:
+        nonlocal overflow_at
+        off = overflow_at
+        overflow.append(values)
+        overflow_at += len(values)
+        if overflow_at % 2:  # TIFF values must be word-aligned
+            overflow.append(b"\x00")
+            overflow_at += 1
+        return off
+
+    # First pass: compute where strip data starts (after all overflow values).
+    # Strip offsets themselves live in the overflow area when n_strips > 1,
+    # so lay everything out in two passes with a fixed entry order.
+    pending: list[tuple[int, int, int, bytes]] = []
+    strip_offsets_entry_index = None
+    for idx, (tag, typ, count, values) in enumerate(entries):
+        if tag == TAG_STRIP_OFFSETS:
+            strip_offsets_entry_index = idx
+            pending.append((tag, typ, count, b""))  # patched later
+            continue
+        if isinstance(values, bytes):
+            payload = values
+        else:
+            fmt = {TYPE_SHORT: "H", TYPE_LONG: "I", TYPE_ASCII: "B", TYPE_BYTE: "B"}[typ]
+            payload = struct.pack("<" + fmt * count, *values)
+        pending.append((tag, typ, count, payload))
+
+    # Account for overflow space of every oversized payload (and the strip
+    # offsets table itself if oversized) before fixing strip data position.
+    overflow_bytes = 0
+    for tag, typ, count, payload in pending:
+        n = len(payload) if tag != TAG_STRIP_OFFSETS else 4 * n_strips
+        if n > 4:
+            overflow_bytes += n + (n % 2)
+    data_start = header_size + ifd_size + overflow_bytes
+
+    strip_offsets = []
+    pos = data_start
+    for cnt in strip_counts:
+        strip_offsets.append(pos)
+        pos += cnt
+
+    assert strip_offsets_entry_index is not None
+    off_payload = struct.pack("<" + "I" * n_strips, *strip_offsets)
+    pending[strip_offsets_entry_index] = (TAG_STRIP_OFFSETS, TYPE_LONG, n_strips, off_payload)
+
+    # Serialize IFD with inline/overflow decision.
+    ifd = struct.pack("<H", len(pending))
+    for tag, typ, count, payload in pending:
+        if len(payload) <= 4:
+            inline = payload + b"\x00" * (4 - len(payload))
+            ifd += struct.pack("<HHI", tag, typ, count) + inline
+        else:
+            off = place(payload)
+            ifd += struct.pack("<HHII", tag, typ, count, off)
+    ifd += struct.pack("<I", 0)  # no next IFD
+
+    blob = struct.pack("<2sHI", b"II", 42, 8) + ifd + b"".join(overflow)
+    if len(blob) != data_start:
+        raise AssertionError(
+            f"TIFF layout bug: header+IFD+overflow is {len(blob)} bytes, "
+            f"expected {data_start}"
+        )
+    Path(path).write_bytes(blob + pixel_bytes)
+
+
+class TiffStripWriter:
+    """Incremental row-band TIFF writer for images too large for RAM.
+
+    The paper's mosaics reach 17k x 22k pixels (Fiji needs 1.5 h to
+    compose *and save* one).  Writing such an image should never require
+    materializing it: this writer emits an uncompressed striped TIFF whose
+    layout is fully determined up front (strip offsets are arithmetic for
+    uncompressed data), so callers push row bands top to bottom and the
+    peak memory is one band.
+
+    Usage::
+
+        with TiffStripWriter(path, height, width, np.uint16) as w:
+            for band in bands_top_to_bottom:   # 2-D, widths must match
+                w.write_rows(band)
+
+    ``close`` (or the context manager) validates that exactly ``height``
+    rows arrived.
+    """
+
+    def __init__(self, path: str | Path, height: int, width: int, dtype) -> None:
+        if height < 1 or width < 1:
+            raise ValueError(f"bad dimensions {height}x{width}")
+        dtype = np.dtype(dtype)
+        if dtype == np.uint8:
+            self._bits = 8
+        elif dtype == np.uint16:
+            self._bits = 16
+        else:
+            raise ValueError(f"unsupported dtype {dtype} (uint8/uint16 only)")
+        self.height = height
+        self.width = width
+        self.dtype = dtype
+        self._rows_written = 0
+        self._bytes_per_row = width * (self._bits // 8)
+        self._file = open(path, "wb")
+        self._closed = False
+        self._write_header()
+
+    def _write_header(self) -> None:
+        # One strip per row band is wasteful in tag space; use fixed
+        # rows-per-strip = whole image as a single strip *descriptor* with
+        # offsets known a priori: a single strip spanning the image keeps
+        # the IFD tiny and is legal TIFF (readers stream it fine).
+        entries = [
+            (TAG_IMAGE_WIDTH, TYPE_LONG, 1, (self.width,)),
+            (TAG_IMAGE_LENGTH, TYPE_LONG, 1, (self.height,)),
+            (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, (self._bits,)),
+            (TAG_COMPRESSION, TYPE_SHORT, 1, (COMPRESSION_NONE,)),
+            (TAG_PHOTOMETRIC, TYPE_SHORT, 1, (1,)),
+            (TAG_STRIP_OFFSETS, TYPE_LONG, 1, None),  # patched below
+            (TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, (1,)),
+            (TAG_ROWS_PER_STRIP, TYPE_LONG, 1, (self.height,)),
+            (TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1,
+             (self.height * self._bytes_per_row,)),
+            (TAG_PLANAR_CONFIG, TYPE_SHORT, 1, (1,)),
+            (TAG_SAMPLE_FORMAT, TYPE_SHORT, 1, (1,)),
+        ]
+        data_start = 8 + 2 + 12 * len(entries) + 4
+        ifd = struct.pack("<H", len(entries))
+        for tag, typ, cnt, values in entries:
+            if values is None:
+                values = (data_start,)
+            fmt = {TYPE_SHORT: "H", TYPE_LONG: "I"}[typ]
+            payload = struct.pack("<" + fmt * cnt, *values)
+            payload += b"\x00" * (4 - len(payload))
+            ifd += struct.pack("<HHI", tag, typ, cnt) + payload
+        ifd += struct.pack("<I", 0)
+        self._file.write(struct.pack("<2sHI", b"II", 42, 8) + ifd)
+
+    def write_rows(self, band: np.ndarray) -> None:
+        """Append a 2-D row band (must match width and dtype)."""
+        if self._closed:
+            raise ValueError("writer already closed")
+        band = np.asarray(band)
+        if band.ndim != 2 or band.shape[1] != self.width:
+            raise ValueError(
+                f"band shape {band.shape} incompatible with width {self.width}"
+            )
+        if band.dtype != self.dtype:
+            raise ValueError(f"band dtype {band.dtype} != {self.dtype}")
+        if self._rows_written + band.shape[0] > self.height:
+            raise ValueError(
+                f"band overruns image: {self._rows_written} + {band.shape[0]} "
+                f"> {self.height}"
+            )
+        self._file.write(band.astype("<" + ("u1" if self._bits == 8 else "u2"),
+                                     copy=False).tobytes())
+        self._rows_written += band.shape[0]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._rows_written != self.height:
+                raise ValueError(
+                    f"image incomplete: {self._rows_written} of "
+                    f"{self.height} rows written"
+                )
+        finally:
+            self._file.close()
+
+    def __enter__(self) -> "TiffStripWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+            self._file.close()

@@ -1,0 +1,53 @@
+"""Tile reference counting: the paper's early-release policy.
+
+"Every tile has a reference count that is decremented when the tile is used
+to compute a relative displacement.  The system recycles the GPU buffer
+associated with a tile when its reference count reaches zero" (Section
+IV.B).  The initial count is the tile's incident-pair count: 4 interior, 3
+edge, 2 corner, less on degenerate 1xN grids.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.grid.neighbors import pairs_for_tile
+from repro.grid.tile_grid import GridPosition, TileGrid
+
+
+class RefCounter:
+    """Thread-safe per-tile reference counts over a grid."""
+
+    def __init__(self, grid: TileGrid) -> None:
+        self.grid = grid
+        self._lock = threading.Lock()
+        self._counts = {
+            pos: len(pairs_for_tile(grid, pos.row, pos.col))
+            for pos in grid.positions()
+        }
+
+    def count(self, pos: GridPosition) -> int:
+        with self._lock:
+            return self._counts[pos]
+
+    def initial_count(self, pos: GridPosition) -> int:
+        """2/3/4 depending on corner/edge/interior (grid-degeneracy aware)."""
+        return len(pairs_for_tile(self.grid, pos.row, pos.col))
+
+    def decrement(self, pos: GridPosition) -> bool:
+        """Decrement; returns ``True`` when the tile just became releasable.
+
+        Raises on underflow -- a double decrement is always a scheduling
+        bug upstream, never something to paper over.
+        """
+        with self._lock:
+            c = self._counts[pos]
+            if c <= 0:
+                raise ValueError(f"reference count underflow for {pos}")
+            self._counts[pos] = c - 1
+            return c == 1
+
+    def live_count(self) -> int:
+        """Tiles not yet fully consumed."""
+        with self._lock:
+            return sum(1 for c in self._counts.values() if c > 0)

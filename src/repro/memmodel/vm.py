@@ -1,0 +1,68 @@
+"""Virtual-memory cost model: the Fig. 5 performance cliff.
+
+Fig. 5 plots the speedup of a multi-threaded FFT workload that never frees
+transforms, on a 24 GB machine: speedup "falls off a cliff, across all
+thread counts, when the tile count changes from 832 to 864" -- i.e. when
+the transform working set (~22 MB per tile) crosses physical RAM and the
+pager starts thrashing.
+
+:class:`VirtualMemoryModel` turns a working-set trajectory into a cost
+multiplier.  Under-commit costs 1.0x.  Over-commit makes every touched
+page a candidate for eviction; with an LRU pager and a working set ``W``
+over RAM ``R``, the probability a touched transform has been paged out is
+``1 - R/W``, and servicing a fault costs ``penalty`` times a normal
+access.  The resulting multiplier::
+
+    1 + penalty * max(0, 1 - R/W)
+
+is deliberately simple -- the figure's point is the *cliff location*, which
+depends only on where ``W`` crosses ``R``, and its *depth*, set by the
+disk/RAM speed ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VirtualMemoryModel:
+    """Paging cost model for a machine with ``ram_bytes`` of RAM.
+
+    ``page_fault_penalty`` is the slowdown of a faulting access relative to
+    a resident access (disk vs RAM bandwidth; ~50x for the 2012-era SATA
+    disks of the paper's evaluation machine).  ``resident_fraction_floor``
+    caps thrashing: even a badly over-committed process keeps *some* pages
+    resident.
+    """
+
+    ram_bytes: float
+    page_fault_penalty: float = 50.0
+    resident_fraction_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ram_bytes <= 0:
+            raise ValueError("RAM size must be positive")
+        if self.page_fault_penalty < 0:
+            raise ValueError("penalty must be non-negative")
+
+    def slowdown(self, working_set_bytes: float) -> float:
+        """Cost multiplier for touching a working set of the given size."""
+        if working_set_bytes < 0:
+            raise ValueError("working set must be non-negative")
+        if working_set_bytes <= self.ram_bytes:
+            return 1.0
+        resident = max(self.ram_bytes / working_set_bytes, self.resident_fraction_floor)
+        fault_prob = 1.0 - resident
+        return 1.0 + self.page_fault_penalty * fault_prob
+
+    def cliff_tile_count(self, bytes_per_tile: float) -> int:
+        """First tile count whose working set exceeds RAM.
+
+        For the paper's numbers (24 GB RAM, ~22 MB FFTW transform + ~2.9 MB
+        image + ~11 MB of per-tile float image data), the cliff lands
+        between 832 and 864 tiles, matching Fig. 5.
+        """
+        if bytes_per_tile <= 0:
+            raise ValueError("per-tile footprint must be positive")
+        return int(self.ram_bytes // bytes_per_tile) + 1

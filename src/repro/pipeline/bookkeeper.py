@@ -1,0 +1,117 @@
+"""Dependency-resolution bookkeeping (stage 4 of the paper's Fig. 8).
+
+The bookkeeper "manages the state of the computation.  It resolves
+dependencies and advances pairs of adjacent tiles that are ready (i.e.,
+their FFTs are available) to the next stage."
+
+:class:`PairBookkeeper` is the pure state machine extracted from that
+stage so it can be unit-tested without threads: feed it "transform of tile
+(r, c) is ready" events, get back the list of adjacent pairs that just
+became computable.  It also tracks per-tile reference counts (one per
+incident pair) so callers know exactly when a tile's transform buffer can
+be recycled -- the GPU memory-pool discipline of Section IV.B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.neighbors import Pair, pairs_for_tile
+from repro.grid.tile_grid import GridPosition, TileGrid
+
+
+@dataclass
+class PairBookkeeper:
+    """Tracks which pairs are ready and when tile buffers become free.
+
+    ``pairs`` restricts bookkeeping to a subset of the grid's pairs -- this
+    is how the multi-GPU implementation partitions work: each GPU's
+    bookkeeper owns only its partition's pairs, and boundary ("ghost")
+    tiles get reference counts equal to their incident-pair count *within
+    the partition*.  ``None`` means the whole grid.
+
+    Thread-compatibility: the bookkeeper itself is not locked; in the
+    pipelined implementations exactly one bookkeeping thread owns it
+    (matching the single-BK-thread design in Fig. 8).
+    """
+
+    grid: TileGrid
+    pairs: frozenset | None = None
+    _ready: set[GridPosition] = field(default_factory=set)
+    _emitted: set[Pair] = field(default_factory=set)
+    _completed: set[Pair] = field(default_factory=set)
+    _refcount: dict[GridPosition, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pairs is not None:
+            self.pairs = frozenset(self.pairs)
+        for pos in self.grid.positions():
+            n = len(self._incident(pos))
+            if n > 0 or self.pairs is None:
+                self._refcount[pos] = n
+
+    def _incident(self, pos: GridPosition) -> list[Pair]:
+        out = pairs_for_tile(self.grid, pos.row, pos.col)
+        if self.pairs is not None:
+            out = [p for p in out if p in self.pairs]
+        return out
+
+    @property
+    def tiles(self) -> set[GridPosition]:
+        """Tiles this bookkeeper tracks (partition tiles incl. ghosts)."""
+        return set(self._refcount)
+
+    # -- events -----------------------------------------------------------
+
+    def transform_ready(self, pos: GridPosition) -> list[Pair]:
+        """Record a tile's transform arrival; return newly-computable pairs."""
+        if pos not in self.grid:
+            raise ValueError(f"{pos} outside grid")
+        if pos in self._ready:
+            raise ValueError(f"transform for {pos} reported ready twice")
+        self._ready.add(pos)
+        out = []
+        for pair in self._incident(pos):
+            if (
+                pair not in self._emitted
+                and pair.first in self._ready
+                and pair.second in self._ready
+            ):
+                self._emitted.add(pair)
+                out.append(pair)
+        return out
+
+    def pair_completed(self, pair: Pair) -> list[GridPosition]:
+        """Record a finished pair; return tiles whose buffers are now free.
+
+        Decrements both members' reference counts; a tile is releasable when
+        its count reaches zero (every incident pair computed).
+        """
+        if pair in self._completed:
+            raise ValueError(f"pair {pair} completed twice")
+        if pair not in self._emitted:
+            raise ValueError(f"pair {pair} completed but never emitted")
+        self._completed.add(pair)
+        freed = []
+        for pos in (pair.first, pair.second):
+            self._refcount[pos] -= 1
+            if self._refcount[pos] == 0:
+                freed.append(pos)
+            elif self._refcount[pos] < 0:  # pragma: no cover - guarded above
+                raise AssertionError(f"negative refcount for {pos}")
+        return freed
+
+    # -- progress ------------------------------------------------------------
+
+    @property
+    def total_pairs(self) -> int:
+        if self.pairs is not None:
+            return len(self.pairs)
+        n, m = self.grid.rows, self.grid.cols
+        return 2 * n * m - n - m
+
+    def all_pairs_completed(self) -> bool:
+        return len(self._completed) == self.total_pairs
+
+    def pending_pairs(self) -> int:
+        return self.total_pairs - len(self._completed)

@@ -1,0 +1,137 @@
+"""Pipeline wiring and lifecycle.
+
+A :class:`Pipeline` owns stages and the queues between them, starts all
+worker threads, waits for completion, and surfaces the first worker
+exception to the caller (wrapped in :class:`PipelineError`) instead of
+deadlocking -- failure injection tests depend on this.
+
+Stages need not form a single chain: the paper's Fig. 8 graph has a feedback
+edge (the displacement stage notifies the bookkeeper about freed transform
+buffers).  Arbitrary queue topologies are supported because stages only know
+their own input/output queues; cycles are the *user's* responsibility to
+terminate (the bookkeeper closes its feedback consumer by counting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.pipeline.queues import MonitorQueue
+from repro.pipeline.stage import Stage
+
+
+class PipelineError(RuntimeError):
+    """A stage worker raised; the original exception is ``__cause__``."""
+
+
+class Pipeline:
+    """A set of stages plus the queues connecting them."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self.stages: list[Stage] = []
+        self.queues: list[MonitorQueue] = []
+
+    # -- construction --------------------------------------------------------
+
+    def queue(self, maxsize: int = 0, name: str = "") -> MonitorQueue:
+        q = MonitorQueue(maxsize=maxsize, name=name or f"q{len(self.queues)}")
+        self.queues.append(q)
+        return q
+
+    def stage(
+        self,
+        name: str,
+        handler: Callable,
+        workers: int = 1,
+        input: MonitorQueue | None = None,
+        output: MonitorQueue | None = None,
+    ) -> Stage:
+        s = Stage(
+            name,
+            handler,
+            workers=workers,
+            input=input,
+            output=output,
+            on_error=self.abort,
+        )
+        self.stages.append(s)
+        return s
+
+    def abort(self) -> None:
+        """Close every queue so all stages unblock (used on worker failure)."""
+        for q in self.queues:
+            q.close()
+
+    def add_chain(
+        self,
+        specs: list[tuple[str, Callable, int]],
+        queue_size: int = 0,
+    ) -> list[Stage]:
+        """Convenience: wire ``specs`` (name, handler, workers) into a chain.
+
+        The first stage is a source, the last a sink; a bounded queue of
+        ``queue_size`` sits between each consecutive pair.
+        """
+        stages: list[Stage] = []
+        prev_q: MonitorQueue | None = None
+        for i, (name, handler, workers) in enumerate(specs):
+            out_q = None
+            if i + 1 < len(specs):
+                out_q = self.queue(maxsize=queue_size, name=f"{name}-out")
+            stages.append(
+                self.stage(name, handler, workers=workers, input=prev_q, output=out_q)
+            )
+            prev_q = out_q
+        return stages
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> None:
+        """Start every stage, join every stage, re-raise the first error."""
+        if not self.stages:
+            raise ValueError("pipeline has no stages")
+        for s in self.stages:
+            s.start()
+        self.join()
+
+    def join(self) -> None:
+        for s in self.stages:
+            s.join()
+        for s in self.stages:
+            if s.errors:
+                raise PipelineError(
+                    f"stage {s.name!r} of {self.name!r} failed"
+                ) from s.errors[0]
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "stages": {
+                s.name: {
+                    "workers": s.workers,
+                    "items": s.items_processed,
+                    "busy_seconds": s.busy_seconds,
+                }
+                for s in self.stages
+            },
+            "queues": {
+                q.name: {"peak_depth": q.peak_depth, "total_put": q.total_put}
+                for q in self.queues
+            },
+        }
+
+    def utilization(self, wall_seconds: float) -> dict[str, float]:
+        """Per-stage busy fraction over a run's wall time.
+
+        The stage with utilization near 1.0 is the pipeline's bottleneck
+        (the paper identifies its GPU-compute stage this way in Fig. 10's
+        discussion); stages near 0 are over-provisioned.
+        """
+        if wall_seconds <= 0:
+            raise ValueError("wall time must be positive")
+        return {
+            s.name: s.busy_seconds / (s.workers * wall_seconds)
+            for s in self.stages
+        }

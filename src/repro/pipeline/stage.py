@@ -1,0 +1,163 @@
+"""Pipeline stages: N worker threads around a user handler.
+
+A stage's handler is a callable ``handler(item, ctx) -> result | None``;
+whatever it returns (when not ``None``) is forwarded to the stage's output
+queue.  Handlers may also emit explicitly (``ctx.emit``) to produce zero or
+many outputs per input -- the bookkeeping stage of the paper's Fig. 8 does
+exactly this, emitting a pair only when both members' FFTs are ready.
+
+End-of-stream is signalled by closing the input queue, *not* by poison
+values: with multiple workers per stage a single poison pill would be
+consumed by one worker and lost.  The framework closes each stage's output
+once all its workers exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.pipeline.queues import MonitorQueue, QueueClosed
+
+#: Sentinel a *source* handler returns to end its stream.
+END_OF_STREAM = object()
+
+
+@dataclass
+class StageContext:
+    """Handed to every handler invocation.
+
+    ``emit`` pushes downstream; ``worker_index`` identifies the calling
+    worker (0-based); ``stage`` is the owning stage (e.g. for its name).
+    """
+
+    stage: "Stage"
+    worker_index: int
+
+    def emit(self, item: Any) -> None:
+        if self.stage.output is None:
+            raise RuntimeError(f"stage {self.stage.name!r} has no output queue")
+        self.stage.output.put(item)
+
+
+class Stage:
+    """One pipeline stage with ``workers`` threads.
+
+    Stages come in two flavours:
+
+    - *source* stages (``input is None``): the handler is called with
+      ``None`` repeatedly until it returns :data:`END_OF_STREAM`;
+    - *transform/sink* stages: the handler is called once per input item
+      until the input queue closes and drains.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        handler: Callable[[Any, StageContext], Any],
+        workers: int = 1,
+        input: MonitorQueue | None = None,
+        output: MonitorQueue | None = None,
+        on_error: Callable[[], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"stage {name!r} needs at least one worker")
+        self.name = name
+        self.handler = handler
+        self.workers = workers
+        self.input = input
+        self.output = output
+        self.on_error = on_error
+        self.threads: list[threading.Thread] = []
+        self.errors: list[BaseException] = []
+        self.items_processed = 0
+        #: Wall-clock seconds spent inside the handler, summed over
+        #: workers -- the numerator of the stage-utilization telemetry
+        #: (how the pipeline's balance is diagnosed, cf. the paper's
+        #: profiler-driven analysis of its stage occupancy).
+        self.busy_seconds = 0.0
+        self._count_lock = threading.Lock()
+        self._active = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.threads:
+            raise RuntimeError(f"stage {self.name!r} already started")
+        self._active = self.workers
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._run, args=(i,), name=f"stage-{self.name}-{i}", daemon=True
+            )
+            self.threads.append(t)
+            t.start()
+
+    def join(self) -> None:
+        for t in self.threads:
+            t.join()
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker_done(self) -> None:
+        with self._count_lock:
+            self._active -= 1
+            last = self._active == 0
+        # The last worker out closes the downstream queue so the next stage
+        # sees end-of-stream exactly once all of this stage's work is done.
+        if last and self.output is not None:
+            self.output.close()
+
+    def _run(self, worker_index: int) -> None:
+        ctx = StageContext(stage=self, worker_index=worker_index)
+        try:
+            if self.input is None:
+                self._run_source(ctx)
+            else:
+                self._run_consumer(ctx)
+        except QueueClosed:
+            # Downstream closed under us (pipeline aborting): exit quietly.
+            pass
+        except BaseException as exc:  # propagate to Pipeline.result()
+            self.errors.append(exc)
+            # Poison downstream so the rest of the pipeline unblocks.
+            if self.output is not None:
+                self.output.close()
+            if self.input is not None:
+                self.input.close()
+            # Pipeline-wide abort (closes every registered queue) so stages
+            # not adjacent to this one cannot deadlock on a failure.
+            if self.on_error is not None:
+                self.on_error()
+        finally:
+            self._worker_done()
+
+    def _handle(self, item: Any, ctx: StageContext) -> Any:
+        import time
+
+        t0 = time.perf_counter()
+        result = self.handler(item, ctx)
+        dt = time.perf_counter() - t0
+        with self._count_lock:
+            self.items_processed += 1
+            self.busy_seconds += dt
+        return result
+
+    def _run_source(self, ctx: StageContext) -> None:
+        while True:
+            result = self._handle(None, ctx)
+            if result is END_OF_STREAM:
+                return
+            if result is not None:
+                ctx.emit(result)
+
+    def _run_consumer(self, ctx: StageContext) -> None:
+        assert self.input is not None
+        while True:
+            try:
+                item = self.input.get()
+            except QueueClosed:
+                return
+            result = self._handle(item, ctx)
+            if result is not None and result is not END_OF_STREAM:
+                ctx.emit(result)

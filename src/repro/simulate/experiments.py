@@ -1,0 +1,297 @@
+"""Paper-scale experiment drivers: one function per table/figure.
+
+Each driver returns plain data (lists of rows / dicts) that the benchmark
+harness formats; nothing here prints.  All drivers default to the paper's
+workload (42x59 grid of 1392x1040 tiles) and machine models but accept
+smaller grids so the test suite can exercise them quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memmodel.vm import VirtualMemoryModel
+from repro.simulate.costmodel import (
+    PAPER_GRID,
+    PAPER_MACHINE,
+    PAPER_MACHINE_24GB,
+    PAPER_TILE,
+    MachineModel,
+)
+from repro.simulate.schedules import (
+    SimResult,
+    simulate_fiji,
+    simulate_mt_cpu,
+    simulate_pipelined_cpu,
+    simulate_pipelined_gpu,
+    simulate_simple_cpu,
+    simulate_simple_gpu,
+)
+
+
+@dataclass
+class Table2Row:
+    implementation: str
+    seconds: float
+    speedup_vs_simple_cpu: float
+    speedup_vs_imagej: float
+    cpu_threads: int | None
+    gpus: int | None
+    paper_seconds: float
+
+
+#: Published Table II values (end-to-end seconds for the 42x59 grid).
+PAPER_TABLE2 = {
+    "imagej-fiji": 3.6 * 3600,
+    "simple-cpu": 10.6 * 60,
+    "mt-cpu": 1.6 * 60,
+    "pipelined-cpu": 1.4 * 60,
+    "simple-gpu": 9.3 * 60,
+    "pipelined-gpu-1": 49.7,
+    "pipelined-gpu-2": 26.6,
+}
+
+
+def table2_runtimes(
+    machine: MachineModel = PAPER_MACHINE,
+    rows: int = PAPER_GRID[0],
+    cols: int = PAPER_GRID[1],
+    tile: tuple[int, int] = PAPER_TILE,
+    threads: int = 16,
+) -> list[Table2Row]:
+    """Reproduce Table II: run times and speedups for all implementations."""
+    runs: list[tuple[str, SimResult, int | None, int | None]] = []
+    fiji = simulate_fiji(machine, rows, cols, tile)
+    runs.append(("imagej-fiji", fiji, 6, None))
+    simple = simulate_simple_cpu(machine, rows, cols, tile)
+    runs.append(("simple-cpu", simple, 1, None))
+    runs.append(("mt-cpu", simulate_mt_cpu(machine, rows, cols, threads, tile), threads, None))
+    runs.append((
+        "pipelined-cpu",
+        simulate_pipelined_cpu(machine, rows, cols, threads, tile),
+        threads, None,
+    ))
+    runs.append(("simple-gpu", simulate_simple_gpu(machine, rows, cols, tile), 1, 1))
+    runs.append((
+        "pipelined-gpu-1",
+        simulate_pipelined_gpu(machine, rows, cols, 1, tile=tile),
+        threads, 1,
+    ))
+    if machine.n_gpus >= 2:
+        runs.append((
+            "pipelined-gpu-2",
+            simulate_pipelined_gpu(machine, rows, cols, 2, tile=tile),
+            threads, 2,
+        ))
+    out = []
+    t_simple = simple.makespan_seconds
+    t_fiji = fiji.makespan_seconds
+    for name, res, thr, gpus in runs:
+        out.append(
+            Table2Row(
+                implementation=name,
+                seconds=res.makespan_seconds,
+                speedup_vs_simple_cpu=t_simple / res.makespan_seconds,
+                speedup_vs_imagej=t_fiji / res.makespan_seconds,
+                cpu_threads=thr,
+                gpus=gpus,
+                paper_seconds=PAPER_TABLE2.get(name, float("nan")),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: virtual-memory performance cliff
+# ---------------------------------------------------------------------------
+
+
+def fig5_vm_cliff(
+    machine: MachineModel = PAPER_MACHINE_24GB,
+    tile_counts: tuple[int, ...] = tuple(range(512, 1025, 32)),
+    thread_counts: tuple[int, ...] = tuple(range(1, 17)),
+    tile: tuple[int, int] = PAPER_TILE,
+    bytes_per_tile: float | None = None,
+) -> dict:
+    """Speedup surface of an FFT-only workload that never frees memory.
+
+    The workload reads ``N`` tiles and computes their transforms, keeping
+    everything resident (the paper's Fig. 5 microbenchmark).  Once the
+    working set crosses RAM, every further transform pays page-fault
+    service time that serializes on the disk, collapsing the speedup
+    across all thread counts at the same tile count -- the cliff.
+
+    Returns ``{"tiles": [...], "threads": [...], "speedup": {(N, T): s},
+    "times": {(N, T): seconds}, "cliff_at": N}``.
+    """
+    hw = tile[0] * tile[1]
+    if bytes_per_tile is None:
+        # Transform (16 B/px complex double) + float32 working image
+        # (4 B/px) + ~1 B/px of allocator/page-table overhead.  At 21 B/px
+        # the working set crosses 24 GiB between 832 and 864 tiles --
+        # exactly where the paper observes the cliff.
+        bytes_per_tile = 21.0 * hw
+    vm = VirtualMemoryModel(ram_bytes=machine.ram_bytes)
+    cpu = machine.cpu
+    per_tile_compute = cpu.decode(hw) + cpu.fft(hw)
+    per_tile_read = cpu.read(hw)
+
+    times: dict[tuple[int, int], float] = {}
+    for n in tile_counts:
+        # Average paging multiplier over the accumulation trajectory.
+        steps = 64
+        acc = 0.0
+        for k in range(1, steps + 1):
+            acc += vm.slowdown(bytes_per_tile * n * k / steps)
+        avg_slowdown = acc / steps
+        # Faulted bytes must be re-fetched through the cold device.
+        overcommit = max(0.0, bytes_per_tile * n - machine.ram_bytes)
+        fault_seconds = overcommit / machine.page_fault_bandwidth
+        for t in thread_counts:
+            eff = machine.effective_parallelism(t)
+            compute = n * per_tile_compute * avg_slowdown / eff
+            reads = n * per_tile_read
+            times[(n, t)] = compute + reads + fault_seconds
+    speedup = {
+        (n, t): times[(n, 1)] / times[(n, t)]
+        for n in tile_counts
+        for t in thread_counts
+    }
+    cliff_at = next(
+        (n for n in tile_counts if bytes_per_tile * n > machine.ram_bytes), None
+    )
+    return {
+        "tiles": list(tile_counts),
+        "threads": list(thread_counts),
+        "times": times,
+        "speedup": speedup,
+        "cliff_at": cliff_at,
+        "bytes_per_tile": bytes_per_tile,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 7 & 9: execution profiles (8x8 grid)
+# ---------------------------------------------------------------------------
+
+
+def fig7_fig9_profiles(
+    machine: MachineModel = PAPER_MACHINE,
+    rows: int = 8,
+    cols: int = 8,
+    tile: tuple[int, int] = PAPER_TILE,
+) -> dict:
+    """Kernel-density comparison of Simple-GPU vs Pipelined-GPU (8x8 grid).
+
+    Returns per-implementation makespan, compute-engine density (the
+    fraction of the run during which a kernel is executing -- sparse with
+    gaps in Fig. 7, dense in Fig. 9), and engine utilizations.
+    """
+    simple = simulate_simple_gpu(machine, rows, cols, tile)
+    piped = simulate_pipelined_gpu(machine, rows, cols, 1, tile=tile)
+
+    def profile(res: SimResult, compute: str) -> dict:
+        return {
+            "makespan": res.makespan_seconds,
+            "kernel_density": res.sim.density(compute),
+            "kernel_count": sum(
+                1 for o in res.sim.ops if o.resource == compute
+            ),
+            "h2d_busy": res.sim.busy_time(compute.replace("compute", "h2d")),
+        }
+
+    return {
+        "simple-gpu": profile(simple, "gpu0.compute"),
+        "pipelined-gpu": profile(piped, "gpu0.compute"),
+        "speedup": simple.makespan_seconds / piped.makespan_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: Pipelined-GPU (2 GPUs) vs CCF thread count
+# ---------------------------------------------------------------------------
+
+
+def fig10_ccf_threads(
+    machine: MachineModel = PAPER_MACHINE,
+    rows: int = PAPER_GRID[0],
+    cols: int = PAPER_GRID[1],
+    tile: tuple[int, int] = PAPER_TILE,
+    ccf_threads: tuple[int, ...] = tuple(range(1, 17)),
+    n_gpus: int = 2,
+) -> list[tuple[int, float]]:
+    """Run time vs number of CCF threads (paper: flat beyond ~2 threads)."""
+    out = []
+    for t in ccf_threads:
+        res = simulate_pipelined_gpu(machine, rows, cols, n_gpus, ccf_threads=t, tile=tile)
+        out.append((t, res.makespan_seconds))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: Pipelined-CPU strong scaling
+# ---------------------------------------------------------------------------
+
+
+def fig11_cpu_scaling(
+    machine: MachineModel = PAPER_MACHINE,
+    rows: int = PAPER_GRID[0],
+    cols: int = PAPER_GRID[1],
+    tile: tuple[int, int] = PAPER_TILE,
+    thread_counts: tuple[int, ...] = tuple(range(1, 17)),
+) -> list[tuple[int, float, float]]:
+    """(threads, seconds, speedup) for the Pipelined-CPU implementation.
+
+    The speedup line is near-linear up to the physical core count and
+    changes to a shallower slope through the hyper-threaded region.
+    """
+    results = []
+    base = None
+    for t in thread_counts:
+        res = simulate_pipelined_cpu(machine, rows, cols, t, tile)
+        if base is None:
+            base = res.makespan_seconds
+        results.append((t, res.makespan_seconds, base / res.makespan_seconds))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: speedup surface (threads x tiles)
+# ---------------------------------------------------------------------------
+
+
+def fig12_speedup_surface(
+    machine: MachineModel = PAPER_MACHINE,
+    tile_counts: tuple[int, ...] = (128, 256, 384, 512, 640, 768, 896, 1024),
+    thread_counts: tuple[int, ...] = tuple(range(1, 17)),
+    tile: tuple[int, int] = PAPER_TILE,
+) -> dict:
+    """Pipelined-CPU speedup over (thread count, grid size).
+
+    Grids are near-square with the requested tile total, matching the
+    paper's 128-1024-tile sweep.  Returns ``{"surface": {(tiles, T): s}}``.
+    """
+
+    def near_square(n: int) -> tuple[int, int]:
+        r = int(n**0.5)
+        while n % r:
+            r -= 1
+        return r, n // r
+
+    surface: dict[tuple[int, int], float] = {}
+    times: dict[tuple[int, int], float] = {}
+    for n in tile_counts:
+        rows, cols = near_square(n)
+        base = None
+        for t in thread_counts:
+            res = simulate_pipelined_cpu(machine, rows, cols, t, tile)
+            if base is None:
+                base = res.makespan_seconds
+            times[(n, t)] = res.makespan_seconds
+            surface[(n, t)] = base / res.makespan_seconds
+    return {
+        "tiles": list(tile_counts),
+        "threads": list(thread_counts),
+        "surface": surface,
+        "times": times,
+    }

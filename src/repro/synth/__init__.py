@@ -1,0 +1,39 @@
+"""Synthetic acquisition substrate (replaces the NIST A10 dataset).
+
+The paper evaluates on a 42x59 grid of 1392x1040 16-bit tiles of A10 cell
+colonies acquired on an Olympus IX71.  That dataset is not distributable
+here, so this package builds the closest synthetic equivalent:
+
+- :mod:`repro.synth.specimen` renders a plate-scale image of cell colonies
+  (clustered soft-edged cells over a textured background), including the
+  *sparse-feature* regime the paper highlights (low-density early-experiment
+  plates) that defeats feature-based stitchers.
+- :mod:`repro.synth.microscope` scans the plate into an overlapping tile
+  grid through a stage-error model (per-move jitter, serpentine backlash)
+  exactly like the mechanical effects the paper says make displacement
+  computation necessary, and records ground-truth tile origins.
+- :mod:`repro.synth.noise` applies camera effects (vignette flat-field,
+  shot noise, read noise, 16-bit quantization).
+
+Because ground truth is retained, tests can assert that the full stitching
+pipeline recovers the stage's true translations -- something the real
+dataset could never support.
+"""
+
+from repro.synth.microscope import ScanPlan, StageModel, VirtualMicroscope
+from repro.synth.noise import CameraModel
+from repro.synth.specimen import SpecimenParams, generate_plate
+from repro.synth.dataset_factory import make_synthetic_dataset
+from repro.synth.timeseries import GrowthModel, TimeSeriesExperiment
+
+__all__ = [
+    "ScanPlan",
+    "StageModel",
+    "VirtualMicroscope",
+    "CameraModel",
+    "SpecimenParams",
+    "generate_plate",
+    "make_synthetic_dataset",
+    "GrowthModel",
+    "TimeSeriesExperiment",
+]

@@ -1,0 +1,75 @@
+"""Camera model: flat-field vignette, shot/read noise, quantization.
+
+Applied per tile (not per plate) because vignetting and noise are properties
+of each *exposure*: the same specimen point imaged in two overlapping tiles
+gets different vignette attenuation and independent noise, exactly the
+nuisance structure the normalized correlation in the paper is robust to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """A simple CCD model producing 16-bit (or 8-bit) counts.
+
+    ``full_well`` maps specimen intensity 1.0 to this many counts before
+    noise.  ``vignette`` is the fractional attenuation at the image corners
+    relative to the centre (0 disables flat-field effects).  ``shot_noise``
+    scales Poisson-like noise with the signal; ``read_noise`` is additive
+    Gaussian in counts.
+    """
+
+    bit_depth: int = 16
+    full_well: float = 20000.0
+    vignette: float = 0.15
+    shot_noise: float = 1.0
+    read_noise: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.bit_depth not in (8, 16):
+            raise ValueError(f"bit depth must be 8 or 16, got {self.bit_depth}")
+        if not 0.0 <= self.vignette < 1.0:
+            raise ValueError(f"vignette must be in [0, 1), got {self.vignette}")
+
+    @property
+    def dtype(self):
+        return np.uint8 if self.bit_depth == 8 else np.uint16
+
+    @property
+    def max_count(self) -> int:
+        return (1 << self.bit_depth) - 1
+
+    def vignette_field(self, shape: tuple[int, int]) -> np.ndarray:
+        """Radial attenuation field in ``(0, 1]`` (1 at centre)."""
+        h, w = shape
+        y = np.linspace(-1.0, 1.0, h)[:, None]
+        x = np.linspace(-1.0, 1.0, w)[None, :]
+        r2 = (y * y + x * x) / 2.0  # normalized so corners have r2 == 1
+        return 1.0 - self.vignette * r2
+
+    def expose(
+        self, radiance: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Convert specimen radiance in ``[0, 1]`` to quantized camera counts."""
+        if radiance.ndim != 2:
+            raise ValueError(f"expected 2-D radiance, got shape {radiance.shape}")
+        signal = radiance * self.full_well
+        if self.vignette > 0:
+            signal = signal * self.vignette_field(radiance.shape)
+        if self.shot_noise > 0:
+            # Gaussian approximation of Poisson noise: var == signal.
+            signal = signal + self.shot_noise * np.sqrt(np.maximum(signal, 0.0)) * (
+                rng.standard_normal(signal.shape)
+            )
+        if self.read_noise > 0:
+            signal = signal + self.read_noise * rng.standard_normal(signal.shape)
+        np.clip(signal, 0, self.max_count, out=signal)
+        return signal.astype(self.dtype)
+
+
+NOISELESS = CameraModel(vignette=0.0, shot_noise=0.0, read_noise=0.0)

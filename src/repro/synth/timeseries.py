@@ -1,0 +1,153 @@
+"""Time-series acquisition: repeated scans of a growing culture.
+
+The paper's motivating experiment (Section I) images one plate every
+45 minutes for 5 days while cell colonies grow; a particular run produced
+161 scans of an 18x22 grid.  This module synthesizes that workload: one
+set of colony *sites* is fixed for the whole experiment, and each scan
+renders the plate at a later growth stage (more cells per colony, larger
+radius) before scanning it with fresh stage error.
+
+Colony sites persist across scans because each colony renders from its own
+child RNG (derived from the experiment seed and the colony index), so
+growth changes a colony's cell count without perturbing any other
+colony's placement -- scan ``t`` really is "the same plate, later".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.io.dataset import TileDataset
+from repro.synth.microscope import ScanPlan, StageModel, VirtualMicroscope
+from repro.synth.noise import CameraModel
+from repro.synth.specimen import SpecimenParams, _cell_patch, _low_frequency_texture, _splat
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    """Colony growth between scans.
+
+    At scan ``t`` a colony holds ``initial_cells * (1 + growth_rate)**t``
+    cells scattered with radius ``initial_radius * (1 + spread_rate)**t``,
+    capped at ``max_cells``.
+    """
+
+    initial_cells: float = 6.0
+    growth_rate: float = 0.35
+    initial_radius: float = 14.0
+    spread_rate: float = 0.12
+    max_cells: int = 400
+
+    def cells_at(self, scan: int) -> int:
+        return int(min(self.max_cells, round(self.initial_cells * (1.0 + self.growth_rate) ** scan)))
+
+    def radius_at(self, scan: int) -> float:
+        return self.initial_radius * (1.0 + self.spread_rate) ** scan
+
+    def birth_scan(self, cell_index: int) -> int:
+        """First scan at which cell ``cell_index`` exists.
+
+        A cell's position is fixed at birth (at the colony spread radius of
+        *that* scan), so later scans only add cells -- growth is strictly
+        additive, never migratory.
+        """
+        t = 0
+        while self.cells_at(t) <= cell_index:
+            t += 1
+            if t > 10_000:  # pragma: no cover - growth_rate <= 0 guard
+                raise ValueError("growth model never produces this cell")
+        return t
+
+
+class TimeSeriesExperiment:
+    """A long-running experiment: fixed plate, repeated scans."""
+
+    def __init__(
+        self,
+        plan: ScanPlan,
+        colony_count: int = 6,
+        growth: GrowthModel | None = None,
+        specimen: SpecimenParams | None = None,
+        stage: StageModel | None = None,
+        camera: CameraModel | None = None,
+        seed: int = 0,
+        imaging_period_s: float = 45 * 60.0,
+    ) -> None:
+        self.plan = plan
+        self.colony_count = colony_count
+        self.growth = growth or GrowthModel()
+        self.specimen = specimen or SpecimenParams()
+        self.stage = stage or StageModel()
+        self.camera = camera or CameraModel()
+        self.seed = seed
+        self.imaging_period_s = imaging_period_s
+        self.margin = int(np.ceil(self.stage.max_error)) + 2
+        self._plate_shape = plan.plate_shape(self.margin)
+        root = np.random.default_rng(seed)
+        h, w = self._plate_shape
+        # Fixed experiment state: colony sites and the static background.
+        self._sites = [(root.uniform(0, h), root.uniform(0, w)) for _ in range(colony_count)]
+        self._background = np.full(self._plate_shape, self.specimen.background_level)
+        if self.specimen.background_texture > 0:
+            self._background += self.specimen.background_texture * _low_frequency_texture(
+                self._plate_shape, self.specimen.texture_scale, root
+            )
+        if self.specimen.fine_texture > 0:
+            self._background += self.specimen.fine_texture * _low_frequency_texture(
+                self._plate_shape, self.specimen.fine_texture_scale, root
+            )
+        if self.specimen.granularity > 0:
+            self._background += self.specimen.granularity * root.standard_normal(self._plate_shape)
+
+    def plate_at(self, scan: int) -> np.ndarray:
+        """The plate image at scan ``scan`` (monotone colony growth)."""
+        if scan < 0:
+            raise ValueError("scan index must be non-negative")
+        canvas = self._background.copy()
+        p = self.specimen
+        n_cells = self.growth.cells_at(scan)
+        for idx, (cy, cx) in enumerate(self._sites):
+            # Per-colony child RNG: placement independent of growth stage.
+            rng = np.random.default_rng((self.seed, 1000 + idx))
+            unit_offsets = rng.normal(0.0, 1.0, size=(self.growth.max_cells, 2))
+            radii = rng.uniform(0.75, 1.35, size=self.growth.max_cells) * p.cell_radius
+            angles = rng.uniform(0, np.pi, size=self.growth.max_cells)
+            intensities = rng.uniform(0.6, 1.0, size=self.growth.max_cells) * p.cell_intensity
+            for k in range(n_cells):
+                # Placement frozen at birth: cells never move after scan t.
+                spread = self.growth.radius_at(self.growth.birth_scan(k))
+                patch = _cell_patch(radii[k], p.cell_eccentricity, angles[k], intensities[k])
+                _splat(canvas, cy + unit_offsets[k, 0] * spread,
+                       cx + unit_offsets[k, 1] * spread, patch)
+        np.clip(canvas, 0.0, 1.0, out=canvas)
+        return canvas
+
+    def scan(self, scan: int) -> tuple[np.ndarray, np.ndarray]:
+        """Acquire scan ``scan``: returns ``(tiles, true_positions)``.
+
+        Stage error is independent per scan (fresh seed), exactly as a real
+        stage re-approaches every position each period.
+        """
+        scope = VirtualMicroscope(
+            stage=self.stage, camera=self.camera, seed=self.seed + 7919 * (scan + 1)
+        )
+        return scope.scan(self.plate_at(scan), self.plan, self.margin)
+
+    def acquire(self, directory: str | Path, scans: int) -> Iterator[TileDataset]:
+        """Write ``scans`` datasets under ``directory/scan_NNN`` lazily."""
+        if scans < 1:
+            raise ValueError("need at least one scan")
+        directory = Path(directory)
+        for t in range(scans):
+            tiles, positions = self.scan(t)
+            yield TileDataset.create(
+                directory / f"scan_{t:03d}",
+                tiles,
+                overlap=self.plan.overlap,
+                true_positions=positions,
+                stage_model=self.stage.to_dict(),
+            )

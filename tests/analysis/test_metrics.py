@@ -1,0 +1,62 @@
+"""Speedup tables, accuracy scoring, agreement metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    displacement_agreement,
+    position_accuracy,
+    speedup_table,
+)
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.global_opt import GlobalPositions
+
+
+class TestSpeedupTable:
+    def test_relative_to_baseline(self):
+        sp = speedup_table({"a": 100.0, "b": 50.0, "c": 10.0}, baseline="a")
+        assert sp == {"a": 1.0, "b": 2.0, "c": 10.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_table({"a": 1.0}, baseline="z")
+
+
+class TestPositionAccuracy:
+    def test_perfect_recovery(self):
+        pos = np.array([[[0, 0], [0, 50]], [[48, 1], [49, 52]]])
+        gp = GlobalPositions(positions=pos.copy(), method="test")
+        acc = position_accuracy(gp, pos)
+        assert acc["max"] == 0.0 and acc["perfect_fraction"] == 1.0
+
+    def test_translation_invariance(self):
+        pos = np.array([[[0, 0], [0, 50]]])
+        gp = GlobalPositions(positions=pos.copy(), method="test")
+        acc = position_accuracy(gp, pos + 1000)  # same up to global shift
+        assert acc["max"] == 0.0
+
+    def test_error_magnitude(self):
+        pos = np.array([[[0, 0], [0, 50]]])
+        wrong = pos.copy()
+        wrong[0, 1] = (3, 54)
+        gp = GlobalPositions(positions=wrong, method="test")
+        acc = position_accuracy(gp, pos)
+        assert acc["max"] == pytest.approx(5.0)
+        assert acc["perfect_fraction"] == 0.5
+
+
+class TestDisplacementAgreement:
+    def make(self, tx):
+        d = DisplacementResult.empty(1, 2)
+        d.west[0][1] = Translation(1.0, tx, 0)
+        return d
+
+    def test_identical(self):
+        assert displacement_agreement(self.make(50), self.make(50)) == 1.0
+
+    def test_differing(self):
+        assert displacement_agreement(self.make(50), self.make(51)) == 0.0
+
+    def test_grid_mismatch(self):
+        with pytest.raises(ValueError):
+            displacement_agreement(self.make(1), DisplacementResult.empty(2, 2))

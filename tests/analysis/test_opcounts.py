@@ -1,0 +1,52 @@
+"""Table I analytic counts and instrumentation verification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.opcounts import OperationCounts, table1_counts, verify_against_run
+
+
+class TestOperationCounts:
+    def test_paper_grid_numbers(self):
+        """The exact quantities the paper quotes for its 42x59 dataset."""
+        c = OperationCounts(42, 59, 1040, 1392)
+        assert c.tiles == 2478
+        assert c.pairs == 2 * 42 * 59 - 42 - 59 == 4855
+        assert c.total_transforms == 3 * 42 * 59 - 42 - 59 == 7333
+        # Transform ~22 MiB ("nearly 22 MB" per the paper, Section III).
+        assert c.transform_bytes / 2**20 == pytest.approx(22.09, abs=0.01)
+        # All forward transforms: 53.5 GB (Section III).
+        assert c.forward_transform_total_bytes() / 1e9 == pytest.approx(57.4, abs=0.2)
+
+    def test_tile_file_size(self):
+        c = OperationCounts(42, 59, 1040, 1392)
+        assert c.read_bytes / 1e6 == pytest.approx(2.9, abs=0.1)  # ~2.76 MiB
+
+    @given(n=st.integers(1, 50), m=st.integers(1, 50))
+    def test_count_identities(self, n, m):
+        c = OperationCounts(n, m, 64, 64)
+        assert c.pairs == c.nccs == c.reductions == c.ccfs == c.inverse_ffts
+        assert c.total_transforms == c.tiles + c.pairs
+
+    def test_table1_rows(self):
+        rows = table1_counts(4, 4, 64, 64)
+        assert len(rows) == 6
+        by_op = {r["operation"]: r for r in rows}
+        assert by_op["Read"]["count"] == 16
+        assert by_op["FFT-2D"]["count"] == 16
+        assert by_op["(x)"]["count"] == 24
+        assert by_op["FFT-2D^-1"]["count"] == 24
+        assert by_op["Read"]["operand_bytes"] == 2 * 64 * 64
+        assert by_op["(x)"]["operand_bytes"] == 16 * 64 * 64
+
+
+class TestVerifyAgainstRun:
+    def test_accepts_exact_run(self, reference_displacements):
+        c = OperationCounts(4, 4, 64, 64)
+        checks = verify_against_run(c, reference_displacements.stats)
+        assert checks and all(checks.values())
+
+    def test_rejects_wrong_pair_count(self):
+        c = OperationCounts(4, 4, 64, 64)
+        checks = verify_against_run(c, {"pairs": 23})
+        assert not checks["pairs"]

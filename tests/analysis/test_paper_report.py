@@ -1,0 +1,62 @@
+"""Fidelity-report generation (the living EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.analysis.paper_report import Check, build_checks, fidelity_report, render_report
+
+
+class TestCheck:
+    def test_ratio_and_ok(self):
+        c = Check("x", paper=100.0, measured=110.0)
+        assert c.ratio == pytest.approx(1.1)
+        assert c.ok
+
+    def test_drift_detected(self):
+        c = Check("x", paper=100.0, measured=200.0)
+        assert not c.ok
+
+    def test_row_formatting(self):
+        row = Check("x", 1.0, 2.0).row()
+        assert row[0] == "x" and row[-1] == "DRIFT"
+
+
+class TestRender:
+    def test_markdown_structure(self):
+        text = render_report([Check("a", 1.0, 1.0), Check("b", 1.0, 5.0)])
+        assert "1/2 checks within tolerance" in text
+        assert "DRIFTED: b" in text
+
+    def test_all_ok_footer(self):
+        text = render_report([Check("a", 1.0, 1.0)])
+        assert "1/1 checks within tolerance." in text
+        assert "DRIFTED" not in text
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Full paper scale: ~15 s of simulation, run once for the class.
+        return fidelity_report()
+
+    def test_all_checks_pass_at_paper_scale(self, report):
+        text, all_ok = report
+        assert all_ok, text
+
+    def test_covers_every_table2_row(self, report):
+        text, _ = report
+        for name in ("imagej-fiji", "simple-cpu", "mt-cpu", "pipelined-cpu",
+                     "simple-gpu", "pipelined-gpu-1", "pipelined-gpu-2"):
+            assert name in text
+
+    def test_check_count(self):
+        assert len(build_checks()) == 17
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fidelity.md"
+        rc = main(["report", "-o", str(out)])
+        assert rc == 0
+        assert "17/17" in out.read_text()

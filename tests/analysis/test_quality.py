@@ -1,0 +1,62 @@
+"""Phase-1 quality summary."""
+
+import pytest
+
+from repro.analysis.quality import quality_summary
+from repro.core.displacement import DisplacementResult, Translation
+
+
+def make_disp(corrs_west, corrs_north, rows=2, cols=3):
+    d = DisplacementResult.empty(rows, cols)
+    i = 0
+    for r in range(rows):
+        for c in range(1, cols):
+            d.west[r][c] = Translation(corrs_west[i], 50, 0)
+            i += 1
+    i = 0
+    for r in range(1, rows):
+        for c in range(cols):
+            d.north[r][c] = Translation(corrs_north[i], 0, 48)
+            i += 1
+    return d
+
+
+class TestQualitySummary:
+    def test_all_confident(self):
+        d = make_disp([0.9] * 4, [0.95] * 3)
+        q = quality_summary(d)
+        assert q.pair_count == 7
+        assert q.low_confidence_pairs == 0
+        assert q.trustworthy
+        assert q.direction_medians["west"] == (50.0, 0.0)
+        assert q.direction_medians["north"] == (0.0, 48.0)
+
+    def test_weak_pairs_flagged_with_tiles(self):
+        d = make_disp([0.9, 0.1, 0.9, 0.9], [0.9] * 3)
+        q = quality_summary(d)
+        assert q.low_confidence_pairs == 1
+        assert q.low_confidence_fraction == pytest.approx(1 / 7)
+        # Both members of the weak pair appear in weak_tiles.
+        assert len(q.weak_tiles) == 2
+
+    def test_untrustworthy_when_many_weak(self):
+        d = make_disp([0.1] * 4, [0.2] * 3)
+        q = quality_summary(d)
+        assert not q.trustworthy
+        assert q.median_correlation < 0.5
+
+    def test_statistics(self):
+        d = make_disp([0.5, 0.7, 0.9, 1.0], [0.6, 0.8, 1.0])
+        q = quality_summary(d)
+        assert q.min_correlation == 0.5
+        assert q.mean_correlation == pytest.approx((0.5+0.7+0.9+1.0+0.6+0.8+1.0)/7)
+
+    def test_empty_grid(self):
+        q = quality_summary(DisplacementResult.empty(1, 1))
+        assert q.pair_count == 0
+        assert q.low_confidence_fraction == 0.0
+
+    def test_real_stitch_is_trustworthy(self, reference_displacements):
+        q = quality_summary(reference_displacements.displacements)
+        assert q.trustworthy
+        assert q.median_correlation > 0.8

@@ -1,0 +1,34 @@
+"""Report formatting."""
+
+from repro.analysis.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(
+            ["name", "time"], [["simple-cpu", 636.0], ["pipelined-gpu", 49.7]],
+            title="Table II",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table II"
+        assert "name" in lines[1] and "time" in lines[1]
+        assert "simple-cpu" in out and "49.70" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        out = format_series("threads", "s", [(1, 100.0), (2, 50.0)])
+        l1, l2 = out.splitlines()
+        assert l1.count("#") > l2.count("#")
+
+    def test_extra_columns(self):
+        out = format_series("t", "s", [(1, 10.0, 1.0)])
+        assert out.endswith("1.00")

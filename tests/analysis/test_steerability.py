@@ -1,0 +1,39 @@
+"""Steerability criterion against the paper's numbers."""
+
+import pytest
+
+from repro.analysis.steerability import steerability
+
+
+class TestSteerability:
+    def test_pipelined_gpu_is_steerable(self):
+        """49.7 s of stitching + 10 min of segmentation fits a 45 min
+        period comfortably -- the paper's headline claim."""
+        rep = steerability(49.7, analysis_seconds=600)
+        assert rep.steerable
+        assert rep.scans_behind == 0
+        assert rep.slack_seconds > 30 * 60
+
+    def test_fiji_is_not_steerable(self):
+        """3.6 h of stitching against a 45 min period: five scans stale."""
+        rep = steerability(3.6 * 3600)
+        assert not rep.steerable
+        assert rep.scans_behind == 4
+        assert rep.used_fraction > 4
+
+    def test_boundary_cases(self):
+        assert steerability(0.0).steerable
+        half = steerability(22.5 * 60)
+        assert half.used_fraction == pytest.approx(0.5)
+        assert half.steerable
+        assert not steerability(22.5 * 60 + 1).steerable
+
+    def test_analysis_time_counts(self):
+        assert steerability(60, analysis_seconds=44 * 60).scans_behind == 0
+        assert not steerability(60, analysis_seconds=44 * 60).steerable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steerability(1.0, imaging_period_seconds=0)
+        with pytest.raises(ValueError):
+            steerability(-1.0)

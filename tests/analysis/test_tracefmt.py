@@ -1,0 +1,79 @@
+"""Chrome trace export from GPU and DES timelines."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracefmt import des_trace_events, gpu_trace_events, write_chrome_trace
+from repro.gpu.profiler import GpuProfiler, TraceEvent
+from repro.simulate.des import TaskGraphSimulator
+
+
+class TestGpuTrace:
+    def make_profiler(self):
+        p = GpuProfiler()
+        p.record(TraceEvent("cufft-fwd", "compute", 1, 0.0, 0.005))
+        p.record(TraceEvent("memcpy-h2d", "h2d", 2, 0.0, 0.006, nbytes=100))
+        return p
+
+    def test_events_and_metadata(self):
+        events = gpu_trace_events(self.make_profiler())
+        slices = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(slices) == 2
+        assert {m["args"]["name"] for m in meta} == {"compute", "h2d"}
+
+    def test_microsecond_timestamps(self):
+        events = gpu_trace_events(self.make_profiler())
+        fft = next(e for e in events if e.get("name") == "cufft-fwd")
+        assert fft["ts"] == 0.0
+        assert fft["dur"] == pytest.approx(5000.0)
+
+    def test_engine_rows_stable(self):
+        events = gpu_trace_events(self.make_profiler())
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices[0]["tid"] != slices[1]["tid"]
+
+
+class TestDesTrace:
+    def test_schedule_export(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        a = sim.op("a", r, 1.0)
+        sim.op("b", r, 2.0, deps=[a])
+        sim.run()
+        events = des_trace_events(sim)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in slices] == ["a", "b"]
+        assert slices[1]["ts"] == pytest.approx(1e6)
+
+    def test_unscheduled_rejected(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        sim.op("a", r, 1.0)
+        with pytest.raises(ValueError, match="scheduled"):
+            des_trace_events(sim)
+
+
+class TestWrite:
+    def test_valid_json_file(self, tmp_path):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        sim.op("a", r, 1.0)
+        sim.run()
+        p = tmp_path / "trace.json"
+        write_chrome_trace(p, des_trace_events(sim))
+        data = json.loads(p.read_text())
+        assert isinstance(data, list) and data
+
+    def test_fig7_style_trace_from_real_run(self, dataset_4x4, tmp_path):
+        """End-to-end: run Simple-GPU, export its nvvp-equivalent trace."""
+        from repro.impls import SimpleGpu
+
+        impl = SimpleGpu()
+        impl.run(dataset_4x4)
+        events = gpu_trace_events(impl.last_device.profiler)
+        p = tmp_path / "fig7.json"
+        write_chrome_trace(p, events)
+        names = {e.get("name") for e in events}
+        assert {"cufft-fwd", "cufft-inv", "ncc", "reduce-max"} <= names

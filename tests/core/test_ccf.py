@@ -1,0 +1,92 @@
+"""Cross-correlation factor and overlap-view geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ccf import ccf, ccf_at, overlap_views
+
+
+class TestCcf:
+    def test_identical_views_correlate_perfectly(self):
+        a = np.random.default_rng(0).random((10, 10))
+        assert ccf(a, a) == pytest.approx(1.0)
+
+    def test_negated_views_anticorrelate(self):
+        a = np.random.default_rng(1).random((10, 10))
+        assert ccf(a, -a) == pytest.approx(-1.0)
+
+    def test_affine_invariance(self):
+        a = np.random.default_rng(2).random((8, 8))
+        assert ccf(a, 3.0 * a + 10.0) == pytest.approx(1.0)
+
+    def test_constant_view_returns_sentinel(self):
+        a = np.random.default_rng(3).random((5, 5))
+        assert ccf(a, np.full((5, 5), 2.0)) == -1.0
+        assert ccf(np.zeros((5, 5)), a) == -1.0
+
+    def test_empty_views(self):
+        e = np.zeros((0, 0))
+        assert ccf(e, e) == -1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ccf(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.random((6, 6)), rng.random((6, 6))
+        assert -1.0 <= ccf(a, b) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random((7, 7)), rng.random((7, 7))
+        assert ccf(a, b) == pytest.approx(ccf(b, a))
+
+
+class TestOverlapViews:
+    def test_positive_offsets(self):
+        a = np.arange(36.0).reshape(6, 6)
+        b = np.arange(36.0).reshape(6, 6)
+        v1, v2 = overlap_views(a, b, tx=4, ty=2)
+        assert v1.shape == (4, 2)
+        assert np.array_equal(v1, a[2:6, 4:6])
+        assert np.array_equal(v2, b[0:4, 0:2])
+
+    def test_negative_offsets(self):
+        a = np.arange(36.0).reshape(6, 6)
+        v1, v2 = overlap_views(a, a, tx=-4, ty=-2)
+        assert v1.shape == (4, 2)
+        assert np.array_equal(v1, a[0:4, 0:2])
+        assert np.array_equal(v2, a[2:6, 4:6])
+
+    def test_views_not_copies(self):
+        a = np.zeros((6, 6))
+        v1, _ = overlap_views(a, a, 1, 1)
+        assert v1.base is a
+
+    def test_out_of_range_is_empty(self):
+        a = np.zeros((6, 6))
+        v1, v2 = overlap_views(a, a, tx=6, ty=0)
+        assert v1.size == 0 and v2.size == 0
+
+    @given(
+        ty=st.integers(-7, 7), tx=st.integers(-7, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_views_agree_for_true_shift_of_same_source(self, ty, tx, seed):
+        """Cut two windows of one plate at relative offset (tx, ty): the
+        overlap views must be pixel-identical and ccf_at must return 1."""
+        rng = np.random.default_rng(seed)
+        plate = rng.random((40, 40))
+        base = 10
+        a = plate[base : base + 8, base : base + 8]
+        b = plate[base + ty : base + ty + 8, base + tx : base + tx + 8]
+        v1, v2 = overlap_views(a, b, tx, ty)
+        assert v1.shape == v2.shape
+        if v1.size:
+            assert np.array_equal(v1, v2)
+            if v1.std() > 0:
+                assert ccf_at(a, b, tx, ty) == pytest.approx(1.0)

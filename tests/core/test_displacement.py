@@ -1,0 +1,99 @@
+"""Grid displacement phase: completeness, accuracy, memory policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.displacement import (
+    DisplacementResult,
+    Translation,
+    compute_grid_displacements,
+)
+from repro.core.pciam import CcfMode
+from repro.grid.neighbors import Direction
+from repro.grid.traversal import Traversal
+
+
+def true_deltas(dataset):
+    return np.asarray(dataset.metadata.true_positions)
+
+
+class TestComputeGridDisplacements:
+    def test_complete_and_exact(self, dataset_4x4):
+        disp = compute_grid_displacements(
+            dataset_4x4.load, 4, 4, ccf_mode=CcfMode.EXTENDED, n_peaks=2
+        )
+        assert disp.is_complete()
+        assert disp.pair_count() == 24
+        true = true_deltas(dataset_4x4)
+        for r in range(4):
+            for c in range(4):
+                if c > 0:
+                    t = disp.west[r][c]
+                    d = true[r, c] - true[r, c - 1]
+                    assert (t.ty, t.tx) == (d[0], d[1])
+                if r > 0:
+                    t = disp.north[r][c]
+                    d = true[r, c] - true[r - 1, c]
+                    assert (t.ty, t.tx) == (d[0], d[1])
+
+    def test_every_traversal_gives_identical_results(self, dataset_3x5):
+        results = []
+        for order in Traversal:
+            disp = compute_grid_displacements(
+                dataset_3x5.load, 3, 5, traversal=order,
+                ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+            )
+            key = [
+                (t.tx, t.ty) if t else None
+                for rows in (disp.west, disp.north)
+                for row in rows
+                for t in row
+            ]
+            results.append(key)
+        assert all(k == results[0] for k in results)
+
+    def test_memory_policy_bounds_live_transforms(self, dataset_3x5):
+        disp = compute_grid_displacements(
+            dataset_3x5.load, 3, 5, traversal=Traversal.CHAINED_DIAGONAL
+        )
+        # Early-free keeps the wavefront, never the whole grid.
+        assert disp.stats["peak_live_transforms"] < 15
+        assert disp.stats["peak_live_transforms"] >= 3
+
+    def test_stats_match_table1_counts(self, dataset_4x4):
+        disp = compute_grid_displacements(dataset_4x4.load, 4, 4)
+        assert disp.stats["reads"] == 16
+        assert disp.stats["ffts"] == 16       # one forward FFT per tile
+        assert disp.stats["pairs"] == 24      # 2nm - n - m
+
+    def test_single_tile_grid(self):
+        disp = compute_grid_displacements(lambda r, c: np.ones((8, 8)), 1, 1)
+        assert disp.is_complete()
+        assert disp.pair_count() == 0
+
+    def test_single_row_grid(self, dataset_3x5):
+        disp = compute_grid_displacements(
+            lambda r, c: dataset_3x5.load(0, c), 1, 5,
+            ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+        )
+        assert disp.pair_count() == 4
+        assert all(t is None for row in disp.north for t in row)
+
+
+class TestDisplacementResult:
+    def test_set_get(self):
+        d = DisplacementResult.empty(2, 2)
+        t = Translation(0.9, 50, 1)
+        d.set(Direction.WEST, 0, 1, t)
+        assert d.get(Direction.WEST, 0, 1) is t
+        assert d.get(Direction.NORTH, 1, 0) is None
+
+    def test_is_complete_counts(self):
+        d = DisplacementResult.empty(2, 2)
+        assert not d.is_complete()
+        t = Translation(1.0, 0, 0)
+        d.set(Direction.WEST, 0, 1, t)
+        d.set(Direction.WEST, 1, 1, t)
+        d.set(Direction.NORTH, 1, 0, t)
+        d.set(Direction.NORTH, 1, 1, t)
+        assert d.is_complete()

@@ -1,0 +1,132 @@
+"""Phase 2: MST selection and least-squares adjustment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.global_opt import resolve_absolute_positions
+
+
+def exact_displacements(positions: np.ndarray, corr: float = 1.0) -> DisplacementResult:
+    """Build a consistent DisplacementResult from known absolute positions."""
+    rows, cols = positions.shape[:2]
+    d = DisplacementResult.empty(rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            if c > 0:
+                dy, dx = positions[r, c] - positions[r, c - 1]
+                d.west[r][c] = Translation(corr, int(dx), int(dy))
+            if r > 0:
+                dy, dx = positions[r, c] - positions[r - 1, c]
+                d.north[r][c] = Translation(corr, int(dx), int(dy))
+    return d
+
+
+def random_positions(rows, cols, seed, step=50, jitter=4):
+    rng = np.random.default_rng(seed)
+    pos = np.zeros((rows, cols, 2), dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            pos[r, c] = (
+                r * step + rng.integers(-jitter, jitter + 1),
+                c * step + rng.integers(-jitter, jitter + 1),
+            )
+    return pos
+
+
+class TestBothMethods:
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_recovers_consistent_system_exactly(self, method):
+        pos = random_positions(4, 5, seed=0)
+        gp = resolve_absolute_positions(exact_displacements(pos), method)
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        assert np.array_equal(gp.positions, expected)
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_normalized_to_origin(self, method):
+        pos = random_positions(3, 3, seed=1)
+        gp = resolve_absolute_positions(exact_displacements(pos), method)
+        assert gp.positions.reshape(-1, 2).min(axis=0).tolist() == [0, 0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.integers(1, 5), cols=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+        method=st.sampled_from(["mst", "least_squares"]),
+    )
+    def test_path_invariance_property(self, rows, cols, seed, method):
+        """For any consistent system, recovered positions re-derive every
+        pairwise displacement (path invariance, the phase-2 contract)."""
+        pos = random_positions(rows, cols, seed)
+        disp = exact_displacements(pos)
+        gp = resolve_absolute_positions(disp, method)
+        for r in range(rows):
+            for c in range(cols):
+                if c > 0:
+                    d = gp.positions[r, c] - gp.positions[r, c - 1]
+                    t = disp.west[r][c]
+                    assert (d[0], d[1]) == (t.ty, t.tx)
+                if r > 0:
+                    d = gp.positions[r, c] - gp.positions[r - 1, c]
+                    t = disp.north[r][c]
+                    assert (d[0], d[1]) == (t.ty, t.tx)
+
+
+class TestMstSelection:
+    def test_bad_edge_avoided_when_alternative_exists(self):
+        """A low-correlation (wrong) edge must be bypassed by the MST."""
+        pos = random_positions(2, 2, seed=2)
+        disp = exact_displacements(pos)
+        # Corrupt one edge badly but mark it low-confidence.
+        disp.west[1][1] = Translation(-0.5, 999, 999)
+        gp = resolve_absolute_positions(disp, "mst")
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        assert np.array_equal(gp.positions, expected)
+
+    def test_tree_correlation_reported(self):
+        pos = random_positions(3, 3, seed=3)
+        gp = resolve_absolute_positions(exact_displacements(pos, corr=0.8), "mst")
+        assert gp.spanning_tree_correlation == pytest.approx(0.8 * 8)
+
+
+class TestLeastSquares:
+    def test_averages_inconsistent_measurements(self):
+        """LS splits the disagreement of a noisy cycle instead of ignoring it."""
+        pos = random_positions(2, 2, seed=4)
+        disp = exact_displacements(pos)
+        t = disp.west[1][1]
+        disp.west[1][1] = Translation(t.correlation, t.tx + 2, t.ty)  # +2 px error
+        gp = resolve_absolute_positions(disp, "least_squares")
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        err = np.abs(gp.positions - expected).max()
+        assert err <= 2  # bounded by the injected inconsistency
+
+    def test_downweights_low_confidence_edges(self):
+        pos = random_positions(2, 2, seed=5)
+        disp = exact_displacements(pos)
+        t = disp.west[1][1]
+        disp.west[1][1] = Translation(-0.99, t.tx + 40, t.ty + 40)  # garbage, low corr
+        gp = resolve_absolute_positions(disp, "least_squares")
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        assert np.abs(gp.positions - expected).max() <= 2
+
+
+class TestInterface:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            resolve_absolute_positions(
+                exact_displacements(random_positions(2, 2, 0)), "magic"
+            )
+
+    def test_mosaic_shape(self):
+        pos = random_positions(2, 3, seed=6, step=40, jitter=0)
+        gp = resolve_absolute_positions(exact_displacements(pos), "mst")
+        h, w = gp.mosaic_shape((48, 48))
+        assert h == 40 + 48
+        assert w == 80 + 48
+
+    def test_disconnected_graph_rejected(self):
+        d = DisplacementResult.empty(2, 2)  # no edges at all
+        with pytest.raises(ValueError):
+            resolve_absolute_positions(d, "mst")

@@ -1,0 +1,87 @@
+"""Multi-channel stitching: register once, compose everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.stitcher import Stitcher
+from repro.io.dataset import TileDataset
+from repro.synth import make_synthetic_dataset
+from repro.synth.microscope import ScanPlan, StageModel, VirtualMicroscope
+from repro.synth.noise import CameraModel
+from repro.synth.specimen import generate_plate
+
+
+@pytest.fixture(scope="module")
+def two_channels(tmp_path_factory):
+    """Two channels of the *same* scan: identical stage positions, the
+    second channel dimmer and noisier (a typical second fluorophore)."""
+    root = tmp_path_factory.mktemp("channels")
+    stage = StageModel(jitter_sigma=1.5, backlash_x=2.0, max_error=6.0)
+    plan = ScanPlan(3, 4, tile_height=64, tile_width=64, overlap=0.25)
+    margin = 8
+    from repro.synth.specimen import SpecimenParams
+
+    # Modest colony density: the default 24-colony load saturates a plate
+    # this small to solid white, leaving no texture to register on.
+    specimen = SpecimenParams(colony_count=4, cells_per_colony=20,
+                              colony_radius=12.0, cell_radius=2.0)
+    plate = generate_plate(*plan.plate_shape(margin), specimen, seed=50)
+
+    scope = VirtualMicroscope(stage=stage, camera=CameraModel(), seed=5)
+    tiles_a, pos = scope.scan(plate, plan, margin)
+
+    # Channel B: same positions (same scan), different optics/noise.
+    dim_cam = CameraModel(full_well=6000.0, read_noise=40.0)
+    rng = np.random.default_rng(99)
+    tiles_b = np.empty_like(tiles_a)
+    for r in range(3):
+        for c in range(4):
+            y, x = pos[r, c]
+            fov = plate[y : y + 64, x : x + 64] * 0.6
+            tiles_b[r, c] = dim_cam.expose(fov, rng)
+
+    ds_a = TileDataset.create(root / "ch0", tiles_a, overlap=0.25, true_positions=pos)
+    ds_b = TileDataset.create(root / "ch1", tiles_b, overlap=0.25, true_positions=pos)
+    return ds_a, ds_b
+
+
+class TestStitchChannels:
+    def test_shared_positions(self, two_channels):
+        ds_a, ds_b = two_channels
+        res_a, res_b = Stitcher().stitch_channels([ds_a, ds_b])
+        assert res_a.position_errors().max() == 0.0
+        assert np.array_equal(res_a.positions.positions, res_b.positions.positions)
+        assert res_b.stats == {"positions_from_channel": 0}
+
+    def test_secondary_channel_composes(self, two_channels):
+        ds_a, ds_b = two_channels
+        _, res_b = Stitcher().stitch_channels([ds_a, ds_b])
+        mosaic = res_b.compose()
+        assert mosaic.shape == res_b.positions.mosaic_shape(ds_b.tile_shape)
+        assert mosaic.max() > 0
+
+    def test_positions_correct_for_secondary_too(self, two_channels):
+        """Ground truth is shared, so channel B's reused positions must
+        score perfectly against B's own metadata."""
+        ds_a, ds_b = two_channels
+        _, res_b = Stitcher().stitch_channels([ds_a, ds_b])
+        assert res_b.position_errors().max() == 0.0
+
+    def test_reference_selection(self, two_channels):
+        ds_a, ds_b = two_channels
+        res_a, res_b = Stitcher().stitch_channels([ds_a, ds_b], reference=1)
+        assert res_a.stats == {"positions_from_channel": 1}
+
+    def test_geometry_mismatch_rejected(self, two_channels, tmp_path):
+        ds_a, _ = two_channels
+        other = make_synthetic_dataset(tmp_path / "odd", rows=2, cols=2,
+                                       tile_height=64, tile_width=64)
+        with pytest.raises(ValueError, match="geometry"):
+            Stitcher().stitch_channels([ds_a, other])
+
+    def test_validation(self, two_channels):
+        ds_a, _ = two_channels
+        with pytest.raises(ValueError):
+            Stitcher().stitch_channels([])
+        with pytest.raises(IndexError):
+            Stitcher().stitch_channels([ds_a], reference=3)

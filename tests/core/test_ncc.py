@@ -1,0 +1,67 @@
+"""Normalized correlation coefficient: unit magnitude, peak convention."""
+
+import numpy as np
+import pytest
+import scipy.fft as sf
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ncc import normalized_correlation
+from repro.core.peak import peak_location
+
+
+class TestNormalizedCorrelation:
+    def test_unit_magnitude_everywhere_signal(self):
+        rng = np.random.default_rng(0)
+        fa = sf.fft2(rng.random((16, 16)))
+        fb = sf.fft2(rng.random((16, 16)))
+        ncc = normalized_correlation(fa, fb)
+        mags = np.abs(ncc)
+        assert np.allclose(mags[mags > 1e-6], 1.0)
+
+    def test_zero_bins_stay_zero(self):
+        z = np.zeros((8, 8), dtype=np.complex128)
+        ncc = normalized_correlation(z, z)
+        assert np.all(ncc == 0)
+
+    def test_in_place_output_aliasing(self):
+        rng = np.random.default_rng(1)
+        fa = sf.fft2(rng.random((8, 8)))
+        fb = sf.fft2(rng.random((8, 8)))
+        expected = normalized_correlation(fa.copy(), fb)
+        result = normalized_correlation(fa, fb, out=fa)
+        assert result is fa
+        assert np.allclose(result, expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_correlation(
+                np.zeros((4, 4), dtype=complex), np.zeros((4, 5), dtype=complex)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ty=st.integers(0, 15),
+        tx=st.integers(0, 15),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_circular_shift_peak_convention(self, ty, tx, seed):
+        """With I_j(p) = I_i(p + t), the inverse NCC peaks exactly at t.
+
+        This pins the sign convention the whole package depends on.
+        """
+        rng = np.random.default_rng(seed)
+        img = rng.random((16, 16))
+        shifted = np.roll(img, (-ty, -tx), axis=(0, 1))
+        ncc = normalized_correlation(sf.fft2(img), sf.fft2(shifted))
+        mag, py, px = peak_location(sf.ifft2(ncc))
+        assert (py, px) == (ty, tx)
+        assert mag == pytest.approx(1.0, abs=1e-6)
+
+    def test_illumination_invariance(self):
+        """Phase correlation ignores gain/offset differences between tiles."""
+        rng = np.random.default_rng(2)
+        img = rng.random((32, 32))
+        shifted = np.roll(img, (-3, -5), axis=(0, 1)) * 1.7 + 0.4
+        ncc = normalized_correlation(sf.fft2(img), sf.fft2(shifted))
+        _, py, px = peak_location(sf.ifft2(ncc))
+        assert (py, px) == (3, 5)

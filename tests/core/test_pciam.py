@@ -1,0 +1,94 @@
+"""PCIAM: pairwise alignment recovery on synthetic overlaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pciam import CcfMode, forward_fft, pciam, smooth_fft_shape
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(320, 320, seed=3)
+H = W = 96
+
+
+def cut_pair(ty: int, tx: int, base: int = 60):
+    """Two windows of the shared plate, I_j offset (tx, ty) from I_i."""
+    img_i = PLATE[base : base + H, base : base + W]
+    img_j = PLATE[base + ty : base + ty + H, base + tx : base + tx + W]
+    return img_i, img_j
+
+
+class TestPciamRecovery:
+    @pytest.mark.parametrize("ty,tx", [(5, 70), (0, 80), (3, 76), (76, -4), (72, 2)])
+    def test_extended_mode_exact(self, ty, tx):
+        r = pciam(*cut_pair(ty, tx), ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (r.ty, r.tx) == (ty, tx)
+        assert r.correlation == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("ty,tx", [(5, 70), (0, 80), (70, 3)])
+    def test_paper4_mode_exact_for_nonnegative_shifts(self, ty, tx):
+        r = pciam(*cut_pair(ty, tx), ccf_mode=CcfMode.PAPER4)
+        assert (r.ty, r.tx) == (ty, tx)
+
+    def test_paper4_folds_negative_offsets(self):
+        """The Fig. 2 scheme cannot represent a negative component: it
+        reports the folded positive alias (this is why MIST extended it)."""
+        r4 = pciam(*cut_pair(76, -4), ccf_mode=CcfMode.PAPER4)
+        rx = pciam(*cut_pair(76, -4), ccf_mode=CcfMode.EXTENDED)
+        assert (rx.ty, rx.tx) == (76, -4)
+        assert r4.tx >= 0
+        assert r4.correlation <= rx.correlation
+
+    @settings(max_examples=20, deadline=None)
+    @given(ty=st.integers(-6, 6), tx=st.integers(60, 80))
+    def test_random_west_pair_geometry(self, ty, tx):
+        r = pciam(*cut_pair(ty, tx), ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (r.ty, r.tx) == (ty, tx)
+
+    def test_identical_tiles_give_zero_shift(self):
+        img, _ = cut_pair(0, 0)
+        r = pciam(img, img)
+        assert (r.ty, r.tx) == (0, 0)
+        assert r.correlation == pytest.approx(1.0)
+
+
+class TestPciamInterfaces:
+    def test_precomputed_transforms_match_internal(self):
+        img_i, img_j = cut_pair(4, 72)
+        fft_i = forward_fft(img_i)
+        fft_j = forward_fft(img_j)
+        r1 = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED)
+        r2 = pciam(img_i, img_j, fft_i=fft_i, fft_j=fft_j, ccf_mode=CcfMode.EXTENDED)
+        assert (r1.ty, r1.tx, r1.correlation) == (r2.ty, r2.tx, r2.correlation)
+
+    def test_padded_fft_shape_recovers_same_answer(self):
+        """The paper's padding optimization must not change results."""
+        img_i, img_j = cut_pair(5, 70)
+        for shape in [(100, 108), (128, 128)]:
+            r = pciam(img_i, img_j, fft_shape=shape, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+            assert (r.ty, r.tx) == (5, 70)
+
+    def test_smooth_fft_shape_of_paper_tile(self):
+        assert smooth_fft_shape((1040, 1392)) == (1050, 1400)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pciam(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_wrong_transform_shape_rejected(self):
+        img_i, img_j = cut_pair(0, 70)
+        bad = np.zeros((H + 1, W + 1), dtype=complex)
+        with pytest.raises(ValueError):
+            pciam(img_i, img_j, fft_i=bad, fft_j=bad)
+
+    def test_result_tuple_protocol(self):
+        r = pciam(*cut_pair(5, 70), ccf_mode=CcfMode.EXTENDED)
+        corr, tx, ty = r
+        assert (ty, tx) == (5, 70)
+        assert corr == r.correlation
+
+    def test_featureless_pair_reports_low_correlation(self):
+        flat_i = np.full((32, 32), 5.0)
+        flat_j = np.full((32, 32), 5.0)
+        r = pciam(flat_i, flat_j)
+        assert r.correlation == -1.0  # no usable signal, flagged as such

@@ -1,0 +1,78 @@
+"""Property-based invariants of the pairwise alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pciam import CcfMode, pciam
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(360, 360, seed=9)
+SIZE = 96
+
+
+def cut(ty, tx, base=80):
+    return (
+        PLATE[base : base + SIZE, base : base + SIZE],
+        PLATE[base + ty : base + ty + SIZE, base + tx : base + tx + SIZE],
+    )
+
+
+class TestInvariances:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        ty=st.integers(-5, 5),
+        tx=st.integers(64, 78),
+        pad_h=st.integers(0, 24),
+        pad_w=st.integers(0, 24),
+    )
+    def test_padding_invariance(self, ty, tx, pad_h, pad_w):
+        """Any zero-padded FFT size recovers the same translation."""
+        img_i, img_j = cut(ty, tx)
+        r = pciam(img_i, img_j, fft_shape=(SIZE + pad_h, SIZE + pad_w),
+                  ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (r.ty, r.tx) == (ty, tx)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        gain=st.floats(0.2, 5.0),
+        offset=st.floats(-0.5, 0.5),
+        ty=st.integers(-4, 4),
+        tx=st.integers(66, 76),
+    )
+    def test_affine_intensity_invariance(self, gain, offset, ty, tx):
+        """Per-tile gain/offset (exposure differences) change nothing."""
+        img_i, img_j = cut(ty, tx)
+        r = pciam(img_i, gain * img_j + offset,
+                  ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (r.ty, r.tx) == (ty, tx)
+
+    @settings(max_examples=12, deadline=None)
+    @given(ty=st.integers(-4, 4), tx=st.integers(66, 76))
+    def test_antisymmetry(self, ty, tx):
+        """Swapping the pair negates the recovered translation."""
+        img_i, img_j = cut(ty, tx)
+        fwd = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        rev = pciam(img_j, img_i, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (rev.tx, rev.ty) == (-fwd.tx, -fwd.ty)
+        assert rev.correlation == pytest.approx(fwd.correlation, abs=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(ty=st.integers(-4, 4), tx=st.integers(66, 76), k=st.integers(1, 6))
+    def test_more_peaks_never_hurt(self, ty, tx, k):
+        """The CCF contest over a superset of candidates can only find a
+        better-or-equal winner."""
+        img_i, img_j = cut(ty, tx)
+        r1 = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=1)
+        rk = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=k)
+        assert rk.correlation >= r1.correlation - 1e-12
+
+    @settings(max_examples=8, deadline=None)
+    @given(ty=st.integers(0, 5), tx=st.integers(66, 76))
+    def test_extended_superset_of_paper4_quality(self, ty, tx):
+        """Extended candidates include enough of the paper4 set that the
+        winning correlation is never worse."""
+        img_i, img_j = cut(ty, tx)
+        p4 = pciam(img_i, img_j, ccf_mode=CcfMode.PAPER4, n_peaks=2)
+        ex = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert ex.correlation >= p4.correlation - 1e-9

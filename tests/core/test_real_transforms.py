@@ -1,0 +1,86 @@
+"""Real-to-complex PCIAM path: identical answers, half-size spectra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.displacement import compute_grid_displacements
+from repro.core.pciam import CcfMode, forward_fft, pciam
+from repro.core.stitcher import Stitcher
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(300, 300, seed=5)
+
+
+def cut_pair(ty, tx, size=96, base=50):
+    return (
+        PLATE[base : base + size, base : base + size],
+        PLATE[base + ty : base + ty + size, base + tx : base + tx + size],
+    )
+
+
+class TestRealTransforms:
+    def test_half_spectrum_shape(self):
+        img, _ = cut_pair(0, 0)
+        spec = forward_fft(img, real=True)
+        assert spec.shape == (96, 49)
+
+    @pytest.mark.parametrize("ty,tx", [(5, 70), (0, 80), (72, -4), (-3, 68)])
+    def test_identical_to_complex_path(self, ty, tx):
+        img_i, img_j = cut_pair(ty, tx)
+        c = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        r = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+                  real_transforms=True)
+        assert (c.ty, c.tx) == (r.ty, r.tx) == (ty, tx)
+        assert r.correlation == pytest.approx(c.correlation, abs=1e-9)
+
+    def test_precomputed_half_spectra(self):
+        img_i, img_j = cut_pair(4, 72)
+        fi = forward_fft(img_i, real=True)
+        fj = forward_fft(img_j, real=True)
+        r = pciam(img_i, img_j, fft_i=fi, fft_j=fj,
+                  ccf_mode=CcfMode.EXTENDED, real_transforms=True)
+        assert (r.ty, r.tx) == (4, 72)
+
+    def test_full_spectrum_rejected_in_real_mode(self):
+        img_i, img_j = cut_pair(0, 70)
+        fi = forward_fft(img_i, real=False)
+        with pytest.raises(ValueError, match="shape"):
+            pciam(img_i, img_j, fft_i=fi, fft_j=fi, real_transforms=True)
+
+    def test_with_padding(self):
+        img_i, img_j = cut_pair(5, 70)
+        r = pciam(img_i, img_j, fft_shape=(100, 108),
+                  ccf_mode=CcfMode.EXTENDED, n_peaks=2, real_transforms=True)
+        assert (r.ty, r.tx) == (5, 70)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ty=st.integers(-5, 5), tx=st.integers(62, 78))
+    def test_equivalence_property(self, ty, tx):
+        img_i, img_j = cut_pair(ty, tx)
+        c = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        r = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+                  real_transforms=True)
+        assert (c.ty, c.tx) == (r.ty, r.tx)
+
+
+class TestGridRealTransforms:
+    def test_grid_displacements_match(self, dataset_4x4):
+        c = compute_grid_displacements(
+            dataset_4x4.load, 4, 4, ccf_mode=CcfMode.EXTENDED, n_peaks=2
+        )
+        r = compute_grid_displacements(
+            dataset_4x4.load, 4, 4, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+            real_transforms=True,
+        )
+        for arr_c, arr_r in ((c.west, r.west), (c.north, r.north)):
+            for row_c, row_r in zip(arr_c, arr_r):
+                for tc, tr in zip(row_c, row_r):
+                    if tc is None:
+                        assert tr is None
+                    else:
+                        assert (tc.tx, tc.ty) == (tr.tx, tr.ty)
+
+    def test_stitcher_option(self, dataset_4x4):
+        res = Stitcher(real_transforms=True).stitch(dataset_4x4)
+        assert res.position_errors().max() == 0.0

@@ -1,0 +1,54 @@
+"""Stitcher facade: end-to-end phases 1-3 with ground-truth scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.pciam import CcfMode
+from repro.core.stitcher import Stitcher
+from repro.grid.traversal import Traversal
+
+
+class TestStitcher:
+    def test_recovers_ground_truth_positions(self, dataset_4x4):
+        res = Stitcher().stitch(dataset_4x4)
+        err = res.position_errors()
+        assert err is not None
+        assert err.max() == 0.0
+
+    def test_least_squares_method(self, dataset_4x4):
+        res = Stitcher(position_method="least_squares").stitch(dataset_4x4)
+        assert res.position_errors().max() <= 1.0  # integer rounding only
+
+    def test_nonsquare_grid(self, dataset_3x5):
+        res = Stitcher().stitch(dataset_3x5)
+        assert res.positions.positions.shape == (3, 5, 2)
+        assert res.position_errors().max() == 0.0
+
+    def test_pad_to_smooth_option(self, dataset_4x4):
+        res = Stitcher(pad_to_smooth=True).stitch(dataset_4x4)
+        assert res.position_errors().max() == 0.0
+
+    def test_timing_recorded(self, dataset_4x4):
+        res = Stitcher().stitch(dataset_4x4)
+        assert res.phase1_seconds > 0
+        assert res.phase2_seconds >= 0
+        assert res.phase1_seconds > res.phase2_seconds  # paper: phase 1 dominates
+
+    def test_stats_propagated(self, dataset_4x4):
+        res = Stitcher().stitch(dataset_4x4)
+        assert res.stats["pairs"] == 24
+
+    def test_compose_shapes(self, dataset_4x4):
+        res = Stitcher().stitch(dataset_4x4)
+        mosaic = res.compose()
+        h, w = res.positions.mosaic_shape(dataset_4x4.tile_shape)
+        assert mosaic.shape == (h, w)
+
+    def test_paper4_traversal_config(self, dataset_4x4):
+        """Paper-faithful configuration still stitches this dataset."""
+        res = Stitcher(
+            traversal=Traversal.ROW, ccf_mode=CcfMode.PAPER4, n_peaks=2
+        ).stitch(dataset_4x4)
+        # PAPER4 may fold any negative jitter; positions stay within the
+        # stage's error envelope instead of being exact.
+        assert res.position_errors().mean() < 10.0

@@ -1,0 +1,79 @@
+"""Sub-pixel registration via parabolic CCF interpolation."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import shift as nd_shift
+
+from repro.core.ccf import _parabolic_vertex, subpixel_refine
+from repro.core.pciam import CcfMode, pciam
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(360, 360, seed=21)
+SIZE = 96
+
+
+def fractional_pair(ty: float, tx: float, base: int = 90):
+    """I_j is I_i's plate region shifted by a *fractional* translation
+    (spline-interpolated), the regime integer PCIAM cannot resolve."""
+    img_i = PLATE[base : base + SIZE, base : base + SIZE]
+    big = PLATE[base - 8 : base + SIZE + 8, base - 8 : base + SIZE + 8]
+    moved = nd_shift(big, ( -ty, -tx), order=3, mode="nearest")
+    img_j = moved[8 : 8 + SIZE, 8 : 8 + SIZE]
+    return img_i, img_j
+
+
+class TestParabolicVertex:
+    def test_symmetric_peak_centered(self):
+        assert _parabolic_vertex(0.5, 1.0, 0.5) == 0.0
+
+    def test_skewed_peak_shifts_toward_larger_neighbour(self):
+        off = _parabolic_vertex(0.4, 1.0, 0.8)
+        assert 0.0 < off <= 0.5
+        off = _parabolic_vertex(0.8, 1.0, 0.4)
+        assert -0.5 <= off < 0.0
+
+    def test_degenerate_cases_return_zero(self):
+        assert _parabolic_vertex(1.0, 1.0, 1.0) == 0.0   # flat
+        assert _parabolic_vertex(2.0, 1.0, 2.0) == 0.0   # convex
+
+    def test_exact_parabola_recovered(self):
+        # y = 1 - (x - 0.3)^2 sampled at -1, 0, 1.
+        f = lambda x: 1 - (x - 0.3) ** 2
+        assert _parabolic_vertex(f(-1), f(0), f(1)) == pytest.approx(0.3)
+
+
+class TestSubpixelRefine:
+    @pytest.mark.parametrize("ty,tx", [(0.3, 0.0), (0.0, -0.4), (0.25, 0.35)])
+    def test_recovers_fractional_shift(self, ty, tx):
+        img_i, img_j = fractional_pair(ty, tx)
+        tx_f, ty_f = subpixel_refine(img_i, img_j, 0, 0)
+        assert tx_f == pytest.approx(tx, abs=0.15)
+        assert ty_f == pytest.approx(ty, abs=0.15)
+
+    def test_integer_shift_stays_integer(self):
+        img_i = PLATE[50 : 50 + SIZE, 50 : 50 + SIZE]
+        img_j = PLATE[53 : 53 + SIZE, 120 : 120 + SIZE]
+        tx_f, ty_f = subpixel_refine(img_i, img_j, 70, 3)
+        assert tx_f == pytest.approx(70.0, abs=0.1)
+        assert ty_f == pytest.approx(3.0, abs=0.1)
+
+    def test_offsets_bounded_by_half_pixel(self):
+        img_i, img_j = fractional_pair(0.49, 0.49)
+        tx_f, ty_f = subpixel_refine(img_i, img_j, 0, 0)
+        assert abs(tx_f) <= 0.5 and abs(ty_f) <= 0.5
+
+
+class TestPciamSubpixel:
+    def test_subpixel_option_returns_fractional(self):
+        img_i, img_j = fractional_pair(0.3, 0.4)
+        r = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+                  subpixel=True)
+        assert (r.ty, r.tx) == (0, 0)  # integer part unchanged
+        assert r.tx_f == pytest.approx(0.4, abs=0.15)
+        assert r.ty_f == pytest.approx(0.3, abs=0.15)
+
+    def test_default_floats_equal_integers(self):
+        img_i = PLATE[50 : 50 + SIZE, 50 : 50 + SIZE]
+        img_j = PLATE[55 : 55 + SIZE, 120 : 120 + SIZE]
+        r = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert (r.tx_f, r.ty_f) == (float(r.tx), float(r.ty))

@@ -1,0 +1,68 @@
+"""Sub-pixel support through displacement, global opt, and Stitcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.displacement import (
+    DisplacementResult,
+    Translation,
+    compute_grid_displacements,
+)
+from repro.core.global_opt import resolve_absolute_positions
+from repro.core.pciam import CcfMode
+from repro.core.stitcher import Stitcher
+
+
+class TestTranslationFloats:
+    def test_defaults_to_integers(self):
+        t = Translation(0.9, 50, 3)
+        assert (t.fx, t.fy) == (50.0, 3.0)
+
+    def test_carries_fractions(self):
+        t = Translation(0.9, 50, 3, tx_f=50.3, ty_f=2.7)
+        assert (t.fx, t.fy) == (50.3, 2.7)
+
+
+class TestSubpixelGlobalOpt:
+    def make(self):
+        d = DisplacementResult.empty(2, 2)
+        d.west[0][1] = Translation(1.0, 50, 0, 50.25, 0.0)
+        d.west[1][1] = Translation(1.0, 50, 0, 50.25, 0.0)
+        d.north[1][0] = Translation(1.0, 0, 48, 0.0, 47.5)
+        d.north[1][1] = Translation(1.0, 0, 48, 0.0, 47.5)
+        return d
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_float_positions_exposed(self, method):
+        gp = resolve_absolute_positions(self.make(), method, subpixel=True)
+        assert gp.positions_f is not None
+        assert gp.positions_f[0, 1, 1] == pytest.approx(50.25)
+        assert gp.positions_f[1, 0, 0] == pytest.approx(47.5)
+        # Integer positions are the rounded float solution.
+        assert np.array_equal(gp.positions, np.rint(gp.positions_f).astype(np.int64))
+
+    def test_disabled_by_default(self):
+        gp = resolve_absolute_positions(self.make(), "mst")
+        assert gp.positions_f is None
+
+
+class TestSubpixelStitcher:
+    def test_stitcher_subpixel_positions(self, dataset_4x4):
+        res = Stitcher(subpixel=True).stitch(dataset_4x4)
+        assert res.positions.positions_f is not None
+        # Integer ground truth: fractional estimates stay near integers...
+        frac = np.abs(
+            res.positions.positions_f - np.rint(res.positions.positions_f)
+        )
+        assert frac.max() < 0.5
+        # ...and the rounded result is still exact.
+        assert res.position_errors().max() == 0.0
+
+    def test_grid_displacements_carry_floats(self, dataset_4x4):
+        disp = compute_grid_displacements(
+            dataset_4x4.load, 4, 4, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+            subpixel=True,
+        )
+        t = disp.west[0][1]
+        assert t.tx_f is not None
+        assert abs(t.tx_f - t.tx) <= 0.5

@@ -1,0 +1,121 @@
+"""Plan cache, planning modes, and wisdom semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fftlib.plans import (
+    Plan,
+    PlanCache,
+    PlanKey,
+    PlanningMode,
+    TransformKind,
+)
+
+
+class TestPlanExecution:
+    def test_direct_forward_matches_numpy(self):
+        a = np.random.default_rng(0).random((12, 10)) + 0j
+        plan = PlanCache().plan(a.shape, TransformKind.C2C_FORWARD)
+        assert np.allclose(plan.execute(a), np.fft.fft2(a))
+
+    def test_inverse_roundtrip(self):
+        cache = PlanCache()
+        a = np.random.default_rng(1).random((9, 14)).astype(np.complex128)
+        fwd = cache.plan(a.shape, TransformKind.C2C_FORWARD)
+        inv = cache.plan(a.shape, TransformKind.C2C_INVERSE)
+        assert np.allclose(inv.execute(fwd.execute(a)), a)
+
+    def test_r2c_matches_rfft(self):
+        a = np.random.default_rng(2).random((8, 6))
+        plan = PlanCache().plan(a.shape, TransformKind.R2C)
+        assert np.allclose(plan.execute(a), np.fft.rfft2(a))
+
+    def test_padded_strategy_transforms_at_padded_size(self):
+        key = PlanKey((11, 13), TransformKind.C2C_FORWARD)
+        plan = Plan(key, "padded", (12, 14))
+        a = np.ones((11, 13), dtype=np.complex128)
+        out = plan.execute(a)
+        assert out.shape == (12, 14)
+        # Padded transform equals transform of the zero-padded input.
+        padded = np.zeros((12, 14), dtype=np.complex128)
+        padded[:11, :13] = a
+        assert np.allclose(out, np.fft.fft2(padded))
+
+    def test_shape_mismatch_rejected(self):
+        plan = PlanCache().plan((4, 4), TransformKind.C2C_FORWARD)
+        with pytest.raises(ValueError):
+            plan.execute(np.ones((5, 5), dtype=np.complex128))
+
+    def test_execution_counter(self):
+        plan = PlanCache().plan((4, 4), TransformKind.C2C_FORWARD)
+        a = np.ones((4, 4), dtype=np.complex128)
+        plan.execute(a)
+        plan.execute(a)
+        assert plan.executions == 2
+
+
+class TestPlanCache:
+    def test_caches_by_shape_and_kind(self):
+        cache = PlanCache()
+        p1 = cache.plan((8, 8), TransformKind.C2C_FORWARD)
+        p2 = cache.plan((8, 8), TransformKind.C2C_FORWARD)
+        p3 = cache.plan((8, 8), TransformKind.C2C_INVERSE)
+        assert p1 is p2
+        assert p1 is not p3
+        assert len(cache) == 2
+
+    def test_estimate_mode_never_measures(self):
+        cache = PlanCache()
+        cache.plan((11, 13), TransformKind.C2C_FORWARD, PlanningMode.ESTIMATE)
+        assert cache.planning_seconds == 0.0
+
+    def test_measured_modes_record_planning_time(self):
+        cache = PlanCache()
+        cache.plan((11, 13), TransformKind.C2C_FORWARD, PlanningMode.PATIENT)
+        assert cache.planning_seconds > 0.0
+
+    def test_planning_effort_ordering(self):
+        assert (
+            PlanningMode.ESTIMATE.trials
+            < PlanningMode.MEASURE.trials
+            < PlanningMode.PATIENT.trials
+            < PlanningMode.EXHAUSTIVE.trials
+        )
+
+    def test_allow_padding_false_is_shape_preserving(self):
+        cache = PlanCache()
+        plan = cache.plan((11, 13), TransformKind.C2C_FORWARD,
+                          PlanningMode.PATIENT, allow_padding=False)
+        assert plan.strategy == "direct"
+        assert plan.fft_shape == (11, 13)
+
+
+class TestWisdom:
+    def test_roundtrip(self):
+        cache = PlanCache()
+        cache.plan((11, 13), TransformKind.C2C_FORWARD, PlanningMode.MEASURE)
+        blob = cache.export_wisdom()
+        fresh = PlanCache()
+        assert fresh.import_wisdom(blob) == 1
+        # Wisdom short-circuits measurement entirely.
+        fresh.plan((11, 13), TransformKind.C2C_FORWARD, PlanningMode.EXHAUSTIVE)
+        assert fresh.planning_seconds == 0.0
+
+    def test_import_is_accumulative_not_overwriting(self):
+        cache = PlanCache()
+        cache.plan((8, 8), TransformKind.C2C_FORWARD, PlanningMode.MEASURE)
+        blob = cache.export_wisdom()
+        assert cache.import_wisdom(blob) == 0  # already known
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache().import_wisdom(json.dumps({"version": 99, "wisdom": []}))
+
+    def test_wisdom_is_json(self):
+        cache = PlanCache()
+        cache.plan((4, 4), TransformKind.R2C)
+        data = json.loads(cache.export_wisdom())
+        assert data["version"] == 1
+        assert data["wisdom"][0]["key"]["shape"] == [4, 4]

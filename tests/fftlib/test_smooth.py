@@ -1,0 +1,88 @@
+"""Unit + property tests for smooth-size search and padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fftlib.smooth import (
+    is_smooth,
+    next_smooth,
+    next_smooth_shape,
+    pad_to_shape,
+)
+
+
+class TestIsSmooth:
+    def test_one_is_smooth(self):
+        assert is_smooth(1)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 8, 12, 1050, 1400, 2048, 6720])
+    def test_known_smooth(self, n):
+        assert is_smooth(n)
+
+    @pytest.mark.parametrize("n", [11, 13, 29, 1392, 1040, 1039])
+    def test_known_rough(self, n):
+        assert not is_smooth(n)
+
+    def test_custom_radices(self):
+        assert is_smooth(11, radices=(11,))
+        assert not is_smooth(22, radices=(11,))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            is_smooth(0)
+
+
+class TestNextSmooth:
+    def test_paper_tile_sizes(self):
+        # The paper's 1392x1040 tiles have awkward factors (29 and 13).
+        assert next_smooth(1392) == 1400
+        assert next_smooth(1040) == 1050
+
+    def test_identity_on_smooth(self):
+        for n in (8, 12, 1400, 2048):
+            assert next_smooth(n) == n
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_result_is_smooth_and_minimal(self, n):
+        m = next_smooth(n)
+        assert m >= n
+        assert is_smooth(m)
+        # Minimality: nothing smooth strictly between n and m.
+        for k in range(n, m):
+            assert not is_smooth(k)
+
+    def test_shape_helper(self):
+        assert next_smooth_shape((1040, 1392)) == (1050, 1400)
+
+
+class TestPadToShape:
+    def test_pads_bottom_right_with_zeros(self):
+        a = np.arange(6.0).reshape(2, 3)
+        out = pad_to_shape(a, (4, 5))
+        assert out.shape == (4, 5)
+        assert np.array_equal(out[:2, :3], a)
+        assert out[2:, :].sum() == 0 and out[:, 3:].sum() == 0
+
+    def test_identity_shape(self):
+        a = np.ones((3, 3))
+        assert np.array_equal(pad_to_shape(a, (3, 3)), a)
+
+    def test_workspace_reuse_clears_stale_data(self):
+        ws = np.full((4, 4), 7.0)
+        a = np.ones((2, 2))
+        out = pad_to_shape(a, (4, 4), out=ws)
+        assert out is ws
+        assert out.sum() == 4.0  # stale 7s wiped
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            pad_to_shape(np.ones((4, 4)), (2, 2))
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            pad_to_shape(np.ones((4,)), (4, 4))
+
+    def test_rejects_bad_workspace(self):
+        with pytest.raises(ValueError):
+            pad_to_shape(np.ones((2, 2)), (4, 4), out=np.empty((5, 5)))

@@ -1,0 +1,57 @@
+"""Convenience transform entry points."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fftlib import fft2, ifft2, irfft2, rfft2
+from repro.fftlib.plans import PlanCache
+
+
+def test_fft_ifft_roundtrip():
+    a = np.random.default_rng(0).random((17, 23))
+    assert np.allclose(ifft2(fft2(a)).real, a)
+
+
+def test_rfft_irfft_roundtrip_even_and_odd_width():
+    rng = np.random.default_rng(1)
+    for shape in [(8, 8), (9, 7), (10, 5)]:
+        a = rng.random(shape)
+        assert np.allclose(irfft2(rfft2(a), shape), a)
+
+
+def test_rfft_halves_spectrum_width():
+    a = np.zeros((16, 20))
+    assert rfft2(a).shape == (16, 11)
+
+
+def test_private_cache_isolated_from_default():
+    cache = PlanCache()
+    a = np.random.default_rng(2).random((6, 6))
+    fft2(a, cache=cache)
+    assert len(cache) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(min_value=2, max_value=24),
+    w=st.integers(min_value=2, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_parseval_energy_conservation(h, w, seed):
+    """FFT preserves energy: sum|a|^2 == sum|FFT(a)|^2 / (h*w)."""
+    a = np.random.default_rng(seed).random((h, w))
+    spec = fft2(a)
+    assert np.isclose((np.abs(a) ** 2).sum(), (np.abs(spec) ** 2).sum() / (h * w))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(min_value=2, max_value=16),
+    w=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_rfft_consistent_with_full_fft(h, w, seed):
+    a = np.random.default_rng(seed).random((h, w))
+    full = fft2(a)
+    half = rfft2(a)
+    assert np.allclose(half, full[:, : w // 2 + 1])

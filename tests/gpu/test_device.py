@@ -1,0 +1,116 @@
+"""Virtual GPU: streams, engines, copies, virtual clock semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import C2070_MEMORY_BYTES, VirtualGpu
+
+
+class TestDataMovement:
+    def test_h2d_d2h_roundtrip(self):
+        dev = VirtualGpu()
+        host = np.random.default_rng(0).random((8, 8)).astype(np.complex128)
+        buf = dev.alloc((8, 8))
+        dev.h2d(host, buf)
+        back, _ = dev.d2h(buf)
+        assert np.array_equal(back, host)
+
+    def test_h2d_shape_mismatch(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            dev.h2d(np.zeros((5, 5), dtype=np.complex128), buf)
+
+    def test_copies_use_copy_engines(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((8, 8))
+        dev.h2d(np.zeros((8, 8), dtype=np.complex128), buf)
+        dev.d2h(buf)
+        engines = {e.engine for e in dev.profiler.events}
+        assert engines == {"h2d", "d2h"}
+
+    def test_byte_accounting_in_trace(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((8, 8))
+        dev.h2d(np.zeros((8, 8), dtype=np.complex128), buf)
+        assert dev.profiler.bytes_copied("h2d") == 8 * 8 * 16
+
+    def test_freed_buffer_rejected(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((4, 4))
+        dev.free(buf)
+        with pytest.raises(ValueError):
+            dev.h2d(np.zeros((4, 4), dtype=np.complex128), buf)
+
+
+class TestVirtualClock:
+    def test_stream_ordering(self):
+        """Ops on one stream never overlap in virtual time."""
+        dev = VirtualGpu()
+        s = dev.create_stream()
+        buf = dev.alloc((64, 64))
+        host = np.zeros((64, 64), dtype=np.complex128)
+        e1 = dev.h2d(host, buf, s)
+        e2 = dev.h2d(host, buf, s)
+        assert e2.start >= e1.end
+
+    def test_engine_serialization_across_streams(self):
+        """Two streams contend for the single H2D engine."""
+        dev = VirtualGpu()
+        s1, s2 = dev.create_stream(), dev.create_stream()
+        buf = dev.alloc((64, 64))
+        host = np.zeros((64, 64), dtype=np.complex128)
+        e1 = dev.h2d(host, buf, s1)
+        e2 = dev.h2d(host, buf, s2)
+        assert e2.start >= e1.end  # same engine, must serialize
+
+    def test_different_engines_can_overlap(self):
+        dev = VirtualGpu()
+        s1, s2 = dev.create_stream(), dev.create_stream()
+        buf = dev.alloc((64, 64))
+        host = np.zeros((64, 64), dtype=np.complex128)
+        dev.h2d(host, buf, s1)
+        _, e2 = dev.d2h(buf, s2)
+        assert e2.start == 0.0  # d2h engine was free: true overlap
+
+    def test_not_before_respected(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((8, 8))
+        ev = dev.h2d(np.zeros((8, 8), dtype=np.complex128), buf, not_before=5.0)
+        assert ev.start >= 5.0
+
+    def test_synchronize_returns_last_end(self):
+        dev = VirtualGpu()
+        buf = dev.alloc((8, 8))
+        ev = dev.h2d(np.zeros((8, 8), dtype=np.complex128), buf)
+        assert dev.synchronize() == ev.end
+
+    def test_default_capacity_is_c2070(self):
+        assert VirtualGpu().allocator.capacity_bytes == C2070_MEMORY_BYTES
+
+
+class TestEvents:
+    def test_record_event_marks_stream_progress(self):
+        import numpy as np
+        from repro.gpu.stream import Event
+
+        dev = VirtualGpu()
+        s = dev.create_stream()
+        buf = dev.alloc((8, 8))
+        ev = dev.h2d(np.zeros((8, 8), dtype=np.complex128), buf, s)
+        marker = s.record_event()
+        assert isinstance(marker, Event)
+        assert marker.time == ev.end
+        assert marker.stream_id == s.stream_id
+
+    def test_event_orders_across_streams(self):
+        import numpy as np
+
+        dev = VirtualGpu()
+        s1, s2 = dev.create_stream(), dev.create_stream()
+        buf = dev.alloc((64, 64))
+        dev.h2d(np.zeros((64, 64), dtype=np.complex128), buf, s1)
+        marker = s1.record_event()
+        # s2's copy waits on s1's event despite a free d2h engine.
+        _, ev2 = dev.d2h(buf, s2, not_before=marker.time)
+        assert ev2.start >= marker.time

@@ -1,0 +1,80 @@
+"""Device memory: capacity enforcement, accounting, pool reservation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import DeviceAllocator, DevicePool, OutOfDeviceMemory
+
+
+class TestDeviceAllocator:
+    def test_alloc_free_accounting(self):
+        alloc = DeviceAllocator(capacity_bytes=10_000)
+        buf = alloc.alloc((10, 10), dtype=np.complex128)  # 1600 B
+        assert alloc.used_bytes == 1600
+        assert buf.nbytes == 1600
+        alloc.free(buf)
+        assert alloc.used_bytes == 0
+        assert alloc.peak_bytes == 1600
+
+    def test_capacity_enforced(self):
+        alloc = DeviceAllocator(capacity_bytes=1000)
+        with pytest.raises(OutOfDeviceMemory):
+            alloc.alloc((100, 100))
+
+    def test_capacity_recovered_after_free(self):
+        alloc = DeviceAllocator(capacity_bytes=2000)
+        a = alloc.alloc((10, 10))
+        with pytest.raises(OutOfDeviceMemory):
+            alloc.alloc((10, 10))
+        alloc.free(a)
+        alloc.alloc((10, 10))  # fits again
+
+    def test_double_free_rejected(self):
+        alloc = DeviceAllocator(capacity_bytes=10_000)
+        buf = alloc.alloc((4, 4))
+        alloc.free(buf)
+        with pytest.raises(ValueError, match="double free"):
+            alloc.free(buf)
+
+    def test_use_after_free_detectable(self):
+        alloc = DeviceAllocator(capacity_bytes=10_000)
+        buf = alloc.alloc((4, 4))
+        alloc.free(buf)
+        with pytest.raises(ValueError, match="use-after-free"):
+            buf.require_live()
+
+    def test_live_buffer_count(self):
+        alloc = DeviceAllocator(capacity_bytes=100_000)
+        bufs = [alloc.alloc((4, 4)) for _ in range(5)]
+        assert alloc.live_buffers == 5
+        alloc.free(bufs[0])
+        assert alloc.live_buffers == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(0)
+
+
+class TestDevicePool:
+    def test_reserves_capacity_up_front(self):
+        alloc = DeviceAllocator(capacity_bytes=100_000)
+        pool = DevicePool(alloc, count=4, shape=(10, 10))  # 4 x 1600 B
+        assert alloc.used_bytes == 4 * 1600
+        pool.destroy()
+        assert alloc.used_bytes == 0
+
+    def test_pool_too_big_for_device(self):
+        alloc = DeviceAllocator(capacity_bytes=1000)
+        with pytest.raises(OutOfDeviceMemory):
+            DevicePool(alloc, count=10, shape=(10, 10))
+
+    def test_acquire_release(self):
+        alloc = DeviceAllocator(capacity_bytes=100_000)
+        pool = DevicePool(alloc, count=2, shape=(4, 4))
+        a = pool.acquire()
+        b = pool.acquire()
+        assert pool.free_count == 0
+        pool.release(a)
+        c = pool.acquire()
+        assert c == a
+        assert pool.peak_in_use == 2

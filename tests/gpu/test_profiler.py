@@ -1,0 +1,52 @@
+"""Profiler metrics: busy time, density, concurrency."""
+
+import pytest
+
+from repro.gpu.profiler import GpuProfiler, TraceEvent
+
+
+def ev(engine, start, end, stream=0, nbytes=0, name="op"):
+    return TraceEvent(name=name, engine=engine, stream=stream,
+                      start=start, end=end, nbytes=nbytes)
+
+
+class TestMetrics:
+    def test_span(self):
+        p = GpuProfiler()
+        p.record(ev("compute", 1.0, 2.0))
+        p.record(ev("h2d", 0.5, 1.5))
+        assert p.span() == (0.5, 2.0)
+        assert GpuProfiler().span() == (0.0, 0.0)
+
+    def test_busy_time_merges_overlaps(self):
+        p = GpuProfiler()
+        p.record(ev("compute", 0.0, 1.0))
+        p.record(ev("compute", 0.5, 2.0))
+        p.record(ev("compute", 3.0, 4.0))
+        assert p.busy_time("compute") == pytest.approx(3.0)
+
+    def test_density(self):
+        p = GpuProfiler()
+        p.record(ev("compute", 0.0, 1.0))
+        p.record(ev("host", 1.0, 4.0))
+        # span 0-4, compute busy 1 -> density 0.25
+        assert p.density("compute") == pytest.approx(0.25)
+
+    def test_streams_and_counts(self):
+        p = GpuProfiler()
+        p.record(ev("compute", 0, 1, stream=0, name="cufft-fwd"))
+        p.record(ev("compute", 1, 2, stream=2, name="cufft-inv"))
+        p.record(ev("h2d", 0, 1, stream=1, name="memcpy-h2d", nbytes=100))
+        assert p.streams_used() == {0, 1, 2}
+        assert p.count("cufft") == 2
+        assert p.bytes_copied("h2d") == 100
+
+    def test_max_concurrency_ignores_host(self):
+        p = GpuProfiler()
+        p.record(ev("compute", 0.0, 2.0))
+        p.record(ev("h2d", 1.0, 3.0))
+        p.record(ev("host", 0.0, 5.0))
+        assert p.max_concurrency() == 2
+
+    def test_empty_density_zero(self):
+        assert GpuProfiler().density("compute") == 0.0

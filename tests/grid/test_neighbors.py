@@ -1,0 +1,78 @@
+"""Adjacency structure: pair counts, directions, incident pairs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.neighbors import (
+    Direction,
+    Pair,
+    grid_pairs,
+    pair_count,
+    pairs_for_tile,
+)
+from repro.grid.tile_grid import GridPosition, TileGrid
+
+
+class TestPair:
+    def test_valid_west_pair(self):
+        Pair(GridPosition(1, 2), GridPosition(1, 3), Direction.WEST)
+
+    def test_invalid_west_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Pair(GridPosition(1, 2), GridPosition(1, 1), Direction.WEST)
+        with pytest.raises(ValueError):
+            Pair(GridPosition(0, 2), GridPosition(1, 3), Direction.WEST)
+
+    def test_invalid_north_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Pair(GridPosition(2, 0), GridPosition(1, 0), Direction.NORTH)
+
+
+class TestGridPairs:
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12))
+    def test_count_matches_table1_formula(self, rows, cols):
+        g = TileGrid(rows, cols)
+        pairs = list(grid_pairs(g))
+        assert len(pairs) == pair_count(g) == 2 * rows * cols - rows - cols
+        assert len(set(pairs)) == len(pairs)
+
+    def test_direction_split(self):
+        g = TileGrid(3, 4)
+        pairs = list(grid_pairs(g))
+        west = [p for p in pairs if p.direction is Direction.WEST]
+        north = [p for p in pairs if p.direction is Direction.NORTH]
+        assert len(west) == 3 * 3   # n * (m-1)
+        assert len(north) == 2 * 4  # (n-1) * m
+
+    def test_single_tile_grid_has_no_pairs(self):
+        assert list(grid_pairs(TileGrid(1, 1))) == []
+
+    def test_single_row(self):
+        pairs = list(grid_pairs(TileGrid(1, 4)))
+        assert all(p.direction is Direction.WEST for p in pairs)
+        assert len(pairs) == 3
+
+
+class TestPairsForTile:
+    def test_interior_tile_has_four(self):
+        g = TileGrid(3, 3)
+        assert len(pairs_for_tile(g, 1, 1)) == 4
+
+    def test_corner_has_two(self):
+        g = TileGrid(3, 3)
+        assert len(pairs_for_tile(g, 0, 0)) == 2
+        assert len(pairs_for_tile(g, 2, 2)) == 2
+
+    def test_edge_has_three(self):
+        g = TileGrid(3, 3)
+        assert len(pairs_for_tile(g, 0, 1)) == 3
+
+    @given(rows=st.integers(1, 8), cols=st.integers(1, 8))
+    def test_every_pair_incident_to_exactly_two_tiles(self, rows, cols):
+        g = TileGrid(rows, cols)
+        incidence: dict = {}
+        for pos in g.positions():
+            for p in pairs_for_tile(g, pos.row, pos.col):
+                incidence[p] = incidence.get(p, 0) + 1
+        assert set(incidence.values()) <= {2}
+        assert len(incidence) == pair_count(g)

@@ -1,0 +1,92 @@
+"""Grid geometry: indexing, acquisition numbering, origin handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.tile_grid import GridPosition, Numbering, Origin, TileGrid
+
+
+class TestBasics:
+    def test_len_and_contains(self):
+        g = TileGrid(3, 5)
+        assert len(g) == 15
+        assert (2, 4) in g
+        assert (3, 0) not in g
+        assert (0, -1) not in g
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 5)
+
+    def test_index_roundtrip(self):
+        g = TileGrid(4, 7)
+        for pos in g.positions():
+            assert g.position(g.index(pos.row, pos.col)) == pos
+
+    def test_index_bounds(self):
+        g = TileGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.index(2, 0)
+        with pytest.raises(IndexError):
+            g.position(4)
+
+    def test_positions_row_major(self):
+        g = TileGrid(2, 2)
+        assert list(g.positions()) == [
+            GridPosition(0, 0), GridPosition(0, 1),
+            GridPosition(1, 0), GridPosition(1, 1),
+        ]
+
+
+class TestNumbering:
+    def test_row_serpentine_path(self):
+        g = TileGrid(2, 3, numbering=Numbering.ROW_SERPENTINE)
+        path = [tuple(g.position_of_sequence(i)) for i in range(6)]
+        assert path == [(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0)]
+
+    def test_column_major_path(self):
+        g = TileGrid(2, 3, numbering=Numbering.COLUMN_MAJOR)
+        path = [tuple(g.position_of_sequence(i)) for i in range(6)]
+        assert path == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+
+    def test_lower_right_origin(self):
+        g = TileGrid(2, 2, origin=Origin.LOWER_RIGHT)
+        assert tuple(g.position_of_sequence(0)) == (1, 1)
+
+    def test_sequence_bounds(self):
+        g = TileGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.position_of_sequence(4)
+        with pytest.raises(IndexError):
+            g.sequence_of(0, 5)
+
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+        origin=st.sampled_from(list(Origin)),
+        numbering=st.sampled_from(list(Numbering)),
+    )
+    def test_sequence_is_a_bijection(self, rows, cols, origin, numbering):
+        g = TileGrid(rows, cols, origin=origin, numbering=numbering)
+        seqs = {g.sequence_of(p.row, p.col) for p in g.positions()}
+        assert seqs == set(range(len(g)))
+        for s in range(len(g)):
+            p = g.position_of_sequence(s)
+            assert g.sequence_of(p.row, p.col) == s
+
+    @given(
+        rows=st.integers(2, 8),
+        cols=st.integers(2, 8),
+        origin=st.sampled_from(list(Origin)),
+        numbering=st.sampled_from(
+            [Numbering.ROW_SERPENTINE, Numbering.COLUMN_SERPENTINE]
+        ),
+    )
+    def test_serpentine_consecutive_positions_adjacent(self, rows, cols, origin, numbering):
+        """A serpentine stage path only ever moves to a 4-neighbour."""
+        g = TileGrid(rows, cols, origin=origin, numbering=numbering)
+        prev = g.position_of_sequence(0)
+        for s in range(1, len(g)):
+            cur = g.position_of_sequence(s)
+            assert abs(cur.row - prev.row) + abs(cur.col - prev.col) == 1
+            prev = cur

@@ -1,0 +1,39 @@
+"""Determinism: repeated runs of every implementation agree exactly.
+
+The pipelined implementations are heavily threaded; this pins that thread
+scheduling can never change *answers* (only timing).
+"""
+
+import pytest
+
+from repro.analysis.metrics import displacement_agreement
+from repro.impls import ALL_IMPLEMENTATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_IMPLEMENTATIONS))
+def test_two_runs_identical(name, dataset_3x5):
+    cls = ALL_IMPLEMENTATIONS[name]
+    kwargs = {}
+    if name == "mt-cpu":
+        kwargs = {"workers": 3}
+    elif name == "pipelined-cpu":
+        kwargs = {"workers": 3}
+    elif name == "pipelined-cpu-numa":
+        kwargs = {"sockets": 2, "workers_per_socket": 2}
+    elif name == "pipelined-gpu":
+        kwargs = {"devices": 2, "ccf_workers": 3}
+    a = cls(**kwargs).run(dataset_3x5)
+    b = cls(**kwargs).run(dataset_3x5)
+    assert displacement_agreement(a.displacements, b.displacements) == 1.0
+
+
+def test_des_deterministic():
+    from repro.simulate.costmodel import PAPER_MACHINE
+    from repro.simulate.schedules import simulate_pipelined_gpu
+
+    a = simulate_pipelined_gpu(PAPER_MACHINE, 8, 8, 2, tile=(64, 64))
+    b = simulate_pipelined_gpu(PAPER_MACHINE, 8, 8, 2, tile=(64, 64))
+    assert a.makespan_seconds == b.makespan_seconds
+    assert [(o.start, o.end) for o in a.sim.ops] == [
+        (o.start, o.end) for o in b.sim.ops
+    ]

@@ -1,0 +1,106 @@
+"""Tile dataset layout: patterns, metadata, lazy access, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.io.dataset import DatasetMetadata, FilePattern, TileDataset
+
+
+class TestFilePattern:
+    def test_default_format_and_parse(self):
+        fp = FilePattern()
+        assert fp.filename(3, 17) == "img_r003_c017.tif"
+        assert fp.parse("img_r003_c017.tif") == (3, 17)
+
+    def test_custom_pattern(self):
+        fp = FilePattern("tile_{col:d}_{row:d}.tif")
+        assert fp.filename(2, 9) == "tile_9_2.tif"
+        assert fp.parse("tile_9_2.tif") == (2, 9)
+
+    def test_parse_rejects_foreign_names(self):
+        assert FilePattern().parse("notes.txt") is None
+
+    def test_rejects_pattern_without_fields(self):
+        with pytest.raises(ValueError):
+            FilePattern("static_name.tif")
+
+    def test_rejects_positional_pattern(self):
+        with pytest.raises(ValueError):
+            FilePattern("img_{}.tif")
+
+
+class TestTileDataset:
+    def make(self, tmp_path, rows=2, cols=3, h=8, w=9):
+        rng = np.random.default_rng(0)
+        tiles = rng.integers(0, 65535, (rows, cols, h, w)).astype(np.uint16)
+        ds = TileDataset.create(tmp_path / "ds", tiles, overlap=0.1)
+        return ds, tiles
+
+    def test_create_and_reload_from_metadata(self, tmp_path):
+        ds, tiles = self.make(tmp_path)
+        again = TileDataset(tmp_path / "ds")  # reads dataset.json
+        assert again.rows == 2 and again.cols == 3
+        assert again.tile_shape == (8, 9)
+        assert np.array_equal(again.load(1, 2, dtype=None), tiles[1, 2])
+
+    def test_load_converts_dtype(self, tmp_path):
+        ds, _ = self.make(tmp_path)
+        assert ds.load(0, 0).dtype == np.float64
+
+    def test_len(self, tmp_path):
+        ds, _ = self.make(tmp_path)
+        assert len(ds) == 6
+
+    def test_out_of_range_indexing(self, tmp_path):
+        ds, _ = self.make(tmp_path)
+        with pytest.raises(IndexError):
+            ds.load(2, 0)
+        with pytest.raises(IndexError):
+            ds.path(0, 3)
+
+    def test_missing_tile_file(self, tmp_path):
+        ds, _ = self.make(tmp_path)
+        ds.path(1, 1).unlink()
+        with pytest.raises(FileNotFoundError):
+            ds.load(1, 1)
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        from repro.io.tiff import write_tiff
+
+        ds, _ = self.make(tmp_path)
+        write_tiff(ds.path(0, 1), np.zeros((4, 4), dtype=np.uint16))
+        with pytest.raises(ValueError, match="shape"):
+            ds.load(0, 1)
+
+    def test_missing_metadata_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            TileDataset(tmp_path / "empty")
+
+    def test_true_positions_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        tiles = rng.integers(0, 255, (2, 2, 8, 8)).astype(np.uint8)
+        pos = np.array([[[0, 0], [0, 6]], [[5, 1], [6, 7]]])
+        ds = TileDataset.create(tmp_path / "ds", tiles, overlap=0.2, true_positions=pos)
+        again = TileDataset(tmp_path / "ds")
+        assert again.true_position(1, 0) == (5, 1)
+        assert again.metadata.bit_depth == 8
+
+    def test_true_position_none_when_unknown(self, tmp_path):
+        ds, _ = self.make(tmp_path)
+        assert ds.true_position(0, 0) is None
+
+    def test_create_rejects_bad_stack(self, tmp_path):
+        with pytest.raises(ValueError):
+            TileDataset.create(tmp_path / "x", np.zeros((4, 4)), overlap=0.1)
+        with pytest.raises(ValueError):
+            TileDataset.create(
+                tmp_path / "y", np.zeros((2, 2, 4, 4), dtype=np.float32), overlap=0.1
+            )
+
+
+class TestMetadataJson:
+    def test_roundtrip(self):
+        m = DatasetMetadata(rows=2, cols=3, tile_height=8, tile_width=9, overlap=0.15)
+        again = DatasetMetadata.from_json(m.to_json())
+        assert again == m

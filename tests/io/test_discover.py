@@ -1,0 +1,63 @@
+"""Foreign-dataset adoption via TileDataset.discover."""
+
+import numpy as np
+import pytest
+
+from repro.core.stitcher import Stitcher
+from repro.io.dataset import TileDataset
+from repro.io.tiff import write_tiff
+from repro.synth import make_synthetic_dataset
+
+
+class TestDiscover:
+    @pytest.fixture
+    def foreign_dir(self, tmp_path):
+        """A tile directory with NO dataset.json (as a real scope emits)."""
+        src = make_synthetic_dataset(
+            tmp_path / "src", rows=3, cols=4, tile_height=64, tile_width=64,
+            overlap=0.25, seed=55,
+        )
+        (tmp_path / "src" / "dataset.json").unlink()
+        return tmp_path / "src", src
+
+    def test_infers_grid_and_tile_shape(self, foreign_dir):
+        d, _ = foreign_dir
+        ds = TileDataset.discover(d, overlap=0.25)
+        assert (ds.rows, ds.cols) == (3, 4)
+        assert ds.tile_shape == (64, 64)
+        assert ds.metadata.bit_depth == 16
+        assert ds.metadata.true_positions is None
+
+    def test_discovered_dataset_stitches(self, foreign_dir):
+        d, src = foreign_dir
+        ds = TileDataset.discover(d, overlap=0.25)
+        res = Stitcher().stitch(ds)
+        # Score against the original ground truth.
+        true = np.asarray(src.metadata.true_positions)
+        true0 = true - true.reshape(-1, 2).min(axis=0)
+        assert np.array_equal(res.positions.positions, true0)
+
+    def test_ignores_unrelated_files(self, foreign_dir):
+        d, _ = foreign_dir
+        (d / "notes.txt").write_text("lab notebook")
+        ds = TileDataset.discover(d, overlap=0.25)
+        assert (ds.rows, ds.cols) == (3, 4)
+
+    def test_hole_detected(self, foreign_dir):
+        d, src = foreign_dir
+        src.path(1, 2).unlink()
+        with pytest.raises(ValueError, match="holes"):
+            TileDataset.discover(d, overlap=0.25)
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            TileDataset.discover(tmp_path / "empty")
+
+    def test_sequential_pattern_needs_dims(self, tmp_path):
+        d = tmp_path / "seq"
+        d.mkdir()
+        for i in range(4):
+            write_tiff(d / f"img_{i:04d}.tif", np.zeros((8, 8), dtype=np.uint16))
+        with pytest.raises(ValueError, match="grid dimensions"):
+            TileDataset.discover(d, pattern="img_{seq:04d}.tif")

@@ -1,0 +1,97 @@
+"""PackBits compression: codec-level and TIFF-level."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.io.tiff import (
+    TiffError,
+    packbits_decode,
+    packbits_encode,
+    read_tiff,
+    write_tiff,
+)
+
+
+class TestPackbitsCodec:
+    @pytest.mark.parametrize("blob", [
+        b"", b"a", b"ab", b"aaa", b"aaaa" * 100, bytes(range(256)),
+        b"ab" + b"c" * 10 + b"de", b"x" * 128, b"x" * 129, b"x" * 1000,
+    ])
+    def test_roundtrip_cases(self, blob):
+        assert packbits_decode(packbits_encode(blob), len(blob)) == blob
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=600))
+    def test_roundtrip_property(self, blob):
+        assert packbits_decode(packbits_encode(blob), len(blob)) == blob
+
+    def test_runs_compress(self):
+        blob = b"\x00" * 1000
+        assert len(packbits_encode(blob)) < 20
+
+    def test_literals_bounded_expansion(self):
+        blob = bytes(range(256)) * 4
+        # Worst case adds one control byte per 128 literals.
+        assert len(packbits_encode(blob)) <= len(blob) + len(blob) // 128 + 2
+
+    def test_decode_truncated_stream(self):
+        with pytest.raises(TiffError, match="exhausted"):
+            packbits_decode(b"", 4)
+
+    def test_decode_overrun_literal(self):
+        with pytest.raises(TiffError, match="overruns"):
+            packbits_decode(b"\x05ab", 6)
+
+    def test_decode_missing_repeat_byte(self):
+        with pytest.raises(TiffError, match="missing"):
+            packbits_decode(b"\xfe", 3)
+
+    def test_noop_byte_skipped(self):
+        # 0x80 is a no-op per the spec.
+        assert packbits_decode(b"\x80\x00a", 1) == b"a"
+
+
+class TestPackbitsTiff:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16])
+    def test_roundtrip(self, tmp_path, dtype):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, np.iinfo(dtype).max, (40, 33)).astype(dtype)
+        p = tmp_path / "t.tif"
+        write_tiff(p, a, compression="packbits")
+        assert np.array_equal(read_tiff(p), a)
+
+    def test_multi_strip_roundtrip(self, tmp_path):
+        a = np.tile(np.arange(64, dtype=np.uint16), (50, 1))
+        p = tmp_path / "t.tif"
+        write_tiff(p, a, compression="packbits", rows_per_strip=7)
+        assert np.array_equal(read_tiff(p), a)
+
+    def test_flat_uint8_compresses(self, tmp_path):
+        a = np.zeros((128, 128), dtype=np.uint8)
+        p1, p2 = tmp_path / "a.tif", tmp_path / "b.tif"
+        write_tiff(p1, a)
+        write_tiff(p2, a, compression="packbits")
+        assert p2.stat().st_size < p1.stat().st_size / 10
+
+    def test_unknown_compression_name(self, tmp_path):
+        with pytest.raises(ValueError, match="compression"):
+            write_tiff(tmp_path / "t.tif", np.zeros((2, 2), dtype=np.uint8),
+                       compression="lzw")
+
+    def test_dataset_pipeline_with_packbits_tiles(self, tmp_path):
+        """A dataset whose tiles were rewritten PackBits still stitches."""
+        from repro.core.stitcher import Stitcher
+        from repro.io.dataset import TileDataset
+        from repro.synth import make_synthetic_dataset
+
+        ds = make_synthetic_dataset(
+            tmp_path / "ds", rows=3, cols=3, tile_height=64, tile_width=64,
+            overlap=0.25, seed=6,
+        )
+        for r in range(3):
+            for c in range(3):
+                tile = ds.load(r, c, dtype=None)
+                write_tiff(ds.path(r, c), tile, compression="packbits")
+        res = Stitcher().stitch(TileDataset(ds.directory))
+        assert res.position_errors().max() == 0.0

@@ -1,0 +1,161 @@
+"""TIFF codec: roundtrip, structure, and malformed-input rejection."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.io.tiff import TiffError, read_tiff, write_tiff
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16])
+    def test_exact_roundtrip(self, tmp_path, dtype):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, np.iinfo(dtype).max, (33, 47)).astype(dtype)
+        p = tmp_path / "t.tif"
+        write_tiff(p, a)
+        b = read_tiff(p)
+        assert b.dtype == dtype
+        assert np.array_equal(a, b)
+
+    def test_description_roundtrip(self, tmp_path):
+        a = np.zeros((4, 4), dtype=np.uint16)
+        p = tmp_path / "t.tif"
+        write_tiff(p, a, description="r=3 c=7 overlap=0.1")
+        _, desc = read_tiff(p, return_description=True)
+        assert desc == "r=3 c=7 overlap=0.1"
+
+    def test_no_description_reads_empty(self, tmp_path):
+        p = tmp_path / "t.tif"
+        write_tiff(p, np.zeros((4, 4), dtype=np.uint8))
+        _, desc = read_tiff(p, return_description=True)
+        assert desc == ""
+
+    def test_multi_strip_layout(self, tmp_path):
+        # Force many small strips; data must reassemble exactly.
+        a = np.arange(64 * 64, dtype=np.uint16).reshape(64, 64)
+        p = tmp_path / "t.tif"
+        write_tiff(p, a, rows_per_strip=3)
+        assert np.array_equal(read_tiff(p), a)
+
+    def test_single_row_image(self, tmp_path):
+        a = np.arange(100, dtype=np.uint16).reshape(1, 100)
+        p = tmp_path / "t.tif"
+        write_tiff(p, a)
+        assert np.array_equal(read_tiff(p), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        h=st.integers(min_value=1, max_value=40),
+        w=st.integers(min_value=1, max_value=40),
+        bits=st.sampled_from([8, 16]),
+        rps=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roundtrip_property(self, tmp_path_factory, h, w, bits, rps, seed):
+        dtype = np.uint8 if bits == 8 else np.uint16
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, np.iinfo(dtype).max + 1, (h, w)).astype(dtype)
+        p = tmp_path_factory.mktemp("prop") / "t.tif"
+        write_tiff(p, a, rows_per_strip=rps)
+        assert np.array_equal(read_tiff(p), a)
+
+
+class TestBigEndianRead:
+    def test_reads_motorola_order(self, tmp_path):
+        """Hand-built big-endian file (as MM-order microscopes emit)."""
+        h, w = 2, 3
+        pixels = np.array([[1, 2, 3], [4, 500, 60000]], dtype=np.uint16)
+        data = pixels.astype(">u2").tobytes()
+        entries = [
+            (256, 3, 1, w), (257, 3, 1, h), (258, 3, 1, 16),
+            (259, 3, 1, 1), (262, 3, 1, 1),
+            (273, 4, 1, None),  # strip offset patched below
+            (277, 3, 1, 1), (278, 4, 1, h), (279, 4, 1, len(data)),
+        ]
+        ifd_off = 8
+        data_off = ifd_off + 2 + 12 * len(entries) + 4
+        blob = struct.pack(">2sHI", b"MM", 42, ifd_off)
+        blob += struct.pack(">H", len(entries))
+        for tag, typ, cnt, val in entries:
+            if val is None:
+                val = data_off
+            if typ == 3:
+                blob += struct.pack(">HHIHH", tag, typ, cnt, val, 0)
+            else:
+                blob += struct.pack(">HHII", tag, typ, cnt, val)
+        blob += struct.pack(">I", 0) + data
+        p = tmp_path / "mm.tif"
+        p.write_bytes(blob)
+        assert np.array_equal(read_tiff(p), pixels)
+
+
+class TestWriterValidation:
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_tiff(tmp_path / "t.tif", np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_rejects_float(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_tiff(tmp_path / "t.tif", np.zeros((2, 2), dtype=np.float32))
+
+
+class TestMalformedInputs:
+    def write_valid(self, tmp_path):
+        p = tmp_path / "t.tif"
+        write_tiff(p, np.arange(16, dtype=np.uint16).reshape(4, 4))
+        return p
+
+    def test_truncated_header(self, tmp_path):
+        p = tmp_path / "t.tif"
+        p.write_bytes(b"II\x2a\x00")
+        with pytest.raises(TiffError, match="too small"):
+            read_tiff(p)
+
+    def test_bad_byte_order(self, tmp_path):
+        p = tmp_path / "t.tif"
+        p.write_bytes(b"XX" + b"\x00" * 20)
+        with pytest.raises(TiffError, match="byte-order"):
+            read_tiff(p)
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "t.tif"
+        p.write_bytes(struct.pack("<2sHI", b"II", 43, 8) + b"\x00" * 16)
+        with pytest.raises(TiffError, match="magic"):
+            read_tiff(p)
+
+    def test_truncated_pixel_data(self, tmp_path):
+        p = self.write_valid(tmp_path)
+        blob = p.read_bytes()
+        p.write_bytes(blob[:-8])  # chop the last strip bytes
+        with pytest.raises(TiffError, match="truncated"):
+            read_tiff(p)
+
+    def test_unsupported_compression(self, tmp_path):
+        p = self.write_valid(tmp_path)
+        blob = bytearray(p.read_bytes())
+        # Patch the Compression tag value (find tag 259 in the IFD).
+        n = struct.unpack_from("<H", blob, 8)[0]
+        for i in range(n):
+            off = 10 + 12 * i
+            tag = struct.unpack_from("<H", blob, off)[0]
+            if tag == 259:
+                struct.pack_into("<H", blob, off + 8, 5)  # LZW
+        p.write_bytes(bytes(blob))
+        with pytest.raises(TiffError, match="compression"):
+            read_tiff(p)
+
+    def test_strip_size_mismatch_detected(self, tmp_path):
+        p = self.write_valid(tmp_path)
+        blob = bytearray(p.read_bytes())
+        n = struct.unpack_from("<H", blob, 8)[0]
+        for i in range(n):
+            off = 10 + 12 * i
+            tag = struct.unpack_from("<H", blob, off)[0]
+            if tag == 257:  # claim more rows than the strips hold
+                struct.pack_into("<I", blob, off + 8, 400)
+        p.write_bytes(bytes(blob))
+        with pytest.raises(TiffError):
+            read_tiff(p)

@@ -1,0 +1,58 @@
+"""Tile reference counting against grid adjacency."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.neighbors import pairs_for_tile
+from repro.grid.tile_grid import GridPosition, TileGrid
+from repro.memmodel.refcount import RefCounter
+
+
+class TestRefCounter:
+    def test_initial_counts_match_adjacency(self):
+        g = TileGrid(3, 3)
+        rc = RefCounter(g)
+        assert rc.count(GridPosition(1, 1)) == 4  # interior
+        assert rc.count(GridPosition(0, 0)) == 2  # corner
+        assert rc.count(GridPosition(0, 1)) == 3  # edge
+
+    def test_degenerate_grids(self):
+        rc = RefCounter(TileGrid(1, 3))
+        assert rc.count(GridPosition(0, 0)) == 1
+        assert rc.count(GridPosition(0, 1)) == 2
+        rc1 = RefCounter(TileGrid(1, 1))
+        assert rc1.count(GridPosition(0, 0)) == 0
+
+    def test_decrement_to_zero_signals_release(self):
+        g = TileGrid(2, 2)
+        rc = RefCounter(g)
+        pos = GridPosition(0, 0)
+        assert rc.decrement(pos) is False
+        assert rc.decrement(pos) is True
+
+    def test_underflow_rejected(self):
+        g = TileGrid(2, 2)
+        rc = RefCounter(g)
+        pos = GridPosition(0, 0)
+        rc.decrement(pos)
+        rc.decrement(pos)
+        with pytest.raises(ValueError, match="underflow"):
+            rc.decrement(pos)
+
+    @given(rows=st.integers(1, 6), cols=st.integers(1, 6))
+    def test_full_drain_via_pair_completions(self, rows, cols):
+        """Completing every pair exactly once drains every tile to zero."""
+        g = TileGrid(rows, cols)
+        rc = RefCounter(g)
+        from repro.grid.neighbors import grid_pairs
+
+        releases = 0
+        for pair in grid_pairs(g):
+            for pos in (pair.first, pair.second):
+                if rc.decrement(pos):
+                    releases += 1
+        zero_start = sum(
+            1 for p in g.positions() if not pairs_for_tile(g, p.row, p.col)
+        )
+        assert releases + zero_start == rows * cols
+        assert rc.live_count() == 0

@@ -1,0 +1,66 @@
+"""Virtual-memory model: cliff location and slowdown shape."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memmodel.vm import VirtualMemoryModel
+
+GIB = 1024**3
+
+
+class TestSlowdown:
+    def test_under_ram_is_free(self):
+        vm = VirtualMemoryModel(ram_bytes=24 * GIB)
+        assert vm.slowdown(0) == 1.0
+        assert vm.slowdown(24 * GIB) == 1.0
+
+    def test_over_ram_pays(self):
+        vm = VirtualMemoryModel(ram_bytes=24 * GIB)
+        assert vm.slowdown(25 * GIB) > 1.0
+
+    def test_monotone_in_working_set(self):
+        vm = VirtualMemoryModel(ram_bytes=GIB)
+        prev = 0.0
+        for ws in [0.5 * GIB, GIB, 1.1 * GIB, 2 * GIB, 10 * GIB, 100 * GIB]:
+            cur = vm.slowdown(ws)
+            assert cur >= prev
+            prev = cur
+
+    def test_thrash_ceiling_from_resident_floor(self):
+        vm = VirtualMemoryModel(ram_bytes=GIB, page_fault_penalty=50.0,
+                                resident_fraction_floor=0.05)
+        worst = vm.slowdown(1e18)
+        assert worst == pytest.approx(1.0 + 50.0 * 0.95)
+
+    def test_penalty_scales_depth(self):
+        mild = VirtualMemoryModel(ram_bytes=GIB, page_fault_penalty=5.0)
+        harsh = VirtualMemoryModel(ram_bytes=GIB, page_fault_penalty=500.0)
+        assert harsh.slowdown(2 * GIB) > mild.slowdown(2 * GIB)
+
+    @given(ws=st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_slowdown_at_least_one(self, ws):
+        vm = VirtualMemoryModel(ram_bytes=24 * GIB)
+        assert vm.slowdown(ws) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMemoryModel(ram_bytes=0)
+        with pytest.raises(ValueError):
+            VirtualMemoryModel(ram_bytes=1, page_fault_penalty=-1)
+        with pytest.raises(ValueError):
+            VirtualMemoryModel(ram_bytes=GIB).slowdown(-5)
+
+
+class TestCliffLocation:
+    def test_paper_configuration(self):
+        """24 GiB RAM / ~30 MB per tile puts the cliff in the paper's
+        832-864 tile window (Fig. 5)."""
+        vm = VirtualMemoryModel(ram_bytes=24 * GIB)
+        hw = 1040 * 1392
+        cliff = vm.cliff_tile_count(21.0 * hw)
+        assert 832 < cliff <= 864
+
+    def test_validation(self):
+        vm = VirtualMemoryModel(ram_bytes=GIB)
+        with pytest.raises(ValueError):
+            vm.cliff_tile_count(0)

@@ -1,0 +1,176 @@
+"""Task-graph scheduler: correctness and invariants (property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulate.des import TaskGraphSimulator
+
+
+class TestBasics:
+    def test_single_op(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        sim.op("a", r, 2.5)
+        assert sim.run() == 2.5
+
+    def test_chain_sums(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 4)
+        prev = None
+        for i in range(5):
+            prev = sim.op(f"op{i}", r, 1.0, deps=[prev] if prev else [])
+        assert sim.run() == pytest.approx(5.0)
+
+    def test_parallel_ops_share_capacity(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 2)
+        for i in range(4):
+            sim.op(f"op{i}", r, 1.0)
+        assert sim.run() == pytest.approx(2.0)  # 4 ops / 2 slots
+
+    def test_capacity_one_serializes(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        for i in range(3):
+            sim.op(f"op{i}", r, 1.0)
+        assert sim.run() == pytest.approx(3.0)
+
+    def test_pipeline_overlap(self):
+        """Two resources, chained per item: classic pipelining halves time."""
+        sim = TaskGraphSimulator()
+        a = sim.resource("a", 1)
+        b = sim.resource("b", 1)
+        for i in range(10):
+            x = sim.op(f"a{i}", a, 1.0)
+            sim.op(f"b{i}", b, 1.0, deps=[x])
+        # fill (1) + 10 on the bottleneck = 11, not 20.
+        assert sim.run() == pytest.approx(11.0)
+
+    def test_fifo_dispatch_by_ready_time(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        a = sim.op("a", r, 1.0)
+        b = sim.op("b", r, 1.0)
+        sim.run()
+        assert a.start < b.start  # submission order breaks the tie
+
+    def test_empty_graph(self):
+        sim = TaskGraphSimulator()
+        sim.resource("cpu", 1)
+        assert sim.run() == 0.0
+
+    def test_zero_duration_ops(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        a = sim.op("a", r, 0.0)
+        b = sim.op("b", r, 1.0, deps=[a])
+        assert sim.run() == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_unknown_resource(self):
+        sim = TaskGraphSimulator()
+        with pytest.raises(ValueError):
+            sim.op("a", "nope", 1.0)
+
+    def test_negative_duration(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        with pytest.raises(ValueError):
+            sim.op("a", r, -1.0)
+
+    def test_resource_redeclaration_conflict(self):
+        sim = TaskGraphSimulator()
+        sim.resource("cpu", 2)
+        sim.resource("cpu", 2)  # idempotent ok
+        with pytest.raises(ValueError):
+            sim.resource("cpu", 3)
+
+    def test_forward_dependency_rejected(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        a = sim.op("a", r, 1.0)
+        b = sim.op("b", r, 1.0)
+        # Manually wire an illegal forward dep.
+        a.deps = (b,)
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_double_run_rejected(self):
+        sim = TaskGraphSimulator()
+        sim.resource("cpu", 1)
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+@st.composite
+def random_graph(draw):
+    n_res = draw(st.integers(1, 3))
+    caps = [draw(st.integers(1, 3)) for _ in range(n_res)]
+    n_ops = draw(st.integers(1, 30))
+    specs = []
+    for i in range(n_ops):
+        res = draw(st.integers(0, n_res - 1))
+        dur = draw(st.floats(0.0, 5.0, allow_nan=False))
+        n_deps = draw(st.integers(0, min(3, i)))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), min_size=n_deps, max_size=n_deps,
+                     unique=True)
+        ) if i else []
+        specs.append((res, dur, deps))
+    return caps, specs
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph())
+    def test_schedule_invariants(self, graph):
+        caps, specs = graph
+        sim = TaskGraphSimulator()
+        rs = [sim.resource(f"r{i}", c) for i, c in enumerate(caps)]
+        ops = []
+        for res, dur, deps in specs:
+            ops.append(sim.op("op", rs[res], dur, deps=[ops[d] for d in deps]))
+        makespan = sim.run()
+
+        # 1. Every op scheduled; deps respected.
+        for o in ops:
+            assert o.scheduled
+            for d in o.deps:
+                assert o.start >= d.end - 1e-9
+        # 2. Capacity never exceeded.
+        for rname, cap in zip([f"r{i}" for i in range(len(caps))], caps):
+            events = []
+            for o in ops:
+                if o.resource == rname and o.duration > 0:
+                    events.append((o.start, 1))
+                    events.append((o.end, -1))
+            events.sort(key=lambda e: (e[0], e[1]))
+            cur = 0
+            for _, delta in events:
+                cur += delta
+                assert cur <= cap
+        # 3. Makespan lower bounds: critical path and per-resource work.
+        assert makespan >= sim.critical_path() - 1e-9
+        for rname, cap in zip([f"r{i}" for i in range(len(caps))], caps):
+            assert makespan >= sim.busy_time(rname) / cap - 1e-9
+
+
+class TestMetrics:
+    def test_utilization_and_density(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        sim.op("a", r, 1.0)
+        b = sim.op("b", r, 1.0)
+        c = sim.op("gap", r, 0.0, deps=[b])
+        makespan = sim.run()
+        assert sim.utilization("cpu", makespan) == pytest.approx(1.0)
+        assert sim.density("cpu") == pytest.approx(1.0)
+
+    def test_density_window(self):
+        sim = TaskGraphSimulator()
+        r = sim.resource("cpu", 1)
+        sim.op("a", r, 1.0)
+        sim.run()
+        assert sim.density("cpu", 0.0, 4.0) == pytest.approx(0.25)

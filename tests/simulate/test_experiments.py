@@ -1,0 +1,158 @@
+"""Paper-shape assertions at full scale: every table/figure's headline claim.
+
+These run the actual paper-scale simulations (42x59 grid), so they are the
+strongest statement the reproduction makes: the published orderings,
+ratios, and crossovers all hold.
+"""
+
+import pytest
+
+from repro.simulate.costmodel import LAPTOP, PAPER_MACHINE
+from repro.simulate.experiments import (
+    PAPER_TABLE2,
+    fig5_vm_cliff,
+    fig7_fig9_profiles,
+    fig10_ccf_threads,
+    fig11_cpu_scaling,
+    table2_runtimes,
+)
+from repro.simulate.schedules import simulate_pipelined_cpu, simulate_pipelined_gpu
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {row.implementation: row for row in table2_runtimes()}
+
+
+class TestTable2:
+    def test_all_rows_present(self, table2):
+        assert set(table2) == set(PAPER_TABLE2)
+
+    def test_ordering_matches_paper(self, table2):
+        t = {k: v.seconds for k, v in table2.items()}
+        assert (
+            t["pipelined-gpu-2"] < t["pipelined-gpu-1"] < t["pipelined-cpu"]
+            < t["mt-cpu"] < t["simple-gpu"] < t["simple-cpu"] < t["imagej-fiji"]
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_within_35_percent_of_paper(self, table2, name):
+        ratio = table2[name].seconds / PAPER_TABLE2[name]
+        assert 0.65 < ratio < 1.35, f"{name}: {table2[name].seconds:.1f}s"
+
+    def test_headline_speedups(self, table2):
+        # Paper: Pipelined-GPU x1 is 12.8x over Simple-CPU, x2 is 23.9x.
+        assert 10 < table2["pipelined-gpu-1"].speedup_vs_simple_cpu < 17
+        assert 20 < table2["pipelined-gpu-2"].speedup_vs_simple_cpu < 30
+        # Paper: 261x / 487x over ImageJ (two orders of magnitude).
+        assert table2["pipelined-gpu-1"].speedup_vs_imagej > 150
+        assert table2["pipelined-gpu-2"].speedup_vs_imagej > 300
+
+    def test_two_gpu_scaling_factor(self, table2):
+        # Paper: adding the second GPU improves run time by 1.87x.
+        ratio = table2["pipelined-gpu-1"].seconds / table2["pipelined-gpu-2"].seconds
+        assert 1.6 < ratio < 2.0
+
+    def test_simple_gpu_barely_beats_simple_cpu(self, table2):
+        # Paper: "a mere 1.14x speedup".
+        ratio = table2["simple-cpu"].seconds / table2["simple-gpu"].seconds
+        assert 1.0 < ratio < 1.6
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return fig5_vm_cliff()
+
+    def test_cliff_between_832_and_864(self, fig5):
+        assert fig5["cliff_at"] == 864
+
+    def test_speedup_collapses_across_all_thread_counts(self, fig5):
+        sp = fig5["speedup"]
+        for t in (4, 8, 16):
+            before = sp[(832, t)]
+            after = sp[(960, t)]
+            assert after < 0.7 * before, f"no cliff at T={t}"
+        # Low thread counts drop too, just less steeply (their baseline
+        # pays the same fault time).
+        assert sp[(896, 2)] < sp[(832, 2)]
+
+    def test_flat_before_cliff(self, fig5):
+        sp = fig5["speedup"]
+        assert sp[(512, 8)] == pytest.approx(sp[(832, 8)], rel=0.05)
+
+
+class TestFig7Fig9:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return fig7_fig9_profiles()
+
+    def test_simple_gpu_sparse_kernels(self, profiles):
+        assert profiles["simple-gpu"]["kernel_density"] < 0.3
+
+    def test_pipelined_gpu_dense_kernels(self, profiles):
+        assert profiles["pipelined-gpu"]["kernel_density"] > 0.9
+
+    def test_speedup_near_paper_11x(self, profiles):
+        # Paper: "nearly 10x" / 11.2x improvement from pipelining.
+        assert 8 < profiles["speedup"] < 15
+
+    def test_same_kernel_count_both_architectures(self, profiles):
+        assert (
+            profiles["simple-gpu"]["kernel_count"]
+            == profiles["pipelined-gpu"]["kernel_count"]
+        )
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig10_ccf_threads(ccf_threads=(1, 2, 3, 4, 8, 16))
+
+    def test_one_thread_is_ccf_bound(self, series):
+        times = dict(series)
+        assert times[1] > 1.3 * times[2]
+
+    def test_flat_beyond_two_threads(self, series):
+        """Paper: "increasing the number of CCF threads beyond 2 has a
+        minimal impact ... performance is limited by GPU computations"."""
+        times = dict(series)
+        assert times[2] / times[16] < 1.35
+
+    def test_monotone_nonincreasing(self, series):
+        times = [s for _, s in series]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        return fig11_cpu_scaling()
+
+    def test_near_linear_to_physical_cores(self, scaling):
+        by_t = {t: sp for t, _, sp in scaling}
+        assert by_t[8] > 6.5  # near-linear up to 8 physical cores
+
+    def test_slope_changes_at_hyperthreads(self, scaling):
+        by_t = {t: sp for t, _, sp in scaling}
+        slope_lo = (by_t[8] - by_t[4]) / 4
+        slope_hi = (by_t[16] - by_t[8]) / 8
+        assert slope_hi < 0.3 * slope_lo
+
+    def test_monotone_speedup(self, scaling):
+        sps = [sp for _, _, sp in scaling]
+        assert all(b >= a - 1e-9 for a, b in zip(sps, sps[1:]))
+
+    def test_final_time_matches_table2(self, scaling):
+        final = scaling[-1][1]
+        assert final == pytest.approx(84, rel=0.15)
+
+
+class TestLaptop:
+    def test_laptop_validation_times(self):
+        gpu = simulate_pipelined_gpu(LAPTOP, 42, 59, 1)
+        cpu = simulate_pipelined_cpu(LAPTOP, 42, 59, 8)
+        assert gpu.makespan_seconds == pytest.approx(130, rel=0.2)
+        assert cpu.makespan_seconds == pytest.approx(146, rel=0.2)
+        # Laptop ordering matches the paper: GPU still wins, but narrowly.
+        assert gpu.makespan_seconds < cpu.makespan_seconds

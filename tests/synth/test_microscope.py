@@ -1,0 +1,111 @@
+"""Virtual microscope: scan plans, stage errors, ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.synth.microscope import ScanPlan, StageModel, VirtualMicroscope
+from repro.synth.noise import NOISELESS
+from repro.synth.specimen import generate_plate
+
+
+class TestScanPlan:
+    def test_steps_from_overlap(self):
+        plan = ScanPlan(3, 4, tile_height=100, tile_width=80, overlap=0.1)
+        assert plan.step_y == 90
+        assert plan.step_x == 72
+
+    def test_plate_shape_includes_margin(self):
+        plan = ScanPlan(2, 2, tile_height=50, tile_width=50, overlap=0.2)
+        h, w = plan.plate_shape(margin=10)
+        assert h == 40 + 50 + 20
+        assert w == 40 + 50 + 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanPlan(0, 2, 50, 50)
+        with pytest.raises(ValueError):
+            ScanPlan(2, 2, 4, 50)
+        with pytest.raises(ValueError):
+            ScanPlan(2, 2, 50, 50, overlap=0.95)
+
+
+class TestStageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageModel(jitter_sigma=-1)
+
+    def test_to_dict(self):
+        d = StageModel(jitter_sigma=1.5).to_dict()
+        assert d["jitter_sigma"] == 1.5
+
+
+class TestScan:
+    def make(self, jitter=2.0, backlash=3.0, seed=7):
+        stage = StageModel(jitter_sigma=jitter, backlash_x=backlash, max_error=8.0)
+        scope = VirtualMicroscope(stage=stage, camera=NOISELESS, seed=seed)
+        plan = ScanPlan(3, 4, tile_height=40, tile_width=40, overlap=0.25)
+        margin = 10
+        plate = generate_plate(*plan.plate_shape(margin), seed=seed)
+        return scope, plan, plate, margin
+
+    def test_tiles_shape_and_truth(self):
+        scope, plan, plate, margin = self.make()
+        tiles, pos = scope.scan(plate, plan, margin)
+        assert tiles.shape == (3, 4, 40, 40)
+        assert pos.shape == (3, 4, 2)
+
+    def test_tiles_match_plate_at_true_positions(self):
+        scope, plan, plate, margin = self.make()
+        tiles, pos = scope.scan(plate, plan, margin)
+        cam = scope.camera
+        for r in range(3):
+            for c in range(4):
+                y, x = pos[r, c]
+                expected = cam.expose(
+                    plate[y : y + 40, x : x + 40], np.random.default_rng(0)
+                )
+                # Noiseless camera: exposure is deterministic quantization.
+                assert np.array_equal(tiles[r, c], expected)
+
+    def test_positions_deviate_from_nominal_but_bounded(self):
+        scope, plan, plate, margin = self.make()
+        _, pos = scope.scan(plate, plan, margin)
+        nominal = np.array(
+            [[(margin + r * plan.step_y, margin + c * plan.step_x)
+              for c in range(4)] for r in range(3)]
+        )
+        dev = np.abs(pos - nominal)
+        assert dev.max() > 0           # stage error exists...
+        assert dev.max() <= 8.0 + 0.5  # ...and respects max_error (+rounding)
+
+    def test_zero_error_stage_is_exact(self):
+        stage = StageModel(jitter_sigma=0.0, backlash_x=0.0, backlash_y=0.0)
+        scope = VirtualMicroscope(stage=stage, camera=NOISELESS, seed=0)
+        plan = ScanPlan(2, 2, tile_height=30, tile_width=30, overlap=0.2)
+        plate = generate_plate(*plan.plate_shape(5), seed=0)
+        _, pos = scope.scan(plate, plan, margin=5)
+        assert tuple(pos[0, 0]) == (5, 5)
+        assert tuple(pos[1, 1]) == (5 + plan.step_y, 5 + plan.step_x)
+
+    def test_backlash_alternates_with_serpentine_direction(self):
+        stage = StageModel(jitter_sigma=0.0, backlash_x=4.0, backlash_y=0.0)
+        scope = VirtualMicroscope(stage=stage, camera=NOISELESS, seed=0)
+        plan = ScanPlan(2, 3, tile_height=30, tile_width=30, overlap=0.2)
+        pos = scope.true_positions(plan, margin=10)
+        # Row 0 scans left-to-right: +x bias on cols 1, 2.
+        assert pos[0, 1, 1] - pos[0, 0, 1] == plan.step_x + 4
+        # Row 1 scans right-to-left: arriving at (1,1) from (1,2) carries a
+        # -x backlash bias, while (1,2) itself arrived on a row change.
+        assert pos[1, 1, 1] - pos[1, 2, 1] == -(plan.step_x + 4)
+
+    def test_plate_too_small_raises(self):
+        scope, plan, _, margin = self.make()
+        with pytest.raises(ValueError, match="too small"):
+            scope.scan(np.zeros((50, 50)), plan, margin)
+
+    def test_deterministic(self):
+        s1, plan, plate, m = self.make(seed=3)
+        s2, _, _, _ = self.make(seed=3)
+        t1, p1 = s1.scan(plate, plan, m)
+        t2, p2 = s2.scan(plate, plan, m)
+        assert np.array_equal(t1, t2) and np.array_equal(p1, p2)

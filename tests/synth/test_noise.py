@@ -1,0 +1,49 @@
+"""Camera model: quantization, vignette geometry, noise scaling."""
+
+import numpy as np
+import pytest
+
+from repro.synth.noise import NOISELESS, CameraModel
+
+
+class TestCameraModel:
+    def test_noiseless_is_pure_quantization(self):
+        rng = np.random.default_rng(0)
+        radiance = np.full((16, 16), 0.5)
+        counts = NOISELESS.expose(radiance, rng)
+        assert counts.dtype == np.uint16
+        assert np.all(counts == int(0.5 * NOISELESS.full_well))
+
+    def test_8bit_mode(self):
+        cam = CameraModel(bit_depth=8, full_well=200.0, vignette=0.0,
+                          shot_noise=0.0, read_noise=0.0)
+        counts = cam.expose(np.ones((4, 4)), np.random.default_rng(0))
+        assert counts.dtype == np.uint8
+        assert np.all(counts == 200)
+
+    def test_clipping_at_full_scale(self):
+        cam = CameraModel(full_well=1e6, vignette=0.0, shot_noise=0.0, read_noise=0.0)
+        counts = cam.expose(np.ones((4, 4)), np.random.default_rng(0))
+        assert np.all(counts == 65535)
+
+    def test_vignette_darkens_corners_not_centre(self):
+        cam = CameraModel(vignette=0.3, shot_noise=0.0, read_noise=0.0)
+        field = cam.vignette_field((101, 101))
+        assert field[50, 50] == pytest.approx(1.0, abs=1e-3)
+        assert field[0, 0] == pytest.approx(0.7, abs=1e-2)
+        assert field[0, 0] < field[0, 50] < field[50, 50] + 1e-9
+
+    def test_noise_scales_with_signal(self):
+        cam = CameraModel(vignette=0.0, read_noise=0.0)
+        rng = np.random.default_rng(0)
+        dim = cam.expose(np.full((64, 64), 0.05), rng).astype(float)
+        bright = cam.expose(np.full((64, 64), 0.8), rng).astype(float)
+        assert bright.std() > dim.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraModel(bit_depth=12)
+        with pytest.raises(ValueError):
+            CameraModel(vignette=1.0)
+        with pytest.raises(ValueError):
+            NOISELESS.expose(np.zeros((2, 2, 2)), np.random.default_rng(0))

@@ -1,0 +1,58 @@
+"""Specimen synthesis: determinism, range, texture regimes."""
+
+import numpy as np
+import pytest
+
+from repro.synth.specimen import SpecimenParams, generate_plate, sparse_plate
+
+
+class TestGeneratePlate:
+    def test_shape_range_dtype(self):
+        p = generate_plate(120, 150, seed=0)
+        assert p.shape == (120, 150)
+        assert p.dtype == np.float64
+        assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_deterministic_for_seed(self):
+        a = generate_plate(64, 64, seed=42)
+        b = generate_plate(64, 64, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        # Few colonies so the small plate cannot saturate to all-ones.
+        params = SpecimenParams(colony_count=2, cells_per_colony=5)
+        a = generate_plate(64, 64, params, seed=1)
+        b = generate_plate(64, 64, params, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_tiny_plate(self):
+        with pytest.raises(ValueError):
+            generate_plate(4, 100)
+
+    def test_has_broadband_content(self):
+        """Phase correlation needs energy at high spatial frequencies."""
+        p = generate_plate(128, 128, seed=3)
+        spec = np.abs(np.fft.fft2(p - p.mean()))
+        # Energy in the top-frequency quadrant must be non-negligible.
+        hi = spec[32:96, 32:96].sum()
+        assert hi > 0.01 * spec.sum()
+
+    def test_colonies_raise_intensity_over_background(self):
+        params = SpecimenParams(colony_count=40, background_level=0.1)
+        p = generate_plate(256, 256, params, seed=0)
+        assert p.max() > 0.3  # cells visibly brighter than background
+
+    def test_zero_texture_plate_is_flat_except_cells(self):
+        params = SpecimenParams(
+            colony_count=0, background_texture=0.0, fine_texture=0.0, granularity=0.0
+        )
+        p = generate_plate(64, 64, params, seed=0)
+        assert np.allclose(p, p[0, 0])
+
+
+class TestSparsePlate:
+    def test_sparse_has_fewer_bright_pixels_than_dense(self):
+        sparse = sparse_plate(256, 256, seed=5)
+        dense = generate_plate(256, 256, SpecimenParams(colony_count=60), seed=5)
+        thresh = 0.35
+        assert (sparse > thresh).sum() < (dense > thresh).sum()

@@ -1,0 +1,91 @@
+"""Time-series experiments: growth monotonicity, site persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.stitcher import Stitcher
+from repro.synth.microscope import ScanPlan, StageModel
+from repro.synth.noise import NOISELESS
+from repro.synth.specimen import SpecimenParams
+from repro.synth.timeseries import GrowthModel, TimeSeriesExperiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return TimeSeriesExperiment(
+        plan=ScanPlan(3, 3, tile_height=64, tile_width=64, overlap=0.25),
+        colony_count=3,
+        growth=GrowthModel(initial_cells=4, growth_rate=0.6, initial_radius=10.0),
+        specimen=SpecimenParams(cell_radius=2.0, granularity=0.025),
+        stage=StageModel(jitter_sigma=1.5, backlash_x=2.0, max_error=6.0),
+        camera=NOISELESS,
+        seed=3,
+    )
+
+
+class TestGrowthModel:
+    def test_cells_grow_monotonically(self):
+        g = GrowthModel(initial_cells=5, growth_rate=0.3)
+        counts = [g.cells_at(t) for t in range(10)]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[0] == 5
+
+    def test_cap(self):
+        g = GrowthModel(initial_cells=5, growth_rate=2.0, max_cells=50)
+        assert g.cells_at(20) == 50
+
+    def test_radius_spreads(self):
+        g = GrowthModel()
+        assert g.radius_at(5) > g.radius_at(0)
+
+
+class TestPlateEvolution:
+    def test_mass_increases_with_growth(self, experiment):
+        m0 = experiment.plate_at(0).sum()
+        m3 = experiment.plate_at(3).sum()
+        m6 = experiment.plate_at(6).sum()
+        assert m0 < m3 < m6
+
+    def test_plate_deterministic(self, experiment):
+        assert np.array_equal(experiment.plate_at(2), experiment.plate_at(2))
+
+    def test_background_static_across_scans(self, experiment):
+        """Where no colony reaches, the plate is identical at every scan
+        (fixed specimen background)."""
+        p0 = experiment.plate_at(0)
+        p5 = experiment.plate_at(5)
+        untouched = p5 == p0
+        assert untouched.mean() > 0.3  # plenty of plate is colony-free
+
+    def test_colonies_only_grow(self, experiment):
+        """Growth never removes signal anywhere."""
+        p0 = experiment.plate_at(0)
+        p4 = experiment.plate_at(4)
+        assert np.all(p4 >= p0 - 1e-12)
+
+    def test_negative_scan_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.plate_at(-1)
+
+
+class TestScans:
+    def test_stage_error_differs_per_scan(self, experiment):
+        _, p0 = experiment.scan(0)
+        _, p1 = experiment.scan(1)
+        assert not np.array_equal(p0, p1)
+
+    def test_every_scan_stitches_exactly(self, experiment, tmp_path):
+        stitcher = Stitcher()
+        for ds in experiment.acquire(tmp_path, scans=3):
+            res = stitcher.stitch(ds)
+            assert res.position_errors().max() == 0.0
+
+    def test_acquire_writes_directories(self, experiment, tmp_path):
+        datasets = list(experiment.acquire(tmp_path / "exp", scans=2))
+        assert (tmp_path / "exp" / "scan_000" / "dataset.json").exists()
+        assert (tmp_path / "exp" / "scan_001" / "dataset.json").exists()
+        assert len(datasets) == 2
+
+    def test_zero_scans_rejected(self, experiment, tmp_path):
+        with pytest.raises(ValueError):
+            list(experiment.acquire(tmp_path, scans=0))

@@ -1,0 +1,143 @@
+"""CLI: synth / stitch / info / simulate subcommands."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestSynth:
+    def test_creates_dataset(self, tmp_path, capsys):
+        rc = main(["synth", str(tmp_path / "ds"), "--rows", "3", "--cols", "2",
+                   "--tile-size", "48", "--overlap", "0.2", "--seed", "1"])
+        assert rc == 0
+        assert (tmp_path / "ds" / "dataset.json").exists()
+        assert "wrote 6 tiles" in capsys.readouterr().out
+
+
+class TestStitch:
+    @pytest.fixture
+    def dataset_dir(self, tmp_path):
+        main(["synth", str(tmp_path / "ds"), "--rows", "3", "--cols", "3",
+              "--tile-size", "64", "--overlap", "0.25", "--seed", "2"])
+        return tmp_path / "ds"
+
+    def test_stitch_to_mosaic(self, dataset_dir, tmp_path, capsys):
+        out = tmp_path / "mosaic.tif"
+        rc = main(["stitch", str(dataset_dir), "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "max 0.0 px" in text
+
+    def test_positions_json(self, dataset_dir, tmp_path):
+        pj = tmp_path / "pos.json"
+        main(["stitch", str(dataset_dir), "--positions-json", str(pj)])
+        pos = np.asarray(json.loads(pj.read_text()))
+        assert pos.shape == (3, 3, 2)
+
+    def test_flags(self, dataset_dir, tmp_path):
+        rc = main(["stitch", str(dataset_dir),
+                   "--real-transforms", "--pad", "--refine",
+                   "--positions", "least_squares",
+                   "--blend", "linear",
+                   "-o", str(tmp_path / "m.tif")])
+        assert rc == 0
+
+    def test_paper_faithful_mode(self, dataset_dir):
+        assert main(["stitch", str(dataset_dir), "--paper-faithful"]) == 0
+
+    def test_outline(self, dataset_dir, tmp_path):
+        out = tmp_path / "o.tif"
+        assert main(["stitch", str(dataset_dir), "-o", str(out), "--outline"]) == 0
+
+
+class TestInfo:
+    def test_dataset_info(self, tmp_path, capsys):
+        main(["synth", str(tmp_path / "ds"), "--rows", "2", "--cols", "2",
+              "--tile-size", "32"])
+        capsys.readouterr()
+        main(["info", str(tmp_path / "ds")])
+        out = capsys.readouterr().out
+        assert "grid: 2 x 2" in out
+        assert "ground truth: yes" in out
+
+    def test_tiff_info(self, tmp_path, capsys):
+        from repro.io.tiff import write_tiff
+
+        p = tmp_path / "t.tif"
+        write_tiff(p, np.zeros((10, 12), dtype=np.uint16), description="hi")
+        main(["info", str(p)])
+        out = capsys.readouterr().out
+        assert "10 x 12" in out and "hi" in out
+
+
+class TestSimulate:
+    def test_small_projection(self, capsys):
+        rc = main(["simulate", "--rows", "6", "--cols", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipelined-gpu" in out and "simple-cpu" in out
+
+    def test_laptop_machine(self, capsys):
+        assert main(["simulate", "--machine", "laptop",
+                     "--rows", "4", "--cols", "4"]) == 0
+
+
+def test_no_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestWisdom:
+    def test_wisdom_saved_and_reused(self, tmp_path, capsys):
+        main(["synth", str(tmp_path / "ds"), "--rows", "2", "--cols", "2",
+              "--tile-size", "48"])
+        wisdom = tmp_path / "wisdom.json"
+        main(["stitch", str(tmp_path / "ds"), "--planning", "measure",
+              "--wisdom", str(wisdom)])
+        assert wisdom.exists()
+        capsys.readouterr()
+        main(["stitch", str(tmp_path / "ds"), "--planning", "measure",
+              "--wisdom", str(wisdom)])
+        out = capsys.readouterr().out
+        assert "imported" in out
+
+
+class TestImplSelection:
+    @pytest.fixture
+    def ds_dir(self, tmp_path):
+        main(["synth", str(tmp_path / "ds"), "--rows", "3", "--cols", "3",
+              "--tile-size", "64", "--overlap", "0.25", "--seed", "9"])
+        return tmp_path / "ds"
+
+    @pytest.mark.parametrize("impl", ["simple-cpu", "pipelined-cpu", "pipelined-gpu"])
+    def test_impl_choices(self, ds_dir, impl, capsys):
+        rc = main(["stitch", str(ds_dir), "--impl", impl])
+        assert rc == 0
+        assert "max 0.0 px" in capsys.readouterr().out
+
+    def test_pattern_discovery(self, ds_dir, capsys):
+        (ds_dir / "dataset.json").unlink()
+        rc = main(["stitch", str(ds_dir), "--pattern",
+                   "img_r{row:03d}_c{col:03d}.tif", "--overlap", "0.25"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "discovered 3x3 grid" in out
+
+
+class TestMoreImplFlags:
+    def test_numa_and_multi_gpu(self, tmp_path, capsys):
+        main(["synth", str(tmp_path / "ds"), "--rows", "3", "--cols", "4",
+              "--tile-size", "64", "--overlap", "0.25", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["stitch", str(tmp_path / "ds"),
+                   "--impl", "pipelined-cpu-numa", "--workers", "2"])
+        assert rc == 0
+        rc = main(["stitch", str(tmp_path / "ds"),
+                   "--impl", "pipelined-gpu", "--gpus", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("max 0.0 px") == 2

@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the documentation users actually execute; a broken example is
+a broken promise.  Each is run as a subprocess exactly as the README says.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart(tmp_path):
+    out = run_example("quickstart.py", str(tmp_path))
+    assert "position error vs ground truth: max 0.0 px" in out
+    assert (tmp_path / "mosaic.tif").exists()
+
+
+def test_cell_colony_timeseries():
+    out = run_example("cell_colony_timeseries.py")
+    assert out.count("steerable: True") == 4
+    assert "pos err max 0.0 px" in out
+
+
+def test_sparse_early_experiment():
+    out = run_example("sparse_early_experiment.py")
+    assert "nearly empty" in out
+    # The robust scheme's column must be all ~0 errors.
+    for line in out.splitlines():
+        if "|" in line and "err" not in line and "-" not in line[:3]:
+            robust = line.rsplit("|", 1)[-1].strip()
+            assert float(robust) <= 2.0
+
+
+def test_implementation_comparison():
+    out = run_example("implementation_comparison.py")
+    assert out.count("yes") >= 6           # all impls match the reference
+    assert "pipelined-gpu-2" in out
+
+
+@pytest.mark.slow
+def test_paper_figures():
+    out = run_example("paper_figures.py", timeout=480.0)
+    for marker in ("Table I", "Table II", "Fig. 5", "Fig. 10", "Fig. 11", "Fig. 12"):
+        assert marker in out
+
+
+def test_viewer_and_traces(tmp_path):
+    out = run_example("viewer_and_traces.py", str(tmp_path))
+    assert "kernel density" in out
+    assert (tmp_path / "trace_simple_gpu.json").exists()
+    assert (tmp_path / "overview_level3.tif").exists()
