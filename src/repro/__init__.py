@@ -7,7 +7,8 @@ Public API highlights:
 - :mod:`repro.impls` -- the six Table II implementations;
 - :mod:`repro.synth` -- synthetic microscope acquisitions with ground truth;
 - :mod:`repro.simulate` -- paper-scale performance reproduction (DES);
-- :mod:`repro.pipeline` -- the general-purpose pipeline framework.
+- :mod:`repro.pipeline` -- the general-purpose pipeline framework;
+- :mod:`repro.faults` -- fault injection, retry policies, fault reports.
 """
 
 from repro.core import (
@@ -19,6 +20,7 @@ from repro.core import (
     pciam,
     resolve_absolute_positions,
 )
+from repro.faults import ErrorPolicy, FaultPlan, FaultReport
 from repro.io import TileDataset, read_tiff, write_tiff
 from repro.synth import make_synthetic_dataset
 
@@ -36,5 +38,8 @@ __all__ = [
     "read_tiff",
     "write_tiff",
     "make_synthetic_dataset",
+    "ErrorPolicy",
+    "FaultPlan",
+    "FaultReport",
     "__version__",
 ]

@@ -55,6 +55,13 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         print(f"discovered {dataset.rows}x{dataset.cols} grid via {args.pattern!r}")
     else:
         dataset = TileDataset(args.dataset)
+    if args.inject_faults is not None:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.random(dataset.rows, dataset.cols, seed=args.inject_faults)
+        dataset = plan.wrap_dataset(dataset)
+        print(f"injecting faults (seed {args.inject_faults}): "
+              + ", ".join(f"{k} x{v}" for k, v in sorted(plan.summary().items())))
     cache = PlanCache()
     if args.wisdom and Path(args.wisdom).exists():
         n = cache.import_wisdom(Path(args.wisdom).read_text())
@@ -68,6 +75,8 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         refine=args.refine,
         planning=PlanningMode(args.planning),
         cache=cache,
+        max_retries=args.max_retries,
+        on_tile_error=args.on_tile_error,
     )
     t0 = time.perf_counter()
     if args.impl == "stitcher":
@@ -86,17 +95,40 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             impl_kwargs["workers_per_socket"] = args.workers
         elif args.impl == "pipelined-gpu":
             impl_kwargs["devices"] = args.gpus
+        policy = stitcher._error_policy()
+        report = None
+        if policy is not None:
+            from repro.faults import FaultReport
+
+            report = FaultReport()
         run = ALL_IMPLEMENTATIONS[args.impl](
             ccf_mode=stitcher.ccf_mode, n_peaks=stitcher.n_peaks,
-            cache=cache, **impl_kwargs,
+            cache=cache, error_policy=policy, fault_report=report,
+            **impl_kwargs,
         ).run(dataset)
-        positions = resolve_absolute_positions(
-            run.displacements, method=args.positions
-        )
+        if policy is not None and args.on_tile_error == "skip":
+            positions = resolve_absolute_positions(
+                run.displacements, method=args.positions,
+                on_disconnected="nominal",
+                nominal_step=stitcher._nominal_step(dataset),
+            )
+        else:
+            positions = resolve_absolute_positions(
+                run.displacements, method=args.positions
+            )
+        stats = dict(run.stats)
+        if report is not None:
+            for rc in positions.degraded_tiles():
+                report.record_degraded_tile(rc)
+            plan = getattr(dataset, "fault_plan", None)
+            if plan is not None:
+                report.injected = plan.summary()
+            stats["fault_report"] = report
         result = StitchResult(
             dataset=dataset, displacements=run.displacements,
             positions=positions, phase1_seconds=run.wall_seconds,
-            phase2_seconds=0.0, implementation=args.impl, stats=run.stats,
+            phase2_seconds=0.0, implementation=args.impl, stats=stats,
+            on_tile_error=args.on_tile_error,
         )
     elapsed = time.perf_counter() - t0
     if args.wisdom:
@@ -104,9 +136,12 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         print(f"wisdom -> {args.wisdom}")
     print(f"stitched {dataset.rows}x{dataset.cols} grid in {elapsed:.2f} s "
           f"({result.stats['pairs']} pairs)")
-    errors = result.position_errors()
+    report = result.stats.get("fault_report")
+    if report is not None and report:
+        print(f"fault report: {report.summary()}")
+    errors = result.position_errors(exclude_degraded=True)
     if errors is not None:
-        print(f"position error vs ground truth: max {errors.max():.1f} px")
+        print(f"position error vs ground truth: max {np.nanmax(errors):.1f} px")
     if args.output:
         mosaic = result.compose(BlendMode(args.blend), outline=args.outline)
         top = float(mosaic.max()) or 1.0
@@ -214,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "'img_r{row:03d}_c{col:03d}.tif'")
     s.add_argument("--overlap", type=float, default=0.1,
                    help="nominal overlap for --pattern discovery")
+    s.add_argument("--max-retries", type=int, default=0,
+                   help="retries per failing tile read (0 = fail fast)")
+    s.add_argument("--on-tile-error", choices=["abort", "skip"],
+                   default="abort",
+                   help="after retries: abort the run, or drop the tile and "
+                        "render a partial mosaic")
+    s.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
+                   help="damage the run with a seeded fault plan (testing)")
     s.set_defaults(func=_cmd_stitch)
 
     s = sub.add_parser("info", help="inspect a dataset directory or TIFF")

@@ -58,17 +58,33 @@ def compose(
     outline: bool = False,
     outline_value: float | None = None,
     dtype=np.float32,
-) -> np.ndarray:
+    skip_tiles=None,
+    on_tile_error: str = "abort",
+    return_mask: bool = False,
+):
     """Render the mosaic; returns a 2-D array of ``dtype``.
 
     ``load_tile(row, col) -> ndarray`` supplies pixels on demand.  Tiles are
     visited row-major, which for OVERLAY reproduces the usual microscopy
     convention (later rows/columns over earlier ones).
+
+    Degraded rendering: ``skip_tiles`` (iterable of ``(row, col)``) leaves
+    holes where phase 1 dropped tiles; ``on_tile_error="skip"`` also turns
+    load failures *during composition* into holes instead of aborting.
+    With ``return_mask=True`` the return value is ``(canvas, mask)`` where
+    ``mask[r, c]`` is True for every tile actually rendered -- the
+    per-tile provenance record of the partial mosaic.
     """
     rows, cols = positions.rows, positions.cols
     th, tw = tile_shape
+    skip = {(int(r), int(c)) for r, c in (skip_tiles or ())}
+    if on_tile_error not in ("abort", "skip"):
+        raise ValueError(
+            f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
+        )
     canvas_shape = positions.mosaic_shape(tile_shape)
     canvas = np.zeros(canvas_shape, dtype=np.float64)
+    mask = np.zeros((rows, cols), dtype=bool)
     weight = None
     if blend in (BlendMode.AVERAGE, BlendMode.LINEAR):
         weight = np.zeros(canvas_shape, dtype=np.float64)
@@ -76,7 +92,14 @@ def compose(
 
     for r in range(rows):
         for c in range(cols):
-            tile = np.asarray(load_tile(r, c), dtype=np.float64)
+            if (r, c) in skip:
+                continue
+            try:
+                tile = np.asarray(load_tile(r, c), dtype=np.float64)
+            except Exception:
+                if on_tile_error == "skip":
+                    continue
+                raise
             if tile.shape != (th, tw):
                 raise ValueError(
                     f"tile ({r},{c}) has shape {tile.shape}, expected {(th, tw)}"
@@ -95,6 +118,7 @@ def compose(
                 weight[region] += lin_w
             else:  # pragma: no cover - exhaustive enum
                 raise AssertionError(blend)
+            mask[r, c] = True
 
     if weight is not None:
         covered = weight > 0
@@ -105,13 +129,18 @@ def compose(
             outline_value = float(canvas.max())
         for r in range(rows):
             for c in range(cols):
+                if not mask[r, c]:
+                    continue
                 y, x = (int(v) for v in positions.positions[r, c])
                 canvas[y, x : x + tw] = outline_value
                 canvas[min(y + th - 1, canvas.shape[0] - 1), x : x + tw] = outline_value
                 canvas[y : y + th, x] = outline_value
                 canvas[y : y + th, min(x + tw - 1, canvas.shape[1] - 1)] = outline_value
 
-    return canvas.astype(dtype)
+    canvas = canvas.astype(dtype)
+    if return_mask:
+        return canvas, mask
+    return canvas
 
 
 def compose_to_tiff(
@@ -123,6 +152,8 @@ def compose_to_tiff(
     band_rows: int | None = None,
     dtype=np.uint16,
     scale: float | None = None,
+    skip_tiles=None,
+    on_tile_error: str = "abort",
 ) -> tuple[int, int]:
     """Compose directly to a TIFF file in row bands (bounded memory).
 
@@ -137,11 +168,18 @@ def compose_to_tiff(
     with clipping to the dtype's range).  ``band_rows`` defaults to twice
     the tile height.  Returns the mosaic shape.  OVERLAY and AVERAGE
     blends are supported (LINEAR feathering needs cross-band weights).
+    ``skip_tiles``/``on_tile_error`` mirror :func:`compose` for partial
+    mosaics (a skipped tile is simply left out of every band).
     """
     from repro.io.tiff import TiffStripWriter
 
     if blend not in (BlendMode.OVERLAY, BlendMode.AVERAGE):
         raise ValueError(f"streaming compose supports OVERLAY/AVERAGE, not {blend}")
+    if on_tile_error not in ("abort", "skip"):
+        raise ValueError(
+            f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
+        )
+    skip = {(int(r), int(c)) for r, c in (skip_tiles or ())}
     dtype = np.dtype(dtype)
     th, tw = tile_shape
     height, width = positions.mosaic_shape(tile_shape)
@@ -156,6 +194,7 @@ def compose_to_tiff(
         (r, c, int(positions.positions[r, c][0]), int(positions.positions[r, c][1]))
         for r in range(positions.rows)
         for c in range(positions.cols)
+        if (r, c) not in skip
     ]
 
     with TiffStripWriter(path, height, width, dtype) as writer:
@@ -169,7 +208,12 @@ def compose_to_tiff(
                 by0, by1 = max(ty, y0), min(ty + th, y1)
                 if by1 <= by0:
                     continue
-                tile = np.asarray(load_tile(r, c), dtype=np.float64)
+                try:
+                    tile = np.asarray(load_tile(r, c), dtype=np.float64)
+                except Exception:
+                    if on_tile_error == "skip":
+                        continue
+                    raise
                 src = tile[by0 - ty : by1 - ty, :]
                 dst = (slice(by0 - y0, by1 - y0), slice(tx, tx + tw))
                 if blend is BlendMode.OVERLAY:

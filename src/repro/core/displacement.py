@@ -18,6 +18,8 @@ from repro.fftlib.plans import PlanCache, PlanningMode
 from repro.grid.neighbors import Direction, pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
+from repro.pipeline.graph import aggregate_failures
+from repro.pipeline.stage import ErrorPolicy, run_with_retries
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,17 @@ class DisplacementResult:
         """All ``2nm - n - m`` pairs computed."""
         return self.pair_count() == 2 * self.rows * self.cols - self.rows - self.cols
 
+    def missing_pairs(self) -> list[tuple[str, int, int]]:
+        """Absent interior pairs as ``(direction, row, col)`` of the second tile."""
+        out = []
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if c > 0 and self.west[r][c] is None:
+                    out.append(("west", r, c))
+                if r > 0 and self.north[r][c] is None:
+                    out.append(("north", r, c))
+        return out
+
 
 def compute_grid_displacements(
     load_tile,
@@ -105,6 +118,8 @@ def compute_grid_displacements(
     subpixel: bool = False,
     cache: PlanCache | None = None,
     planning: PlanningMode = PlanningMode.ESTIMATE,
+    error_policy: ErrorPolicy | None = None,
+    fault_report=None,
 ) -> DisplacementResult:
     """Compute west/north translations for the whole grid sequentially.
 
@@ -115,6 +130,15 @@ def compute_grid_displacements(
 
     Instrumented: ``result.stats`` records FFT/pair/read counts and the peak
     number of live transforms (these feed the Table I verification bench).
+
+    With an ``error_policy``, failing tile reads are retried per the
+    policy; when retries are exhausted the run either aborts with a
+    :class:`~repro.pipeline.graph.PipelineError` naming the logical stage
+    (``on_exhausted="abort"``) or drops the tile -- skipping every pair it
+    participates in -- and records the damage in ``fault_report`` (a
+    :class:`~repro.faults.report.FaultReport`) and ``result.stats``.
+    Without a policy, exceptions propagate raw (the legacy contract the
+    reference implementations rely on).
     """
     grid = TileGrid(rows, cols)
     result = DisplacementResult.empty(rows, cols)
@@ -122,19 +146,68 @@ def compute_grid_displacements(
     tiles: dict[GridPosition, np.ndarray] = {}
     ffts: dict[GridPosition, np.ndarray] = {}
     pairs_done: set = set()
+    failed_tiles: set[GridPosition] = set()
+    skipped_pairs: set = set()
     stats = {"reads": 0, "ffts": 0, "pairs": 0, "peak_live_transforms": 0}
 
+    def load_with_policy(pos: GridPosition) -> np.ndarray | None:
+        """Read one tile under the policy; None = tile dropped (skip mode)."""
+        if error_policy is None:
+            return load_tile(pos.row, pos.col)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            if fault_report is not None:
+                fault_report.record_retry("read", (pos.row, pos.col), attempt, exc)
+
+        try:
+            value, _ = run_with_retries(
+                lambda: load_tile(pos.row, pos.col),
+                error_policy,
+                key=(pos.row, pos.col),
+                on_retry=on_retry,
+            )
+            return value
+        except Exception as exc:
+            if error_policy.on_exhausted == "abort":
+                raise aggregate_failures(
+                    "displacement", [("read", exc)]
+                ) from exc
+            if fault_report is not None:
+                fault_report.record_skipped_tile((pos.row, pos.col), exc)
+            return None
+
+    def mark_failed(pos: GridPosition) -> None:
+        failed_tiles.add(pos)
+        # Its pairs can never be computed: mark them done so the early-free
+        # policy still releases the surviving neighbours' transforms.
+        for pair in pairs_for_tile(grid, pos.row, pos.col):
+            if pair not in pairs_done:
+                pairs_done.add(pair)
+                skipped_pairs.add(pair)
+                if fault_report is not None:
+                    fault_report.record_skipped_pair(
+                        pair.direction.name.lower(),
+                        pair.second.row,
+                        pair.second.col,
+                        reason=f"tile ({pos.row},{pos.col}) unreadable",
+                    )
+
     def ensure_loaded(pos: GridPosition) -> None:
-        if pos not in tiles:
-            tiles[pos] = np.asarray(load_tile(pos.row, pos.col), dtype=np.float64)
-            stats["reads"] += 1
-            ffts[pos] = forward_fft(
-                tiles[pos], fft_shape, cache, planning, real=real_transforms
-            )
-            stats["ffts"] += 1
-            stats["peak_live_transforms"] = max(
-                stats["peak_live_transforms"], len(ffts)
-            )
+        if pos in tiles or pos in failed_tiles:
+            return
+        pixels = load_with_policy(pos)
+        if pixels is None:
+            mark_failed(pos)
+            return
+        tiles[pos] = np.asarray(pixels, dtype=np.float64)
+        stats["reads"] += 1
+        ffts[pos] = forward_fft(
+            tiles[pos], fft_shape, cache, planning, real=real_transforms
+        )
+        stats["ffts"] += 1
+        stats["peak_live_transforms"] = max(
+            stats["peak_live_transforms"], len(ffts)
+        )
 
     def maybe_release(pos: GridPosition) -> None:
         if pos not in ffts:
@@ -175,8 +248,11 @@ def compute_grid_displacements(
         for pair in pairs_for_tile(grid, pos.row, pos.col):
             maybe_release(pair.first if pair.second == pos else pair.second)
 
+    if failed_tiles or skipped_pairs:
+        stats["skipped_tiles"] = sorted((p.row, p.col) for p in failed_tiles)
+        stats["skipped_pairs"] = len(skipped_pairs)
     result.stats = stats
-    if not result.is_complete():  # pragma: no cover - traversal covers all tiles
+    if not result.is_complete() and not failed_tiles:  # pragma: no cover
         raise RuntimeError(
             f"displacement phase incomplete: {result.pair_count()} pairs of "
             f"{2 * rows * cols - rows - cols}"

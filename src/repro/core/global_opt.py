@@ -17,6 +17,14 @@ implemented here:
     instead of discarding the off-tree ones.
 
 Both return integer pixel positions normalized so ``min == (0, 0)``.
+
+Degraded operation: when phase 1 dropped tiles (fault tolerance), the
+displacement graph may be disconnected.  ``on_disconnected="nominal"``
+places each disconnected component by anchoring it at the nominal stage
+coordinate of its local root -- the grid-index position scaled by the
+nominal step, estimated from the median of the surviving edges (or
+supplied explicitly from acquisition metadata).  Such tiles are flagged
+in ``GlobalPositions.degraded``.
 """
 
 from __future__ import annotations
@@ -44,6 +52,10 @@ class GlobalPositions:
     #: Sub-pixel positions (float64, same normalization) when the
     #: displacements carried fractional estimates; ``None`` otherwise.
     positions_f: np.ndarray | None = None
+    #: Bool mask [rows, cols]; True where the position is a nominal-grid
+    #: fallback (tile disconnected from the anchor component).  ``None``
+    #: when the graph was fully connected.
+    degraded: np.ndarray | None = None
 
     @property
     def rows(self) -> int:
@@ -52,6 +64,15 @@ class GlobalPositions:
     @property
     def cols(self) -> int:
         return self.positions.shape[1]
+
+    @property
+    def degraded_count(self) -> int:
+        return 0 if self.degraded is None else int(self.degraded.sum())
+
+    def degraded_tiles(self) -> list[tuple[int, int]]:
+        if self.degraded is None:
+            return []
+        return [tuple(rc) for rc in np.argwhere(self.degraded)]
 
     def mosaic_shape(self, tile_shape: tuple[int, int]) -> tuple[int, int]:
         h = int(self.positions[..., 0].max()) + tile_shape[0]
@@ -80,7 +101,7 @@ def _normalize_f(pos: np.ndarray) -> np.ndarray:
     return pos - pos.reshape(-1, 2).min(axis=0)
 
 
-def _mst_positions(disp: DisplacementResult, subpixel: bool = False) -> GlobalPositions:
+def _build_graph(disp: DisplacementResult) -> "nx.Graph":
     g = nx.Graph()
     for u, v, t in _edges(disp):
         # Maximum-correlation spanning tree == minimum of (1 - corr).
@@ -88,46 +109,133 @@ def _mst_positions(disp: DisplacementResult, subpixel: bool = False) -> GlobalPo
     for r in range(disp.rows):
         for c in range(disp.cols):
             g.add_node((r, c))
-    if disp.rows * disp.cols > 1 and not nx.is_connected(g):
+    return g
+
+
+def estimate_nominal_step(
+    disp: DisplacementResult,
+    nominal_step: tuple[tuple[float, float], tuple[float, float]] | None = None,
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Nominal ``((west_dy, west_dx), (north_dy, north_dx))`` grid step.
+
+    Estimated as the per-direction median of the surviving phase-1
+    translations (robust to the occasional blank-overlap outlier); a
+    direction with no surviving edges falls back to the supplied
+    ``nominal_step`` (typically derived from acquisition metadata).
+    """
+    west = [(t.fy, t.fx) for row in disp.west for t in row if t is not None]
+    north = [(t.fy, t.fx) for row in disp.north for t in row if t is not None]
+
+    def median_or_fallback(samples, fallback, direction):
+        if samples:
+            arr = np.asarray(samples, dtype=np.float64)
+            return (float(np.median(arr[:, 0])), float(np.median(arr[:, 1])))
+        if fallback is not None:
+            return (float(fallback[0]), float(fallback[1]))
+        raise ValueError(
+            f"cannot estimate nominal {direction} step: no surviving "
+            f"{direction} displacements and no nominal_step supplied"
+        )
+
+    return (
+        median_or_fallback(west, nominal_step[0] if nominal_step else None, "west"),
+        median_or_fallback(north, nominal_step[1] if nominal_step else None, "north"),
+    )
+
+
+def _nominal_position(
+    rc: tuple[int, int], step: tuple[tuple[float, float], tuple[float, float]]
+) -> np.ndarray:
+    (wy, wx), (ny, nx_) = step
+    r, c = rc
+    return np.array([r * ny + c * wy, r * nx_ + c * wx], dtype=np.float64)
+
+
+def _mst_positions(
+    disp: DisplacementResult,
+    subpixel: bool = False,
+    on_disconnected: str = "error",
+    nominal_step=None,
+) -> GlobalPositions:
+    g = _build_graph(disp)
+    connected = disp.rows * disp.cols <= 1 or nx.is_connected(g)
+    if not connected and on_disconnected != "nominal":
         raise ValueError("displacement graph is disconnected; cannot stitch")
+    step = None
+    if not connected:
+        step = estimate_nominal_step(disp, nominal_step)
     tree = nx.minimum_spanning_tree(g, weight="weight")
     pos = np.zeros((disp.rows, disp.cols, 2), dtype=np.float64)
-    root = (0, 0)
-    seen = {root}
-    # BFS from the root accumulating signed translations along tree edges.
-    stack = [root]
+    degraded = np.zeros((disp.rows, disp.cols), dtype=bool)
+    seen: set = set()
     total_corr = 0.0
-    while stack:
-        u = stack.pop()
-        for v in tree.neighbors(u):
-            if v in seen:
-                continue
-            seen.add(v)
-            data = tree.edges[u, v]
-            t = data["translation"]
-            fu, fv = data["forward"]
-            sign = 1.0 if (fu, fv) == (u, v) else -1.0
-            dy, dx = (t.fy, t.fx) if subpixel else (float(t.ty), float(t.tx))
-            pos[v] = pos[u] + sign * np.array([dy, dx], dtype=np.float64)
-            total_corr += t.correlation
-            stack.append(v)
+    # Anchor component: rooted at (0, 0).  Every other component is rooted
+    # at its smallest (row, col) member, anchored on the nominal grid.
+    roots = [(0, 0)]
+    if not connected:
+        for comp in nx.connected_components(g):
+            if (0, 0) not in comp:
+                roots.append(min(comp))
+    for root in roots:
+        if root == (0, 0):
+            pos[root] = 0.0
+        else:
+            pos[root] = _nominal_position(root, step)
+            degraded[root] = True
+        seen.add(root)
+        # BFS from the root accumulating signed translations along tree edges.
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in tree.neighbors(u):
+                if v in seen:
+                    continue
+                seen.add(v)
+                data = tree.edges[u, v]
+                t = data["translation"]
+                fu, fv = data["forward"]
+                sign = 1.0 if (fu, fv) == (u, v) else -1.0
+                dy, dx = (t.fy, t.fx) if subpixel else (float(t.ty), float(t.tx))
+                pos[v] = pos[u] + sign * np.array([dy, dx], dtype=np.float64)
+                degraded[v] = degraded[root]
+                total_corr += t.correlation
+                stack.append(v)
     return GlobalPositions(
         positions=_normalize(pos),
         method="mst",
         spanning_tree_correlation=total_corr,
         positions_f=_normalize_f(pos) if subpixel else None,
+        degraded=degraded if degraded.any() else None,
     )
 
 
 def _least_squares_positions(
-    disp: DisplacementResult, min_weight: float = 1e-3, subpixel: bool = False
+    disp: DisplacementResult,
+    min_weight: float = 1e-3,
+    subpixel: bool = False,
+    on_disconnected: str = "error",
+    nominal_step=None,
 ) -> GlobalPositions:
     n = disp.rows * disp.cols
 
     def idx(rc) -> int:
         return rc[0] * disp.cols + rc[1]
 
-    rows_a, cols_a, vals, b_y, b_x, weights = [], [], [], [], [], []
+    g = _build_graph(disp)
+    connected = n <= 1 or nx.is_connected(g)
+    if not connected and on_disconnected != "nominal":
+        raise ValueError("displacement graph is disconnected; cannot stitch")
+    degraded = np.zeros((disp.rows, disp.cols), dtype=bool)
+    off_anchor: list[tuple[int, int]] = []
+    if not connected:
+        for comp in nx.connected_components(g):
+            if (0, 0) not in comp:
+                off_anchor.extend(comp)
+        for rc in off_anchor:
+            degraded[rc] = True
+    step = estimate_nominal_step(disp, nominal_step) if off_anchor else None
+
+    rows_a, cols_a, vals, b_y, b_x = [], [], [], [], []
     eq = 0
     for u, v, t in _edges(disp):
         w = max(min_weight, (t.correlation + 1.0) / 2.0)
@@ -145,6 +253,17 @@ def _least_squares_positions(
     b_y.append(0.0)
     b_x.append(0.0)
     eq += 1
+    # Weak nominal prior for tiles cut off from the anchor component: pins
+    # their otherwise-free gauge to the nominal grid without measurably
+    # perturbing the measured edges (weight 1e-6 vs >= min_weight).
+    for rc in off_anchor:
+        nominal = _nominal_position(rc, step)
+        rows_a.append(eq)
+        cols_a.append(idx(rc))
+        vals.append(1e-6)
+        b_y.append(1e-6 * nominal[0])
+        b_x.append(1e-6 * nominal[1])
+        eq += 1
 
     a = sp.csr_matrix((vals, (rows_a, cols_a)), shape=(eq, n))
     y = spla.lsqr(a, np.asarray(b_y), atol=1e-12, btol=1e-12)[0]
@@ -154,22 +273,50 @@ def _least_squares_positions(
         positions=_normalize(pos),
         method="least_squares",
         positions_f=_normalize_f(pos) if subpixel else None,
+        degraded=degraded if degraded.any() else None,
     )
 
 
 def resolve_absolute_positions(
-    disp: DisplacementResult, method: str = "mst", subpixel: bool = False
+    disp: DisplacementResult,
+    method: str = "mst",
+    subpixel: bool = False,
+    on_disconnected: str = "error",
+    nominal_step: tuple[tuple[float, float], tuple[float, float]] | None = None,
 ) -> GlobalPositions:
     """Phase 2 entry point; ``method`` is ``"mst"`` or ``"least_squares"``.
 
     ``subpixel=True`` resolves over the fractional translation estimates
     (where present) and exposes ``GlobalPositions.positions_f`` alongside
     the rounded integer positions composition uses.
+
+    ``on_disconnected`` controls degraded operation when phase 1 dropped
+    tiles and split the displacement graph: ``"error"`` (default)
+    preserves the strict behaviour and raises ``ValueError``;
+    ``"nominal"`` places each stranded component on the nominal grid
+    (step from :func:`estimate_nominal_step`, seeded by ``nominal_step``
+    metadata when the surviving edges cannot define it) and flags its
+    tiles in ``GlobalPositions.degraded``.
     """
+    if on_disconnected not in ("error", "nominal"):
+        raise ValueError(
+            f"unknown on_disconnected {on_disconnected!r} (use 'error' or 'nominal')"
+        )
     if not disp.is_complete() and disp.pair_count() == 0 and len(disp.west) * len(disp.west[0]) > 1:
-        raise ValueError("no displacements computed")
+        if on_disconnected != "nominal":
+            raise ValueError("no displacements computed")
+        if nominal_step is None:
+            raise ValueError(
+                "no displacements computed and no nominal_step to fall back on"
+            )
     if method == "mst":
-        return _mst_positions(disp, subpixel=subpixel)
+        return _mst_positions(
+            disp, subpixel=subpixel,
+            on_disconnected=on_disconnected, nominal_step=nominal_step,
+        )
     if method == "least_squares":
-        return _least_squares_positions(disp, subpixel=subpixel)
+        return _least_squares_positions(
+            disp, subpixel=subpixel,
+            on_disconnected=on_disconnected, nominal_step=nominal_step,
+        )
     raise ValueError(f"unknown method {method!r} (use 'mst' or 'least_squares')")

@@ -24,9 +24,11 @@ from repro.core.displacement import DisplacementResult, compute_grid_displacemen
 from repro.core.global_opt import GlobalPositions, resolve_absolute_positions
 from repro.core.pciam import CcfMode, smooth_fft_shape
 from repro.core.refine import RefineConfig, refine_displacements
+from repro.faults.report import FaultReport
 from repro.fftlib.plans import PlanCache, PlanningMode
 from repro.grid.traversal import Traversal
 from repro.io.dataset import TileDataset
+from repro.pipeline.stage import ErrorPolicy
 
 
 @dataclass
@@ -40,11 +42,29 @@ class StitchResult:
     phase2_seconds: float
     implementation: str = "simple-cpu"
     stats: dict = field(default_factory=dict)
+    on_tile_error: str = "abort"
+
+    @property
+    def fault_report(self) -> FaultReport | None:
+        """The run's :class:`FaultReport` when a retry/skip policy was active."""
+        return self.stats.get("fault_report")
+
+    def skipped_tiles(self) -> list[tuple[int, int]]:
+        report = self.fault_report
+        return report.skipped_tiles if report is not None else []
 
     def compose(
-        self, blend: BlendMode = BlendMode.OVERLAY, outline: bool = False, dtype=np.float32
-    ) -> np.ndarray:
-        """Phase 3, on demand (the paper renders rather than always saving)."""
+        self,
+        blend: BlendMode = BlendMode.OVERLAY,
+        outline: bool = False,
+        dtype=np.float32,
+        return_mask: bool = False,
+    ):
+        """Phase 3, on demand (the paper renders rather than always saving).
+
+        Tiles phase 1 dropped are left as holes; with ``return_mask=True``
+        the per-tile provenance mask comes back alongside the canvas.
+        """
         return compose(
             self.dataset.load,
             self.positions,
@@ -52,21 +72,30 @@ class StitchResult:
             blend=blend,
             outline=outline,
             dtype=dtype,
+            skip_tiles=self.skipped_tiles(),
+            on_tile_error=self.on_tile_error,
+            return_mask=return_mask,
         )
 
-    def position_errors(self) -> np.ndarray | None:
+    def position_errors(self, exclude_degraded: bool = False) -> np.ndarray | None:
         """Per-tile |recovered - truth| in pixels, when ground truth exists.
 
         Both recovered and true positions are normalized to a (0, 0) origin
         before comparison (absolute positions are only defined up to a
-        global translation).
+        global translation).  ``exclude_degraded=True`` sets the error to
+        NaN for tiles positioned by nominal fallback (their "error" reflects
+        the stage model, not the registration).
         """
         if self.dataset.metadata.true_positions is None:
             return None
         true = np.asarray(self.dataset.metadata.true_positions, dtype=np.int64)
         true = true - true.reshape(-1, 2).min(axis=0)
         diff = self.positions.positions - true
-        return np.linalg.norm(diff.astype(np.float64), axis=-1)
+        err = np.linalg.norm(diff.astype(np.float64), axis=-1)
+        if exclude_degraded and self.positions.degraded is not None:
+            err = err.copy()
+            err[self.positions.degraded] = np.nan
+        return err
 
 
 class Stitcher:
@@ -88,6 +117,9 @@ class Stitcher:
         refine: bool | RefineConfig = False,
         planning: PlanningMode = PlanningMode.ESTIMATE,
         cache: PlanCache | None = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        on_tile_error: str = "abort",
     ) -> None:
         self.traversal = traversal
         self.ccf_mode = ccf_mode
@@ -103,8 +135,37 @@ class Stitcher:
         self.refine: RefineConfig | None = refine or None
         self.planning = planning
         self.cache = cache
+        if on_tile_error not in ("abort", "skip"):
+            raise ValueError(
+                f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
+            )
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.on_tile_error = on_tile_error
 
-    def compute_displacements(self, dataset: TileDataset) -> DisplacementResult:
+    def _error_policy(self) -> ErrorPolicy | None:
+        """Retry/skip policy for tile reads; None = strict legacy behaviour."""
+        if self.max_retries == 0 and self.on_tile_error == "abort":
+            return None
+        return ErrorPolicy(
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+            on_exhausted=self.on_tile_error,
+        )
+
+    @staticmethod
+    def _nominal_step(dataset: TileDataset):
+        """Nominal grid step from acquisition metadata (overlap fraction)."""
+        th, tw = dataset.tile_shape
+        ov = dataset.metadata.overlap
+        return ((0.0, round(tw * (1.0 - ov))), (round(th * (1.0 - ov)), 0.0))
+
+    def compute_displacements(
+        self,
+        dataset: TileDataset,
+        error_policy: ErrorPolicy | None = None,
+        fault_report: FaultReport | None = None,
+    ) -> DisplacementResult:
         fft_shape = (
             smooth_fft_shape(dataset.tile_shape) if self.pad_to_smooth else None
         )
@@ -120,22 +181,51 @@ class Stitcher:
             subpixel=self.subpixel,
             cache=self.cache,
             planning=self.planning,
+            error_policy=error_policy,
+            fault_report=fault_report,
         )
 
     def stitch(self, dataset: TileDataset) -> StitchResult:
-        """Run phases 1 and 2; phase 3 is on the result object."""
+        """Run phases 1 and 2; phase 3 is on the result object.
+
+        With ``max_retries``/``on_tile_error="skip"`` the run survives
+        unreadable tiles: failing reads are retried, exhausted tiles are
+        dropped from phase 1, phase 2 falls back to nominal stage
+        coordinates for any stranded grid component, and the resulting
+        :class:`FaultReport` lands in ``result.stats["fault_report"]``.
+        """
+        policy = self._error_policy()
+        report = FaultReport() if policy is not None else None
         t0 = time.perf_counter()
-        disp = self.compute_displacements(dataset)
+        disp = self.compute_displacements(
+            dataset, error_policy=policy, fault_report=report
+        )
         stats = dict(disp.stats)
         if self.refine is not None:
-            disp, report = refine_displacements(disp, dataset.load, self.refine)
-            stats["refined_pairs"] = report.repaired
-            stats["unrepairable_pairs"] = report.unrepairable
+            disp, rep = refine_displacements(disp, dataset.load, self.refine)
+            stats["refined_pairs"] = rep.repaired
+            stats["unrepairable_pairs"] = rep.unrepairable
         t1 = time.perf_counter()
-        pos = resolve_absolute_positions(
-            disp, method=self.position_method, subpixel=self.subpixel
-        )
+        if policy is not None and self.on_tile_error == "skip":
+            pos = resolve_absolute_positions(
+                disp,
+                method=self.position_method,
+                subpixel=self.subpixel,
+                on_disconnected="nominal",
+                nominal_step=self._nominal_step(dataset),
+            )
+        else:
+            pos = resolve_absolute_positions(
+                disp, method=self.position_method, subpixel=self.subpixel
+            )
         t2 = time.perf_counter()
+        if report is not None:
+            for rc in pos.degraded_tiles():
+                report.record_degraded_tile(rc)
+            plan = getattr(dataset, "fault_plan", None)
+            if plan is not None:
+                report.injected = plan.summary()
+            stats["fault_report"] = report
         return StitchResult(
             dataset=dataset,
             displacements=disp,
@@ -143,6 +233,7 @@ class Stitcher:
             phase1_seconds=t1 - t0,
             phase2_seconds=t2 - t1,
             stats=stats,
+            on_tile_error=self.on_tile_error,
         )
 
     def stitch_channels(

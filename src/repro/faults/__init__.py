@@ -1,0 +1,37 @@
+"""Fault injection, retry policies and graceful degradation.
+
+Three layers (see ``docs/API.md`` -- "Failure handling"):
+
+1. :class:`FaultPlan` -- deterministic, seedable injection of missing /
+   corrupt / transient-I/O / slow tile reads, stage handler faults and
+   simulated buffer-pool exhaustion;
+2. :class:`~repro.pipeline.stage.ErrorPolicy` -- per-stage retry with
+   deterministic backoff and an abort/skip/degrade disposition (lives in
+   :mod:`repro.pipeline`, re-exported here for convenience);
+3. :class:`FaultReport` -- the structured record of what was retried,
+   skipped and degraded, attached to ``StitchResult.stats``.
+"""
+
+from repro.faults.plan import (
+    Fault,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultyDataset,
+    FaultyPool,
+)
+from repro.faults.report import FaultReport
+from repro.pipeline.stage import DroppedItem, ErrorPolicy, run_with_retries
+
+__all__ = [
+    "Fault",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyDataset",
+    "FaultyPool",
+    "FaultReport",
+    "DroppedItem",
+    "ErrorPolicy",
+    "run_with_retries",
+]

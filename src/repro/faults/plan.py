@@ -1,0 +1,301 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a list of :class:`Fault` specs plus trigger
+bookkeeping.  It damages a run *without touching the files on disk* by
+wrapping the surfaces the paper's pipeline touches:
+
+- :meth:`FaultPlan.wrap_dataset` proxies ``TileDataset.load`` to inject
+  missing files (``FileNotFoundError``), corrupt bytes
+  (:class:`~repro.io.tiff.TiffError`, raised from the decoder on a
+  truncated copy of the real bytes), transient ``IOError`` s that succeed
+  after ``failures`` attempts, and slow reads (latency spikes);
+- :meth:`FaultPlan.wrap_handler` makes a named pipeline stage raise for
+  its first ``failures`` invocations;
+- :meth:`FaultPlan.wrap_pool` makes a transform pool (host
+  :class:`~repro.memmodel.pool.BufferPool` or the GPU
+  ``DevicePool``) report exhaustion for its first ``failures`` acquires,
+  simulating GPU buffer-pool pressure.
+
+Every trigger is recorded as a :class:`FaultEvent`, and all trigger
+decisions are deterministic (per-tile attempt counters, no clocks or
+RNG at injection time), so a seeded plan plus a fixed dataset replays
+bit-identically -- the property the CI smoke job and the acceptance
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from random import Random
+from typing import Any
+
+from repro.io.tiff import TiffError
+from repro.memmodel.pool import PoolExhausted
+
+
+class FaultKind(str, Enum):
+    MISSING = "missing"            # tile file absent
+    CORRUPT = "corrupt"            # tile bytes truncated -> TiffError
+    TRANSIENT_IO = "transient_io"  # IOError for the first N attempts
+    SLOW_READ = "slow_read"        # latency spike on read
+    POOL_EXHAUSTED = "pool_exhausted"  # transform pool acquire fails
+    STAGE_ERROR = "stage_error"    # handler exception in a named stage
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    ``tile`` addresses tile-scoped kinds; ``stage`` addresses
+    :data:`FaultKind.STAGE_ERROR`; ``failures`` is how many attempts fail
+    before the operation succeeds (transient kinds) -- permanent kinds
+    (missing/corrupt) fail every attempt regardless; ``latency`` is the
+    injected delay in seconds for :data:`FaultKind.SLOW_READ`.
+    """
+
+    kind: FaultKind
+    tile: tuple[int, int] | None = None
+    stage: str | None = None
+    failures: int = 1
+    latency: float = 0.0
+
+
+@dataclass
+class FaultEvent:
+    """A fault actually firing (one per failed/delayed attempt)."""
+
+    kind: FaultKind
+    tile: tuple[int, int] | None
+    stage: str | None
+    attempt: int
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of faults plus trigger bookkeeping."""
+
+    faults: list[Fault] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._attempts: dict[tuple, int] = {}
+        self.events: list[FaultEvent] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    @staticmethod
+    def random(
+        rows: int,
+        cols: int,
+        seed: int = 0,
+        missing: int = 1,
+        corrupt: int = 1,
+        transient: int = 2,
+        slow: int = 1,
+        latency: float = 0.02,
+    ) -> "FaultPlan":
+        """Seeded plan over distinct random tiles of a ``rows x cols`` grid.
+
+        Tile ``(0, 0)`` is never damaged: phase 2 anchors the mosaic
+        there, and real acquisitions rarely lose the very first tile the
+        operator watched being captured.
+        """
+        rng = Random(seed)
+        candidates = [
+            (r, c) for r in range(rows) for c in range(cols) if (r, c) != (0, 0)
+        ]
+        need = missing + corrupt + transient + slow
+        if need > len(candidates):
+            raise ValueError(
+                f"{need} faults requested but only {len(candidates)} tiles "
+                f"available on a {rows}x{cols} grid"
+            )
+        picked = rng.sample(candidates, need)
+        plan = FaultPlan(seed=seed)
+        i = 0
+        for _ in range(missing):
+            plan.add(Fault(FaultKind.MISSING, tile=picked[i])); i += 1
+        for _ in range(corrupt):
+            plan.add(Fault(FaultKind.CORRUPT, tile=picked[i])); i += 1
+        for _ in range(transient):
+            plan.add(Fault(FaultKind.TRANSIENT_IO, tile=picked[i], failures=1)); i += 1
+        for _ in range(slow):
+            plan.add(Fault(FaultKind.SLOW_READ, tile=picked[i], latency=latency)); i += 1
+        return plan
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear trigger state so the same plan can replay a fresh run."""
+        with self._lock:
+            self._attempts.clear()
+            self.events.clear()
+
+    def _record(self, fault: Fault, attempt: int) -> None:
+        self.events.append(
+            FaultEvent(fault.kind, fault.tile, fault.stage, attempt)
+        )
+
+    def _next_attempt(self, key: tuple) -> int:
+        """Post-increment the per-fault attempt counter (caller holds lock)."""
+        n = self._attempts.get(key, 0)
+        self._attempts[key] = n + 1
+        return n
+
+    def summary(self) -> dict[str, int]:
+        """Planned faults by kind (what *should* fire at least once)."""
+        out: dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind.value] = out.get(f.kind.value, 0) + 1
+        return out
+
+    def triggered_summary(self) -> dict[str, int]:
+        """Events that actually fired, by kind."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for e in self.events:
+                out[e.kind.value] = out.get(e.kind.value, 0) + 1
+            return out
+
+    def faults_for_tile(self, row: int, col: int) -> list[Fault]:
+        return [f for f in self.faults if f.tile == (row, col)]
+
+    def faults_for_stage(self, stage: str) -> list[Fault]:
+        return [
+            f for f in self.faults
+            if f.kind is FaultKind.STAGE_ERROR and f.stage == stage
+        ]
+
+    # -- wrapping ------------------------------------------------------------
+
+    def wrap_dataset(self, dataset) -> "FaultyDataset":
+        """Proxy ``dataset`` so ``load`` injects this plan's tile faults."""
+        return FaultyDataset(dataset, self)
+
+    def wrap_handler(self, stage: str, handler):
+        """Wrap a pipeline stage handler with this plan's stage faults."""
+        stage_faults = self.faults_for_stage(stage)
+        if not stage_faults:
+            return handler
+
+        def wrapped(item, ctx):
+            for fault in stage_faults:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), "stage"))
+                    if attempt < fault.failures:
+                        self._record(fault, attempt)
+                        raise RuntimeError(
+                            f"injected stage fault in {stage!r} "
+                            f"(attempt {attempt + 1}/{fault.failures})"
+                        )
+            return handler(item, ctx)
+
+        return wrapped
+
+    def wrap_pool(self, pool) -> "FaultyPool":
+        """Proxy a buffer pool so early acquires report exhaustion."""
+        return FaultyPool(pool, self)
+
+    # -- injection core (used by the proxies) --------------------------------
+
+    def before_load(self, row: int, col: int, path) -> None:
+        """Raise/delay per the plan; called before a real tile read."""
+        for fault in self.faults_for_tile(row, col):
+            if fault.kind is FaultKind.MISSING:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    self._record(fault, attempt)
+                raise FileNotFoundError(f"injected missing tile: {path}")
+            if fault.kind is FaultKind.CORRUPT:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    self._record(fault, attempt)
+                raise TiffError(
+                    f"injected corrupt tile ({row},{col}): truncated file "
+                    f"while reading strip data"
+                )
+            if fault.kind is FaultKind.TRANSIENT_IO:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    fire = attempt < fault.failures
+                    if fire:
+                        self._record(fault, attempt)
+                if fire:
+                    raise IOError(
+                        f"injected transient I/O error on tile ({row},{col}) "
+                        f"(attempt {attempt + 1}/{fault.failures})"
+                    )
+            if fault.kind is FaultKind.SLOW_READ:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    self._record(fault, attempt)
+                if fault.latency > 0:
+                    time.sleep(fault.latency)
+
+    def before_acquire(self) -> None:
+        """Raise :class:`PoolExhausted` per pending pool faults."""
+        for fault in self.faults:
+            if fault.kind is not FaultKind.POOL_EXHAUSTED:
+                continue
+            with self._lock:
+                attempt = self._next_attempt((id(fault), "pool"))
+                fire = attempt < fault.failures
+                if fire:
+                    self._record(fault, attempt)
+            if fire:
+                raise PoolExhausted(
+                    f"injected pool exhaustion "
+                    f"(attempt {attempt + 1}/{fault.failures})"
+                )
+
+
+class FaultyDataset:
+    """Transparent :class:`~repro.io.dataset.TileDataset` proxy.
+
+    Everything delegates to the wrapped dataset except :meth:`load`, which
+    consults the plan first.  The plan is exposed as ``fault_plan`` so the
+    stitcher can fold the injection summary into its fault report.
+    """
+
+    def __init__(self, dataset, plan: FaultPlan) -> None:
+        self._dataset = dataset
+        self.fault_plan = plan
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._dataset, name)
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    def load(self, row: int, col: int, dtype=None, **kw):
+        self.fault_plan.before_load(row, col, self._dataset.path(row, col))
+        if dtype is None:
+            return self._dataset.load(row, col, **kw)
+        return self._dataset.load(row, col, dtype=dtype, **kw)
+
+
+class FaultyPool:
+    """Buffer-pool proxy injecting :class:`PoolExhausted` on early acquires.
+
+    Works for both the host :class:`~repro.memmodel.pool.BufferPool` and
+    the GPU ``DevicePool`` (same acquire/release/array surface).
+    """
+
+    def __init__(self, pool, plan: FaultPlan) -> None:
+        self._pool = pool
+        self.fault_plan = plan
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._pool, name)
+
+    def acquire(self, *args, **kw):
+        self.fault_plan.before_acquire()
+        return self._pool.acquire(*args, **kw)

@@ -1,0 +1,123 @@
+"""Structured accounting of what went wrong (and was survived) in a run.
+
+A :class:`FaultReport` is threaded through the three phases whenever a
+retry/skip policy is active: phase 1 records retried reads and
+skipped tiles/pairs, phase 2 records tiles degraded to nominal stage
+coordinates, and the :class:`~repro.core.stitcher.Stitcher` attaches the
+report to ``StitchResult.stats["fault_report"]``.  Fault-injection tests
+close the loop by comparing the report against the
+:class:`~repro.faults.plan.FaultPlan` that produced the damage.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class FaultReport:
+    """Thread-safe record of retries, skips and degradations.
+
+    All ``record_*`` methods may be called concurrently from pipeline
+    workers.  Tiles and pairs are de-duplicated: ghost tiles in
+    partitioned implementations are read by two pipelines and may fail
+    twice, but they are one fault.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._retries: list[dict[str, Any]] = []
+        self._skipped_tiles: dict[tuple[int, int], str] = {}
+        self._skipped_pairs: dict[tuple[str, int, int], str] = {}
+        self._degraded_tiles: set[tuple[int, int]] = set()
+        #: Summary of the injection plan that produced the damage, when
+        #: the dataset was wrapped by a FaultPlan (None for real faults).
+        self.injected: dict[str, int] | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record_retry(self, stage: str, item: Any, attempt: int,
+                     error: BaseException) -> None:
+        with self._lock:
+            self._retries.append({
+                "stage": stage,
+                "item": repr(item),
+                "attempt": attempt,
+                "error": f"{type(error).__name__}: {error}",
+            })
+
+    def record_skipped_tile(self, tile: tuple[int, int],
+                            error: BaseException) -> None:
+        with self._lock:
+            self._skipped_tiles.setdefault(
+                (int(tile[0]), int(tile[1])),
+                f"{type(error).__name__}: {error}",
+            )
+
+    def record_skipped_pair(self, direction: str, row: int, col: int,
+                            reason: str = "") -> None:
+        with self._lock:
+            self._skipped_pairs.setdefault(
+                (str(direction), int(row), int(col)), reason
+            )
+
+    def record_degraded_tile(self, tile: tuple[int, int]) -> None:
+        with self._lock:
+            self._degraded_tiles.add((int(tile[0]), int(tile[1])))
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def retries(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._retries)
+
+    @property
+    def skipped_tiles(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return sorted(self._skipped_tiles)
+
+    @property
+    def skipped_pairs(self) -> list[tuple[str, int, int]]:
+        with self._lock:
+            return sorted(self._skipped_pairs)
+
+    @property
+    def degraded_tiles(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return sorted(self._degraded_tiles)
+
+    def __bool__(self) -> bool:
+        with self._lock:
+            return bool(
+                self._retries or self._skipped_tiles
+                or self._skipped_pairs or self._degraded_tiles
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary for ``StitchResult.stats``."""
+        with self._lock:
+            out: dict[str, Any] = {
+                "retries": len(self._retries),
+                "retried_items": [dict(r) for r in self._retries],
+                "skipped_tiles": sorted(self._skipped_tiles),
+                "skipped_tile_errors": {
+                    f"{r},{c}": msg
+                    for (r, c), msg in sorted(self._skipped_tiles.items())
+                },
+                "skipped_pairs": sorted(self._skipped_pairs),
+                "degraded_tiles": sorted(self._degraded_tiles),
+            }
+            if self.injected is not None:
+                out["injected"] = dict(self.injected)
+            return out
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        with self._lock:
+            return (
+                f"{len(self._retries)} retried read(s), "
+                f"{len(self._skipped_tiles)} skipped tile(s), "
+                f"{len(self._skipped_pairs)} skipped pair(s), "
+                f"{len(self._degraded_tiles)} degraded tile(s)"
+            )

@@ -6,10 +6,13 @@ import abc
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.displacement import DisplacementResult
 from repro.core.pciam import CcfMode
 from repro.fftlib.plans import PlanCache
 from repro.io.dataset import TileDataset
+from repro.pipeline.stage import ErrorPolicy, run_with_retries
 
 
 @dataclass
@@ -29,6 +32,15 @@ class Implementation(abc.ABC):
     and completeness checking.  Configuration shared by all
     implementations: the peak-interpretation mode, the multi-peak count,
     and the optional padded FFT shape (``None`` = native tile size).
+
+    Fault tolerance: with an ``error_policy`` (plus, usually, a
+    :class:`~repro.faults.report.FaultReport`), tile reads go through
+    :meth:`_load_tile`, which retries per the policy and -- under a skip
+    disposition -- returns ``None`` for a tile whose retries are
+    exhausted.  Subclasses that support degradation treat a ``None`` tile
+    as failed and skip its pairs; :meth:`run` then accepts the resulting
+    incomplete grid.  Without a policy every implementation keeps the
+    strict legacy contract: first error propagates raw.
     """
 
     name: str = "base"
@@ -39,25 +51,79 @@ class Implementation(abc.ABC):
         n_peaks: int = 2,
         fft_shape: tuple[int, int] | None = None,
         cache: PlanCache | None = None,
+        error_policy: ErrorPolicy | None = None,
+        fault_report=None,
     ) -> None:
         self.ccf_mode = ccf_mode
         self.n_peaks = n_peaks
         self.fft_shape = fft_shape
         self.cache = cache if cache is not None else PlanCache()
+        self.error_policy = error_policy
+        self.fault_report = fault_report
 
     @abc.abstractmethod
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         """Compute all pairwise displacements; return (result, stats)."""
+
+    @property
+    def _skip_on_error(self) -> bool:
+        return (
+            self.error_policy is not None
+            and self.error_policy.on_exhausted in ("skip", "degrade")
+        )
+
+    def _load_tile(self, dataset: TileDataset, row: int, col: int,
+                   dtype=np.float64):
+        """Read one tile under the error policy.
+
+        No policy: raw ``dataset.load`` (legacy contract -- the original
+        exception propagates).  With a policy: retries are applied and
+        recorded; exhaustion either re-raises the last error (abort) or
+        records a skipped tile and returns ``None`` (skip/degrade).
+        """
+        if self.error_policy is None:
+            return dataset.load(row, col, dtype=dtype)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            if self.fault_report is not None:
+                self.fault_report.record_retry(
+                    "read", (row, col), attempt, exc
+                )
+
+        try:
+            value, _ = run_with_retries(
+                lambda: dataset.load(row, col, dtype=dtype),
+                self.error_policy,
+                key=(row, col),
+                on_retry=on_retry,
+            )
+            return value
+        except Exception as exc:
+            if not self._skip_on_error:
+                raise
+            if self.fault_report is not None:
+                self.fault_report.record_skipped_tile((row, col), exc)
+            return None
+
+    def _record_skipped_pair(self, direction: str, row: int, col: int,
+                             reason: str = "") -> None:
+        if self.fault_report is not None:
+            self.fault_report.record_skipped_pair(direction, row, col, reason)
 
     def run(self, dataset: TileDataset) -> RunResult:
         t0 = time.perf_counter()
         disp, stats = self._run(dataset)
         wall = time.perf_counter() - t0
         if not disp.is_complete():
-            raise RuntimeError(
-                f"{self.name}: incomplete phase 1 "
-                f"({disp.pair_count()} of {2*disp.rows*disp.cols - disp.rows - disp.cols} pairs)"
-            )
+            if not self._skip_on_error:
+                raise RuntimeError(
+                    f"{self.name}: incomplete phase 1 "
+                    f"({disp.pair_count()} of {2*disp.rows*disp.cols - disp.rows - disp.cols} pairs)"
+                )
+            stats = dict(stats)
+            stats["skipped_pairs"] = len(disp.missing_pairs())
+            if self.fault_report is not None:
+                stats["fault_report"] = self.fault_report
         return RunResult(
             implementation=self.name,
             displacements=disp,

@@ -45,8 +45,21 @@ class FijiBaseline(Implementation):
         stats = {"reads": 0, "ffts": 0, "pairs": 0}
         for pair in grid_pairs(grid):
             # Deliberately reload and re-transform both tiles per pair.
-            img_i = dataset.load(*pair.first)
-            img_j = dataset.load(*pair.second)
+            if self.error_policy is None:
+                img_i = dataset.load(*pair.first)
+                img_j = dataset.load(*pair.second)
+            else:
+                img_i = self._load_tile(dataset, *pair.first)
+                img_j = self._load_tile(dataset, *pair.second)
+                if img_i is None or img_j is None:
+                    bad = pair.first if img_i is None else pair.second
+                    self._record_skipped_pair(
+                        pair.direction.name.lower(),
+                        pair.second.row,
+                        pair.second.col,
+                        reason=f"tile ({bad.row},{bad.col}) unreadable",
+                    )
+                    continue
             stats["reads"] += 2
             r = pciam(
                 img_i,

@@ -92,29 +92,50 @@ class MtCpu(Implementation):
         of transforms regardless of band height.
         """
         local = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0}
-        prev_row: list[tuple[np.ndarray, np.ndarray]] | None = None
+        prev_row: list[tuple[np.ndarray, np.ndarray] | None] | None = None
 
         start = r0 - 1 if r0 > 0 else r0  # include boundary row from the band above
         for r in range(start, r1):
-            cur_row: list[tuple[np.ndarray, np.ndarray]] = []
+            cur_row: list[tuple[np.ndarray, np.ndarray] | None] = []
             for c in range(dataset.cols):
-                tile = dataset.load(r, c)
-                fft = forward_fft(tile, self.fft_shape, self.cache)
-                local["reads"] += 1
-                local["ffts"] += 1
-                if r == start and r0 > 0:
-                    local["boundary_refts"] += 1
-                cur_row.append((tile, fft))
+                tile = (
+                    dataset.load(r, c)
+                    if self.error_policy is None
+                    else self._load_tile(dataset, r, c)
+                )
+                if tile is None:
+                    # Tile dropped under the skip policy: its pairs are
+                    # recorded as skipped and never computed.
+                    cur_row.append(None)
+                else:
+                    fft = forward_fft(tile, self.fft_shape, self.cache)
+                    local["reads"] += 1
+                    local["ffts"] += 1
+                    if r == start and r0 > 0:
+                        local["boundary_refts"] += 1
+                    cur_row.append((tile, fft))
                 # West pair within this row (owned by this band when r >= r0).
                 if c > 0 and r >= r0:
-                    self._pair(disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c], local)
+                    self._maybe_pair(
+                        disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c], local
+                    )
                 # North pair down from the previous row.
                 if prev_row is not None and r >= r0:
-                    self._pair(disp, Direction.NORTH, r, c, prev_row[c], cur_row[c], local)
+                    self._maybe_pair(
+                        disp, Direction.NORTH, r, c, prev_row[c], cur_row[c], local
+                    )
             prev_row = cur_row
         with stats_lock:
             for k, v in local.items():
                 stats[k] += v
+
+    def _maybe_pair(self, disp, direction, r, c, first, second, local) -> None:
+        if first is None or second is None:
+            self._record_skipped_pair(
+                direction.name.lower(), r, c, reason="member tile unreadable"
+            )
+            return
+        self._pair(disp, direction, r, c, first, second, local)
 
     def _pair(self, disp, direction, r, c, first, second, local) -> None:
         img_i, fft_i = first

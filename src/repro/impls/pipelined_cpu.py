@@ -74,6 +74,13 @@ class _PairDone:
     pair: Pair
 
 
+@dataclass
+class _TileFailed:
+    """Reader could not deliver a tile (retries exhausted, skip policy)."""
+
+    pos: GridPosition
+
+
 def default_pool_size(rows: int, cols: int) -> int:
     """Safe transform-pool size for the chained-diagonal wavefront."""
     return 2 * min(rows, cols) + 4
@@ -142,7 +149,14 @@ class PipelinedCpu(Implementation):
             while not tiles_in_flight.acquire(timeout=0.1):
                 if q_work.closed:
                     return END_OF_STREAM
-            tile = dataset.load(pos.row, pos.col)
+            if self.error_policy is None:
+                tile = dataset.load(pos.row, pos.col)
+            else:
+                tile = self._load_tile(dataset, pos.row, pos.col)
+                if tile is None:
+                    tiles_in_flight.release()
+                    q_events.put(_TileFailed(pos))
+                    return None
             with stats_lock:
                 stats["reads"] += 1
             q_work.put(_TileItem(pos, tile))
@@ -216,19 +230,41 @@ class PipelinedCpu(Implementation):
                 raise TypeError(f"unexpected work item {item!r}")
             return None
 
+        def release_tile(pos: GridPosition) -> None:
+            with state_lock:
+                slot = slots.pop(pos)
+                pixels.pop(pos)
+            pool.release(slot)
+
+        def maybe_finish() -> None:
+            if bk.all_pairs_completed():
+                q_work.close()
+                q_events.close()
+
         def bookkeeper(event, _ctx):
             if isinstance(event, _FftDone):
                 for pair in bk.transform_ready(event.pos):
                     q_work.put(_PairItem(pair))
+                # All of this tile's pairs were cancelled by failed
+                # neighbours: its slot will never be consumed by pair work.
+                if bk.releasable(event.pos):
+                    release_tile(event.pos)
+                maybe_finish()
             elif isinstance(event, _PairDone):
                 for pos in bk.pair_completed(event.pair):
-                    with state_lock:
-                        slot = slots.pop(pos)
-                        pixels.pop(pos)
-                    pool.release(slot)
-                if bk.all_pairs_completed():
-                    q_work.close()
-                    q_events.close()
+                    release_tile(pos)
+                maybe_finish()
+            elif isinstance(event, _TileFailed):
+                for pair in bk._incident(event.pos):
+                    self._record_skipped_pair(
+                        pair.direction.name.lower(),
+                        pair.second.row,
+                        pair.second.col,
+                        reason=f"tile ({event.pos.row},{event.pos.col}) unreadable",
+                    )
+                for pos in bk.tile_failed(event.pos):
+                    release_tile(pos)
+                maybe_finish()
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unexpected event {event!r}")
             return None

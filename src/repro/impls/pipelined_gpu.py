@@ -91,6 +91,13 @@ class _CcfWork:
     peaks: list  # [(magnitude, flat_index), ...]
 
 
+@dataclass
+class _TileFailed:
+    """Reader could not deliver a tile (retries exhausted, skip policy)."""
+
+    pos: GridPosition
+
+
 class PipelinedGpu(Implementation):
     """Multi-GPU pipelined implementation (49.7 s / 26.6 s in the paper)."""
 
@@ -274,7 +281,22 @@ class PipelinedGpu(Implementation):
                 pos = next(order)
             except StopIteration:
                 return END_OF_STREAM
-            tile = dataset.load(pos.row, pos.col)
+            if self.error_policy is None:
+                tile = dataset.load(pos.row, pos.col)
+            else:
+                tile = self._load_tile(dataset, pos.row, pos.col)
+                if tile is None:
+                    q23.put(_TileFailed(pos))
+                    # The eastern neighbour expects this tile's transform
+                    # over p2p; tell it the tile is lost instead.
+                    if export_col is not None and pos.col == export_col:
+                        hook = (
+                            import_hooks[index]
+                            if index < len(import_hooks) else None
+                        )
+                        if hook is not None:
+                            hook(pos, None, None, 0.0, None)
+                    return None
             with stats_lock:
                 stats["reads"] += 1
             return _TileItem(pos, tile)
@@ -312,6 +334,10 @@ class PipelinedGpu(Implementation):
 
         def import_ghost(pos, src_device, src_array, ready, pix):
             """Receive a neighbour card's transform (runs on its thread)."""
+            if src_device is None:
+                # The owner card lost this ghost tile; propagate the failure.
+                q23.put(_TileFailed(pos))
+                return None
             buf = device.alloc(fft_shape, dtype=np.complex128)
             ev = device.p2p_from(src_device, src_array, buf, stream_copy,
                                  not_before=ready)
@@ -324,22 +350,44 @@ class PipelinedGpu(Implementation):
             q23.put(_FftDone(pos))
             return None
 
+        def release_device_tile(pos: GridPosition) -> None:
+            with state_lock:
+                ghost = ghost_arrays.pop(pos, None)
+            if ghost is not None:
+                device.free(ghost)
+            else:
+                with state_lock:
+                    pool.release(slots.pop(pos))
+
+        def maybe_finish() -> None:
+            if bk.all_pairs_completed():
+                q34.close()
+                q23.close()
+
         def bookkeeper(event, _ctx):
             if isinstance(event, _FftDone):
                 for pair in bk.transform_ready(event.pos):
                     q34.put(pair)
+                # Every incident pair cancelled by failed neighbours: the
+                # slot will never be consumed by pair work.
+                if bk.releasable(event.pos):
+                    release_device_tile(event.pos)
+                maybe_finish()
             elif isinstance(event, _PairDone):
                 for pos in bk.pair_completed(event.pair):
-                    with state_lock:
-                        ghost = ghost_arrays.pop(pos, None)
-                    if ghost is not None:
-                        device.free(ghost)
-                    else:
-                        with state_lock:
-                            pool.release(slots.pop(pos))
-                if bk.all_pairs_completed():
-                    q34.close()
-                    q23.close()
+                    release_device_tile(pos)
+                maybe_finish()
+            elif isinstance(event, _TileFailed):
+                for pair in bk._incident(event.pos):
+                    self._record_skipped_pair(
+                        pair.direction.name.lower(),
+                        pair.second.row,
+                        pair.second.col,
+                        reason=f"tile ({event.pos.row},{event.pos.col}) unreadable",
+                    )
+                for pos in bk.tile_failed(event.pos):
+                    release_device_tile(pos)
+                maybe_finish()
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unexpected event {event!r}")
             return None

@@ -35,5 +35,7 @@ class SimpleCpu(Implementation):
             ccf_mode=self.ccf_mode,
             n_peaks=self.n_peaks,
             cache=self.cache,
+            error_policy=self.error_policy,
+            fault_report=self.fault_report,
         )
         return disp, dict(disp.stats)

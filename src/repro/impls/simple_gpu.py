@@ -88,9 +88,31 @@ class SimpleGpu(Implementation):
         # CUDA code would use pinned host + a device staging area).
         staging = device.alloc(fft_shape, dtype=np.complex128)
 
+        failed: set[GridPosition] = set()
+
+        def mark_failed(pos: GridPosition) -> None:
+            failed.add(pos)
+            # Mark the failed tile's pairs done so surviving neighbours'
+            # transform slots are still recycled by release_if_done.
+            for pair in pairs_for_tile(grid, pos.row, pos.col):
+                if pair not in pairs_done:
+                    pairs_done.add(pair)
+                    self._record_skipped_pair(
+                        pair.direction.name.lower(),
+                        pair.second.row,
+                        pair.second.col,
+                        reason=f"tile ({pos.row},{pos.col}) unreadable",
+                    )
+
         def load_and_transform(pos: GridPosition) -> None:
             nonlocal host_clock
-            tile = dataset.load(pos.row, pos.col)
+            if self.error_policy is None:
+                tile = dataset.load(pos.row, pos.col)
+            else:
+                tile = self._load_tile(dataset, pos.row, pos.col)
+                if tile is None:
+                    mark_failed(pos)
+                    return
             host_op("read-tile", self.host_costs.read(hw) + self.host_costs.decode(hw))
             stats["reads"] += 1
             src = tile if tile.shape == fft_shape else pad_to_shape(tile, fft_shape)

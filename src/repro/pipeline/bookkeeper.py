@@ -41,6 +41,8 @@ class PairBookkeeper:
     _emitted: set[Pair] = field(default_factory=set)
     _completed: set[Pair] = field(default_factory=set)
     _refcount: dict[GridPosition, int] = field(default_factory=dict)
+    _failed: set[GridPosition] = field(default_factory=set)
+    _cancelled: set[Pair] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.pairs is not None:
@@ -101,6 +103,50 @@ class PairBookkeeper:
                 raise AssertionError(f"negative refcount for {pos}")
         return freed
 
+    def tile_failed(self, pos: GridPosition) -> list[GridPosition]:
+        """Cancel every not-yet-emitted pair incident to a failed tile.
+
+        Called when a tile could not be read (or transformed) and its
+        retries are exhausted under a skip policy: the tile will never
+        report ``transform_ready``, so every pair waiting on it is
+        cancelled and the *other* member's reference count is decremented
+        as if the pair had completed.  Returns the tiles whose buffers are
+        now recyclable (ready tiles whose count reached zero), exactly
+        like :meth:`pair_completed`.
+
+        Emitted pairs are untouched -- emission requires both transforms
+        resident, which a failed tile never achieves.
+        """
+        if pos not in self.grid:
+            raise ValueError(f"{pos} outside grid")
+        if pos in self._ready:
+            raise ValueError(f"tile {pos} already ready; cannot fail it")
+        if pos in self._failed:
+            return []
+        self._failed.add(pos)
+        freed = []
+        for pair in self._incident(pos):
+            if pair in self._cancelled:
+                continue
+            self._cancelled.add(pair)
+            for member in (pair.first, pair.second):
+                self._refcount[member] -= 1
+                if (
+                    self._refcount[member] == 0
+                    and member in self._ready
+                ):
+                    freed.append(member)
+        return freed
+
+    def releasable(self, pos: GridPosition) -> bool:
+        """A ready tile with no remaining incident pairs (all cancelled).
+
+        Checked by the bookkeeping stage right after ``transform_ready``:
+        a tile whose neighbours all failed arrives holding a pool slot it
+        will never use for a pair.
+        """
+        return pos in self._ready and self._refcount.get(pos, 0) == 0
+
     # -- progress ------------------------------------------------------------
 
     @property
@@ -110,8 +156,16 @@ class PairBookkeeper:
         n, m = self.grid.rows, self.grid.cols
         return 2 * n * m - n - m
 
+    @property
+    def cancelled_pairs(self) -> int:
+        return len(self._cancelled)
+
+    @property
+    def failed_tiles(self) -> set[GridPosition]:
+        return set(self._failed)
+
     def all_pairs_completed(self) -> bool:
-        return len(self._completed) == self.total_pairs
+        return len(self._completed) == self.total_pairs - len(self._cancelled)
 
     def pending_pairs(self) -> int:
-        return self.total_pairs - len(self._completed)
+        return self.total_pairs - len(self._cancelled) - len(self._completed)

@@ -1,9 +1,10 @@
 """Pipeline wiring and lifecycle.
 
 A :class:`Pipeline` owns stages and the queues between them, starts all
-worker threads, waits for completion, and surfaces the first worker
-exception to the caller (wrapped in :class:`PipelineError`) instead of
-deadlocking -- failure injection tests depend on this.
+worker threads, waits for completion, and surfaces every worker exception
+to the caller (wrapped in a single :class:`PipelineError` naming the
+failing stages) instead of deadlocking -- failure injection tests depend
+on this.
 
 Stages need not form a single chain: the paper's Fig. 8 graph has a feedback
 edge (the displacement stage notifies the bookkeeper about freed transform
@@ -17,11 +18,49 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.pipeline.queues import MonitorQueue
-from repro.pipeline.stage import Stage
+from repro.pipeline.stage import DroppedItem, ErrorPolicy, Stage
 
 
 class PipelineError(RuntimeError):
-    """A stage worker raised; the original exception is ``__cause__``."""
+    """One or more stage workers raised.
+
+    ``failures`` lists every collected ``(stage_name, exception)`` pair in
+    stage order -- a run can fail in several stages at once (e.g. a reader
+    hitting a corrupt tile while a compute worker times out on the pool),
+    and losing all but the first hides the real sequence of events.  The
+    first exception is also chained as ``__cause__`` for compatibility
+    with ``raise ... from`` consumers.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: list[tuple[str, BaseException]] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.failures: list[tuple[str, BaseException]] = list(failures or [])
+
+
+def aggregate_failures(
+    name: str, failures: list[tuple[str, BaseException]]
+) -> PipelineError:
+    """Build one :class:`PipelineError` chaining all worker exceptions."""
+    stages = []
+    for stage_name, _ in failures:
+        if stage_name not in stages:
+            stages.append(stage_name)
+    detail = "; ".join(
+        f"{stage_name}: {type(exc).__name__}: {exc}" for stage_name, exc in failures
+    )
+    err = PipelineError(
+        f"stage {', '.join(repr(s) for s in stages)} of {name!r} failed "
+        f"({len(failures)} worker error{'s' if len(failures) != 1 else ''}: "
+        f"{detail})",
+        failures=failures,
+    )
+    if failures:
+        err.__cause__ = failures[0][1]
+    return err
 
 
 class Pipeline:
@@ -46,6 +85,7 @@ class Pipeline:
         workers: int = 1,
         input: MonitorQueue | None = None,
         output: MonitorQueue | None = None,
+        policy: ErrorPolicy | None = None,
     ) -> Stage:
         s = Stage(
             name,
@@ -54,6 +94,7 @@ class Pipeline:
             input=input,
             output=output,
             on_error=self.abort,
+            policy=policy,
         )
         self.stages.append(s)
         return s
@@ -67,11 +108,13 @@ class Pipeline:
         self,
         specs: list[tuple[str, Callable, int]],
         queue_size: int = 0,
+        policy: ErrorPolicy | None = None,
     ) -> list[Stage]:
         """Convenience: wire ``specs`` (name, handler, workers) into a chain.
 
         The first stage is a source, the last a sink; a bounded queue of
-        ``queue_size`` sits between each consecutive pair.
+        ``queue_size`` sits between each consecutive pair.  ``policy``
+        applies to every stage in the chain.
         """
         stages: list[Stage] = []
         prev_q: MonitorQueue | None = None
@@ -80,7 +123,10 @@ class Pipeline:
             if i + 1 < len(specs):
                 out_q = self.queue(maxsize=queue_size, name=f"{name}-out")
             stages.append(
-                self.stage(name, handler, workers=workers, input=prev_q, output=out_q)
+                self.stage(
+                    name, handler, workers=workers, input=prev_q, output=out_q,
+                    policy=policy,
+                )
             )
             prev_q = out_q
         return stages
@@ -88,7 +134,7 @@ class Pipeline:
     # -- execution -------------------------------------------------------------
 
     def run(self) -> None:
-        """Start every stage, join every stage, re-raise the first error."""
+        """Start every stage, join every stage, raise on any worker error."""
         if not self.stages:
             raise ValueError("pipeline has no stages")
         for s in self.stages:
@@ -96,15 +142,29 @@ class Pipeline:
         self.join()
 
     def join(self) -> None:
+        """Wait for all workers; raise one aggregated :class:`PipelineError`."""
         for s in self.stages:
             s.join()
-        for s in self.stages:
-            if s.errors:
-                raise PipelineError(
-                    f"stage {s.name!r} of {self.name!r} failed"
-                ) from s.errors[0]
+        failures = [(s.name, exc) for s in self.stages for exc in s.errors]
+        if failures:
+            raise aggregate_failures(self.name, failures)
+
+    def result(self) -> dict[str, Any]:
+        """Join and return :meth:`stats`; raises the aggregated error.
+
+        This is the one-stop completion check: every worker exception
+        collected during the run -- not just the first -- is surfaced in a
+        single :class:`PipelineError` whose ``failures`` attribute names
+        the stage of each.
+        """
+        self.join()
+        return self.stats()
 
     # -- telemetry ---------------------------------------------------------------
+
+    def dropped(self) -> list[DroppedItem]:
+        """All items dropped under stage error policies, in stage order."""
+        return [d for s in self.stages for d in s.dropped]
 
     def stats(self) -> dict[str, Any]:
         return {
@@ -112,6 +172,8 @@ class Pipeline:
                 s.name: {
                     "workers": s.workers,
                     "items": s.items_processed,
+                    "retried": s.items_retried,
+                    "dropped": len(s.dropped),
                     "busy_seconds": s.busy_seconds,
                 }
                 for s in self.stages

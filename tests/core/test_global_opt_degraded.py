@@ -1,0 +1,147 @@
+"""Phase 2 degraded operation: disconnected displacement graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.global_opt import (
+    estimate_nominal_step,
+    resolve_absolute_positions,
+)
+
+WX = 48  # west step (x)
+NY = 48  # north step (y)
+
+
+def perfect_grid(rows: int = 3, cols: int = 3) -> DisplacementResult:
+    disp = DisplacementResult.empty(rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            if c > 0:
+                disp.west[r][c] = Translation(0.9, tx=WX, ty=0)
+            if r > 0:
+                disp.north[r][c] = Translation(0.9, tx=0, ty=NY)
+    return disp
+
+
+def isolate_tile(disp: DisplacementResult, r: int, c: int) -> None:
+    """Drop every edge incident to tile (r, c)."""
+    disp.west[r][c] = None
+    disp.north[r][c] = None
+    if c + 1 < disp.cols:
+        disp.west[r][c + 1] = None
+    if r + 1 < disp.rows:
+        disp.north[r + 1][c] = None
+
+
+class TestEstimateNominalStep:
+    def test_median_of_surviving_edges(self):
+        disp = perfect_grid()
+        disp.west[1][1] = Translation(0.9, tx=WX + 10, ty=3)  # outlier
+        (wy, wx), (ny, nx) = estimate_nominal_step(disp)
+        assert (wy, wx) == (0.0, float(WX))  # median shrugs off one outlier
+        assert (ny, nx) == (float(NY), 0.0)
+
+    def test_direction_with_no_edges_uses_fallback(self):
+        disp = perfect_grid()
+        for r in range(disp.rows):
+            for c in range(disp.cols):
+                disp.west[r][c] = None
+        step = estimate_nominal_step(disp, nominal_step=((0.0, 50.0), (50.0, 0.0)))
+        assert step[0] == (0.0, 50.0)       # fallback
+        assert step[1] == (float(NY), 0.0)  # still measured
+
+    def test_no_edges_and_no_fallback_raises(self):
+        disp = DisplacementResult.empty(2, 2)
+        with pytest.raises(ValueError, match="nominal_step"):
+            estimate_nominal_step(disp)
+
+
+class TestDisconnectedGraph:
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_default_raises(self, method):
+        disp = perfect_grid()
+        isolate_tile(disp, 2, 2)
+        with pytest.raises(ValueError, match="disconnected"):
+            resolve_absolute_positions(disp, method=method)
+
+    def test_invalid_on_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="on_disconnected"):
+            resolve_absolute_positions(perfect_grid(), on_disconnected="retry")
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_nominal_places_stranded_corner(self, method):
+        disp = perfect_grid()
+        isolate_tile(disp, 2, 2)
+        gp = resolve_absolute_positions(
+            disp, method=method, on_disconnected="nominal"
+        )
+        # Perfect grid + nominal step from medians -> exact grid positions
+        # everywhere, including the stranded tile.
+        for r in range(3):
+            for c in range(3):
+                assert tuple(gp.positions[r, c]) == (r * NY, c * WX), (r, c)
+        assert gp.degraded is not None
+        assert gp.degraded_tiles() == [(2, 2)]
+        assert gp.degraded_count == 1
+
+    def test_connected_graph_has_no_degraded_mask(self):
+        gp = resolve_absolute_positions(
+            perfect_grid(), on_disconnected="nominal"
+        )
+        assert gp.degraded is None
+        assert gp.degraded_count == 0
+        assert gp.degraded_tiles() == []
+
+    def test_stranded_component_keeps_internal_geometry(self):
+        # Cut column 2 off from columns 0-1: its tiles stay connected to
+        # each other through their north edges, so the component is placed
+        # as a unit at the nominal offset of its root (0, 2).
+        disp = perfect_grid()
+        for r in range(3):
+            disp.west[r][2] = None
+        # Perturb an internal edge so we can tell measured from nominal.
+        disp.north[2][2] = Translation(0.9, tx=1, ty=NY + 2)
+        gp = resolve_absolute_positions(disp, on_disconnected="nominal")
+        assert sorted(gp.degraded_tiles()) == [(0, 2), (1, 2), (2, 2)]
+        assert tuple(gp.positions[0, 2]) == (0, 2 * WX)      # nominal root
+        assert tuple(gp.positions[1, 2]) == (NY, 2 * WX)     # measured edge
+        assert tuple(gp.positions[2, 2]) == (2 * NY + 2, 2 * WX + 1)
+
+    def test_nominal_prior_does_not_perturb_least_squares(self):
+        disp = perfect_grid()
+        isolate_tile(disp, 2, 2)
+        gp = resolve_absolute_positions(
+            disp, method="least_squares", on_disconnected="nominal"
+        )
+        clean = resolve_absolute_positions(perfect_grid(), method="least_squares")
+        survivors = np.ones((3, 3), dtype=bool)
+        survivors[2, 2] = False
+        delta = np.abs(gp.positions - clean.positions)[survivors]
+        assert int(delta.max()) == 0
+
+
+class TestZeroPairGuard:
+    def test_empty_graph_default_raises(self):
+        with pytest.raises(ValueError, match="no displacements"):
+            resolve_absolute_positions(DisplacementResult.empty(2, 2))
+
+    def test_empty_graph_nominal_requires_step(self):
+        with pytest.raises(ValueError, match="nominal_step"):
+            resolve_absolute_positions(
+                DisplacementResult.empty(2, 2), on_disconnected="nominal"
+            )
+
+    def test_empty_graph_nominal_with_step_is_pure_grid(self):
+        gp = resolve_absolute_positions(
+            DisplacementResult.empty(2, 2),
+            on_disconnected="nominal",
+            nominal_step=((0.0, WX), (NY, 0.0)),
+        )
+        for r in range(2):
+            for c in range(2):
+                assert tuple(gp.positions[r, c]) == (r * NY, c * WX)
+        # Everything but the anchor is a fallback placement.
+        assert sorted(gp.degraded_tiles()) == [(0, 1), (1, 0), (1, 1)]

@@ -1,0 +1,177 @@
+"""FaultPlan: determinism, wrapping surfaces, trigger bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultyDataset,
+    FaultyPool,
+)
+from repro.io.tiff import TiffError
+from repro.memmodel.pool import BufferPool, PoolExhausted
+
+
+class FakeDataset:
+    rows = 3
+    cols = 3
+
+    def __init__(self):
+        self.loads = []
+
+    def path(self, row, col):
+        return f"tile_{row}_{col}.tif"
+
+    def load(self, row, col, dtype=np.float64):
+        self.loads.append((row, col))
+        return np.zeros((4, 4), dtype=dtype)
+
+
+class TestRandomPlan:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.random(6, 6, seed=17)
+        b = FaultPlan.random(6, 6, seed=17)
+        assert [(f.kind, f.tile) for f in a.faults] == [
+            (f.kind, f.tile) for f in b.faults
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(6, 6, seed=1)
+        b = FaultPlan.random(6, 6, seed=2)
+        assert [f.tile for f in a.faults] != [f.tile for f in b.faults]
+
+    def test_never_damages_anchor_tile(self):
+        for seed in range(25):
+            plan = FaultPlan.random(3, 3, seed=seed, missing=2, corrupt=2,
+                                    transient=2, slow=2)
+            assert (0, 0) not in [f.tile for f in plan.faults]
+
+    def test_distinct_tiles(self):
+        plan = FaultPlan.random(6, 6, seed=5, missing=3, corrupt=3,
+                                transient=3, slow=3)
+        tiles = [f.tile for f in plan.faults]
+        assert len(tiles) == len(set(tiles)) == 12
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ValueError, match="faults requested"):
+            FaultPlan.random(2, 2, seed=0, missing=2, corrupt=1,
+                             transient=1, slow=0)
+
+    def test_summary_counts_by_kind(self):
+        plan = FaultPlan.random(6, 6, seed=0, missing=1, corrupt=2,
+                                transient=3, slow=1)
+        assert plan.summary() == {
+            "missing": 1, "corrupt": 2, "transient_io": 3, "slow_read": 1
+        }
+
+
+class TestDatasetWrapping:
+    def test_missing_tile_raises_file_not_found(self):
+        plan = FaultPlan().add(Fault(FaultKind.MISSING, tile=(1, 2)))
+        ds = plan.wrap_dataset(FakeDataset())
+        assert isinstance(ds, FaultyDataset)
+        with pytest.raises(FileNotFoundError):
+            ds.load(1, 2)
+        # Every attempt keeps failing (permanent fault).
+        with pytest.raises(FileNotFoundError):
+            ds.load(1, 2)
+
+    def test_corrupt_tile_raises_tiff_error(self):
+        plan = FaultPlan().add(Fault(FaultKind.CORRUPT, tile=(0, 1)))
+        ds = plan.wrap_dataset(FakeDataset())
+        with pytest.raises(TiffError):
+            ds.load(0, 1)
+
+    def test_transient_io_succeeds_after_configured_failures(self):
+        plan = FaultPlan().add(
+            Fault(FaultKind.TRANSIENT_IO, tile=(2, 2), failures=2)
+        )
+        ds = plan.wrap_dataset(FakeDataset())
+        with pytest.raises(IOError):
+            ds.load(2, 2)
+        with pytest.raises(IOError):
+            ds.load(2, 2)
+        out = ds.load(2, 2)  # third attempt succeeds
+        assert out.shape == (4, 4)
+
+    def test_undamaged_tiles_pass_through(self):
+        inner = FakeDataset()
+        plan = FaultPlan().add(Fault(FaultKind.MISSING, tile=(1, 1)))
+        ds = plan.wrap_dataset(inner)
+        ds.load(0, 0)
+        assert inner.loads == [(0, 0)]
+        # Attribute delegation works too.
+        assert ds.rows == 3 and ds.cols == 3
+
+    def test_events_record_each_trigger(self):
+        plan = FaultPlan().add(
+            Fault(FaultKind.TRANSIENT_IO, tile=(1, 0), failures=1)
+        )
+        ds = plan.wrap_dataset(FakeDataset())
+        with pytest.raises(IOError):
+            ds.load(1, 0)
+        ds.load(1, 0)
+        assert plan.triggered_summary() == {"transient_io": 1}
+        assert plan.events[0].tile == (1, 0)
+        assert plan.events[0].attempt == 0
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan().add(
+            Fault(FaultKind.TRANSIENT_IO, tile=(1, 0), failures=1)
+        )
+        ds = plan.wrap_dataset(FakeDataset())
+        with pytest.raises(IOError):
+            ds.load(1, 0)
+        ds.load(1, 0)
+        plan.reset()
+        assert plan.events == []
+        with pytest.raises(IOError):
+            ds.load(1, 0)  # fails again after reset
+
+    def test_slow_read_records_but_returns(self):
+        plan = FaultPlan().add(
+            Fault(FaultKind.SLOW_READ, tile=(0, 1), latency=0.0)
+        )
+        ds = plan.wrap_dataset(FakeDataset())
+        out = ds.load(0, 1)
+        assert out.shape == (4, 4)
+        assert plan.triggered_summary() == {"slow_read": 1}
+
+
+class TestHandlerAndPoolWrapping:
+    def test_wrap_handler_injects_stage_errors(self):
+        plan = FaultPlan().add(
+            Fault(FaultKind.STAGE_ERROR, stage="fft", failures=2)
+        )
+        calls = []
+
+        def handler(item, ctx):
+            calls.append(item)
+            return item
+
+        wrapped = plan.wrap_handler("fft", handler)
+        with pytest.raises(RuntimeError, match="injected stage fault"):
+            wrapped(1, None)
+        with pytest.raises(RuntimeError):
+            wrapped(2, None)
+        assert wrapped(3, None) == 3
+        assert calls == [3]
+
+    def test_wrap_handler_no_faults_returns_original(self):
+        plan = FaultPlan()
+        handler = lambda item, ctx: item  # noqa: E731
+        assert plan.wrap_handler("fft", handler) is handler
+
+    def test_wrap_pool_injects_exhaustion(self):
+        plan = FaultPlan().add(Fault(FaultKind.POOL_EXHAUSTED, failures=1))
+        pool = plan.wrap_pool(BufferPool(2, (4, 4)))
+        assert isinstance(pool, FaultyPool)
+        with pytest.raises(PoolExhausted, match="injected"):
+            pool.acquire(blocking=False)
+        slot = pool.acquire(blocking=False)  # second acquire succeeds
+        assert pool.array(slot).shape == (4, 4)
+        pool.release(slot)

@@ -1,0 +1,83 @@
+"""FaultReport: recording, de-duplication, serialization."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.faults import FaultReport
+
+
+def test_empty_report_is_falsy():
+    rep = FaultReport()
+    assert not rep
+    d = rep.to_dict()
+    assert d["retries"] == 0
+    assert d["skipped_tiles"] == []
+    assert "injected" not in d
+
+
+def test_records_make_report_truthy():
+    rep = FaultReport()
+    rep.record_retry("read", (1, 2), 0, IOError("flaky"))
+    assert rep
+    assert rep.retries[0]["stage"] == "read"
+    assert "OSError" in rep.retries[0]["error"]
+
+
+def test_skipped_tiles_deduplicate():
+    rep = FaultReport()
+    rep.record_skipped_tile((2, 3), FileNotFoundError("gone"))
+    # Ghost tiles in partitioned impls can fail in two pipelines -- the
+    # second record must not double-count, and the first error wins.
+    rep.record_skipped_tile((2, 3), IOError("other"))
+    assert rep.skipped_tiles == [(2, 3)]
+    assert "FileNotFoundError" in rep.to_dict()["skipped_tile_errors"]["2,3"]
+
+
+def test_skipped_pairs_deduplicate():
+    rep = FaultReport()
+    rep.record_skipped_pair("west", 1, 1, "tile gone")
+    rep.record_skipped_pair("west", 1, 1, "tile gone again")
+    rep.record_skipped_pair("north", 1, 1, "tile gone")
+    assert rep.skipped_pairs == [("north", 1, 1), ("west", 1, 1)]
+
+
+def test_degraded_tiles_sorted_and_unique():
+    rep = FaultReport()
+    rep.record_degraded_tile((3, 0))
+    rep.record_degraded_tile((1, 2))
+    rep.record_degraded_tile((3, 0))
+    assert rep.degraded_tiles == [(1, 2), (3, 0)]
+
+
+def test_to_dict_includes_injected_summary():
+    rep = FaultReport()
+    rep.injected = {"missing": 1, "corrupt": 2}
+    assert rep.to_dict()["injected"] == {"missing": 1, "corrupt": 2}
+
+
+def test_summary_is_one_line():
+    rep = FaultReport()
+    rep.record_retry("read", (0, 1), 0, IOError("x"))
+    rep.record_skipped_tile((0, 1), IOError("x"))
+    text = rep.summary()
+    assert "\n" not in text
+    assert "1 retried read(s)" in text
+    assert "1 skipped tile(s)" in text
+
+
+def test_concurrent_recording_is_safe():
+    rep = FaultReport()
+
+    def worker(k: int) -> None:
+        for i in range(100):
+            rep.record_retry("read", (k, i), 0, IOError("x"))
+            rep.record_skipped_pair("west", k, i % 7)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(rep.retries) == 400
+    assert len(rep.skipped_pairs) == 4 * 7

@@ -1,0 +1,393 @@
+"""ErrorPolicy / run_with_retries / stage retry-and-drop semantics,
+Pipeline.result() aggregation, and queue-close races under failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.graph import Pipeline, PipelineError, aggregate_failures
+from repro.pipeline.queues import MonitorQueue, QueueClosed
+from repro.pipeline.stage import (
+    END_OF_STREAM,
+    DroppedItem,
+    ErrorPolicy,
+    Stage,
+    StageItemTimeout,
+    run_with_retries,
+)
+
+
+class TestErrorPolicy:
+    def test_defaults_are_strict(self):
+        p = ErrorPolicy()
+        assert p.max_retries == 0
+        assert p.on_exhausted == "abort"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ErrorPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="on_exhausted"):
+            ErrorPolicy(on_exhausted="explode")
+
+    def test_delay_exponential(self):
+        p = ErrorPolicy(max_retries=3, backoff=0.1, backoff_factor=2.0)
+        assert p.delay(0) == pytest.approx(0.1)
+        assert p.delay(1) == pytest.approx(0.2)
+        assert p.delay(2) == pytest.approx(0.4)
+
+    def test_delay_jitter_is_deterministic_and_bounded(self):
+        p = ErrorPolicy(max_retries=3, backoff=0.1, jitter=0.5, seed=7)
+        d1 = p.delay(1, key=("read", 3))
+        d2 = p.delay(1, key=("read", 3))
+        assert d1 == d2  # same (seed, attempt, key) -> same delay
+        base = 0.1 * 2.0
+        assert base <= d1 <= base * 1.5
+        # A different key perturbs the jitter.
+        assert p.delay(1, key=("read", 4)) != d1
+
+    def test_zero_backoff_means_no_delay(self):
+        assert ErrorPolicy(max_retries=2).delay(5) == 0.0
+
+
+class TestRunWithRetries:
+    def test_success_first_try(self):
+        value, attempts = run_with_retries(lambda: 42, ErrorPolicy())
+        assert (value, attempts) == (42, 0)
+
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise IOError("transient")
+            return "ok"
+
+        retried = []
+        value, attempts = run_with_retries(
+            flaky,
+            ErrorPolicy(max_retries=3),
+            on_retry=lambda a, e: retried.append((a, type(e).__name__)),
+            sleep=lambda s: None,
+        )
+        assert value == "ok"
+        assert attempts == 2
+        assert retried == [(0, "OSError"), (1, "OSError")]
+
+    def test_exhaustion_raises_last_error(self):
+        def always():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            run_with_retries(always, ErrorPolicy(max_retries=2),
+                             sleep=lambda s: None)
+
+    def test_queue_closed_never_retried(self):
+        calls = []
+
+        def touch_closed_queue():
+            calls.append(1)
+            raise QueueClosed("q")
+
+        with pytest.raises(QueueClosed):
+            run_with_retries(touch_closed_queue, ErrorPolicy(max_retries=5))
+        assert len(calls) == 1
+
+    def test_non_retryable_fails_immediately(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise TypeError("not retryable")
+
+        with pytest.raises(TypeError):
+            run_with_retries(
+                bad, ErrorPolicy(max_retries=5, retryable=(IOError,))
+            )
+        assert len(calls) == 1
+
+    def test_cooperative_timeout_counts_as_failed_attempt(self):
+        calls = []
+
+        def slow_then_fast():
+            calls.append(1)
+            if len(calls) == 1:
+                time.sleep(0.05)
+            return "done"
+
+        value, attempts = run_with_retries(
+            slow_then_fast,
+            ErrorPolicy(max_retries=1, item_timeout=0.01),
+            sleep=lambda s: None,
+        )
+        assert value == "done"
+        assert attempts == 1
+
+    def test_cooperative_timeout_exhausts(self):
+        def always_slow():
+            time.sleep(0.03)
+            return "late"
+
+        with pytest.raises(StageItemTimeout):
+            run_with_retries(
+                always_slow,
+                ErrorPolicy(max_retries=1, item_timeout=0.001),
+                sleep=lambda s: None,
+            )
+
+    def test_sleep_receives_backoff_delays(self):
+        slept = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise IOError("x")
+            return 1
+
+        run_with_retries(
+            flaky,
+            ErrorPolicy(max_retries=2, backoff=0.1, backoff_factor=2.0),
+            sleep=slept.append,
+        )
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+class TestStageWithPolicy:
+    def _run_stage(self, handler, policy, items):
+        q_in = MonitorQueue(name="in")
+        q_out = MonitorQueue(name="out")
+        stage = Stage("work", handler, workers=1, input=q_in, output=q_out,
+                      policy=policy)
+        for item in items:
+            q_in.put(item)
+        q_in.close()
+        stage.start()
+        stage.join()
+        out = []
+        while True:
+            try:
+                out.append(q_out.get(timeout=0.1))
+            except QueueClosed:
+                break
+        return stage, out
+
+    def test_skip_policy_drops_and_continues(self):
+        def handler(item, ctx):
+            if item == 2:
+                raise IOError("bad item")
+            return item * 10
+
+        stage, out = self._run_stage(
+            handler, ErrorPolicy(max_retries=1, on_exhausted="skip"),
+            [1, 2, 3],
+        )
+        assert out == [10, 30]
+        assert stage.errors == []
+        assert len(stage.dropped) == 1
+        d = stage.dropped[0]
+        assert isinstance(d, DroppedItem)
+        assert d.stage == "work"
+        assert "2" in d.item
+        assert isinstance(d.error, IOError)
+        assert d.attempts == 2  # initial + 1 retry
+        assert stage.items_retried == 1
+
+    def test_abort_policy_propagates_after_retries(self):
+        calls = []
+
+        def handler(item, ctx):
+            calls.append(item)
+            raise IOError("always")
+
+        stage, out = self._run_stage(
+            handler, ErrorPolicy(max_retries=2, on_exhausted="abort"), [7]
+        )
+        assert out == []
+        assert len(calls) == 3
+        assert len(stage.errors) == 1
+        assert isinstance(stage.errors[0], IOError)
+
+    def test_transient_failure_recovers_without_drop(self):
+        attempts = {}
+
+        def handler(item, ctx):
+            attempts[item] = attempts.get(item, 0) + 1
+            if attempts[item] == 1:
+                raise IOError("transient")
+            return item
+
+        stage, out = self._run_stage(
+            handler, ErrorPolicy(max_retries=1, on_exhausted="skip"), [1, 2]
+        )
+        assert sorted(out) == [1, 2]
+        assert stage.dropped == []
+        assert stage.items_retried == 2
+
+
+class TestPipelineResult:
+    def test_result_returns_stats_on_success(self):
+        pipe = Pipeline("ok")
+        count = iter(range(3))
+
+        def src(_item, _ctx):
+            try:
+                return next(count)
+            except StopIteration:
+                return END_OF_STREAM
+
+        seen = []
+        pipe.add_chain([("src", src, 1), ("sink", lambda i, c: seen.append(i), 1)])
+        for s in pipe.stages:
+            s.start()
+        stats = pipe.result()
+        assert sorted(seen) == [0, 1, 2]
+        assert stats["stages"]["src"]["items"] >= 3
+        assert stats["stages"]["sink"]["retried"] == 0
+        assert stats["stages"]["sink"]["dropped"] == 0
+
+    def test_result_raises_single_error_naming_all_stages(self):
+        pipe = Pipeline("doomed")
+        q1 = pipe.queue(name="a")
+
+        sink_failed = threading.Event()
+
+        def src(_item, _ctx):
+            # The reader only dies after the sink has already failed, so
+            # both failures are guaranteed to be present in the aggregate.
+            sink_failed.wait(timeout=5)
+            raise IOError("reader died")
+
+        def sink(item, _ctx):
+            try:
+                raise ValueError("sink died")
+            finally:
+                sink_failed.set()
+
+        pipe.stage("reader", src, workers=1, input=None, output=None)
+        pipe.stage("sink", sink, workers=1, input=q1, output=None)
+        for s in pipe.stages:
+            s.start()
+        q1.put("x")
+        with pytest.raises(PipelineError) as exc_info:
+            pipe.result()
+        err = exc_info.value
+        stages = {name for name, _ in err.failures}
+        assert stages == {"reader", "sink"}
+        assert len(err.failures) == 2
+        # Message names both failing stages and both exception types.
+        assert "reader" in str(err) and "sink" in str(err)
+        assert "OSError" in str(err) and "ValueError" in str(err)
+        # First failure chained for raise-from consumers.
+        assert err.__cause__ is err.failures[0][1]
+
+    def test_aggregate_failures_helper(self):
+        e1, e2 = IOError("a"), ValueError("b")
+        err = aggregate_failures("p", [("read", e1), ("read", e2)])
+        assert isinstance(err, PipelineError)
+        assert err.failures == [("read", e1), ("read", e2)]
+        assert "2 worker errors" in str(err)
+        assert err.__cause__ is e1
+
+
+class TestQueueCloseRaces:
+    """A stage erroring while peers block on queue ops must not hang."""
+
+    JOIN_TIMEOUT = 10.0
+
+    def _join_all(self, pipe: Pipeline) -> None:
+        deadline = time.monotonic() + self.JOIN_TIMEOUT
+        for s in pipe.stages:
+            for t in s.threads:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+                assert not t.is_alive(), (
+                    f"worker {t.name} still alive after stage failure -- "
+                    f"queue-close race left it blocked"
+                )
+
+    def test_consumer_blocked_on_get_unblocks_when_peer_stage_dies(self):
+        pipe = Pipeline("race-get")
+        q_dead = pipe.queue(name="never-fed")
+        started = threading.Event()
+
+        def blocked_sink(item, _ctx):  # pragma: no cover - never receives
+            return None
+
+        def doomed_src(_item, _ctx):
+            started.wait(timeout=5)
+            raise RuntimeError("boom")
+
+        pipe.stage("sink", blocked_sink, workers=2, input=q_dead, output=None)
+        pipe.stage("src", doomed_src, workers=1, input=None, output=None)
+        for s in pipe.stages:
+            s.start()
+        started.set()
+        self._join_all(pipe)
+        with pytest.raises(PipelineError, match="src"):
+            pipe.result()
+
+    def test_producer_blocked_on_put_unblocks_when_peer_stage_dies(self):
+        pipe = Pipeline("race-put")
+        q_full = pipe.queue(maxsize=1, name="tiny")
+        q_full.put("pre-filled")  # next put blocks
+
+        def producer(_item, _ctx):
+            q_full.put("overflow")  # blocks until the abort closes q_full
+            return END_OF_STREAM
+
+        def doomed(_item, _ctx):
+            time.sleep(0.05)  # let the producer reach the blocking put
+            raise RuntimeError("boom")
+
+        pipe.stage("producer", producer, workers=1, input=None, output=None)
+        pipe.stage("doomed", doomed, workers=1, input=None, output=None)
+        for s in pipe.stages:
+            s.start()
+        self._join_all(pipe)
+        with pytest.raises(PipelineError, match="doomed"):
+            pipe.result()
+
+    def test_multiworker_stage_one_worker_dies_all_terminate(self):
+        pipe = Pipeline("race-multi")
+        q_in = pipe.queue(name="work")
+
+        def handler(item, _ctx):
+            if item == "poison":
+                raise RuntimeError("worker down")
+            # Healthy workers block on the next get after this.
+            return None
+
+        pipe.stage("workers", handler, workers=4, input=q_in, output=None)
+        for s in pipe.stages:
+            s.start()
+        for _ in range(8):
+            q_in.put("ok")
+        q_in.put("poison")
+        self._join_all(pipe)
+        with pytest.raises(PipelineError, match="workers"):
+            pipe.result()
+
+    def test_downstream_of_failed_stage_sees_end_of_stream(self):
+        pipe = Pipeline("race-downstream")
+        q_mid = pipe.queue(name="mid")
+        received = []
+
+        def src(_item, _ctx):
+            raise RuntimeError("source exploded immediately")
+
+        def sink(item, _ctx):
+            received.append(item)
+            return None
+
+        pipe.stage("src", src, workers=1, input=None, output=q_mid)
+        pipe.stage("sink", sink, workers=2, input=q_mid, output=None)
+        for s in pipe.stages:
+            s.start()
+        self._join_all(pipe)
+        assert received == []
+        with pytest.raises(PipelineError, match="src"):
+            pipe.result()
