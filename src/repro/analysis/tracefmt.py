@@ -1,10 +1,17 @@
-"""Trace export: Chrome trace-event JSON from GPU/DES timelines.
+"""Trace export: Chrome trace-event JSON from pipeline/GPU/DES timelines.
 
 The paper inspects its implementations with NVIDIA's visual profiler
-(Figs. 7 and 9).  The equivalent here: export a virtual-GPU trace or a
-DES schedule to the Chrome trace-event format and open it in
-``chrome://tracing`` / Perfetto.  Each engine (or DES resource) becomes a
-timeline row; op names and durations carry over.
+(Figs. 7 and 9).  The equivalent here: export the live pipeline's span
+trace (:mod:`repro.observe`), a virtual-GPU trace, or a DES schedule to
+the Chrome trace-event format and open it in ``chrome://tracing`` /
+Perfetto.  Each stage worker, GPU engine, or DES resource becomes a
+timeline row; queue-depth samples become counter (``ph: "C"``) tracks --
+the monitor-queue occupancy signal the Fig. 8 architecture was tuned by.
+
+:func:`merged_trace_events` combines all the sources of one run into a
+*single* file: host pipeline spans on one process row, each virtual GPU's
+engines on their own, so copy/compute/host activity line up the way the
+paper's nvvp screenshots do.
 
 Format reference: the "JSON Array Format" of the Trace Event
 specification -- a list of ``{"name", "ph": "X", "ts", "dur", "pid",
@@ -17,9 +24,20 @@ import json
 from pathlib import Path
 
 from repro.gpu.profiler import GpuProfiler
+from repro.observe.tracer import Tracer
 from repro.simulate.des import TaskGraphSimulator
 
 _US = 1e6  # trace-event timestamps are in microseconds
+
+#: pid of the host-pipeline process row in merged traces; virtual GPUs
+#: take pids :data:`GPU_PID_BASE`, ``GPU_PID_BASE + 1``, ...
+PIPELINE_PID = 1
+GPU_PID_BASE = 10
+
+
+def _process_name(pid: int, name: str) -> dict:
+    return {"name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": 0, "args": {"name": name}}
 
 
 def gpu_trace_events(profiler: GpuProfiler, pid: int = 0) -> list[dict]:
@@ -42,6 +60,7 @@ def gpu_trace_events(profiler: GpuProfiler, pid: int = 0) -> list[dict]:
         out.append({
             "name": "thread_name",
             "ph": "M",
+            "ts": 0,
             "pid": pid,
             "tid": tid,
             "args": {"name": engine},
@@ -73,11 +92,135 @@ def des_trace_events(sim: TaskGraphSimulator, pid: int = 0) -> list[dict]:
         out.append({
             "name": "thread_name",
             "ph": "M",
+            "ts": 0,
             "pid": pid,
             "tid": tid,
             "args": {"name": resource},
         })
     return out
+
+
+def tracer_trace_events(tracer: Tracer, pid: int = PIPELINE_PID) -> list[dict]:
+    """Convert live pipeline spans + counter samples to trace events.
+
+    Span tracks (one per stage worker) become threads (``ph: "X"``);
+    queue-wait spans keep their ``"<stage>:wait"`` names so they are
+    visually distinct from compute.  Counter samples become ``ph: "C"``
+    counter tracks -- Perfetto renders each as a step chart, the queue
+    occupancy timeline of the paper's Fig. 8 tuning.
+    """
+    tids: dict[str, int] = {}
+    out: list[dict] = []
+    for s in tracer.spans:
+        tid = tids.setdefault(s.track, len(tids))
+        event = {
+            "name": s.name,
+            "ph": "X",
+            "ts": s.start * _US,
+            "dur": max(0.0, s.duration) * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(s.args or {})
+        if s.key is not None:
+            args["key"] = s.key
+        if args:
+            event["args"] = args
+        out.append(event)
+    for c in tracer.counters:
+        out.append({
+            "name": c.name,
+            "ph": "C",
+            "ts": c.t * _US,
+            "pid": pid,
+            "tid": 0,
+            "args": {"depth": c.value},
+        })
+    for track, tid in tids.items():
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    return out
+
+
+def merged_trace_events(
+    tracer: Tracer | None = None,
+    gpu_profilers: list[GpuProfiler] | None = None,
+    sims: list[TaskGraphSimulator] | None = None,
+) -> list[dict]:
+    """One unified timeline: pipeline spans + queue counters + GPU engines.
+
+    The host pipeline renders as process :data:`PIPELINE_PID`; each
+    virtual GPU (and each DES schedule, if any) gets its own process row
+    starting at :data:`GPU_PID_BASE`.  Note the clocks differ by design:
+    pipeline spans are wall-clock seconds since the tracer's start, the
+    virtual GPU rows run on the device's *virtual* clock (as in the
+    paper, where nvvp time and modeled time are compared, not equated).
+    """
+    events: list[dict] = []
+    if tracer is not None:
+        events.extend(tracer_trace_events(tracer, pid=PIPELINE_PID))
+        events.append(_process_name(PIPELINE_PID, "pipeline"))
+    pid = GPU_PID_BASE
+    for profiler in gpu_profilers or []:
+        events.extend(gpu_trace_events(profiler, pid=pid))
+        events.append(_process_name(pid, f"virtual-gpu-{pid - GPU_PID_BASE}"))
+        pid += 1
+    for sim in sims or []:
+        events.extend(des_trace_events(sim, pid=pid))
+        events.append(_process_name(pid, "des-schedule"))
+        pid += 1
+    return events
+
+
+_VALID_PHASES = {"X", "C", "M", "i", "B", "E"}
+
+
+def validate_trace_events(
+    events: list[dict], require_counters: bool = False
+) -> None:
+    """Check ``events`` against the trace-event schema; raise on violation.
+
+    Every event must carry ``name``/``ph``/``ts``/``pid``/``tid``;
+    complete events (``ph: "X"``) additionally need a non-negative
+    ``dur``; counter events need numeric ``args``.  With
+    ``require_counters=True`` at least one ``ph: "C"`` track must exist
+    (the CI smoke check: a pipeline trace without queue telemetry is a
+    regression).  Used by the test suite and the CI trace-smoke step.
+    """
+    if not isinstance(events, list):
+        raise ValueError(f"trace must be a JSON array, got {type(events).__name__}")
+    if not events:
+        raise ValueError("trace is empty")
+    counters = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise ValueError(f"event {i} is not an object: {e!r}")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                raise ValueError(f"event {i} missing {field!r}: {e!r}")
+        ph = e["ph"]
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            raise ValueError(f"event {i} has bad ts: {e['ts']!r}")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                raise ValueError(f"complete event {i} has bad dur: {e!r}")
+        if ph == "C":
+            counters += 1
+            args = e.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ValueError(f"counter event {i} has non-numeric args: {e!r}")
+    if require_counters and counters == 0:
+        raise ValueError("trace has no counter (ph='C') tracks")
 
 
 def write_chrome_trace(path: str | Path, events: list[dict]) -> None:

@@ -66,6 +66,13 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     if args.wisdom and Path(args.wisdom).exists():
         n = cache.import_wisdom(Path(args.wisdom).read_text())
         print(f"imported {n} wisdom entries from {args.wisdom}")
+    tracer = metrics = None
+    if args.trace or args.metrics:
+        from repro.observe import MetricsRegistry, Tracer
+
+        metrics = MetricsRegistry()
+        if args.trace:
+            tracer = Tracer()
     stitcher = Stitcher(
         ccf_mode=CcfMode.PAPER4 if args.paper_faithful else CcfMode.EXTENDED,
         n_peaks=1 if args.paper_faithful else args.peaks,
@@ -77,6 +84,8 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         cache=cache,
         max_retries=args.max_retries,
         on_tile_error=args.on_tile_error,
+        trace=tracer if tracer is not None else False,
+        metrics=metrics if metrics is not None else False,
     )
     t0 = time.perf_counter()
     if args.impl == "stitcher":
@@ -101,11 +110,12 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             from repro.faults import FaultReport
 
             report = FaultReport()
-        run = ALL_IMPLEMENTATIONS[args.impl](
+        impl = ALL_IMPLEMENTATIONS[args.impl](
             ccf_mode=stitcher.ccf_mode, n_peaks=stitcher.n_peaks,
             cache=cache, error_policy=policy, fault_report=report,
-            **impl_kwargs,
-        ).run(dataset)
+            tracer=tracer, metrics=metrics, **impl_kwargs,
+        )
+        run = impl.run(dataset)
         if policy is not None and args.on_tile_error == "skip":
             positions = resolve_absolute_positions(
                 run.displacements, method=args.positions,
@@ -124,6 +134,18 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             if plan is not None:
                 report.injected = plan.summary()
             stats["fault_report"] = report
+        if metrics is not None:
+            stats["metrics"] = metrics.snapshot()
+        if tracer is not None:
+            stats["tracer"] = tracer
+            # Virtual-GPU engine rows for the merged timeline (Fig. 7/9).
+            profilers = []
+            if getattr(impl, "last_device", None) is not None:
+                profilers.append(impl.last_device.profiler)
+            for dev in getattr(impl, "devices", None) or []:
+                profilers.append(dev.profiler)
+            if profilers:
+                stats["gpu_profilers"] = profilers
         result = StitchResult(
             dataset=dataset, displacements=run.displacements,
             positions=positions, phase1_seconds=run.wall_seconds,
@@ -139,6 +161,13 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     report = result.stats.get("fault_report")
     if report is not None and report:
         print(f"fault report: {report.summary()}")
+    if args.trace:
+        n_events = result.write_trace(args.trace)
+        print(f"trace: {n_events} events -> {args.trace} "
+              f"(open in Perfetto / chrome://tracing)")
+    if args.metrics:
+        print("metrics:")
+        print(json.dumps(result.stats.get("metrics", {}), indent=2))
     errors = result.position_errors(exclude_degraded=True)
     if errors is not None:
         print(f"position error vs ground truth: max {np.nanmax(errors):.1f} px")
@@ -257,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "render a partial mosaic")
     s.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
                    help="damage the run with a seeded fault plan (testing)")
+    s.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
+                   help="record a unified Chrome/Perfetto trace of the run "
+                        "(stage spans + queue depths + virtual-GPU engines)")
+    s.add_argument("--metrics", action="store_true",
+                   help="collect and print per-stage counters/latency "
+                        "percentiles as JSON")
     s.set_defaults(func=_cmd_stitch)
 
     s = sub.add_parser("info", help="inspect a dataset directory or TIFF")

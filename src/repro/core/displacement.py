@@ -120,6 +120,8 @@ def compute_grid_displacements(
     planning: PlanningMode = PlanningMode.ESTIMATE,
     error_policy: ErrorPolicy | None = None,
     fault_report=None,
+    tracer=None,
+    metrics=None,
 ) -> DisplacementResult:
     """Compute west/north translations for the whole grid sequentially.
 
@@ -139,7 +141,16 @@ def compute_grid_displacements(
     :class:`~repro.faults.report.FaultReport`) and ``result.stats``.
     Without a policy, exceptions propagate raw (the legacy contract the
     reference implementations rely on).
+
+    With a ``tracer`` (:class:`~repro.observe.tracer.Tracer`), every read,
+    forward FFT and pair registration becomes a span on the
+    ``"sequential"`` timeline track -- the single-row analogue of the
+    pipelined implementations' per-stage timelines.
     """
+    from repro.observe.tracer import NULL_TRACER
+
+    if tracer is None:
+        tracer = NULL_TRACER
     grid = TileGrid(rows, cols)
     result = DisplacementResult.empty(rows, cols)
 
@@ -158,6 +169,8 @@ def compute_grid_displacements(
         def on_retry(attempt: int, exc: BaseException) -> None:
             if fault_report is not None:
                 fault_report.record_retry("read", (pos.row, pos.col), attempt, exc)
+            if metrics is not None:
+                metrics.counter("read.retries").inc()
 
         try:
             value, _ = run_with_retries(
@@ -174,6 +187,8 @@ def compute_grid_displacements(
                 ) from exc
             if fault_report is not None:
                 fault_report.record_skipped_tile((pos.row, pos.col), exc)
+            if metrics is not None:
+                metrics.counter("read.skipped_tiles").inc()
             return None
 
     def mark_failed(pos: GridPosition) -> None:
@@ -184,6 +199,8 @@ def compute_grid_displacements(
             if pair not in pairs_done:
                 pairs_done.add(pair)
                 skipped_pairs.add(pair)
+                if metrics is not None:
+                    metrics.counter("pairs.skipped").inc()
                 if fault_report is not None:
                     fault_report.record_skipped_pair(
                         pair.direction.name.lower(),
@@ -195,15 +212,17 @@ def compute_grid_displacements(
     def ensure_loaded(pos: GridPosition) -> None:
         if pos in tiles or pos in failed_tiles:
             return
-        pixels = load_with_policy(pos)
+        with tracer.span("read", "sequential", key=str(pos)):
+            pixels = load_with_policy(pos)
         if pixels is None:
             mark_failed(pos)
             return
         tiles[pos] = np.asarray(pixels, dtype=np.float64)
         stats["reads"] += 1
-        ffts[pos] = forward_fft(
-            tiles[pos], fft_shape, cache, planning, real=real_transforms
-        )
+        with tracer.span("fft", "sequential", key=str(pos)):
+            ffts[pos] = forward_fft(
+                tiles[pos], fft_shape, cache, planning, real=real_transforms
+            )
         stats["ffts"] += 1
         stats["peak_live_transforms"] = max(
             stats["peak_live_transforms"], len(ffts)
@@ -222,19 +241,20 @@ def compute_grid_displacements(
             if pair in pairs_done:
                 continue
             if pair.first in ffts and pair.second in ffts:
-                r = pciam(
-                    tiles[pair.first],
-                    tiles[pair.second],
-                    fft_i=ffts[pair.first],
-                    fft_j=ffts[pair.second],
-                    fft_shape=fft_shape,
-                    ccf_mode=ccf_mode,
-                    n_peaks=n_peaks,
-                    real_transforms=real_transforms,
-                    subpixel=subpixel,
-                    cache=cache,
-                    planning=planning,
-                )
+                with tracer.span("pair", "sequential", key=str(pair)):
+                    r = pciam(
+                        tiles[pair.first],
+                        tiles[pair.second],
+                        fft_i=ffts[pair.first],
+                        fft_j=ffts[pair.second],
+                        fft_shape=fft_shape,
+                        ccf_mode=ccf_mode,
+                        n_peaks=n_peaks,
+                        real_transforms=real_transforms,
+                        subpixel=subpixel,
+                        cache=cache,
+                        planning=planning,
+                    )
                 result.set(
                     pair.direction,
                     pair.second.row,

@@ -28,6 +28,8 @@ from repro.faults.report import FaultReport
 from repro.fftlib.plans import PlanCache, PlanningMode
 from repro.grid.traversal import Traversal
 from repro.io.dataset import TileDataset
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.pipeline.stage import ErrorPolicy
 
 
@@ -48,6 +50,37 @@ class StitchResult:
     def fault_report(self) -> FaultReport | None:
         """The run's :class:`FaultReport` when a retry/skip policy was active."""
         return self.stats.get("fault_report")
+
+    @property
+    def tracer(self):
+        """The run's :class:`~repro.observe.tracer.Tracer` when traced."""
+        return self.stats.get("tracer")
+
+    @property
+    def metrics(self) -> dict | None:
+        """JSON-able metrics snapshot (``stats["metrics"]``) when collected."""
+        return self.stats.get("metrics")
+
+    def trace_events(self) -> list[dict]:
+        """Merged Chrome trace events for this run (pipeline + any GPUs)."""
+        from repro.analysis.tracefmt import merged_trace_events
+
+        tracer = self.stats.get("tracer")
+        if tracer is None:
+            raise ValueError(
+                "run was not traced; pass trace=True to Stitcher (or --trace)"
+            )
+        return merged_trace_events(
+            tracer=tracer, gpu_profilers=self.stats.get("gpu_profilers")
+        )
+
+    def write_trace(self, path) -> int:
+        """Write the unified Chrome/Perfetto trace; returns the event count."""
+        from repro.analysis.tracefmt import write_chrome_trace
+
+        events = self.trace_events()
+        write_chrome_trace(path, events)
+        return len(events)
 
     def skipped_tiles(self) -> list[tuple[int, int]]:
         report = self.fault_report
@@ -120,6 +153,8 @@ class Stitcher:
         max_retries: int = 0,
         retry_backoff: float = 0.05,
         on_tile_error: str = "abort",
+        trace: bool | Tracer = False,
+        metrics: bool | MetricsRegistry = False,
     ) -> None:
         self.traversal = traversal
         self.ccf_mode = ccf_mode
@@ -142,6 +177,19 @@ class Stitcher:
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
         self.on_tile_error = on_tile_error
+        # Observability: ``trace=True`` (or a caller-owned Tracer) records
+        # per-phase and per-operation spans; metrics are collected whenever
+        # either switch is on, and land in ``StitchResult.stats["metrics"]``.
+        if isinstance(trace, Tracer):
+            self.tracer: Tracer | None = trace
+        else:
+            self.tracer = Tracer() if trace else None
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics: MetricsRegistry | None = metrics
+        elif metrics or self.tracer is not None:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = None
 
     def _error_policy(self) -> ErrorPolicy | None:
         """Retry/skip policy for tile reads; None = strict legacy behaviour."""
@@ -183,6 +231,8 @@ class Stitcher:
             planning=self.planning,
             error_policy=error_policy,
             fault_report=fault_report,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     def stitch(self, dataset: TileDataset) -> StitchResult:
@@ -196,28 +246,32 @@ class Stitcher:
         """
         policy = self._error_policy()
         report = FaultReport() if policy is not None else None
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
         t0 = time.perf_counter()
-        disp = self.compute_displacements(
-            dataset, error_policy=policy, fault_report=report
-        )
+        with tracer.span("phase1:displacements", "stitcher"):
+            disp = self.compute_displacements(
+                dataset, error_policy=policy, fault_report=report
+            )
         stats = dict(disp.stats)
         if self.refine is not None:
-            disp, rep = refine_displacements(disp, dataset.load, self.refine)
+            with tracer.span("refine", "stitcher"):
+                disp, rep = refine_displacements(disp, dataset.load, self.refine)
             stats["refined_pairs"] = rep.repaired
             stats["unrepairable_pairs"] = rep.unrepairable
         t1 = time.perf_counter()
-        if policy is not None and self.on_tile_error == "skip":
-            pos = resolve_absolute_positions(
-                disp,
-                method=self.position_method,
-                subpixel=self.subpixel,
-                on_disconnected="nominal",
-                nominal_step=self._nominal_step(dataset),
-            )
-        else:
-            pos = resolve_absolute_positions(
-                disp, method=self.position_method, subpixel=self.subpixel
-            )
+        with tracer.span("phase2:global-opt", "stitcher"):
+            if policy is not None and self.on_tile_error == "skip":
+                pos = resolve_absolute_positions(
+                    disp,
+                    method=self.position_method,
+                    subpixel=self.subpixel,
+                    on_disconnected="nominal",
+                    nominal_step=self._nominal_step(dataset),
+                )
+            else:
+                pos = resolve_absolute_positions(
+                    disp, method=self.position_method, subpixel=self.subpixel
+                )
         t2 = time.perf_counter()
         if report is not None:
             for rc in pos.degraded_tiles():
@@ -226,6 +280,12 @@ class Stitcher:
             if plan is not None:
                 report.injected = plan.summary()
             stats["fault_report"] = report
+        if self.metrics is not None:
+            self.metrics.histogram("stitch.phase1_seconds").observe(t1 - t0)
+            self.metrics.histogram("stitch.phase2_seconds").observe(t2 - t1)
+            stats["metrics"] = self.metrics.snapshot()
+        if self.tracer is not None:
+            stats["tracer"] = self.tracer
         return StitchResult(
             dataset=dataset,
             displacements=disp,

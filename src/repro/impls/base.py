@@ -12,6 +12,7 @@ from repro.core.displacement import DisplacementResult
 from repro.core.pciam import CcfMode
 from repro.fftlib.plans import PlanCache
 from repro.io.dataset import TileDataset
+from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.stage import ErrorPolicy, run_with_retries
 
 
@@ -53,6 +54,8 @@ class Implementation(abc.ABC):
         cache: PlanCache | None = None,
         error_policy: ErrorPolicy | None = None,
         fault_report=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.ccf_mode = ccf_mode
         self.n_peaks = n_peaks
@@ -60,6 +63,14 @@ class Implementation(abc.ABC):
         self.cache = cache if cache is not None else PlanCache()
         self.error_policy = error_policy
         self.fault_report = fault_report
+        #: Observability hooks shared by every implementation: a
+        #: :class:`~repro.observe.tracer.Tracer` records per-stage spans
+        #: (the pipelined implementations pass it straight into their
+        #: :class:`~repro.pipeline.graph.Pipeline`), a
+        #: :class:`~repro.observe.metrics.MetricsRegistry` aggregates
+        #: counters/latency histograms.  Both default to disabled no-ops.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     @abc.abstractmethod
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
@@ -89,6 +100,8 @@ class Implementation(abc.ABC):
                 self.fault_report.record_retry(
                     "read", (row, col), attempt, exc
                 )
+            if self.metrics is not None:
+                self.metrics.counter("read.retries").inc()
 
         try:
             value, _ = run_with_retries(
@@ -103,17 +116,24 @@ class Implementation(abc.ABC):
                 raise
             if self.fault_report is not None:
                 self.fault_report.record_skipped_tile((row, col), exc)
+            if self.metrics is not None:
+                self.metrics.counter("read.skipped_tiles").inc()
             return None
 
     def _record_skipped_pair(self, direction: str, row: int, col: int,
                              reason: str = "") -> None:
         if self.fault_report is not None:
             self.fault_report.record_skipped_pair(direction, row, col, reason)
+        if self.metrics is not None:
+            self.metrics.counter("pairs.skipped").inc()
 
     def run(self, dataset: TileDataset) -> RunResult:
         t0 = time.perf_counter()
-        disp, stats = self._run(dataset)
+        with self.tracer.span(f"phase1:{self.name}", "phase1"):
+            disp, stats = self._run(dataset)
         wall = time.perf_counter() - t0
+        if self.metrics is not None:
+            self.metrics.histogram(f"impl.{self.name}.wall_seconds").observe(wall)
         if not disp.is_complete():
             if not self._skip_on_error:
                 raise RuntimeError(

@@ -44,33 +44,34 @@ class FijiBaseline(Implementation):
         disp = DisplacementResult.empty(dataset.rows, dataset.cols)
         stats = {"reads": 0, "ffts": 0, "pairs": 0}
         for pair in grid_pairs(grid):
-            # Deliberately reload and re-transform both tiles per pair.
-            if self.error_policy is None:
-                img_i = dataset.load(*pair.first)
-                img_j = dataset.load(*pair.second)
-            else:
-                img_i = self._load_tile(dataset, *pair.first)
-                img_j = self._load_tile(dataset, *pair.second)
-                if img_i is None or img_j is None:
-                    bad = pair.first if img_i is None else pair.second
-                    self._record_skipped_pair(
-                        pair.direction.name.lower(),
-                        pair.second.row,
-                        pair.second.col,
-                        reason=f"tile ({bad.row},{bad.col}) unreadable",
-                    )
-                    continue
-            stats["reads"] += 2
-            r = pciam(
-                img_i,
-                img_j,
-                fft_shape=self.fft_shape,
-                ccf_mode=self.ccf_mode,
-                n_peaks=self.n_peaks,
-                cache=self.cache,
-            )
-            stats["ffts"] += 2
-            stats["pairs"] += 1
-            disp.set(pair.direction, pair.second.row, pair.second.col, Translation.from_pciam(r))
+            with self.tracer.span("pair", "fiji-baseline", key=str(pair)):
+                # Deliberately reload and re-transform both tiles per pair.
+                if self.error_policy is None:
+                    img_i = dataset.load(*pair.first)
+                    img_j = dataset.load(*pair.second)
+                else:
+                    img_i = self._load_tile(dataset, *pair.first)
+                    img_j = self._load_tile(dataset, *pair.second)
+                    if img_i is None or img_j is None:
+                        bad = pair.first if img_i is None else pair.second
+                        self._record_skipped_pair(
+                            pair.direction.name.lower(),
+                            pair.second.row,
+                            pair.second.col,
+                            reason=f"tile ({bad.row},{bad.col}) unreadable",
+                        )
+                        continue
+                stats["reads"] += 2
+                r = pciam(
+                    img_i,
+                    img_j,
+                    fft_shape=self.fft_shape,
+                    ccf_mode=self.ccf_mode,
+                    n_peaks=self.n_peaks,
+                    cache=self.cache,
+                )
+                stats["ffts"] += 2
+                stats["pairs"] += 1
+                disp.set(pair.direction, pair.second.row, pair.second.col, Translation.from_pciam(r))
         disp.stats = stats
         return disp, stats

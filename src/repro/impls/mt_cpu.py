@@ -55,16 +55,16 @@ class MtCpu(Implementation):
         stats = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0}
         errors: list[BaseException] = []
 
-        def band_worker(r0: int, r1: int) -> None:
+        def band_worker(k: int, r0: int, r1: int) -> None:
             try:
-                self._band(dataset, disp, r0, r1, stats, stats_lock)
+                self._band(dataset, disp, r0, r1, stats, stats_lock, band=k)
             except BaseException as exc:
                 errors.append(exc)
 
         bands = row_bands(dataset.rows, self.workers)
         threads = [
-            threading.Thread(target=band_worker, args=band, daemon=True)
-            for band in bands
+            threading.Thread(target=band_worker, args=(k, *band), daemon=True)
+            for k, band in enumerate(bands)
         ]
         for t in threads:
             t.start()
@@ -84,6 +84,7 @@ class MtCpu(Implementation):
         r1: int,
         stats: dict,
         stats_lock: threading.Lock,
+        band: int = 0,
     ) -> None:
         """Sequential pass over rows [r0, r1) with a 2-row sliding window.
 
@@ -93,37 +94,41 @@ class MtCpu(Implementation):
         """
         local = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0}
         prev_row: list[tuple[np.ndarray, np.ndarray] | None] | None = None
+        track = f"mt-cpu/band-{band}"
 
         start = r0 - 1 if r0 > 0 else r0  # include boundary row from the band above
         for r in range(start, r1):
             cur_row: list[tuple[np.ndarray, np.ndarray] | None] = []
             for c in range(dataset.cols):
-                tile = (
-                    dataset.load(r, c)
-                    if self.error_policy is None
-                    else self._load_tile(dataset, r, c)
-                )
-                if tile is None:
-                    # Tile dropped under the skip policy: its pairs are
-                    # recorded as skipped and never computed.
-                    cur_row.append(None)
-                else:
-                    fft = forward_fft(tile, self.fft_shape, self.cache)
-                    local["reads"] += 1
-                    local["ffts"] += 1
-                    if r == start and r0 > 0:
-                        local["boundary_refts"] += 1
-                    cur_row.append((tile, fft))
+                with self.tracer.span("read+fft", track, key=f"({r},{c})"):
+                    tile = (
+                        dataset.load(r, c)
+                        if self.error_policy is None
+                        else self._load_tile(dataset, r, c)
+                    )
+                    if tile is None:
+                        # Tile dropped under the skip policy: its pairs are
+                        # recorded as skipped and never computed.
+                        cur_row.append(None)
+                    else:
+                        fft = forward_fft(tile, self.fft_shape, self.cache)
+                        local["reads"] += 1
+                        local["ffts"] += 1
+                        if r == start and r0 > 0:
+                            local["boundary_refts"] += 1
+                        cur_row.append((tile, fft))
                 # West pair within this row (owned by this band when r >= r0).
                 if c > 0 and r >= r0:
-                    self._maybe_pair(
-                        disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c], local
-                    )
+                    with self.tracer.span("pair", track, key=f"west({r},{c})"):
+                        self._maybe_pair(
+                            disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c], local
+                        )
                 # North pair down from the previous row.
                 if prev_row is not None and r >= r0:
-                    self._maybe_pair(
-                        disp, Direction.NORTH, r, c, prev_row[c], cur_row[c], local
-                    )
+                    with self.tracer.span("pair", track, key=f"north({r},{c})"):
+                        self._maybe_pair(
+                            disp, Direction.NORTH, r, c, prev_row[c], cur_row[c], local
+                        )
             prev_row = cur_row
         with stats_lock:
             for k, v in local.items():

@@ -115,10 +115,10 @@ class PipelinedCpu(Implementation):
         fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
         pool_size = self.pool_size or default_pool_size(rows, cols)
         pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
-        bk = PairBookkeeper(grid)
+        bk = PairBookkeeper(grid, metrics=self.metrics)
         disp = DisplacementResult.empty(rows, cols)
 
-        pipe = Pipeline("pipelined-cpu")
+        pipe = Pipeline("pipelined-cpu", tracer=self.tracer, metrics=self.metrics)
         # Q1 carries tile and pair work into the compute stage; it has two
         # producers (reader + bookkeeper), so stages put into it manually and
         # only the bookkeeper closes it (at end of computation).

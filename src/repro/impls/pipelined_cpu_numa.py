@@ -118,8 +118,7 @@ class PipelinedCpuNuma(Implementation):
             disp.stats = stats
             return disp, stats
         for p in pipelines:
-            for s in p.stages:
-                s.start()
+            p.start()
         for p in pipelines:
             p.join()
         disp.stats = stats
@@ -129,14 +128,15 @@ class PipelinedCpuNuma(Implementation):
         self, dataset, grid, disp, pairs, stats, stats_lock
     ) -> Pipeline:
         fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
-        bk = PairBookkeeper(grid, pairs=pairs)
+        bk = PairBookkeeper(grid, pairs=pairs, metrics=self.metrics)
         my_tiles = bk.tiles
         tile_cols = sorted({p.col for p in my_tiles})
         c_lo, c_hi = tile_cols[0], tile_cols[-1]
         pool_size = self.pool_size or (2 * min(grid.rows, c_hi - c_lo + 1) + 4)
         pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
 
-        pipe = Pipeline(f"pipelined-cpu-numa-{c_lo}")
+        pipe = Pipeline(f"pipelined-cpu-numa-{c_lo}",
+                        tracer=self.tracer, metrics=self.metrics)
         q_work = pipe.queue(maxsize=0, name="work")
         q_events = pipe.queue(maxsize=0, name="events")
         tiles_in_flight = threading.Semaphore(self.queue_size)

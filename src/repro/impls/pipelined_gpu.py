@@ -198,8 +198,7 @@ class PipelinedGpu(Implementation):
             return disp, stats
 
         for p in pipelines:
-            for s in p.stages:
-                s.start()
+            p.start()
         for p in pipelines:
             p.join()
 
@@ -231,7 +230,7 @@ class PipelinedGpu(Implementation):
         export_col = part.get("export_col")
         import_hooks = import_hooks if import_hooks is not None else []
         fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
-        bk = PairBookkeeper(grid, pairs=part["pairs"])
+        bk = PairBookkeeper(grid, pairs=part["pairs"], metrics=self.metrics)
         my_tiles = bk.tiles
 
         pool_size = self.pool_size or (2 * min(grid.rows, c1 - c0) + 4)
@@ -245,7 +244,8 @@ class PipelinedGpu(Implementation):
         # transform" buffer class of the paper's pool).
         scratch = device.alloc(fft_shape, dtype=np.complex128)
 
-        pipe = Pipeline(f"pipelined-gpu-{device.device_id}")
+        pipe = Pipeline(f"pipelined-gpu-{device.device_id}",
+                        tracer=self.tracer, metrics=self.metrics)
         q01 = pipe.queue(maxsize=self.queue_size, name="read-copy")
         q12 = pipe.queue(maxsize=0, name="copy-fft")
         q23 = pipe.queue(maxsize=0, name="events")      # fft-done + pair-done

@@ -37,5 +37,7 @@ class SimpleCpu(Implementation):
             cache=self.cache,
             error_policy=self.error_policy,
             fault_report=self.fault_report,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         return disp, dict(disp.stats)

@@ -134,11 +134,14 @@ class SimpleGpu(Implementation):
 
         extended = self.ccf_mode is CcfMode.EXTENDED
 
+        tracer = self.tracer
         for pos in traverse(grid, self.traversal):
-            load_and_transform(pos)
+            with tracer.span("read+fft", "simple-gpu", key=str(pos)):
+                load_and_transform(pos)
             for pair in pairs_for_tile(grid, pos.row, pos.col):
                 if pair in pairs_done or pair.first not in slots or pair.second not in slots:
                     continue
+                pair_t0 = tracer.now() if tracer.enabled else 0.0
                 scratch = pool.acquire(blocking=False)
                 buf = pool.array(scratch)
                 ev = ncc_kernel(
@@ -175,6 +178,9 @@ class SimpleGpu(Implementation):
                          Translation(float(corr), int(tx), int(ty)))
                 pairs_done.add(pair)
                 stats["pairs"] += 1
+                if tracer.enabled:
+                    tracer.record_span("pair", "simple-gpu", pair_t0,
+                                       tracer.now(), key=str(pair))
             release_if_done(pos)
             for pair in pairs_for_tile(grid, pos.row, pos.col):
                 release_if_done(pair.first if pair.second == pos else pair.second)

@@ -1,0 +1,31 @@
+"""Pipeline observability: span tracing, metrics, queue-depth sampling.
+
+The runtime counterpart of the paper's profiling methodology (nvvp
+timelines in Figs. 7/9, monitor-queue occupancy for the Fig. 8 tuning):
+
+- :class:`Tracer` / :class:`Span` -- per-stage, per-worker, per-item
+  timeline records with queue-wait vs compute attribution;
+- :class:`MetricsRegistry` -- counters / gauges / histograms aggregated
+  over a run (throughput, latency percentiles, retries, drops);
+- :class:`QueueDepthSampler` -- periodic depth sampling of every monitor
+  queue, rendered as Chrome-trace counter tracks.
+
+Everything composes into one Chrome trace-event / Perfetto file through
+:mod:`repro.analysis.tracefmt`.
+"""
+
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.sampler import QueueDepthSampler
+from repro.observe.tracer import NULL_TRACER, CounterSample, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "CounterSample",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "QueueDepthSampler",
+    "Span",
+    "Tracer",
+]

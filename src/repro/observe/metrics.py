@@ -1,0 +1,173 @@
+"""Thread-safe metrics: counters, gauges, and latency histograms.
+
+The paper tunes its Fig. 8 architecture by watching aggregate quantities
+-- items through each stage, queue occupancy, retries -- not individual
+events.  :class:`MetricsRegistry` is the aggregate side of the
+observability layer: cheap monotonically-named instruments that every
+pipeline component can bump without coordination, snapshotted into a
+JSON-able dict at the end of a run (``StitchResult.stats["metrics"]``).
+
+All instruments share one registry lock for creation; each instrument
+carries its own lock for updates, so two stages bumping different
+counters never contend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing count (items processed, retries, drops)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value, tracking its own peak."""
+
+    __slots__ = ("_lock", "_value", "_peak")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._peak = 0.0
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self._value = float(v)
+            if v > self._peak:
+                self._peak = float(v)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> float:
+        with self._lock:
+            return self._peak
+
+
+class Histogram:
+    """Latency distribution with exact percentiles.
+
+    Samples are kept verbatim (runs here are thousands of items, not
+    millions); ``percentile`` sorts lazily on demand.
+    """
+
+    __slots__ = ("_lock", "_samples")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+
+    def observe(self, v: float) -> None:
+        with self._lock:
+            self._samples.append(float(v))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return sum(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] (nearest-rank); 0.0 if empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            return {"count": 0, "sum": 0.0}
+        ordered = sorted(samples)
+
+        def rank(p: float) -> float:
+            return ordered[max(0, min(len(ordered) - 1,
+                                      round(p / 100 * (len(ordered) - 1))))]
+
+        return {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": rank(50),
+            "p90": rank(90),
+            "p99": rank(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted at run end."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge()
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of every instrument (sorted names, stable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: counters[k].value for k in sorted(counters)},
+            "gauges": {
+                k: {"value": gauges[k].value, "peak": gauges[k].peak}
+                for k in sorted(gauges)
+            },
+            "histograms": {
+                k: histograms[k].summary() for k in sorted(histograms)
+            },
+        }

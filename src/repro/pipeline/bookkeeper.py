@@ -15,6 +15,7 @@ be recycled -- the GPU memory-pool discipline of Section IV.B.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.grid.neighbors import Pair, pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
@@ -37,6 +38,11 @@ class PairBookkeeper:
 
     grid: TileGrid
     pairs: frozenset | None = None
+    #: Optional :class:`~repro.observe.metrics.MetricsRegistry`; when set,
+    #: the bookkeeper publishes its progress (ready transforms, emitted /
+    #: completed / cancelled pairs, pending backlog) -- the quantities the
+    #: paper's authors watched to tune the Fig. 8 monitor queues.
+    metrics: Any = None
     _ready: set[GridPosition] = field(default_factory=set)
     _emitted: set[Pair] = field(default_factory=set)
     _completed: set[Pair] = field(default_factory=set)
@@ -63,6 +69,19 @@ class PairBookkeeper:
         """Tiles this bookkeeper tracks (partition tiles incl. ghosts)."""
         return set(self._refcount)
 
+    def _publish(self) -> None:
+        """Refresh progress gauges (counters are bumped at the event site).
+
+        With several bookkeepers on one registry (per-GPU / per-socket
+        partitions) the gauges are last-write-wins per partition; the
+        counters aggregate correctly across all of them.
+        """
+        m = self.metrics
+        if m is None:
+            return
+        m.gauge("bookkeeper.pending_pairs").set(self.pending_pairs())
+        m.gauge("bookkeeper.ready_transforms").set(len(self._ready))
+
     # -- events -----------------------------------------------------------
 
     def transform_ready(self, pos: GridPosition) -> list[Pair]:
@@ -81,6 +100,11 @@ class PairBookkeeper:
             ):
                 self._emitted.add(pair)
                 out.append(pair)
+        if self.metrics is not None:
+            self.metrics.counter("bookkeeper.transforms_ready").inc()
+            if out:
+                self.metrics.counter("bookkeeper.pairs_emitted").inc(len(out))
+            self._publish()
         return out
 
     def pair_completed(self, pair: Pair) -> list[GridPosition]:
@@ -101,6 +125,11 @@ class PairBookkeeper:
                 freed.append(pos)
             elif self._refcount[pos] < 0:  # pragma: no cover - guarded above
                 raise AssertionError(f"negative refcount for {pos}")
+        if self.metrics is not None:
+            self.metrics.counter("bookkeeper.pairs_completed").inc()
+            if freed:
+                self.metrics.counter("bookkeeper.tiles_freed").inc(len(freed))
+            self._publish()
         return freed
 
     def tile_failed(self, pos: GridPosition) -> list[GridPosition]:
@@ -124,6 +153,7 @@ class PairBookkeeper:
         if pos in self._failed:
             return []
         self._failed.add(pos)
+        cancelled_before = len(self._cancelled)
         freed = []
         for pair in self._incident(pos):
             if pair in self._cancelled:
@@ -136,6 +166,12 @@ class PairBookkeeper:
                     and member in self._ready
                 ):
                     freed.append(member)
+        if self.metrics is not None:
+            self.metrics.counter("bookkeeper.tiles_failed").inc()
+            n_cancelled = len(self._cancelled) - cancelled_before
+            if n_cancelled:
+                self.metrics.counter("bookkeeper.pairs_cancelled").inc(n_cancelled)
+            self._publish()
         return freed
 
     def releasable(self, pos: GridPosition) -> bool:

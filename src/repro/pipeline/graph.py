@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.observe.sampler import QueueDepthSampler
+from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.queues import MonitorQueue
 from repro.pipeline.stage import DroppedItem, ErrorPolicy, Stage
 
@@ -64,12 +66,30 @@ def aggregate_failures(
 
 
 class Pipeline:
-    """A set of stages plus the queues connecting them."""
+    """A set of stages plus the queues connecting them.
 
-    def __init__(self, name: str = "pipeline") -> None:
+    With a ``tracer`` (and optionally a ``metrics`` registry) every stage
+    records per-item spans with queue-wait attribution, and a background
+    :class:`~repro.observe.sampler.QueueDepthSampler` polls the depth of
+    every queue in the graph for the trace's counter tracks -- the live
+    equivalent of the paper's nvvp timelines plus its monitor-queue
+    occupancy readings.
+    """
+
+    def __init__(
+        self,
+        name: str = "pipeline",
+        tracer=None,
+        metrics=None,
+        queue_sample_interval: float = 0.005,
+    ) -> None:
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.queue_sample_interval = queue_sample_interval
         self.stages: list[Stage] = []
         self.queues: list[MonitorQueue] = []
+        self._sampler: QueueDepthSampler | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -95,6 +115,9 @@ class Pipeline:
             output=output,
             on_error=self.abort,
             policy=policy,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            track_base=f"{self.name}/{name}",
         )
         self.stages.append(s)
         return s
@@ -133,18 +156,36 @@ class Pipeline:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> None:
-        """Start every stage, join every stage, raise on any worker error."""
+    def start(self) -> None:
+        """Start queue-depth sampling (when observed) and every stage."""
         if not self.stages:
             raise ValueError("pipeline has no stages")
+        if self._sampler is None and (
+            self.tracer.enabled or self.metrics is not None
+        ) and self.queues:
+            self._sampler = QueueDepthSampler(
+                self.queues,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                interval=self.queue_sample_interval,
+                prefix=f"queue:{self.name}",
+            ).start()
         for s in self.stages:
             s.start()
+
+    def run(self) -> None:
+        """Start every stage, join every stage, raise on any worker error."""
+        self.start()
         self.join()
 
     def join(self) -> None:
         """Wait for all workers; raise one aggregated :class:`PipelineError`."""
-        for s in self.stages:
-            s.join()
+        try:
+            for s in self.stages:
+                s.join()
+        finally:
+            if self._sampler is not None:
+                self._sampler.stop()
         failures = [(s.name, exc) for s in self.stages for exc in s.errors]
         if failures:
             raise aggregate_failures(self.name, failures)
@@ -175,11 +216,18 @@ class Pipeline:
                     "retried": s.items_retried,
                     "dropped": len(s.dropped),
                     "busy_seconds": s.busy_seconds,
+                    "queue_wait_seconds": s.queue_wait_seconds,
                 }
                 for s in self.stages
             },
             "queues": {
-                q.name: {"peak_depth": q.peak_depth, "total_put": q.total_put}
+                q.name: {
+                    "peak_depth": q.peak_depth,
+                    "total_put": q.total_put,
+                    "total_get": q.total_get,
+                    "put_wait_seconds": q.put_wait_seconds,
+                    "get_wait_seconds": q.get_wait_seconds,
+                }
                 for q in self.queues
             },
         }

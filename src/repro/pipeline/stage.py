@@ -29,10 +29,29 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.queues import MonitorQueue, QueueClosed
 
 #: Sentinel a *source* handler returns to end its stream.
 END_OF_STREAM = object()
+
+
+def item_key(item: Any) -> str | None:
+    """Short stable identity of a work item for span labelling.
+
+    Work items in this codebase are dataclasses carrying a ``pos`` (tile)
+    or ``pair`` attribute; falling back to ``repr`` would stringify tile
+    pixel arrays, so anything unrecognized is labelled by type only.
+    """
+    if item is None:
+        return None
+    for attr in ("pos", "pair", "key"):
+        v = getattr(item, attr, None)
+        if v is not None:
+            return str(v)
+    if isinstance(item, (str, int, float, tuple)):
+        return str(item)[:64]
+    return type(item).__name__
 
 
 class StageItemTimeout(Exception):
@@ -198,6 +217,9 @@ class Stage:
         output: MonitorQueue | None = None,
         on_error: Callable[[], None] | None = None,
         policy: ErrorPolicy | None = None,
+        tracer=None,
+        metrics=None,
+        track_base: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"stage {name!r} needs at least one worker")
@@ -208,6 +230,12 @@ class Stage:
         self.output = output
         self.on_error = on_error
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        #: Span-track stem (one track per worker: ``"<track_base>-<i>"``);
+        #: pipelines prefix it with their own name so multi-pipeline
+        #: implementations (per-GPU, per-socket) get distinct rows.
+        self.track_base = track_base or name
         self.threads: list[threading.Thread] = []
         self.errors: list[BaseException] = []
         self.dropped: list[DroppedItem] = []
@@ -218,6 +246,10 @@ class Stage:
         #: (how the pipeline's balance is diagnosed, cf. the paper's
         #: profiler-driven analysis of its stage occupancy).
         self.busy_seconds = 0.0
+        #: Wall-clock seconds workers spent blocked on the input queue,
+        #: summed over workers (the denominator's idle share: a stage with
+        #: high queue-wait and low busy time is starved, not slow).
+        self.queue_wait_seconds = 0.0
         self._count_lock = threading.Lock()
         self._active = 0
 
@@ -274,6 +306,8 @@ class Stage:
             self._worker_done()
 
     def _handle(self, item: Any, ctx: StageContext) -> Any:
+        tracer = self.tracer
+        span_t0 = tracer.now() if tracer.enabled else 0.0
         t0 = time.perf_counter()
         try:
             if self.policy is None:
@@ -285,12 +319,25 @@ class Stage:
             with self._count_lock:
                 self.items_processed += 1
                 self.busy_seconds += dt
+            if tracer.enabled:
+                tracer.record_span(
+                    self.name,
+                    f"{self.track_base}-{ctx.worker_index}",
+                    span_t0,
+                    span_t0 + dt,
+                    key=item_key(item),
+                )
+            if self.metrics is not None:
+                self.metrics.counter(f"stage.{self.name}.items").inc()
+                self.metrics.histogram(f"stage.{self.name}.seconds").observe(dt)
         return result
 
     def _handle_with_policy(self, item: Any, ctx: StageContext) -> Any:
         def record_retry(_attempt: int, _exc: BaseException) -> None:
             with self._count_lock:
                 self.items_retried += 1
+            if self.metrics is not None:
+                self.metrics.counter(f"stage.{self.name}.retries").inc()
 
         attempts = 0
 
@@ -316,6 +363,8 @@ class Stage:
                 self.dropped.append(
                     DroppedItem(self.name, repr(item), exc, attempts + 1)
                 )
+            if self.metrics is not None:
+                self.metrics.counter(f"stage.{self.name}.dropped").inc()
             return None
 
     def _run_source(self, ctx: StageContext) -> None:
@@ -328,11 +377,26 @@ class Stage:
 
     def _run_consumer(self, ctx: StageContext) -> None:
         assert self.input is not None
+        tracer = self.tracer
+        track = f"{self.track_base}-{ctx.worker_index}"
         while True:
+            w0 = time.perf_counter()
+            span_t0 = tracer.now() if tracer.enabled else 0.0
             try:
                 item = self.input.get()
             except QueueClosed:
                 return
+            finally:
+                waited = time.perf_counter() - w0
+                with self._count_lock:
+                    self.queue_wait_seconds += waited
+                # Only blocking waits become spans: an always-ready queue
+                # would otherwise bury the timeline in zero-width boxes.
+                if tracer.enabled and waited > 1e-4:
+                    tracer.record_span(
+                        f"{self.name}:wait", track, span_t0, span_t0 + waited,
+                        args={"queue": self.input.name},
+                    )
             result = self._handle(item, ctx)
             if result is not None and result is not END_OF_STREAM:
                 ctx.emit(result)

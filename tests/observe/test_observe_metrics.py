@@ -1,0 +1,100 @@
+"""MetricsRegistry: instruments, percentiles, concurrent updates."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_concurrent_inc_is_exact(self):
+        c = Counter()
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert c.value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_set_and_peak(self):
+        g = Gauge()
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2.0
+        assert g.peak == 7.0
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert h.percentile(50) == 51  # round(0.5 * 99) = 50 -> ordered[50]
+        assert h.count == 100
+        assert h.sum == 5050
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_summary_fields(self):
+        h = Histogram()
+        for v in (2.0, 1.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["p50"] == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        m = MetricsRegistry()
+        m.counter("b.items").inc(3)
+        m.counter("a.items").inc()
+        m.gauge("depth").set(4)
+        m.histogram("lat").observe(0.25)
+        snap = m.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a.items", "b.items"]
+        assert snap["counters"]["b.items"] == 3
+        assert snap["gauges"]["depth"] == {"value": 4.0, "peak": 4.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_empty_snapshot(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,71 @@
+"""QueueDepthSampler: guaranteed samples, background polling, idempotent stop."""
+
+import time
+
+import pytest
+
+from repro.observe import MetricsRegistry, QueueDepthSampler, Tracer
+from repro.pipeline.queues import MonitorQueue
+
+
+def test_sample_once_emits_counter_and_gauge():
+    q = MonitorQueue(maxsize=4, name="work")
+    q.put(1)
+    q.put(2)
+    tracer, metrics = Tracer(), MetricsRegistry()
+    s = QueueDepthSampler([q], tracer=tracer, metrics=metrics)
+    s.sample_once()
+    assert tracer.counter_names() == ["queue:work"]
+    assert tracer.counters[0].value == 2.0
+    assert metrics.gauge("queue:work.depth").value == 2.0
+
+
+def test_every_queue_gets_a_sample_even_for_instant_runs():
+    queues = [MonitorQueue(name=f"q{i}") for i in range(3)]
+    tracer = Tracer()
+    s = QueueDepthSampler(queues, tracer=tracer, interval=60.0)
+    s.start()  # interval far longer than the run: only sync samples
+    s.stop()
+    # One sample in start() and one in stop(), for every queue.
+    assert sorted(tracer.counter_names()) == ["queue:q0", "queue:q1", "queue:q2"]
+    assert len(tracer.counters) == 2 * len(queues)
+
+
+def test_background_thread_samples_periodically():
+    q = MonitorQueue(name="busy")
+    tracer = Tracer()
+    with QueueDepthSampler([q], tracer=tracer, interval=0.001) as s:
+        time.sleep(0.05)
+    assert s.samples_taken > 3
+    assert all(c.name == "queue:busy" for c in tracer.counters)
+
+
+def test_stop_is_idempotent_and_start_twice_raises():
+    s = QueueDepthSampler([MonitorQueue(name="q")], tracer=Tracer())
+    s.start()
+    with pytest.raises(RuntimeError):
+        s.start()
+    s.stop()
+    taken = s.samples_taken
+    s.stop()  # no-op
+    assert s.samples_taken == taken
+
+
+def test_metrics_gauge_tracks_peak_depth():
+    q = MonitorQueue(name="w")
+    metrics = MetricsRegistry()
+    s = QueueDepthSampler([q], metrics=metrics)
+    q.put(1)
+    q.put(2)
+    s.sample_once()
+    q.get()
+    q.get()
+    s.sample_once()
+    g = metrics.gauge("queue:w.depth")
+    assert g.value == 0.0
+    assert g.peak == 2.0
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(ValueError):
+        QueueDepthSampler([], interval=0.0)

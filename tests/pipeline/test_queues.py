@@ -183,3 +183,64 @@ class TestConcurrency:
         tp.start(); tc.start()
         tp.join(); q.close(); tc.join()
         assert out == list(range(100))
+
+
+class TestTimeoutDeadline:
+    """Regression: ``timeout`` is a total budget, not a per-wakeup budget.
+
+    The original ``put``/``get`` re-armed ``Condition.wait(timeout)`` with
+    the caller's *full* timeout after every wakeup, so any wakeup churn
+    (notify traffic that does not free capacity, or spurious wakeups)
+    reset the clock and a "0.2 s" timeout could block forever.  These
+    tests generate exactly that churn and bound the wall-clock.
+    """
+
+    @staticmethod
+    def _churn(q, condition_name, stop, period=0.02):
+        cond = getattr(q, condition_name)
+        while not stop.is_set():
+            with q._lock:
+                cond.notify_all()
+            time.sleep(period)
+
+    def test_contended_put_times_out_within_budget(self):
+        q = MonitorQueue(maxsize=1)
+        q.put("occupies the only slot")
+        stop = threading.Event()
+        churn = threading.Thread(
+            target=self._churn, args=(q, "_not_full", stop), daemon=True
+        )
+        churn.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError):
+                q.put("never fits", timeout=0.2)
+            elapsed = time.monotonic() - t0
+        finally:
+            stop.set()
+            churn.join(timeout=2)
+        assert 0.15 <= elapsed < 1.0, f"put blocked {elapsed:.2f}s for a 0.2s timeout"
+
+    def test_contended_get_times_out_within_budget(self):
+        q = MonitorQueue()
+        stop = threading.Event()
+        churn = threading.Thread(
+            target=self._churn, args=(q, "_not_empty", stop), daemon=True
+        )
+        churn.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError):
+                q.get(timeout=0.2)
+            elapsed = time.monotonic() - t0
+        finally:
+            stop.set()
+            churn.join(timeout=2)
+        assert 0.15 <= elapsed < 1.0, f"get blocked {elapsed:.2f}s for a 0.2s timeout"
+
+    def test_put_succeeds_if_capacity_frees_before_deadline(self):
+        q = MonitorQueue(maxsize=1)
+        q.put(1)
+        threading.Timer(0.05, q.get).start()
+        q.put(2, timeout=2.0)  # must not raise
+        assert q.get() == 2
