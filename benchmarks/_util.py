@@ -7,6 +7,7 @@ Every table/figure bench writes its regenerated rows to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -16,6 +17,18 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def write_json(path: Path, obj: dict) -> None:
+    """Stable-format JSON artifact (committed files diff cleanly)."""
+    Path(path).write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def read_json(path: Path) -> dict | None:
+    p = Path(path)
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
 
 
 def once(benchmark, fn):

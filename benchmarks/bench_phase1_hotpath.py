@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Phase-1 hot-path benchmark: half-spectrum FFTs + O(1) CCF + workspaces.
+
+Measures the sequential displacement phase (the hot path every Table II
+implementation shares) on a synthetic grid, twice:
+
+``baseline``
+    the pre-optimization configuration -- full complex (c2c) transforms,
+    direct per-candidate CCF scans, fresh scratch allocations per pair;
+``optimized``
+    the defaults -- r2c half-spectrum transforms, summed-area-table CCF
+    statistics, and the per-worker pair workspace.
+
+Both runs must agree exactly on every translation (tx, ty) and to 1e-9 on
+every correlation (the summed-area-table CCF evaluates the same Pearson r
+in a different summation order); this is asserted.  The headline metric is
+phase-1 **pairs/sec**, with per-stage seconds (read / fft / tilestats /
+pair, from the tracer) and peak RSS recorded alongside.
+
+The committed artifact ``BENCH_phase1.json`` at the repo root is the CI
+regression reference: ``--check`` re-measures and fails when the
+optimized-over-baseline speedup (a machine-independent normalization of
+pairs/sec) regresses by more than ``--tolerance`` (default 20%) against
+the committed value for the same mode.
+
+Usage::
+
+    python benchmarks/bench_phase1_hotpath.py          # full: 8x8 grid
+    python benchmarks/bench_phase1_hotpath.py --quick  # CI-sized: 5x5 grid
+    python benchmarks/bench_phase1_hotpath.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks._util import read_json, write_json  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_phase1.json"
+
+#: (rows, cols, tile_px, repetitions) per mode.  512 px tiles keep the
+#: numpy kernels (not python dispatch) dominant, approaching the regime of
+#: the paper's 1392x1040 tiles while staying CI-friendly.
+MODES = {
+    "full": (8, 8, 512, 3),
+    "quick": (5, 5, 256, 2),
+}
+
+STAGES = ("read", "fft", "tilestats", "pair")
+
+
+def _load_tiles(rows: int, cols: int, tile: int, seed: int = 7):
+    """Synthesize an acquisition and preload it (no I/O inside the timing)."""
+    from repro.synth import make_synthetic_dataset
+
+    with tempfile.TemporaryDirectory(prefix="bench_phase1_") as tmp:
+        ds = make_synthetic_dataset(
+            tmp, rows=rows, cols=cols, tile_height=tile, tile_width=tile,
+            overlap=0.2, seed=seed,
+        )
+        return {
+            (r, c): ds.load(r, c) for r in range(rows) for c in range(cols)
+        }
+
+
+def _run_once(tiles, rows, cols, *, real, stats, workspace):
+    from repro.core.displacement import compute_grid_displacements
+    from repro.core.pciam import CcfMode
+    from repro.fftlib.plans import PlanCache
+    from repro.observe import Tracer
+
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    # EXTENDED + 2 peaks is the CLI's default robustness configuration
+    # (up to 16 CCF candidates per pair) -- the workload the O(1) CCF
+    # statistics are built for.
+    result = compute_grid_displacements(
+        lambda r, c: tiles[(r, c)], rows, cols,
+        ccf_mode=CcfMode.EXTENDED,
+        n_peaks=2,
+        real_transforms=real,
+        use_tile_stats=stats,
+        use_workspace=workspace,
+        cache=PlanCache(),
+        tracer=tracer,
+    )
+    seconds = time.perf_counter() - t0
+    stage_seconds = {name: 0.0 for name in STAGES}
+    for span in tracer.spans:
+        if span.name in stage_seconds:
+            stage_seconds[span.name] += span.duration
+    return result, seconds, stage_seconds
+
+
+def _translations(result):
+    out = []
+    for arr in (result.west, result.north):
+        for row in arr:
+            for t in row:
+                out.append(None if t is None else (t.correlation, t.tx, t.ty))
+    return out
+
+
+def measure(mode: str) -> dict:
+    rows, cols, tile, reps = MODES[mode]
+    tiles = _load_tiles(rows, cols, tile)
+    pairs = 2 * rows * cols - rows - cols
+    configs = {
+        "baseline": dict(real=False, stats=False, workspace=False),
+        "optimized": dict(real=True, stats=True, workspace=True),
+    }
+    report: dict = {
+        "mode": mode, "rows": rows, "cols": cols, "tile": tile,
+        "pairs": pairs, "repetitions": reps,
+    }
+    outputs = {}
+    for name, cfg in configs.items():
+        best, best_stages, result = None, None, None
+        for _ in range(reps):
+            result, seconds, stage_seconds = _run_once(
+                tiles, rows, cols, **cfg
+            )
+            if best is None or seconds < best:
+                best, best_stages = seconds, stage_seconds
+        outputs[name] = _translations(result)
+        report[name] = {
+            "seconds": round(best, 4),
+            "pairs_per_sec": round(pairs / best, 2),
+            "stage_seconds": {
+                k: round(v, 4) for k, v in best_stages.items()
+            },
+            "peak_rss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+            ),
+        }
+    for a, b in zip(outputs["baseline"], outputs["optimized"]):
+        if a is None and b is None:
+            continue
+        if a is None or b is None or a[1:] != b[1:] or abs(a[0] - b[0]) > 1e-9:
+            raise AssertionError(
+                "optimized run diverged from the complex-path baseline: "
+                f"{a} vs {b} -- translations must match exactly, "
+                "correlations to 1e-9"
+            )
+    report["identical_results"] = True
+    report["speedup"] = round(
+        report["optimized"]["pairs_per_sec"]
+        / report["baseline"]["pairs_per_sec"], 3,
+    )
+    return report
+
+
+def _print_report(report: dict) -> None:
+    print(f"phase-1 hot path, {report['rows']}x{report['cols']} grid, "
+          f"{report['tile']}px tiles, {report['pairs']} pairs "
+          f"(best of {report['repetitions']}):")
+    for name in ("baseline", "optimized"):
+        r = report[name]
+        stages = ", ".join(
+            f"{k} {v:.3f}s" for k, v in r["stage_seconds"].items()
+        )
+        print(f"  {name:>9}: {r['pairs_per_sec']:8.1f} pairs/s "
+              f"({r['seconds']:.3f}s; {stages}; rss {r['peak_rss_mb']} MB)")
+    print(f"  speedup: {report['speedup']:.2f}x (identical results: "
+          f"{report['identical_results']})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized run (smaller grid, fewer repetitions)")
+    ap.add_argument("--check", action="store_true",
+                    help="compare against the committed BENCH_phase1.json "
+                         "instead of rewriting it; non-zero exit on a "
+                         "speedup regression beyond --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional speedup regression (default 0.20)")
+    ap.add_argument("--output", type=Path, default=BENCH_PATH,
+                    help=f"JSON artifact path (default {BENCH_PATH.name})")
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    report = measure(mode)
+    _print_report(report)
+
+    if args.check:
+        committed = read_json(args.output) or {}
+        ref = committed.get(mode)
+        if ref is None:
+            print(f"no committed `{mode}` entry in {args.output}; "
+                  "run without --check first", file=sys.stderr)
+            return 2
+        floor = ref["speedup"] * (1.0 - args.tolerance)
+        print(f"  committed speedup {ref['speedup']:.2f}x, regression floor "
+              f"{floor:.2f}x, measured {report['speedup']:.2f}x")
+        if report["speedup"] < floor:
+            print("FAIL: phase-1 speedup regressed beyond tolerance",
+                  file=sys.stderr)
+            return 1
+        print("OK: no regression")
+        return 0
+
+    merged = read_json(args.output) or {}
+    merged[mode] = report
+    write_json(args.output, merged)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

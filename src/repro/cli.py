@@ -73,10 +73,13 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
         if args.trace:
             tracer = Tracer()
+    real_transforms = not args.complex_transforms
     stitcher = Stitcher(
         ccf_mode=CcfMode.PAPER4 if args.paper_faithful else CcfMode.EXTENDED,
         n_peaks=1 if args.paper_faithful else args.peaks,
-        real_transforms=args.real_transforms,
+        real_transforms=real_transforms,
+        use_tile_stats=not args.no_tile_stats,
+        use_workspace=not args.no_workspace,
         pad_to_smooth=args.pad,
         position_method=args.positions,
         refine=args.refine,
@@ -112,6 +115,9 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             report = FaultReport()
         impl = ALL_IMPLEMENTATIONS[args.impl](
             ccf_mode=stitcher.ccf_mode, n_peaks=stitcher.n_peaks,
+            real_transforms=real_transforms,
+            use_tile_stats=not args.no_tile_stats,
+            use_workspace=not args.no_workspace,
             cache=cache, error_policy=policy, fault_report=report,
             tracer=tracer, metrics=metrics, **impl_kwargs,
         )
@@ -253,7 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--peaks", type=int, default=2)
     s.add_argument("--paper-faithful", action="store_true",
                    help="Fig. 2 scheme verbatim: 1 peak, 4 interpretations")
-    s.add_argument("--real-transforms", action="store_true")
+    s.add_argument("--real-transforms", action="store_true",
+                   help="deprecated no-op: half-spectrum (r2c) transforms "
+                        "are the default")
+    s.add_argument("--complex-transforms", action="store_true",
+                   help="full c2c transforms (escape hatch; doubles FFT "
+                        "work and transform-pool memory)")
+    s.add_argument("--no-tile-stats", action="store_true",
+                   help="disable O(1) summed-area-table CCF statistics; "
+                        "every CCF candidate rescans its overlap region")
+    s.add_argument("--no-workspace", action="store_true",
+                   help="disable per-worker pair workspaces; scratch "
+                        "surfaces are reallocated for every pair")
     s.add_argument("--pad", action="store_true", help="pad FFTs to smooth sizes")
     s.add_argument("--refine", action="store_true",
                    help="stage-model filter + repair between phases 1 and 2")

@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pciam import CcfMode, PciamResult, forward_fft, pciam
+from repro.core.tilestats import TileStats
 from repro.fftlib.plans import PlanCache, PlanningMode
+from repro.memmodel.workspace import WorkspaceArena
 from repro.grid.neighbors import Direction, pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
@@ -114,7 +116,7 @@ def compute_grid_displacements(
     fft_shape: tuple[int, int] | None = None,
     ccf_mode: CcfMode = CcfMode.PAPER4,
     n_peaks: int = 1,
-    real_transforms: bool = False,
+    real_transforms: bool = True,
     subpixel: bool = False,
     cache: PlanCache | None = None,
     planning: PlanningMode = PlanningMode.ESTIMATE,
@@ -122,6 +124,8 @@ def compute_grid_displacements(
     fault_report=None,
     tracer=None,
     metrics=None,
+    use_tile_stats: bool = True,
+    use_workspace: bool = True,
 ) -> DisplacementResult:
     """Compute west/north translations for the whole grid sequentially.
 
@@ -129,6 +133,12 @@ def compute_grid_displacements(
     ``TileDataset.load``); tiles and transforms are released as soon as the
     early-free policy allows, so peak memory follows the traversal order,
     not the grid size.
+
+    Half-spectrum (R2C) transforms are the default; ``real_transforms=
+    False`` restores the full complex path (results are identical either
+    way).  ``use_tile_stats``/``use_workspace`` gate the O(1)-statistics
+    CCF and the reusable pair scratch -- on by default, exposed so the
+    benchmark can measure each layer against its baseline.
 
     Instrumented: ``result.stats`` records FFT/pair/read counts and the peak
     number of live transforms (these feed the Table I verification bench).
@@ -156,10 +166,32 @@ def compute_grid_displacements(
 
     tiles: dict[GridPosition, np.ndarray] = {}
     ffts: dict[GridPosition, np.ndarray] = {}
+    tstats: dict[GridPosition, TileStats] = {}
     pairs_done: set = set()
     failed_tiles: set[GridPosition] = set()
     skipped_pairs: set = set()
-    stats = {"reads": 0, "ffts": 0, "pairs": 0, "peak_live_transforms": 0}
+    stats = {
+        "reads": 0,
+        "ffts": 0,
+        "pairs": 0,
+        "peak_live_transforms": 0,
+        "fft_copies_saved": 0,
+    }
+    # One workspace for the whole sequential run: pairs are processed one
+    # at a time, so a single scratch set serves every pair (lazily built
+    # once the first tile reveals the native shape when fft_shape is None).
+    arena: WorkspaceArena | None = None
+    workspace = None
+
+    def ensure_workspace(shape: tuple[int, int]):
+        nonlocal arena, workspace
+        if not use_workspace:
+            return None
+        if arena is None:
+            arena = WorkspaceArena(shape, real=real_transforms, count=1)
+            workspace = arena.acquire()
+            stats["workspace_bytes"] = arena.bytes_per_workspace
+        return workspace
 
     def load_with_policy(pos: GridPosition) -> np.ndarray | None:
         """Read one tile under the policy; None = tile dropped (skip mode)."""
@@ -221,8 +253,14 @@ def compute_grid_displacements(
         stats["reads"] += 1
         with tracer.span("fft", "sequential", key=str(pos)):
             ffts[pos] = forward_fft(
-                tiles[pos], fft_shape, cache, planning, real=real_transforms
+                tiles[pos], fft_shape, cache, planning,
+                real=real_transforms, stats=stats,
             )
+        if use_tile_stats:
+            # Per-tile summed-area tables: computed once, shared by the
+            # tile's up-to-four incident pairs, released with the FFT.
+            with tracer.span("tilestats", "sequential", key=str(pos)):
+                tstats[pos] = TileStats(tiles[pos])
         stats["ffts"] += 1
         stats["peak_live_transforms"] = max(
             stats["peak_live_transforms"], len(ffts)
@@ -234,6 +272,7 @@ def compute_grid_displacements(
         if all(p in pairs_done for p in pairs_for_tile(grid, pos.row, pos.col)):
             del ffts[pos]
             del tiles[pos]
+            tstats.pop(pos, None)
 
     for pos in traverse(grid, traversal):
         ensure_loaded(pos)
@@ -254,6 +293,12 @@ def compute_grid_displacements(
                         subpixel=subpixel,
                         cache=cache,
                         planning=planning,
+                        stats_i=tstats.get(pair.first),
+                        stats_j=tstats.get(pair.second),
+                        workspace=ensure_workspace(
+                            fft_shape or tiles[pair.first].shape
+                        ),
+                        use_tile_stats=use_tile_stats,
                     )
                 result.set(
                     pair.direction,
@@ -268,6 +313,8 @@ def compute_grid_displacements(
         for pair in pairs_for_tile(grid, pos.row, pos.col):
             maybe_release(pair.first if pair.second == pos else pair.second)
 
+    if arena is not None and workspace is not None:
+        arena.release(workspace)
     if failed_tiles or skipped_pairs:
         stats["skipped_tiles"] = sorted((p.row, p.col) for p in failed_tiles)
         stats["skipped_pairs"] = len(skipped_pairs)

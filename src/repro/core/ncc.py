@@ -27,18 +27,30 @@ _EPS = 1e-12
 
 
 def normalized_correlation(
-    fft_i: np.ndarray, fft_j: np.ndarray, out: np.ndarray | None = None
+    fft_i: np.ndarray,
+    fft_j: np.ndarray,
+    out: np.ndarray | None = None,
+    mag_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Element-wise normalized conjugate multiplication of two spectra.
 
     ``out`` may alias either input (in-place update is safe and saves one
     h x w complex allocation per pair, which matters at the paper's scale:
-    each such array is ~22 MB).
+    each such array is ~22 MB).  ``mag_out`` (float64, same shape) receives
+    the magnitude scratch, eliminating the remaining per-pair allocation.
     """
     if fft_i.shape != fft_j.shape:
         raise ValueError(f"spectra differ in shape: {fft_i.shape} vs {fft_j.shape}")
-    fc = np.multiply(fft_i, np.conj(fft_j), out=out)
-    mag = np.abs(fc)
+    # Conjugate into the output first, then multiply in place: no temporary
+    # (complex multiplication commutes bit-exactly, so conj(fft_j) * fft_i
+    # equals fft_i * conj(fft_j)).  Unless ``out`` aliases ``fft_i``, which
+    # the conjugate would clobber -- the temporary is unavoidable there.
+    if out is fft_i:
+        fc = np.multiply(fft_i, np.conj(fft_j), out=out)
+    else:
+        fc = np.conjugate(fft_j, out=out)
+        np.multiply(fc, fft_i, out=fc)
+    mag = np.abs(fc, out=mag_out)
     # Zero-magnitude bins have undefined phase; leave them at zero rather
     # than dividing 0/0.
     np.maximum(mag, _EPS, out=mag)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.ccf import ccf_at, subpixel_refine
 from repro.core.ncc import normalized_correlation
 from repro.core.peak import peak_candidates, top_peaks
+from repro.core.tilestats import TileStats, ccf_at_stats, subpixel_refine_stats
 from repro.fftlib.plans import PlanCache, PlanningMode, TransformKind, default_cache
 from repro.fftlib.smooth import next_smooth_shape, pad_to_shape
 
@@ -59,12 +60,18 @@ class PciamResult:
         yield self.ty
 
 
+def _count_saved_copy(stats: dict | None) -> None:
+    if stats is not None:
+        stats["fft_copies_saved"] = stats.get("fft_copies_saved", 0) + 1
+
+
 def forward_fft(
     tile: np.ndarray,
     fft_shape: tuple[int, int] | None = None,
     cache: PlanCache | None = None,
     mode: PlanningMode = PlanningMode.ESTIMATE,
     real: bool = False,
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Forward transform of a tile, optionally zero-padded to ``fft_shape``.
 
@@ -77,16 +84,36 @@ def forward_fft(
     roughly half the work and memory.  The resulting spectra plug into the
     same NCC (Hermitian symmetry is preserved by the normalization) and
     invert through ``irfft2``.
+
+    Inputs already in the transform dtype/layout are used without copying;
+    other dtypes convert in a single pass (the old path always went through
+    float64 first, costing an extra full copy per tile on the complex
+    branch).  Each copy avoided increments ``stats["fft_copies_saved"]``.
     """
     cache = cache if cache is not None else default_cache()
-    a = np.ascontiguousarray(tile, dtype=np.float64)
-    if fft_shape is not None and tuple(fft_shape) != a.shape:
-        a = pad_to_shape(a, fft_shape)
+    a = np.asarray(tile)
     if real:
+        if a.dtype == np.float64 and a.flags.c_contiguous:
+            pass  # use as-is (ascontiguousarray would be a no-op anyway)
+        else:
+            a = np.ascontiguousarray(a, dtype=np.float64)
+        if fft_shape is not None and tuple(fft_shape) != a.shape:
+            a = pad_to_shape(a, fft_shape)
         plan = cache.plan(a.shape, TransformKind.R2C, mode, allow_padding=False)
         return plan.execute(a)
+    if a.dtype == np.complex128 and a.flags.c_contiguous:
+        _count_saved_copy(stats)  # previously forced through float64 + astype
+    elif a.dtype == np.float64 and a.flags.c_contiguous:
+        a = a.astype(np.complex128)
+    else:
+        # Single direct conversion; the old float64-then-complex route made
+        # two full copies for e.g. uint16 camera tiles.
+        _count_saved_copy(stats)
+        a = a.astype(np.complex128, order="C")
+    if fft_shape is not None and tuple(fft_shape) != a.shape:
+        a = pad_to_shape(a, fft_shape)
     plan = cache.plan(a.shape, TransformKind.C2C_FORWARD, mode, allow_padding=False)
-    return plan.execute(a.astype(np.complex128))
+    return plan.execute(a)
 
 
 def smooth_fft_shape(tile_shape: tuple[int, int]) -> tuple[int, int]:
@@ -106,6 +133,10 @@ def pciam(
     subpixel: bool = False,
     cache: PlanCache | None = None,
     planning: PlanningMode = PlanningMode.ESTIMATE,
+    stats_i: TileStats | None = None,
+    stats_j: TileStats | None = None,
+    workspace=None,
+    use_tile_stats: bool = True,
 ) -> PciamResult:
     """Relative displacement of ``img_j`` with respect to ``img_i``.
 
@@ -128,11 +159,26 @@ def pciam(
         contest.  ``1`` is the paper's scheme; the Fiji plugin tests
         several, which is more robust on feature-poor overlaps.
     real_transforms:
-        Use real-to-complex transforms (half-spectrum NCC, ``irfft2``
-        inverse) -- the paper's future-work optimization.  Results are
+        Use real-to-complex transforms (half-spectrum NCC, cached ``C2R``
+        inverse plan) -- the paper's future-work optimization.  Results are
         identical to the complex path; work and footprint roughly halve.
         Precomputed ``fft_i``/``fft_j`` must then be half-spectra from
         ``forward_fft(..., real=True)``.
+    stats_i, stats_j:
+        Optional precomputed :class:`~repro.core.tilestats.TileStats`
+        (computed here when omitted and ``use_tile_stats`` is on).  Like
+        the forward transforms, tile statistics are a per-tile product
+        shared by up to four incident pairs.
+    workspace:
+        Optional :class:`~repro.memmodel.workspace.PairWorkspace` whose
+        scratch buffers receive the NCC, its magnitude, and the peak
+        magnitudes -- turning the per-pair allocation churn into reuse.
+        The workspace's ``ncc`` buffer is clobbered by the inverse
+        transform (``overwrite_input``) and must not be read afterwards.
+    use_tile_stats:
+        ``False`` falls back to the direct five-pass CCF of
+        :mod:`repro.core.ccf` (useful for benchmarking the O(1)-statistics
+        path against its baseline; results are identical).
 
     Returns the winning ``(correlation, tx, ty)`` plus peak diagnostics.
     """
@@ -153,16 +199,26 @@ def pciam(
             f"expected {spectrum_shape}"
         )
 
-    ncc = normalized_correlation(fft_i, fft_j)
-    if real_transforms:
-        import scipy.fft as _sfft
-
-        inv = _sfft.irfft2(ncc, s=shape)
-    else:
-        plan = cache.plan(shape, TransformKind.C2C_INVERSE, planning, allow_padding=False)
-        inv = plan.execute(ncc)
-    peaks = top_peaks(inv, n_peaks)
+    out = workspace.ncc if workspace is not None else None
+    mag_out = workspace.ncc_mag if workspace is not None else None
+    peak_mag = workspace.peak_mag if workspace is not None else None
+    ncc = normalized_correlation(fft_i, fft_j, out=out, mag_out=mag_out)
+    # The workspace-held NCC is scratch the caller refills every pair, so
+    # the inverse transform may consume it in place.
+    overwrite = workspace is not None
+    inverse_kind = (
+        TransformKind.C2R if real_transforms else TransformKind.C2C_INVERSE
+    )
+    plan = cache.plan(shape, inverse_kind, planning, allow_padding=False)
+    inv = plan.execute(ncc, overwrite_input=overwrite)
+    peaks = top_peaks(inv, n_peaks, mag_out=peak_mag)
     peak_val, py, px = peaks[0]
+
+    if use_tile_stats:
+        if stats_i is None:
+            stats_i = TileStats(img_i)
+        if stats_j is None:
+            stats_j = TileStats(img_j)
 
     extended = ccf_mode is CcfMode.EXTENDED
     seen: set[tuple[int, int]] = set()
@@ -172,7 +228,10 @@ def pciam(
             if (tx, ty) in seen:
                 continue
             seen.add((tx, ty))
-            c = ccf_at(img_i, img_j, tx, ty)
+            if use_tile_stats:
+                c = ccf_at_stats(stats_i, stats_j, tx, ty)
+            else:
+                c = ccf_at(img_i, img_j, tx, ty)
             if c > best[0]:
                 best = (c, tx, ty)
     corr, tx, ty = best
@@ -181,7 +240,10 @@ def pciam(
         # Parabolic vertex of the CCF surface around the integer winner --
         # recovers fractional stage positions (a successor-tool feature;
         # the paper's pipeline reports integers).
-        tx_f, ty_f = subpixel_refine(img_i, img_j, int(tx), int(ty))
+        if use_tile_stats:
+            tx_f, ty_f = subpixel_refine_stats(stats_i, stats_j, int(tx), int(ty))
+        else:
+            tx_f, ty_f = subpixel_refine(img_i, img_j, int(tx), int(ty))
     return PciamResult(
         correlation=float(corr),
         tx=int(tx),

@@ -30,17 +30,21 @@ def peak_location(inv_ncc: np.ndarray) -> tuple[float, int, int]:
     return float(mag[py, px]), int(py), int(px)
 
 
-def top_peaks(inv_ncc: np.ndarray, n: int) -> list[tuple[float, int, int]]:
+def top_peaks(
+    inv_ncc: np.ndarray, n: int, mag_out: np.ndarray | None = None
+) -> list[tuple[float, int, int]]:
     """The ``n`` largest-magnitude elements as ``(magnitude, py, px)``.
 
     ``n == 1`` reduces to :func:`peak_location` (the paper's scheme); the
     ImageJ/Fiji plugin the paper benchmarks against tests several peaks,
     which is markedly more robust on feature-poor overlaps, so callers may
-    ask for more.  Ordered by decreasing magnitude.
+    ask for more.  Ordered by decreasing magnitude.  ``mag_out`` (float64,
+    same shape) receives the magnitude scratch so the reduction allocates
+    nothing.
     """
     if n < 1:
         raise ValueError(f"need at least one peak, got n={n}")
-    mag = np.abs(inv_ncc)
+    mag = np.abs(inv_ncc, out=mag_out)
     n = min(n, mag.size)
     flat = np.argpartition(mag.ravel(), mag.size - n)[-n:]
     flat = flat[np.argsort(mag.ravel()[flat])[::-1]]

@@ -143,8 +143,10 @@ class Stitcher:
         traversal: Traversal = Traversal.CHAINED_DIAGONAL,
         ccf_mode: CcfMode = CcfMode.EXTENDED,
         n_peaks: int = 2,
-        real_transforms: bool = False,
+        real_transforms: bool = True,
         subpixel: bool = False,
+        use_tile_stats: bool = True,
+        use_workspace: bool = True,
         pad_to_smooth: bool = False,
         position_method: str = "mst",
         refine: bool | RefineConfig = False,
@@ -161,6 +163,11 @@ class Stitcher:
         self.n_peaks = n_peaks
         self.real_transforms = real_transforms
         self.subpixel = subpixel
+        # Hot-path knobs (all on by default; see docs/PERFORMANCE.md):
+        # half-spectrum transforms, O(1)-statistics CCF, reusable pair
+        # workspaces.  Off switches exist for benchmarking each layer.
+        self.use_tile_stats = use_tile_stats
+        self.use_workspace = use_workspace
         self.pad_to_smooth = pad_to_smooth
         self.position_method = position_method
         # ``refine`` enables the MIST-style stage-model filter/repair pass
@@ -233,6 +240,8 @@ class Stitcher:
             fault_report=fault_report,
             tracer=self.tracer,
             metrics=self.metrics,
+            use_tile_stats=self.use_tile_stats,
+            use_workspace=self.use_workspace,
         )
 
     def stitch(self, dataset: TileDataset) -> StitchResult:

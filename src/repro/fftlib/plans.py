@@ -68,7 +68,14 @@ class TransformKind(Enum):
 
 @dataclass(frozen=True)
 class PlanKey:
-    """Identity of a planning problem: shape + kind (mode picks rigor only)."""
+    """Identity of a planning problem: shape + kind (mode picks rigor only).
+
+    ``shape`` is always the *spatial* problem shape ``(h, w)`` -- for
+    ``C2R`` plans the executed input is the half-spectrum
+    ``(h, w // 2 + 1)`` and ``shape`` names the real output, which is the
+    information the inverse needs anyway (the half-spectrum alone cannot
+    distinguish even from odd widths).
+    """
 
     shape: tuple[int, ...]
     kind: TransformKind
@@ -81,15 +88,25 @@ class PlanKey:
         return PlanKey(tuple(d["shape"]), TransformKind(d["kind"]))
 
 
-def _raw_transform(kind: TransformKind, a: np.ndarray, inverse_shape=None) -> np.ndarray:
+def spectrum_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Half-spectrum shape of a real array of ``shape`` (rfft2 output)."""
+    return (*shape[:-1], shape[-1] // 2 + 1)
+
+
+def _raw_transform(
+    kind: TransformKind,
+    a: np.ndarray,
+    inverse_shape=None,
+    overwrite_input: bool = False,
+) -> np.ndarray:
     if kind is TransformKind.C2C_FORWARD:
-        return _sfft.fft2(a)
+        return _sfft.fft2(a, overwrite_x=overwrite_input)
     if kind is TransformKind.C2C_INVERSE:
-        return _sfft.ifft2(a)
+        return _sfft.ifft2(a, overwrite_x=overwrite_input)
     if kind is TransformKind.R2C:
-        return _sfft.rfft2(a)
+        return _sfft.rfft2(a, overwrite_x=overwrite_input)
     if kind is TransformKind.C2R:
-        return _sfft.irfft2(a, s=inverse_shape)
+        return _sfft.irfft2(a, s=inverse_shape, overwrite_x=overwrite_input)
     raise ValueError(kind)  # pragma: no cover - exhaustive enum
 
 
@@ -125,6 +142,13 @@ class Plan:
             f"strategy={self.strategy}, fft_shape={self.fft_shape})"
         )
 
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Shape ``execute`` expects: half-spectrum for C2R, spatial else."""
+        if self.key.kind is TransformKind.C2R:
+            return spectrum_shape(self.key.shape)
+        return self.key.shape
+
     def _padded_input(self, a: np.ndarray, reuse_workspace: bool) -> np.ndarray:
         if not reuse_workspace:
             return pad_to_shape(a, self.fft_shape)
@@ -132,18 +156,34 @@ class Plan:
             self._workspace = np.zeros(self.fft_shape, dtype=a.dtype)
         return pad_to_shape(a, self.fft_shape, out=self._workspace)
 
-    def execute(self, a: np.ndarray, reuse_workspace: bool = True) -> np.ndarray:
-        """Run the transform on ``a`` (shape must match the plan key)."""
-        if tuple(a.shape) != self.key.shape:
+    def execute(
+        self,
+        a: np.ndarray,
+        reuse_workspace: bool = True,
+        overwrite_input: bool = False,
+    ) -> np.ndarray:
+        """Run the transform on ``a`` (shape must match the plan key).
+
+        ``overwrite_input=True`` permits the backend to clobber ``a``
+        (scipy's ``overwrite_x``); use it when ``a`` is scratch the caller
+        owns, e.g. a workspace buffer that will be refilled next pair.
+        """
+        if tuple(a.shape) != self.input_shape:
             raise ValueError(
-                f"plan is for shape {self.key.shape}, got array of shape {a.shape}"
+                f"plan is for input shape {self.input_shape}, "
+                f"got array of shape {a.shape}"
             )
         self.executions += 1
         kind = self.key.kind
         if self.strategy == "direct":
-            return _raw_transform(kind, a, inverse_shape=self.key.shape)
+            return _raw_transform(
+                kind, a, inverse_shape=self.key.shape,
+                overwrite_input=overwrite_input,
+            )
         padded = self._padded_input(a, reuse_workspace)
-        return _raw_transform(kind, padded, inverse_shape=self.fft_shape)
+        return _raw_transform(
+            kind, padded, inverse_shape=self.fft_shape, overwrite_input=True
+        )
 
 
 def _time_strategy(fn: Callable[[], np.ndarray], trials: int) -> float:
@@ -172,6 +212,16 @@ class PlanCache:
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    def cached(
+        self,
+        shape: tuple[int, ...],
+        kind: TransformKind = TransformKind.C2C_FORWARD,
+    ) -> Plan | None:
+        """Return the cached plan for ``shape``/``kind`` without creating one."""
+        key = PlanKey(tuple(int(n) for n in shape), kind)
+        with self._lock:
+            return self._plans.get(key)
 
     def plan(
         self,
@@ -211,6 +261,11 @@ class PlanCache:
             return plan
 
     def _make_plan(self, key: PlanKey, mode: PlanningMode) -> Plan:
+        if key.kind is TransformKind.C2R:
+            # Padding a half-spectrum is not shape-preserving in any useful
+            # sense (the inverse must land exactly on the spatial key shape),
+            # so C2R plans are always direct.
+            return Plan(key, "direct", key.shape, planning_time=0.0)
         padded_shape = next_smooth_shape(key.shape)
         if key in self._wisdom:
             strategy = self._wisdom[key]
@@ -224,7 +279,7 @@ class PlanCache:
         t0 = time.perf_counter()
         trials = mode.trials
         dtype = np.complex128 if key.kind in (
-            TransformKind.C2C_FORWARD, TransformKind.C2C_INVERSE, TransformKind.C2R
+            TransformKind.C2C_FORWARD, TransformKind.C2C_INVERSE
         ) else np.float64
         sample = np.ones(key.shape, dtype=dtype)
         direct = Plan(key, "direct", key.shape)

@@ -57,9 +57,13 @@ def irfft2(
     cache: PlanCache | None = None,
     mode: PlanningMode = PlanningMode.ESTIMATE,
 ) -> np.ndarray:
-    """Complex-to-real inverse of :func:`rfft2` producing ``shape``."""
-    import scipy.fft as _sfft
+    """Complex-to-real inverse of :func:`rfft2` producing ``shape``.
 
-    # C2R needs the target spatial shape, which the half-spectrum alone does
-    # not determine (w could be 2*(kw-1) or 2*(kw-1)+1); pass it through.
-    return _sfft.irfft2(np.asarray(a, dtype=np.complex128), s=shape)
+    C2R plans are keyed by the target *spatial* shape, which the
+    half-spectrum alone does not determine (w could be 2*(kw-1) or
+    2*(kw-1)+1); the plan carries it.
+    """
+    plan = _cache(cache).plan(
+        tuple(shape), TransformKind.C2R, mode, allow_padding=False
+    )
+    return plan.execute(np.asarray(a, dtype=np.complex128))

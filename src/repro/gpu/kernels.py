@@ -44,6 +44,56 @@ def fft2_kernel(
     return event
 
 
+def rfft2_kernel(
+    device: VirtualGpu,
+    src: np.ndarray,
+    dst: np.ndarray,
+    stream: Stream | None = None,
+    not_before: float = 0.0,
+):
+    """Forward 2-D r2c transform: real ``src`` into half-spectrum ``dst``.
+
+    cuFFT's R2C plan exploits Hermitian symmetry: the output is
+    ``(h, w//2+1)`` and the work is roughly half a C2C transform of the
+    same spatial extent, which the cost model reflects.
+    """
+    stream = stream or device.default_stream
+
+    def do() -> None:
+        dst[...] = _sfft.rfft2(src)
+
+    _, event = stream.submit(
+        "cufft-fwd-r2c", "compute", do,
+        0.5 * device.costs.fft(_area(src)), 0, not_before,
+    )
+    return event
+
+
+def irfft2_kernel(
+    device: VirtualGpu,
+    src: np.ndarray,
+    dst: np.ndarray,
+    stream: Stream | None = None,
+    not_before: float = 0.0,
+):
+    """Inverse 2-D c2r transform: half-spectrum ``src`` into real ``dst``.
+
+    ``dst``'s spatial shape disambiguates the target width (the
+    half-spectrum alone cannot distinguish even from odd widths), exactly
+    as a cuFFT C2R plan carries the full transform size.
+    """
+    stream = stream or device.default_stream
+
+    def do() -> None:
+        dst[...] = _sfft.irfft2(src, s=dst.shape)
+
+    _, event = stream.submit(
+        "cufft-inv-c2r", "compute", do,
+        0.5 * device.costs.fft(_area(dst)), 0, not_before,
+    )
+    return event
+
+
 def ncc_kernel(
     device: VirtualGpu,
     fft_i: np.ndarray,

@@ -12,6 +12,7 @@ from repro.core.displacement import DisplacementResult
 from repro.core.pciam import CcfMode
 from repro.fftlib.plans import PlanCache
 from repro.io.dataset import TileDataset
+from repro.memmodel.workspace import WorkspaceArena
 from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.stage import ErrorPolicy, run_with_retries
 
@@ -52,6 +53,9 @@ class Implementation(abc.ABC):
         n_peaks: int = 2,
         fft_shape: tuple[int, int] | None = None,
         cache: PlanCache | None = None,
+        real_transforms: bool = True,
+        use_tile_stats: bool = True,
+        use_workspace: bool = True,
         error_policy: ErrorPolicy | None = None,
         fault_report=None,
         tracer=None,
@@ -61,6 +65,13 @@ class Implementation(abc.ABC):
         self.n_peaks = n_peaks
         self.fft_shape = fft_shape
         self.cache = cache if cache is not None else PlanCache()
+        #: Hot-path knobs shared by every implementation (docs/PERFORMANCE.md):
+        #: half-spectrum (R2C) transforms, O(1)-statistics CCF via per-tile
+        #: summed-area tables, and reusable per-worker pair workspaces.  All
+        #: default on; each has an off switch so the benchmark can isolate it.
+        self.real_transforms = real_transforms
+        self.use_tile_stats = use_tile_stats
+        self.use_workspace = use_workspace
         self.error_policy = error_policy
         self.fault_report = fault_report
         #: Observability hooks shared by every implementation: a
@@ -75,6 +86,22 @@ class Implementation(abc.ABC):
     @abc.abstractmethod
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         """Compute all pairwise displacements; return (result, stats)."""
+
+    def _transform_shape(self, dataset: TileDataset) -> tuple[int, int]:
+        """The spatial transform shape this run uses (padded or native)."""
+        if self.fft_shape is not None:
+            return tuple(self.fft_shape)
+        return tuple(dataset.tile_shape)
+
+    def _make_arena(self, dataset: TileDataset, count: int):
+        """Per-worker pair-workspace arena, or ``None`` when disabled."""
+        if not self.use_workspace:
+            return None
+        return WorkspaceArena(
+            self._transform_shape(dataset),
+            real=self.real_transforms,
+            count=count,
+        )
 
     @property
     def _skip_on_error(self) -> bool:

@@ -62,13 +62,19 @@ class FijiBaseline(Implementation):
                         )
                         continue
                 stats["reads"] += 2
+                # No workspace on purpose -- per-pair allocation is part of
+                # the plugin architecture being reproduced.  Kernel-level
+                # choices (half-spectrum transforms, tile statistics) are
+                # shared: they change cost, not architecture or answers.
                 r = pciam(
                     img_i,
                     img_j,
                     fft_shape=self.fft_shape,
                     ccf_mode=self.ccf_mode,
                     n_peaks=self.n_peaks,
+                    real_transforms=self.real_transforms,
                     cache=self.cache,
+                    use_tile_stats=self.use_tile_stats,
                 )
                 stats["ffts"] += 2
                 stats["pairs"] += 1

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
 from repro.core.pciam import forward_fft, pciam
+from repro.core.tilestats import TileStats
 from repro.grid.neighbors import Direction
 from repro.impls.base import Implementation
 from repro.io.dataset import TileDataset
@@ -55,13 +56,25 @@ class MtCpu(Implementation):
         stats = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0}
         errors: list[BaseException] = []
 
+        bands = row_bands(dataset.rows, self.workers)
+        # One pair workspace per band: each band worker processes its pairs
+        # sequentially, so one scratch set per worker suffices.
+        arena = self._make_arena(dataset, count=len(bands))
+
         def band_worker(k: int, r0: int, r1: int) -> None:
             try:
-                self._band(dataset, disp, r0, r1, stats, stats_lock, band=k)
+                ws = arena.acquire() if arena is not None else None
+                try:
+                    self._band(
+                        dataset, disp, r0, r1, stats, stats_lock, band=k,
+                        workspace=ws,
+                    )
+                finally:
+                    if arena is not None:
+                        arena.release(ws)
             except BaseException as exc:
                 errors.append(exc)
 
-        bands = row_bands(dataset.rows, self.workers)
         threads = [
             threading.Thread(target=band_worker, args=(k, *band), daemon=True)
             for k, band in enumerate(bands)
@@ -85,20 +98,22 @@ class MtCpu(Implementation):
         stats: dict,
         stats_lock: threading.Lock,
         band: int = 0,
+        workspace=None,
     ) -> None:
         """Sequential pass over rows [r0, r1) with a 2-row sliding window.
 
         Row-major traversal within the band: computing row ``r`` needs only
         rows ``r-1`` and ``r`` live, so the band's working set is two rows
-        of transforms regardless of band height.
+        of transforms (plus tile statistics) regardless of band height.
         """
-        local = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0}
-        prev_row: list[tuple[np.ndarray, np.ndarray] | None] | None = None
+        local = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0,
+                 "fft_copies_saved": 0}
+        prev_row: list[tuple | None] | None = None
         track = f"mt-cpu/band-{band}"
 
         start = r0 - 1 if r0 > 0 else r0  # include boundary row from the band above
         for r in range(start, r1):
-            cur_row: list[tuple[np.ndarray, np.ndarray] | None] = []
+            cur_row: list[tuple | None] = []
             for c in range(dataset.cols):
                 with self.tracer.span("read+fft", track, key=f"({r},{c})"):
                     tile = (
@@ -111,40 +126,50 @@ class MtCpu(Implementation):
                         # recorded as skipped and never computed.
                         cur_row.append(None)
                     else:
-                        fft = forward_fft(tile, self.fft_shape, self.cache)
+                        fft = forward_fft(
+                            tile, self.fft_shape, self.cache,
+                            real=self.real_transforms, stats=local,
+                        )
+                        ts = (
+                            TileStats(tile) if self.use_tile_stats else None
+                        )
                         local["reads"] += 1
                         local["ffts"] += 1
                         if r == start and r0 > 0:
                             local["boundary_refts"] += 1
-                        cur_row.append((tile, fft))
+                        cur_row.append((tile, fft, ts))
                 # West pair within this row (owned by this band when r >= r0).
                 if c > 0 and r >= r0:
                     with self.tracer.span("pair", track, key=f"west({r},{c})"):
                         self._maybe_pair(
-                            disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c], local
+                            disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c],
+                            local, workspace,
                         )
                 # North pair down from the previous row.
                 if prev_row is not None and r >= r0:
                     with self.tracer.span("pair", track, key=f"north({r},{c})"):
                         self._maybe_pair(
-                            disp, Direction.NORTH, r, c, prev_row[c], cur_row[c], local
+                            disp, Direction.NORTH, r, c, prev_row[c], cur_row[c],
+                            local, workspace,
                         )
             prev_row = cur_row
         with stats_lock:
             for k, v in local.items():
-                stats[k] += v
+                stats[k] = stats.get(k, 0) + v
 
-    def _maybe_pair(self, disp, direction, r, c, first, second, local) -> None:
+    def _maybe_pair(self, disp, direction, r, c, first, second, local,
+                    workspace=None) -> None:
         if first is None or second is None:
             self._record_skipped_pair(
                 direction.name.lower(), r, c, reason="member tile unreadable"
             )
             return
-        self._pair(disp, direction, r, c, first, second, local)
+        self._pair(disp, direction, r, c, first, second, local, workspace)
 
-    def _pair(self, disp, direction, r, c, first, second, local) -> None:
-        img_i, fft_i = first
-        img_j, fft_j = second
+    def _pair(self, disp, direction, r, c, first, second, local,
+              workspace=None) -> None:
+        img_i, fft_i, stats_i = first
+        img_j, fft_j, stats_j = second
         res = pciam(
             img_i,
             img_j,
@@ -153,7 +178,12 @@ class MtCpu(Implementation):
             fft_shape=self.fft_shape,
             ccf_mode=self.ccf_mode,
             n_peaks=self.n_peaks,
+            real_transforms=self.real_transforms,
             cache=self.cache,
+            stats_i=stats_i,
+            stats_j=stats_j,
+            workspace=workspace,
+            use_tile_stats=self.use_tile_stats,
         )
         disp.set(direction, r, c, Translation.from_pciam(res))
         local["pairs"] += 1

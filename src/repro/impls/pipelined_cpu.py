@@ -30,19 +30,18 @@ import threading
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.fft as _sfft
 
-from repro.core.ccf import ccf_at
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.ncc import normalized_correlation
-from repro.core.peak import peak_candidates, top_peaks
-from repro.fftlib.smooth import pad_to_shape
+from repro.core.pciam import forward_fft, pciam
+from repro.core.tilestats import TileStats
+from repro.fftlib.plans import spectrum_shape
 from repro.grid.neighbors import Pair
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
 from repro.impls.base import Implementation
 from repro.io.dataset import TileDataset
 from repro.memmodel.pool import BufferPool
+from repro.memmodel.workspace import ThreadLocalWorkspaces
 from repro.pipeline.bookkeeper import PairBookkeeper
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.queues import MonitorQueue, QueueClosed
@@ -114,7 +113,14 @@ class PipelinedCpu(Implementation):
         grid = TileGrid(rows, cols)
         fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
         pool_size = self.pool_size or default_pool_size(rows, cols)
-        pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
+        # Half-spectrum transforms shrink every pool buffer to
+        # (h, w//2 + 1) -- the paper's "roughly half the memory".
+        buf_shape = (
+            spectrum_shape(fft_shape) if self.real_transforms else fft_shape
+        )
+        pool = BufferPool(pool_size, buf_shape, dtype=np.complex128)
+        arena = self._make_arena(dataset, count=self.workers)
+        workspaces = ThreadLocalWorkspaces(arena) if arena is not None else None
         bk = PairBookkeeper(grid, metrics=self.metrics)
         disp = DisplacementResult.empty(rows, cols)
 
@@ -134,8 +140,9 @@ class PipelinedCpu(Implementation):
         state_lock = threading.Lock()
         pixels: dict[GridPosition, np.ndarray] = {}
         slots: dict[GridPosition, int] = {}
+        tstats: dict[GridPosition, TileStats] = {}
         stats_lock = threading.Lock()
-        stats = {"reads": 0, "ffts": 0, "pairs": 0}
+        stats = {"reads": 0, "ffts": 0, "pairs": 0, "fft_copies_saved": 0}
 
         order = iter(list(traverse(grid, self.traversal)))
 
@@ -182,15 +189,20 @@ class PipelinedCpu(Implementation):
                     q_work.put(item)
                     return None
                 buf = pool.array(slot)
-                src = item.pixels
-                if src.shape != fft_shape:
-                    src = pad_to_shape(src, fft_shape)
-                buf[...] = _sfft.fft2(src)
+                local: dict = {}
+                buf[...] = forward_fft(
+                    item.pixels, fft_shape, self.cache,
+                    real=self.real_transforms, stats=local,
+                )
+                ts = TileStats(item.pixels) if self.use_tile_stats else None
                 with state_lock:
                     pixels[item.pos] = item.pixels
                     slots[item.pos] = slot
+                    if ts is not None:
+                        tstats[item.pos] = ts
                 with stats_lock:
                     stats["ffts"] += 1
+                    stats["fft_copies_saved"] += local.get("fft_copies_saved", 0)
                 tiles_in_flight.release()
                 q_events.put(_FftDone(item.pos, slot))
             elif isinstance(item, _PairItem):
@@ -200,28 +212,28 @@ class PipelinedCpu(Implementation):
                     img_j = pixels[pair.second]
                     fft_i = pool.array(slots[pair.first])
                     fft_j = pool.array(slots[pair.second])
-                ncc = normalized_correlation(fft_i, fft_j)
-                inv = _sfft.ifft2(ncc)
-                peaks = top_peaks(inv, self.n_peaks)
-                best = (-np.inf, 0, 0)
-                seen = set()
-                from repro.core.pciam import CcfMode
-
-                extended = self.ccf_mode is CcfMode.EXTENDED
-                for _mag, py, px in peaks:
-                    for tx, ty in peak_candidates(py, px, fft_shape, extended=extended):
-                        if (tx, ty) in seen:
-                            continue
-                        seen.add((tx, ty))
-                        c = ccf_at(img_i, img_j, tx, ty)
-                        if c > best[0]:
-                            best = (c, tx, ty)
-                corr, tx, ty = best
+                    stats_i = tstats.get(pair.first)
+                    stats_j = tstats.get(pair.second)
+                res = pciam(
+                    img_i,
+                    img_j,
+                    fft_i=fft_i,
+                    fft_j=fft_j,
+                    fft_shape=fft_shape,
+                    ccf_mode=self.ccf_mode,
+                    n_peaks=self.n_peaks,
+                    real_transforms=self.real_transforms,
+                    cache=self.cache,
+                    stats_i=stats_i,
+                    stats_j=stats_j,
+                    workspace=workspaces.get() if workspaces is not None else None,
+                    use_tile_stats=self.use_tile_stats,
+                )
                 disp.set(
                     pair.direction,
                     pair.second.row,
                     pair.second.col,
-                    Translation(float(corr), int(tx), int(ty)),
+                    Translation.from_pciam(res),
                 )
                 with stats_lock:
                     stats["pairs"] += 1
@@ -234,6 +246,7 @@ class PipelinedCpu(Implementation):
             with state_lock:
                 slot = slots.pop(pos)
                 pixels.pop(pos)
+                tstats.pop(pos, None)
             pool.release(slot)
 
         def maybe_finish() -> None:
@@ -281,6 +294,11 @@ class PipelinedCpu(Implementation):
             return disp, stats
 
         pipe.run()
+        if workspaces is not None:
+            workspaces.release_all()
+            stats["workspace_bytes"] = arena.bytes_per_workspace * max(
+                1, arena.stats()["peak_in_use"]
+            )
         stats["pool_peak_in_use"] = pool.peak_in_use
         stats["pool_size"] = pool_size
         stats.update({f"queue_{k}": v for k, v in pipe.stats()["queues"].items()})

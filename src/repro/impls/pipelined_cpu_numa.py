@@ -19,14 +19,11 @@ import threading
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.fft as _sfft
 
-from repro.core.ccf import ccf_at
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.ncc import normalized_correlation
-from repro.core.peak import peak_candidates, top_peaks
-from repro.core.pciam import CcfMode
-from repro.fftlib.smooth import pad_to_shape
+from repro.core.pciam import forward_fft, pciam
+from repro.core.tilestats import TileStats
+from repro.fftlib.plans import spectrum_shape
 from repro.grid.neighbors import Pair, grid_pairs
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
@@ -34,6 +31,7 @@ from repro.impls.base import Implementation
 from repro.impls.pipelined_gpu import column_partitions
 from repro.io.dataset import TileDataset
 from repro.memmodel.pool import BufferPool
+from repro.memmodel.workspace import ThreadLocalWorkspaces
 from repro.pipeline.bookkeeper import PairBookkeeper
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.stage import END_OF_STREAM
@@ -121,6 +119,10 @@ class PipelinedCpuNuma(Implementation):
             p.start()
         for p in pipelines:
             p.join()
+        for p in pipelines:
+            ws = getattr(p, "_workspaces", None)
+            if ws is not None:
+                ws.release_all()
         disp.stats = stats
         return disp, stats
 
@@ -133,10 +135,16 @@ class PipelinedCpuNuma(Implementation):
         tile_cols = sorted({p.col for p in my_tiles})
         c_lo, c_hi = tile_cols[0], tile_cols[-1]
         pool_size = self.pool_size or (2 * min(grid.rows, c_hi - c_lo + 1) + 4)
-        pool = BufferPool(pool_size, fft_shape, dtype=np.complex128)
+        buf_shape = (
+            spectrum_shape(fft_shape) if self.real_transforms else fft_shape
+        )
+        pool = BufferPool(pool_size, buf_shape, dtype=np.complex128)
+        arena = self._make_arena(dataset, count=self.workers_per_socket)
+        workspaces = ThreadLocalWorkspaces(arena) if arena is not None else None
 
         pipe = Pipeline(f"pipelined-cpu-numa-{c_lo}",
                         tracer=self.tracer, metrics=self.metrics)
+        pipe._workspaces = workspaces
         q_work = pipe.queue(maxsize=0, name="work")
         q_events = pipe.queue(maxsize=0, name="events")
         tiles_in_flight = threading.Semaphore(self.queue_size)
@@ -144,13 +152,13 @@ class PipelinedCpuNuma(Implementation):
         state_lock = threading.Lock()
         pixels: dict[GridPosition, np.ndarray] = {}
         slots: dict[GridPosition, int] = {}
+        tstats: dict[GridPosition, TileStats] = {}
 
         sub = TileGrid(grid.rows, c_hi - c_lo + 1)
         order = iter(
             [GridPosition(p.row, p.col + c_lo) for p in traverse(sub, self.traversal)
              if GridPosition(p.row, p.col + c_lo) in my_tiles]
         )
-        extended = self.ccf_mode is CcfMode.EXTENDED
 
         def reader(_item, _ctx):
             try:
@@ -187,15 +195,23 @@ class PipelinedCpuNuma(Implementation):
                     q_work.put(item)
                     return None
                 buf = pool.array(slot)
-                src = item.pixels
-                if src.shape != fft_shape:
-                    src = pad_to_shape(src, fft_shape)
-                buf[...] = _sfft.fft2(src)
+                local: dict = {}
+                buf[...] = forward_fft(
+                    item.pixels, fft_shape, self.cache,
+                    real=self.real_transforms, stats=local,
+                )
+                ts = TileStats(item.pixels) if self.use_tile_stats else None
                 with state_lock:
                     pixels[item.pos] = item.pixels
                     slots[item.pos] = slot
+                    if ts is not None:
+                        tstats[item.pos] = ts
                 with stats_lock:
                     stats["ffts"] += 1
+                    stats["fft_copies_saved"] = (
+                        stats.get("fft_copies_saved", 0)
+                        + local.get("fft_copies_saved", 0)
+                    )
                 tiles_in_flight.release()
                 q_events.put(_FftDone(item.pos, slot))
             elif isinstance(item, _PairItem):
@@ -204,20 +220,25 @@ class PipelinedCpuNuma(Implementation):
                     img_i, img_j = pixels[pair.first], pixels[pair.second]
                     fft_i = pool.array(slots[pair.first])
                     fft_j = pool.array(slots[pair.second])
-                inv = _sfft.ifft2(normalized_correlation(fft_i, fft_j))
-                best = (-np.inf, 0, 0)
-                seen: set[tuple[int, int]] = set()
-                for _mag, py, px in top_peaks(inv, self.n_peaks):
-                    for tx, ty in peak_candidates(py, px, fft_shape, extended=extended):
-                        if (tx, ty) in seen:
-                            continue
-                        seen.add((tx, ty))
-                        c = ccf_at(img_i, img_j, tx, ty)
-                        if c > best[0]:
-                            best = (c, tx, ty)
-                corr, tx, ty = best
+                    stats_i = tstats.get(pair.first)
+                    stats_j = tstats.get(pair.second)
+                res = pciam(
+                    img_i,
+                    img_j,
+                    fft_i=fft_i,
+                    fft_j=fft_j,
+                    fft_shape=fft_shape,
+                    ccf_mode=self.ccf_mode,
+                    n_peaks=self.n_peaks,
+                    real_transforms=self.real_transforms,
+                    cache=self.cache,
+                    stats_i=stats_i,
+                    stats_j=stats_j,
+                    workspace=workspaces.get() if workspaces is not None else None,
+                    use_tile_stats=self.use_tile_stats,
+                )
                 disp.set(pair.direction, pair.second.row, pair.second.col,
-                         Translation(float(corr), int(tx), int(ty)))
+                         Translation.from_pciam(res))
                 with stats_lock:
                     stats["pairs"] += 1
                 q_events.put(_PairDone(pair))
@@ -229,6 +250,7 @@ class PipelinedCpuNuma(Implementation):
             with state_lock:
                 pool.release(slots.pop(pos))
                 pixels.pop(pos)
+                tstats.pop(pos, None)
 
         def maybe_finish() -> None:
             if bk.all_pairs_completed():

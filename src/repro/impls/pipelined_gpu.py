@@ -37,9 +37,18 @@ from repro.core.ccf import ccf_at
 from repro.core.displacement import DisplacementResult, Translation
 from repro.core.peak import peak_candidates
 from repro.core.pciam import CcfMode
+from repro.core.tilestats import TileStats, ccf_at_stats
+from repro.fftlib.plans import spectrum_shape
 from repro.fftlib.smooth import pad_to_shape
 from repro.gpu.device import VirtualGpu
-from repro.gpu.kernels import fft2_kernel, ifft2_kernel, ncc_kernel, reduce_max_kernel
+from repro.gpu.kernels import (
+    fft2_kernel,
+    ifft2_kernel,
+    irfft2_kernel,
+    ncc_kernel,
+    reduce_max_kernel,
+    rfft2_kernel,
+)
 from repro.grid.neighbors import Pair, grid_pairs
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
@@ -233,16 +242,31 @@ class PipelinedGpu(Implementation):
         bk = PairBookkeeper(grid, pairs=part["pairs"], metrics=self.metrics)
         my_tiles = bk.tiles
 
+        real = self.real_transforms
+        # Half-spectrum transforms shrink every pool buffer to (h, w//2+1)
+        # complex values -- cuFFT R2C halves both footprint and FFT work.
+        buf_shape = spectrum_shape(fft_shape) if real else fft_shape
         pool_size = self.pool_size or (2 * min(grid.rows, c1 - c0) + 4)
-        pool = device.create_pool(pool_size, fft_shape)
+        pool = device.create_pool(pool_size, buf_shape)
         # Dedicated streams per GPU stage (copier / fft / displacement):
         # "one CUDA stream per GPU stage (a total of 3 for stages 2, 3 & 5)".
         stream_copy = device.create_stream()
         stream_fft = device.create_stream()
         stream_disp = device.create_stream()
         # Persistent scratch surface for NCC/inverse-FFT (the "backward
-        # transform" buffer class of the paper's pool).
-        scratch = device.alloc(fft_shape, dtype=np.complex128)
+        # transform" buffer class of the paper's pool).  The c2r inverse
+        # lands on a real spatial surface that cannot alias the
+        # half-spectrum NCC buffer, so real mode carries one extra float64
+        # scratch (still less memory than the single full complex surface).
+        scratch = device.alloc(buf_shape, dtype=np.complex128)
+        inv_scratch = device.alloc(fft_shape, dtype=np.float64) if real else None
+
+        def real_slot_view(buf: np.ndarray) -> np.ndarray:
+            # cuFFT's in-place R2C layout: the (h, w//2+1) complex slot's
+            # memory holds the row-padded real input; the H2D copy and the
+            # forward transform both address this float64 view, so no
+            # separate spatial staging buffer is needed.
+            return buf.view(np.float64)[:, : fft_shape[1]]
 
         pipe = Pipeline(f"pipelined-gpu-{device.device_id}",
                         tracer=self.tracer, metrics=self.metrics)
@@ -253,6 +277,7 @@ class PipelinedGpu(Implementation):
         q45 = pipe.queue(maxsize=0, name="ccf-work")
 
         pixels: dict[GridPosition, np.ndarray] = {}
+        tstats: dict[GridPosition, TileStats] = {}
         slots: dict[GridPosition, int] = {}
         # Ghost transforms received over p2p (dedicated device buffers,
         # keyed by grid position; disjoint from the pooled slots).
@@ -306,9 +331,17 @@ class PipelinedGpu(Implementation):
             src = item.pixels
             if src.shape != fft_shape:
                 src = pad_to_shape(src, fft_shape)
-            ev = device.h2d(src.astype(np.complex128), pool.array(slot), stream_copy)
+            if real:
+                # Copy the raw float64 tile (half the bytes of the complex
+                # staging copy) into the slot's in-place R2C input view.
+                ev = device.h2d(src, real_slot_view(pool.array(slot)), stream_copy)
+            else:
+                ev = device.h2d(src.astype(np.complex128), pool.array(slot), stream_copy)
+            ts = TileStats(item.pixels) if self.use_tile_stats else None
             with state_lock:
                 pixels[item.pos] = item.pixels
+                if ts is not None:
+                    tstats[item.pos] = ts
                 slots[item.pos] = slot
             return _SlotItem(item.pos, slot, copied_at=ev.end)
 
@@ -316,7 +349,11 @@ class PipelinedGpu(Implementation):
             buf = pool.array(item.slot)
             # Event wait: the forward transform cannot start before its
             # tile's H2D copy completed on the copy stream.
-            ev = fft2_kernel(device, buf, buf, stream_fft, not_before=item.copied_at)
+            if real:
+                ev = rfft2_kernel(device, real_slot_view(buf), buf, stream_fft,
+                                  not_before=item.copied_at)
+            else:
+                ev = fft2_kernel(device, buf, buf, stream_fft, not_before=item.copied_at)
             with state_lock:
                 fft_done_at[item.pos] = ev.end
             with stats_lock:
@@ -338,11 +375,14 @@ class PipelinedGpu(Implementation):
                 # The owner card lost this ghost tile; propagate the failure.
                 q23.put(_TileFailed(pos))
                 return None
-            buf = device.alloc(fft_shape, dtype=np.complex128)
+            buf = device.alloc(buf_shape, dtype=np.complex128)
             ev = device.p2p_from(src_device, src_array, buf, stream_copy,
                                  not_before=ready)
+            ts = TileStats(pix) if self.use_tile_stats else None
             with state_lock:
                 pixels[pos] = pix
+                if ts is not None:
+                    tstats[pos] = ts
                 ghost_arrays[pos] = buf
                 fft_done_at[pos] = ev.end
             with stats_lock:
@@ -402,8 +442,13 @@ class PipelinedGpu(Implementation):
                 ready = max(fft_done_at[pair.first], fft_done_at[pair.second])
             ncc_kernel(device, fft_i, fft_j, scratch.data, stream_disp,
                        not_before=ready)
-            ifft2_kernel(device, scratch.data, scratch.data, stream_disp)
-            peaks, _ = reduce_max_kernel(device, scratch.data, stream_disp, k=self.n_peaks)
+            if real:
+                irfft2_kernel(device, scratch.data, inv_scratch.data, stream_disp)
+                surface = inv_scratch.data
+            else:
+                ifft2_kernel(device, scratch.data, scratch.data, stream_disp)
+                surface = scratch.data
+            peaks, _ = reduce_max_kernel(device, surface, stream_disp, k=self.n_peaks)
             flat = np.array([v for p in peaks for v in p], dtype=np.float64)
             device.d2h(flat, stream_disp)  # O(k) scalars only
             ctx.emit(_CcfWork(pair, peaks))
@@ -418,6 +463,8 @@ class PipelinedGpu(Implementation):
             with state_lock:
                 img_i = pixels[pair.first]
                 img_j = pixels[pair.second]
+                st_i = tstats.get(pair.first)
+                st_j = tstats.get(pair.second)
             best = (-np.inf, 0, 0)
             seen: set[tuple[int, int]] = set()
             for _mag, flat_idx in work.peaks:
@@ -426,7 +473,10 @@ class PipelinedGpu(Implementation):
                     if (tx, ty) in seen:
                         continue
                     seen.add((tx, ty))
-                    c = ccf_at(img_i, img_j, tx, ty)
+                    if st_i is not None and st_j is not None:
+                        c = ccf_at_stats(st_i, st_j, tx, ty)
+                    else:
+                        c = ccf_at(img_i, img_j, tx, ty)
                     if c > best[0]:
                         best = (c, tx, ty)
             corr, tx, ty = best
@@ -439,6 +489,7 @@ class PipelinedGpu(Implementation):
                     host_refcount[pos] -= 1
                     if host_refcount[pos] == 0:
                         pixels.pop(pos)
+                        tstats.pop(pos, None)
             return None
 
         pipe.stage("read", reader, workers=1, input=None, output=q01)

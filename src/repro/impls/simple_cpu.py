@@ -34,10 +34,13 @@ class SimpleCpu(Implementation):
             fft_shape=self.fft_shape,
             ccf_mode=self.ccf_mode,
             n_peaks=self.n_peaks,
+            real_transforms=self.real_transforms,
             cache=self.cache,
             error_policy=self.error_policy,
             fault_report=self.fault_report,
             tracer=self.tracer,
             metrics=self.metrics,
+            use_tile_stats=self.use_tile_stats,
+            use_workspace=self.use_workspace,
         )
         return disp, dict(disp.stats)

@@ -24,10 +24,19 @@ from repro.core.ccf import ccf_at
 from repro.core.displacement import DisplacementResult, Translation
 from repro.core.peak import peak_candidates
 from repro.core.pciam import CcfMode
+from repro.core.tilestats import TileStats, ccf_at_stats
+from repro.fftlib.plans import spectrum_shape
 from repro.fftlib.smooth import pad_to_shape
 from repro.gpu.costs import XEON_E5620, CpuCostModel
 from repro.gpu.device import VirtualGpu
-from repro.gpu.kernels import fft2_kernel, ifft2_kernel, ncc_kernel, reduce_max_kernel
+from repro.gpu.kernels import (
+    fft2_kernel,
+    ifft2_kernel,
+    irfft2_kernel,
+    ncc_kernel,
+    reduce_max_kernel,
+    rfft2_kernel,
+)
 from repro.gpu.profiler import TraceEvent
 from repro.grid.neighbors import pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
@@ -63,15 +72,20 @@ class SimpleGpu(Implementation):
         grid = TileGrid(rows, cols)
         fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
         hw = fft_shape[0] * fft_shape[1]
+        real = self.real_transforms
+        # Half-spectrum transforms shrink every device pool buffer to
+        # (h, w//2+1) -- cuFFT R2C halves both work and footprint.
+        buf_shape = spectrum_shape(fft_shape) if real else fft_shape
         # Pool: live transforms of the traversal wavefront plus one scratch
         # slot for the NCC / inverse-FFT surface.
         pool_size = self.pool_size or (2 * min(rows, cols) + 5)
-        pool = device.create_pool(pool_size, fft_shape)
+        pool = device.create_pool(pool_size, buf_shape)
         stream = device.default_stream
 
         disp = DisplacementResult.empty(rows, cols)
         stats = {"reads": 0, "ffts": 0, "pairs": 0}
         tiles: dict[GridPosition, np.ndarray] = {}
+        tstats: dict[GridPosition, TileStats] = {}
         slots: dict[GridPosition, int] = {}
         pairs_done: set = set()
         host_clock = 0.0
@@ -85,8 +99,14 @@ class SimpleGpu(Implementation):
             host_clock += seconds
 
         # One persistent staging buffer for H2D copies (device-side, real
-        # CUDA code would use pinned host + a device staging area).
-        staging = device.alloc(fft_shape, dtype=np.complex128)
+        # CUDA code would use pinned host + a device staging area).  With
+        # real transforms the staged tile is float64, halving H2D traffic.
+        staging = device.alloc(
+            fft_shape, dtype=np.float64 if real else np.complex128
+        )
+        # The c2r inverse lands on a real spatial surface, which cannot
+        # alias the half-spectrum scratch slot; one dedicated buffer.
+        inv_buf = device.alloc(fft_shape, dtype=np.float64) if real else None
 
         failed: set[GridPosition] = set()
 
@@ -117,12 +137,16 @@ class SimpleGpu(Implementation):
             stats["reads"] += 1
             src = tile if tile.shape == fft_shape else pad_to_shape(tile, fft_shape)
             slot = pool.acquire(blocking=False)
-            ev = device.h2d(src.astype(np.complex128), staging, stream, not_before=host_clock)
+            host_src = src if real else src.astype(np.complex128)
+            ev = device.h2d(host_src, staging, stream, not_before=host_clock)
             host_clock = ev.end  # synchronous copy: host blocks
-            ev = fft2_kernel(device, staging.data, pool.array(slot), stream, not_before=host_clock)
+            fwd = rfft2_kernel if real else fft2_kernel
+            ev = fwd(device, staging.data, pool.array(slot), stream, not_before=host_clock)
             host_clock = ev.end  # default stream, synchronous: host waits
             stats["ffts"] += 1
             tiles[pos] = tile
+            if self.use_tile_stats:
+                tstats[pos] = TileStats(tile)
             slots[pos] = slot
 
         def release_if_done(pos: GridPosition) -> None:
@@ -131,6 +155,7 @@ class SimpleGpu(Implementation):
             if all(p in pairs_done for p in pairs_for_tile(grid, pos.row, pos.col)):
                 pool.release(slots.pop(pos))
                 tiles.pop(pos)
+                tstats.pop(pos, None)
 
         extended = self.ccf_mode is CcfMode.EXTENDED
 
@@ -149,9 +174,15 @@ class SimpleGpu(Implementation):
                     buf, stream, not_before=host_clock,
                 )
                 host_clock = ev.end
-                ev = ifft2_kernel(device, buf, buf, stream, not_before=host_clock)
+                if real:
+                    ev = irfft2_kernel(device, buf, inv_buf.data, stream,
+                                       not_before=host_clock)
+                    surface = inv_buf.data
+                else:
+                    ev = ifft2_kernel(device, buf, buf, stream, not_before=host_clock)
+                    surface = buf
                 host_clock = ev.end
-                peaks, ev = reduce_max_kernel(device, buf, stream,
+                peaks, ev = reduce_max_kernel(device, surface, stream,
                                               not_before=host_clock, k=self.n_peaks)
                 host_clock = ev.end
                 # D2H of the reduction result only (O(k) scalars).
@@ -161,6 +192,7 @@ class SimpleGpu(Implementation):
                 pool.release(scratch)
 
                 img_i, img_j = tiles[pair.first], tiles[pair.second]
+                stats_i, stats_j = tstats.get(pair.first), tstats.get(pair.second)
                 best = (-np.inf, 0, 0)
                 seen: set[tuple[int, int]] = set()
                 for _mag, flat_idx in peaks:
@@ -169,7 +201,10 @@ class SimpleGpu(Implementation):
                         if (tx, ty) in seen:
                             continue
                         seen.add((tx, ty))
-                        c = ccf_at(img_i, img_j, tx, ty)
+                        if stats_i is not None and stats_j is not None:
+                            c = ccf_at_stats(stats_i, stats_j, tx, ty)
+                        else:
+                            c = ccf_at(img_i, img_j, tx, ty)
                         if c > best[0]:
                             best = (c, tx, ty)
                 host_op("ccf", self.host_costs.ccf(hw))
@@ -185,6 +220,8 @@ class SimpleGpu(Implementation):
             for pair in pairs_for_tile(grid, pos.row, pos.col):
                 release_if_done(pair.first if pair.second == pos else pair.second)
 
+        if inv_buf is not None:
+            device.free(inv_buf)
         device.free(staging)
         pool.destroy()
         stats["device_peak_bytes"] = device.allocator.peak_bytes

@@ -76,4 +76,4 @@ class TestWrite:
         p = tmp_path / "fig7.json"
         write_chrome_trace(p, events)
         names = {e.get("name") for e in events}
-        assert {"cufft-fwd", "cufft-inv", "ncc", "reduce-max"} <= names
+        assert {"cufft-fwd-r2c", "cufft-inv-c2r", "ncc", "reduce-max"} <= names

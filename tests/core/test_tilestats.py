@@ -1,0 +1,153 @@
+"""Summed-area-table CCF statistics vs the direct Pearson scan.
+
+``ccf_at_stats`` must reproduce ``ccf_at`` to 1e-9 on every overlap the
+CCF contest can present (the SAT path evaluates the same Pearson r in a
+different summation order), and the degenerate sentinels (empty overlap,
+constant tile) must match *exactly* -- they decide contest outcomes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ccf import ccf_at, overlap_views, subpixel_refine
+from repro.core.pciam import pciam
+from repro.core.tilestats import TileStats, ccf_at_stats, subpixel_refine_stats
+from repro.fftlib.plans import PlanCache, TransformKind
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(260, 260, seed=3)
+
+
+def cut_pair(ty, tx, size=80, base=40):
+    return (
+        PLATE[base : base + size, base : base + size],
+        PLATE[base + ty : base + ty + size, base + tx : base + tx + size],
+    )
+
+
+class TestRect:
+    def test_rect_matches_direct_sums(self):
+        rng = np.random.default_rng(17)
+        tile = rng.normal(size=(33, 41))
+        s = TileStats(tile)
+        px = s.pixels  # mean-shifted copy the table was built from
+        for _ in range(50):
+            y0, y1 = sorted(rng.integers(0, 34, size=2))
+            x0, x1 = sorted(rng.integers(0, 42, size=2))
+            got_sum, got_sq = s.rect(y0, y1, x0, x1)
+            view = px[y0:y1, x0:x1]
+            assert got_sum == pytest.approx(view.sum(), abs=1e-9)
+            assert got_sq == pytest.approx((view**2).sum(), abs=1e-9)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            TileStats(np.zeros(8))
+
+    def test_nbytes_counts_pixels_and_table(self):
+        s = TileStats(np.zeros((16, 16)))
+        assert s.nbytes == 16 * 16 * 8 + 17 * 17 * 16
+
+
+class TestCcfAtStats:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ty=st.integers(-70, 70),
+        tx=st.integers(-70, 70),
+    )
+    def test_matches_direct_pearson(self, ty, tx):
+        img1, img2 = cut_pair(5, 60)
+        got = ccf_at_stats(TileStats(img1), TileStats(img2), tx, ty)
+        want = ccf_at(img1, img2, tx, ty)
+        v1, v2 = overlap_views(img1, img2, tx, ty)
+        if v1.size and min(v1.std(), v2.std()) > 1e-6:
+            # Textured overlap: the two arithmetic paths must agree tightly.
+            assert got == pytest.approx(want, abs=1e-9)
+        else:
+            # Degenerate overlap (empty, or a constant background strip of
+            # the plate): both paths must score a guaranteed contest loser.
+            # The SAT path returns the -1.0 sentinel deterministically; the
+            # direct path returns -1.0 or the Pearson r of pure rounding
+            # noise (~1e-15), depending on whether the constant view's mean
+            # reconstructs bit-exactly.
+            assert got == -1.0
+            assert want == -1.0 or abs(want) < 1e-6
+
+    def test_matches_on_random_noise(self):
+        rng = np.random.default_rng(29)
+        img1 = rng.normal(size=(48, 56))
+        img2 = rng.normal(size=(48, 56))
+        s1, s2 = TileStats(img1), TileStats(img2)
+        for tx, ty in [(0, 0), (40, 3), (-40, -3), (10, -44), (-55, 47)]:
+            assert ccf_at_stats(s1, s2, tx, ty) == pytest.approx(
+                ccf_at(img1, img2, tx, ty), abs=1e-9
+            )
+
+    def test_empty_overlap_is_minus_one(self):
+        img1, img2 = cut_pair(0, 0, size=32)
+        s1, s2 = TileStats(img1), TileStats(img2)
+        for tx, ty in [(32, 0), (-32, 0), (0, 32), (0, -32), (100, 100)]:
+            assert ccf_at_stats(s1, s2, tx, ty) == -1.0
+            assert ccf_at(img1, img2, tx, ty) == -1.0
+
+    def test_constant_tile_is_exactly_minus_one(self):
+        """Globally constant tiles must hit the -1.0 sentinel bit-for-bit.
+
+        Mean-shifting makes a constant tile's pixels exactly zero, so its
+        rectangle variance is exactly 0.0 -- no rounding-noise escape.
+        """
+        flat = np.full((40, 40), 37.5)
+        textured = cut_pair(0, 0, size=40)[0]
+        s_flat, s_tex = TileStats(flat), TileStats(textured)
+        assert ccf_at_stats(s_flat, s_tex, 5, 5) == -1.0
+        assert ccf_at_stats(s_tex, s_flat, 5, 5) == -1.0
+        assert ccf_at_stats(s_flat, s_flat, 5, 5) == -1.0
+        assert ccf_at(flat, textured, 5, 5) == -1.0
+
+    def test_constant_rectangle_inside_textured_tile(self):
+        """A locally flat overlap inside an otherwise textured tile."""
+        img1 = cut_pair(0, 0, size=64)[0].copy()
+        # 0.5 is binary-exact under mean reconstruction, so the *direct*
+        # path's constant-view sentinel fires too (it relies on the view
+        # minus its recomputed mean being exactly zero).
+        img1[:16, :16] = 0.5
+        img2 = cut_pair(0, 0, size=64)[1]
+        # At (-48, -48) the overlap in img1 is exactly the flat 16x16
+        # patch: both paths must return the degenerate sentinel.
+        got = ccf_at_stats(TileStats(img1), TileStats(img2), -48, -48)
+        want = ccf_at(img1, img2, -48, -48)
+        assert want == -1.0
+        assert got == -1.0
+
+    def test_clamped_to_unit_interval(self):
+        img = cut_pair(0, 0, size=48)[0]
+        s = TileStats(img)
+        assert ccf_at_stats(s, s, 0, 0) == 1.0
+
+
+class TestSubpixelStats:
+    @pytest.mark.parametrize("ty,tx", [(4, 58), (0, 62), (-3, 55)])
+    def test_matches_direct_refine(self, ty, tx):
+        img1, img2 = cut_pair(ty, tx)
+        sx, sy = subpixel_refine_stats(TileStats(img1), TileStats(img2), tx, ty)
+        dx, dy = subpixel_refine(img1, img2, tx, ty)
+        assert sx == pytest.approx(dx, abs=1e-6)
+        assert sy == pytest.approx(dy, abs=1e-6)
+
+
+class TestC2rPlanCache:
+    def test_pciam_real_inverse_hits_plan_cache(self):
+        """Satellite check: the real inverse routes through a cached C2R plan.
+
+        The first pair plants one C2R plan keyed by the *spatial* shape;
+        subsequent pairs of the same shape must reuse that very object.
+        """
+        img_i, img_j = cut_pair(5, 60)
+        cache = PlanCache()
+        assert cache.cached(img_i.shape, TransformKind.C2R) is None
+        r1 = pciam(img_i, img_j, real_transforms=True, cache=cache)
+        plan = cache.cached(img_i.shape, TransformKind.C2R)
+        assert plan is not None
+        r2 = pciam(img_i, img_j, real_transforms=True, cache=cache)
+        assert cache.cached(img_i.shape, TransformKind.C2R) is plan
+        assert (r1.tx, r1.ty) == (r2.tx, r2.ty)

@@ -72,6 +72,19 @@ class TestGpuClaims:
 
         dev = VirtualGpu()
         PipelinedGpu(devices=[dev], pool_size=12).run(dataset_4x4)
+        # Half-spectrum transforms: pool (12) + NCC scratch are (64, 33)
+        # complex, plus one float64 spatial surface for the c2r inverse;
+        # nothing else allocated.
+        spec = 64 * 33 * 16
+        assert dev.allocator.peak_bytes == 13 * spec + 64 * 64 * 8
+
+    def test_pipelined_gpu_complex_memory_bounded_by_pool(self, dataset_4x4):
+        from repro.gpu.device import VirtualGpu
+
+        dev = VirtualGpu()
+        PipelinedGpu(devices=[dev], pool_size=12, real_transforms=False).run(
+            dataset_4x4
+        )
         hw = 64 * 64 * 16
         # pool (12 transforms) + 1 scratch surface; nothing else allocated.
         assert dev.allocator.peak_bytes == 13 * hw
@@ -112,7 +125,7 @@ class TestVirtualTimelineCausality:
         PipelinedGpu(devices=[dev]).run(dataset_4x4)
         events = dev.profiler.events
         copies = [e for e in events if e.name == "memcpy-h2d"]
-        ffts = [e for e in events if e.name == "cufft-fwd"]
+        ffts = [e for e in events if e.name in ("cufft-fwd", "cufft-fwd-r2c")]
         assert ffts and copies
         first_copy_end = min(e.end for e in copies)
         for f in ffts:

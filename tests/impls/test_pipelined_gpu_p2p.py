@@ -57,8 +57,9 @@ class TestP2pStructure:
         # Only the pools' reservations + scratch remain until destroy;
         # every per-ghost allocation was freed by the bookkeeper.
         for dev in devs:
-            # pool reservation (1) + scratch (1) per pipeline
-            assert dev.allocator.live_buffers == 2
+            # pool reservation (1) + NCC scratch (1) + c2r inverse
+            # scratch (1) per pipeline
+            assert dev.allocator.live_buffers == 3
 
     def test_causality_ghost_nccs_after_p2p(self, dataset):
         devs = [VirtualGpu(device_id=i) for i in range(2)]

@@ -99,6 +99,65 @@ def test_identical_skip_accounting(impl_name, traced, damaged_dataset):
         assert reg.counter("pairs.skipped").value >= 4
 
 
+def _collect_translations(displacements):
+    out = []
+    for arr in (displacements.west, displacements.north):
+        for row in arr:
+            for t in row:
+                out.append(None if t is None else (t.correlation, t.tx, t.ty))
+    return out
+
+
+@pytest.mark.parametrize("real", [True, False], ids=["half-spectrum", "complex"])
+@pytest.mark.parametrize("impl_name", IMPL_NAMES)
+def test_half_spectrum_matrix_identical(impl_name, real, dataset_4x4):
+    """Every implementation, r2c on or off, agrees with the reference.
+
+    Translations must match exactly; correlations to 1e-9 (the
+    summed-area-table CCF evaluates the same Pearson r in a different
+    summation order than the direct scan, and the optimization knobs must
+    never change which candidate wins).
+    """
+    ref = _make_impl(
+        "simple-cpu", real_transforms=False,
+        use_tile_stats=False, use_workspace=False,
+    ).run(dataset_4x4)
+    ref_t = _collect_translations(ref.displacements)
+    run = _make_impl(impl_name, real_transforms=real).run(dataset_4x4)
+    got_t = _collect_translations(run.displacements)
+    assert len(got_t) == len(ref_t)
+    for got, want in zip(got_t, ref_t):
+        if want is None:
+            assert got is None
+            continue
+        assert got is not None
+        assert got[1:] == want[1:], (
+            f"{impl_name} (real={real}) moved a translation: {got} vs {want}"
+        )
+        assert got[0] == pytest.approx(want[0], abs=1e-9), (
+            f"{impl_name} (real={real}) drifted a correlation"
+        )
+
+
+@pytest.mark.parametrize("real", [True, False], ids=["half-spectrum", "complex"])
+@pytest.mark.parametrize("impl_name", IMPL_NAMES)
+def test_half_spectrum_matrix_skip_accounting(impl_name, real, damaged_dataset):
+    """r2c on/off must not change skip/drop accounting either."""
+    policy = ErrorPolicy(max_retries=0, backoff=0.0, on_exhausted="skip")
+    report = FaultReport()
+    run = _make_impl(
+        impl_name, real_transforms=real,
+        error_policy=policy, fault_report=report,
+    ).run(damaged_dataset)
+    assert report.skipped_tiles == [(2, 1)]
+    assert sorted(run.displacements.missing_pairs()) == [
+        ("north", 2, 1),
+        ("north", 3, 1),
+        ("west", 2, 1),
+        ("west", 2, 2),
+    ]
+
+
 def test_surviving_pairs_match_reference(damaged_dataset):
     """The pairs that survive a skip run agree across implementations."""
     policy = ErrorPolicy(max_retries=0, backoff=0.0, on_exhausted="skip")
