@@ -16,11 +16,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename.
+
+    A reader (or a resumed run) never observes a torn output file: it
+    sees the old content or the new content, nothing in between.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -48,6 +62,17 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     from repro.io.dataset import TileDataset
     from repro.io.tiff import write_tiff
 
+    if args.real_transforms:
+        warnings.warn(
+            "--real-transforms is a deprecated no-op: half-spectrum (r2c) "
+            "transforms are the default; use --complex-transforms for the "
+            "full c2c escape hatch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     if args.pattern:
         dataset = TileDataset.discover(
             args.dataset, pattern=args.pattern, overlap=args.overlap
@@ -58,9 +83,11 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     if args.inject_faults is not None:
         from repro.faults import FaultPlan
 
-        plan = FaultPlan.random(dataset.rows, dataset.cols, seed=args.inject_faults)
+        plan = FaultPlan.from_spec(
+            args.inject_faults, dataset.rows, dataset.cols
+        )
         dataset = plan.wrap_dataset(dataset)
-        print(f"injecting faults (seed {args.inject_faults}): "
+        print(f"injecting faults (seed {plan.seed}): "
               + ", ".join(f"{k} x{v}" for k, v in sorted(plan.summary().items())))
     cache = PlanCache()
     if args.wisdom and Path(args.wisdom).exists():
@@ -89,7 +116,16 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         on_tile_error=args.on_tile_error,
         trace=tracer if tracer is not None else False,
         metrics=metrics if metrics is not None else False,
+        checkpoint=str(args.checkpoint) if args.checkpoint else None,
+        resume="require" if args.resume else "auto",
     )
+    watchdog = None
+    if args.watchdog is not None:
+        from repro.recovery import WatchdogConfig
+
+        watchdog = WatchdogConfig(
+            item_deadline=args.watchdog, stall_timeout=args.stall_timeout
+        )
     t0 = time.perf_counter()
     if args.impl == "stitcher":
         result = stitcher.stitch(dataset)
@@ -113,15 +149,23 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             from repro.faults import FaultReport
 
             report = FaultReport()
+        journal = stitcher.open_journal(dataset)
         impl = ALL_IMPLEMENTATIONS[args.impl](
             ccf_mode=stitcher.ccf_mode, n_peaks=stitcher.n_peaks,
             real_transforms=real_transforms,
             use_tile_stats=not args.no_tile_stats,
             use_workspace=not args.no_workspace,
             cache=cache, error_policy=policy, fault_report=report,
-            tracer=tracer, metrics=metrics, **impl_kwargs,
+            tracer=tracer, metrics=metrics, journal=journal,
+            watchdog=watchdog, **impl_kwargs,
         )
-        run = impl.run(dataset)
+        try:
+            run = impl.run(dataset)
+        finally:
+            # Close even on a crash/stall so the journaled pairs written
+            # so far stay durable for the next --resume.
+            if journal is not None:
+                journal.close()
         if policy is not None and args.on_tile_error == "skip":
             positions = resolve_absolute_positions(
                 run.displacements, method=args.positions,
@@ -167,6 +211,19 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     report = result.stats.get("fault_report")
     if report is not None and report:
         print(f"fault report: {report.summary()}")
+    if args.fault_report:
+        plan = getattr(dataset, "fault_plan", None)
+        payload = {
+            "implementation": args.impl,
+            "grid": [dataset.rows, dataset.cols],
+            "elapsed_seconds": elapsed,
+            "fault_report": report.to_dict() if report is not None else None,
+            "injected": plan.summary() if plan is not None else None,
+            "triggered": plan.triggered_summary() if plan is not None else None,
+            "journal": result.stats.get("journal"),
+        }
+        _write_atomic(args.fault_report, json.dumps(payload, indent=2) + "\n")
+        print(f"fault report JSON -> {args.fault_report}")
     if args.trace:
         n_events = result.write_trace(args.trace)
         print(f"trace: {n_events} events -> {args.trace} "
@@ -181,11 +238,17 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         mosaic = result.compose(BlendMode(args.blend), outline=args.outline)
         top = float(mosaic.max()) or 1.0
         scaled = (np.clip(mosaic / top, 0, 1) * 65535).astype(np.uint16)
-        write_tiff(args.output, scaled, description="repro mosaic")
+        # Atomic publish: a crash mid-write must not leave a torn TIFF
+        # where a previous (complete) mosaic used to be.
+        out = Path(args.output)
+        tmp = out.with_name(out.name + ".tmp")
+        write_tiff(tmp, scaled, description="repro mosaic")
+        os.replace(tmp, out)
         print(f"mosaic {mosaic.shape[0]}x{mosaic.shape[1]} -> {args.output}")
     if args.positions_json:
-        Path(args.positions_json).write_text(
-            json.dumps(result.positions.positions.tolist())
+        _write_atomic(
+            args.positions_json,
+            json.dumps(result.positions.positions.tolist()),
         )
         print(f"positions -> {args.positions_json}")
     return 0
@@ -301,8 +364,32 @@ def build_parser() -> argparse.ArgumentParser:
                    default="abort",
                    help="after retries: abort the run, or drop the tile and "
                         "render a partial mosaic")
-    s.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
-                   help="damage the run with a seeded fault plan (testing)")
+    s.add_argument("--inject-faults", type=str, default=None,
+                   metavar="SEED[:kind=count,...]",
+                   help="damage the run with a seeded fault plan (testing); "
+                        "a bare SEED keeps the default mix, the extended "
+                        "form names counts per kind, e.g. "
+                        "'42:missing=1,transient=2' or '7:hang=1,latency=0'")
+    s.add_argument("--fault-report", type=Path, default=None,
+                   metavar="OUT.json",
+                   help="write the machine-readable fault report "
+                        "(retries/skips/degradations + injection summary)")
+    s.add_argument("--checkpoint", type=Path, default=None, metavar="DIR",
+                   help="journal completed work to DIR/journal.jsonl so an "
+                        "interrupted run can resume without recomputing")
+    s.add_argument("--resume", action="store_true",
+                   help="require an existing matching journal in "
+                        "--checkpoint DIR (error if absent); without this "
+                        "flag a matching journal is still resumed when "
+                        "present")
+    s.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                   help="supervise pipelined impls: cancel any work item "
+                        "running longer than SECONDS and unwedge stalls "
+                        "instead of hanging")
+    s.add_argument("--stall-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="whole-pipeline no-progress window before the "
+                        "watchdog escalates (with --watchdog)")
     s.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
                    help="record a unified Chrome/Perfetto trace of the run "
                         "(stage spans + queue depths + virtual-GPU engines)")

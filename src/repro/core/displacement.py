@@ -17,7 +17,7 @@ from repro.core.pciam import CcfMode, PciamResult, forward_fft, pciam
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import PlanCache, PlanningMode
 from repro.memmodel.workspace import WorkspaceArena
-from repro.grid.neighbors import Direction, pairs_for_tile
+from repro.grid.neighbors import Direction, grid_pairs, pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
 from repro.pipeline.graph import aggregate_failures
@@ -126,6 +126,7 @@ def compute_grid_displacements(
     metrics=None,
     use_tile_stats: bool = True,
     use_workspace: bool = True,
+    journal=None,
 ) -> DisplacementResult:
     """Compute west/north translations for the whole grid sequentially.
 
@@ -156,6 +157,14 @@ def compute_grid_displacements(
     forward FFT and pair registration becomes a span on the
     ``"sequential"`` timeline track -- the single-row analogue of the
     pipelined implementations' per-stage timelines.
+
+    With a ``journal`` (:class:`~repro.recovery.journal.RunJournal`),
+    every journaled pair is served from the journal (its tiles are not
+    even read when all their incident pairs are journaled) and every
+    freshly computed pair is made durable before the run advances --
+    ``stats["pairs"]`` counts only *computed* pairs, so a resumed run can
+    prove it recomputed nothing that was already on disk
+    (``stats["resumed_pairs"]`` carries the journal hits).
     """
     from repro.observe.tracer import NULL_TRACER
 
@@ -177,6 +186,19 @@ def compute_grid_displacements(
         "peak_live_transforms": 0,
         "fft_copies_saved": 0,
     }
+    # Resume: serve journaled pairs up front so the traversal below skips
+    # their computation (and the loads of tiles with nothing left to do).
+    if journal is not None:
+        for pair in grid_pairs(grid):
+            t = journal.lookup(
+                pair.direction.value, pair.second.row, pair.second.col
+            )
+            if t is not None:
+                result.set(pair.direction, pair.second.row, pair.second.col, t)
+                pairs_done.add(pair)
+        if pairs_done:
+            stats["resumed_pairs"] = len(pairs_done)
+
     # One workspace for the whole sequential run: pairs are processed one
     # at a time, so a single scratch set serves every pair (lazily built
     # once the first tile reveals the native shape when fft_shape is None).
@@ -221,6 +243,10 @@ def compute_grid_displacements(
                 fault_report.record_skipped_tile((pos.row, pos.col), exc)
             if metrics is not None:
                 metrics.counter("read.skipped_tiles").inc()
+            if journal is not None:
+                # Forensic record only: skips are retried on resume (the
+                # fault may have been transient), so replay ignores these.
+                journal.record_skipped_tile(pos.row, pos.col, str(exc))
             return None
 
     def mark_failed(pos: GridPosition) -> None:
@@ -243,6 +269,10 @@ def compute_grid_displacements(
 
     def ensure_loaded(pos: GridPosition) -> None:
         if pos in tiles or pos in failed_tiles:
+            return
+        # A resumed tile with every incident pair already journaled
+        # contributes nothing: don't even read it.
+        if all(p in pairs_done for p in pairs_for_tile(grid, pos.row, pos.col)):
             return
         with tracer.span("read", "sequential", key=str(pos)):
             pixels = load_with_policy(pos)
@@ -300,12 +330,13 @@ def compute_grid_displacements(
                         ),
                         use_tile_stats=use_tile_stats,
                     )
-                result.set(
-                    pair.direction,
-                    pair.second.row,
-                    pair.second.col,
-                    Translation.from_pciam(r, subpixel=subpixel),
-                )
+                t = Translation.from_pciam(r, subpixel=subpixel)
+                result.set(pair.direction, pair.second.row, pair.second.col, t)
+                if journal is not None:
+                    journal.record_pair(
+                        pair.direction.value, pair.second.row,
+                        pair.second.col, t,
+                    )
                 pairs_done.add(pair)
                 stats["pairs"] += 1
         # Release this tile and any neighbour that just completed.

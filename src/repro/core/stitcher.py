@@ -31,6 +31,12 @@ from repro.io.dataset import TileDataset
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.pipeline.stage import ErrorPolicy
+from repro.recovery.journal import (
+    RunJournal,
+    checkpoint_journal_path,
+    options_fingerprint,
+    run_fingerprint,
+)
 
 
 @dataclass
@@ -157,6 +163,9 @@ class Stitcher:
         on_tile_error: str = "abort",
         trace: bool | Tracer = False,
         metrics: bool | MetricsRegistry = False,
+        checkpoint: str | None = None,
+        resume: str = "auto",
+        journal_fsync: bool = True,
     ) -> None:
         self.traversal = traversal
         self.ccf_mode = ccf_mode
@@ -197,6 +206,15 @@ class Stitcher:
             self.metrics = MetricsRegistry()
         else:
             self.metrics = None
+        # Durability (docs/ROBUSTNESS.md): ``checkpoint`` names a directory
+        # holding the run journal; every completed pair is fsync'd there,
+        # and a rerun over the same directory resumes, recomputing only
+        # what never landed.  ``resume`` is the journal-open mode
+        # (auto/require/never); ``journal_fsync=False`` trades the
+        # per-record durability point for speed (tests, benchmarks).
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.journal_fsync = journal_fsync
 
     def _error_policy(self) -> ErrorPolicy | None:
         """Retry/skip policy for tile reads; None = strict legacy behaviour."""
@@ -215,15 +233,52 @@ class Stitcher:
         ov = dataset.metadata.overlap
         return ((0.0, round(tw * (1.0 - ov))), (round(th * (1.0 - ov)), 0.0))
 
+    def _fft_shape(self, dataset: TileDataset):
+        return smooth_fft_shape(dataset.tile_shape) if self.pad_to_smooth else None
+
+    def run_fingerprint(self, dataset: TileDataset) -> dict:
+        """The identity a journal of this run is bound to.
+
+        Dataset geometry plus the result-affecting options; performance
+        knobs and implementation choice are excluded (all produce
+        identical displacements, so cross-implementation resume is legal).
+        """
+        return run_fingerprint(
+            dataset,
+            ccf_mode=self.ccf_mode,
+            n_peaks=self.n_peaks,
+            subpixel=self.subpixel,
+            fft_shape=self._fft_shape(dataset),
+            position_method=self.position_method,
+            refine=self.refine is not None,
+        )
+
+    def open_journal(self, dataset: TileDataset) -> RunJournal | None:
+        """Open/create the checkpoint journal, or ``None`` (no checkpoint).
+
+        Raises :class:`~repro.recovery.journal.JournalMismatch` when the
+        directory holds a different run's journal, and
+        :class:`~repro.recovery.journal.JournalError` when ``resume=
+        "require"`` finds nothing to resume.
+        """
+        if self.checkpoint is None:
+            return None
+        return RunJournal.open(
+            checkpoint_journal_path(self.checkpoint),
+            self.run_fingerprint(dataset),
+            fsync=self.journal_fsync,
+            metrics=self.metrics,
+            resume=self.resume,
+        )
+
     def compute_displacements(
         self,
         dataset: TileDataset,
         error_policy: ErrorPolicy | None = None,
         fault_report: FaultReport | None = None,
+        journal: RunJournal | None = None,
     ) -> DisplacementResult:
-        fft_shape = (
-            smooth_fft_shape(dataset.tile_shape) if self.pad_to_smooth else None
-        )
+        fft_shape = self._fft_shape(dataset)
         return compute_grid_displacements(
             dataset.load,
             dataset.rows,
@@ -242,6 +297,7 @@ class Stitcher:
             metrics=self.metrics,
             use_tile_stats=self.use_tile_stats,
             use_workspace=self.use_workspace,
+            journal=journal,
         )
 
     def stitch(self, dataset: TileDataset) -> StitchResult:
@@ -256,11 +312,23 @@ class Stitcher:
         policy = self._error_policy()
         report = FaultReport() if policy is not None else None
         tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        journal = self.open_journal(dataset)
         t0 = time.perf_counter()
-        with tracer.span("phase1:displacements", "stitcher"):
-            disp = self.compute_displacements(
-                dataset, error_policy=policy, fault_report=report
-            )
+        try:
+            with tracer.span("phase1:displacements", "stitcher"):
+                disp = self.compute_displacements(
+                    dataset, error_policy=policy, fault_report=report,
+                    journal=journal,
+                )
+            if journal is not None:
+                journal.record_milestone(
+                    "phase1_complete", pairs=disp.pair_count()
+                )
+        except BaseException:
+            # Keep everything journaled so far durable for the next resume.
+            if journal is not None:
+                journal.close()
+            raise
         stats = dict(disp.stats)
         if self.refine is not None:
             with tracer.span("refine", "stitcher"):
@@ -282,6 +350,17 @@ class Stitcher:
                     disp, method=self.position_method, subpixel=self.subpixel
                 )
         t2 = time.perf_counter()
+        if journal is not None:
+            # Phase 2 is deterministic and cheap relative to phase 1, so a
+            # resumed run always re-solves it from the journaled pairs; the
+            # milestone records that (and when) the run got this far.
+            journal.record_milestone(
+                "phase2_complete",
+                method=self.position_method,
+                degraded=len(pos.degraded_tiles()),
+            )
+            stats["journal"] = journal.summary()
+            journal.close()
         if report is not None:
             for rc in pos.degraded_tiles():
                 report.record_degraded_tile(rc)

@@ -43,6 +43,8 @@ class FaultKind(str, Enum):
     SLOW_READ = "slow_read"        # latency spike on read
     POOL_EXHAUSTED = "pool_exhausted"  # transform pool acquire fails
     STAGE_ERROR = "stage_error"    # handler exception in a named stage
+    HANG = "hang"                  # operation blocks until cancelled (or a bound)
+    STALL = "stall"                # named stage silently swallows items
 
 
 @dataclass(frozen=True)
@@ -50,10 +52,13 @@ class Fault:
     """One injected fault.
 
     ``tile`` addresses tile-scoped kinds; ``stage`` addresses
-    :data:`FaultKind.STAGE_ERROR`; ``failures`` is how many attempts fail
-    before the operation succeeds (transient kinds) -- permanent kinds
-    (missing/corrupt) fail every attempt regardless; ``latency`` is the
-    injected delay in seconds for :data:`FaultKind.SLOW_READ`.
+    :data:`FaultKind.STAGE_ERROR`, :data:`FaultKind.STALL` and
+    stage-scoped :data:`FaultKind.HANG`; ``failures`` is how many
+    attempts fail before the operation succeeds (transient kinds) --
+    permanent kinds (missing/corrupt) fail every attempt regardless;
+    ``latency`` is the injected delay in seconds for
+    :data:`FaultKind.SLOW_READ`, and for :data:`FaultKind.HANG` the
+    upper bound on the hang (0 = hang until cooperatively cancelled).
     """
 
     kind: FaultKind
@@ -131,6 +136,95 @@ class FaultPlan:
             plan.add(Fault(FaultKind.SLOW_READ, tile=picked[i], latency=latency)); i += 1
         return plan
 
+    _SPEC_TILE_KINDS = {
+        "missing": FaultKind.MISSING,
+        "corrupt": FaultKind.CORRUPT,
+        "transient": FaultKind.TRANSIENT_IO,
+        "slow": FaultKind.SLOW_READ,
+        "hang": FaultKind.HANG,
+    }
+    _SPEC_STAGE_KINDS = {
+        "stall": FaultKind.STALL,
+        "stage_error": FaultKind.STAGE_ERROR,
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str, rows: int, cols: int) -> "FaultPlan":
+        """Parse a ``SEED[:key=value,...]`` fault spec into a seeded plan.
+
+        A bare integer (``"42"``) keeps the historical
+        ``--inject-faults SEED`` behaviour: the default :meth:`random`
+        mix.  The extended form names explicit counts per kind, so a
+        test can damage a run with exactly the failure mode it is
+        exercising::
+
+            42:missing=1,transient=2      # only these two kinds
+            7:hang=1,latency=0.5          # one read hangs for <= 0.5 s
+            7:hang=1,latency=0            # ... hangs until cancelled
+            11:stall=3,stage=compute      # compute stage swallows 3 items
+
+        Keys ``missing``/``corrupt``/``transient``/``slow``/``hang``
+        are tile-scoped counts (tiles drawn like :meth:`random`);
+        ``stall``/``stage_error`` are stage-scoped counts of swallowed /
+        failing attempts; ``latency`` (seconds) sets the slow-read delay
+        and the hang bound; ``stage`` names the target stage for the
+        stage-scoped kinds (default ``"compute"``).
+        """
+        head, sep, rest = spec.partition(":")
+        try:
+            seed = int(head)
+        except ValueError:
+            raise ValueError(
+                f"fault spec must start with an integer seed: {spec!r}"
+            ) from None
+        if not sep:
+            return cls.random(rows, cols, seed=seed)
+
+        counts: dict[str, int] = {}
+        latency = 0.02
+        stage = "compute"
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise ValueError(f"expected key=value in fault spec: {item!r}")
+            if key == "latency":
+                latency = float(value)
+            elif key == "stage":
+                stage = value
+            elif key in cls._SPEC_TILE_KINDS or key in cls._SPEC_STAGE_KINDS:
+                counts[key] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fault-spec key {key!r} (known: "
+                    f"{', '.join(sorted({*cls._SPEC_TILE_KINDS, *cls._SPEC_STAGE_KINDS, 'latency', 'stage'}))})"
+                )
+
+        rng = Random(seed)
+        candidates = [
+            (r, c) for r in range(rows) for c in range(cols) if (r, c) != (0, 0)
+        ]
+        need = sum(n for k, n in counts.items() if k in cls._SPEC_TILE_KINDS)
+        if need > len(candidates):
+            raise ValueError(
+                f"{need} tile faults requested but only {len(candidates)} "
+                f"tiles available on a {rows}x{cols} grid"
+            )
+        picked = rng.sample(candidates, need)
+        plan = cls(seed=seed)
+        i = 0
+        for key, kind in cls._SPEC_TILE_KINDS.items():
+            for _ in range(counts.get(key, 0)):
+                plan.add(Fault(kind, tile=picked[i], latency=latency))
+                i += 1
+        for key, kind in cls._SPEC_STAGE_KINDS.items():
+            n = counts.get(key, 0)
+            if n > 0:
+                plan.add(Fault(kind, stage=stage, failures=n, latency=latency))
+        return plan
+
     # -- bookkeeping ---------------------------------------------------------
 
     def reset(self) -> None:
@@ -168,10 +262,12 @@ class FaultPlan:
     def faults_for_tile(self, row: int, col: int) -> list[Fault]:
         return [f for f in self.faults if f.tile == (row, col)]
 
+    _STAGE_KINDS = (FaultKind.STAGE_ERROR, FaultKind.HANG, FaultKind.STALL)
+
     def faults_for_stage(self, stage: str) -> list[Fault]:
         return [
             f for f in self.faults
-            if f.kind is FaultKind.STAGE_ERROR and f.stage == stage
+            if f.kind in self._STAGE_KINDS and f.stage == stage
         ]
 
     # -- wrapping ------------------------------------------------------------
@@ -190,12 +286,23 @@ class FaultPlan:
             for fault in stage_faults:
                 with self._lock:
                     attempt = self._next_attempt((id(fault), "stage"))
-                    if attempt < fault.failures:
+                    fire = attempt < fault.failures
+                    if fire:
                         self._record(fault, attempt)
-                        raise RuntimeError(
-                            f"injected stage fault in {stage!r} "
-                            f"(attempt {attempt + 1}/{fault.failures})"
-                        )
+                if not fire:
+                    continue
+                if fault.kind is FaultKind.STAGE_ERROR:
+                    raise RuntimeError(
+                        f"injected stage fault in {stage!r} "
+                        f"(attempt {attempt + 1}/{fault.failures})"
+                    )
+                if fault.kind is FaultKind.STALL:
+                    # Swallow the item: downstream never hears about it,
+                    # which is exactly the silent wedge the watchdog's
+                    # pipeline-stall detector exists to catch.
+                    return None
+                if fault.kind is FaultKind.HANG:
+                    self._hang(fault.latency)
             return handler(item, ctx)
 
         return wrapped
@@ -205,6 +312,19 @@ class FaultPlan:
         return FaultyPool(pool, self)
 
     # -- injection core (used by the proxies) --------------------------------
+
+    @staticmethod
+    def _hang(bound: float, poll: float = 0.005) -> None:
+        """Block, polling the installed cancel token so a watchdog can
+        break the hang; ``bound`` caps the wait (0 = until cancelled)."""
+        from repro.recovery.cancel import current_token
+
+        deadline = time.monotonic() + bound if bound > 0 else None
+        while deadline is None or time.monotonic() < deadline:
+            token = current_token()
+            if token is not None:
+                token.raise_if_cancelled()
+            time.sleep(poll)
 
     def before_load(self, row: int, col: int, path) -> None:
         """Raise/delay per the plan; called before a real tile read."""
@@ -239,6 +359,14 @@ class FaultPlan:
                     self._record(fault, attempt)
                 if fault.latency > 0:
                     time.sleep(fault.latency)
+            if fault.kind is FaultKind.HANG:
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    fire = attempt < fault.failures
+                    if fire:
+                        self._record(fault, attempt)
+                if fire:
+                    self._hang(fault.latency)
 
     def before_acquire(self) -> None:
         """Raise :class:`PoolExhausted` per pending pool faults."""

@@ -60,6 +60,8 @@ class Implementation(abc.ABC):
         fault_report=None,
         tracer=None,
         metrics=None,
+        journal=None,
+        watchdog=None,
     ) -> None:
         self.ccf_mode = ccf_mode
         self.n_peaks = n_peaks
@@ -82,6 +84,17 @@ class Implementation(abc.ABC):
         #: counters/latency histograms.  Both default to disabled no-ops.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: Durability hooks (docs/ROBUSTNESS.md): ``journal`` is a
+        #: :class:`~repro.recovery.journal.RunJournal` -- journaled pairs
+        #: are served from it (counted separately from computed pairs) and
+        #: fresh pairs are made durable as they complete; ``watchdog`` is
+        #: a :class:`~repro.recovery.watchdog.WatchdogConfig` the
+        #: pipelined implementations hand to their
+        #: :class:`~repro.pipeline.graph.Pipeline` for stall supervision
+        #: (the sequential implementations ignore it -- a single thread
+        #: cannot be supervised cooperatively by itself).
+        self.journal = journal
+        self.watchdog = watchdog
 
     @abc.abstractmethod
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
@@ -147,6 +160,31 @@ class Implementation(abc.ABC):
                 self.metrics.counter("read.skipped_tiles").inc()
             return None
 
+    def _journal_lookup(self, direction, row: int, col: int):
+        """Journaled translation for a pair, or ``None`` (no journal/miss).
+
+        ``direction`` is a :class:`~repro.grid.neighbors.Direction` (or
+        its string value); ``(row, col)`` is the pair's *second* (owning)
+        tile, matching ``DisplacementResult.set``.
+        """
+        if self.journal is None:
+            return None
+        return self.journal.lookup(
+            getattr(direction, "value", direction), row, col
+        )
+
+    def _journal_record(self, direction, row: int, col: int,
+                        translation) -> None:
+        """Make a freshly computed pair durable (no-op without a journal).
+
+        Called by the owning worker right after ``disp.set``; the journal
+        handle is thread-safe, so concurrent workers may record freely.
+        """
+        if self.journal is not None:
+            self.journal.record_pair(
+                getattr(direction, "value", direction), row, col, translation
+            )
+
     def _record_skipped_pair(self, direction: str, row: int, col: int,
                              reason: str = "") -> None:
         if self.fault_report is not None:
@@ -171,6 +209,9 @@ class Implementation(abc.ABC):
             stats["skipped_pairs"] = len(disp.missing_pairs())
             if self.fault_report is not None:
                 stats["fault_report"] = self.fault_report
+        if self.journal is not None:
+            stats = dict(stats)
+            stats["journal"] = self.journal.summary()
         return RunResult(
             implementation=self.name,
             displacements=disp,

@@ -42,8 +42,16 @@ class FijiBaseline(Implementation):
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         grid = TileGrid(dataset.rows, dataset.cols)
         disp = DisplacementResult.empty(dataset.rows, dataset.cols)
-        stats = {"reads": 0, "ffts": 0, "pairs": 0}
+        stats = {"reads": 0, "ffts": 0, "pairs": 0, "resumed_pairs": 0}
         for pair in grid_pairs(grid):
+            journaled = self._journal_lookup(
+                pair.direction, pair.second.row, pair.second.col
+            )
+            if journaled is not None:
+                disp.set(pair.direction, pair.second.row, pair.second.col,
+                         journaled)
+                stats["resumed_pairs"] += 1
+                continue
             with self.tracer.span("pair", "fiji-baseline", key=str(pair)):
                 # Deliberately reload and re-transform both tiles per pair.
                 if self.error_policy is None:
@@ -78,6 +86,10 @@ class FijiBaseline(Implementation):
                 )
                 stats["ffts"] += 2
                 stats["pairs"] += 1
-                disp.set(pair.direction, pair.second.row, pair.second.col, Translation.from_pciam(r))
+                t = Translation.from_pciam(r)
+                disp.set(pair.direction, pair.second.row, pair.second.col, t)
+                self._journal_record(
+                    pair.direction, pair.second.row, pair.second.col, t
+                )
         disp.stats = stats
         return disp, stats

@@ -159,6 +159,13 @@ class MtCpu(Implementation):
 
     def _maybe_pair(self, disp, direction, r, c, first, second, local,
                     workspace=None) -> None:
+        # Resume: each pair is owned by exactly one band, so serving it
+        # from the journal here neither races nor double-records.
+        journaled = self._journal_lookup(direction, r, c)
+        if journaled is not None:
+            disp.set(direction, r, c, journaled)
+            local["resumed_pairs"] = local.get("resumed_pairs", 0) + 1
+            return
         if first is None or second is None:
             self._record_skipped_pair(
                 direction.name.lower(), r, c, reason="member tile unreadable"
@@ -185,5 +192,7 @@ class MtCpu(Implementation):
             workspace=workspace,
             use_tile_stats=self.use_tile_stats,
         )
-        disp.set(direction, r, c, Translation.from_pciam(res))
+        t = Translation.from_pciam(res)
+        disp.set(direction, r, c, t)
+        self._journal_record(direction, r, c, t)
         local["pairs"] += 1

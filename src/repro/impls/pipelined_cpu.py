@@ -46,6 +46,7 @@ from repro.pipeline.bookkeeper import PairBookkeeper
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.queues import MonitorQueue, QueueClosed
 from repro.pipeline.stage import END_OF_STREAM
+from repro.recovery.cancel import ItemCancelled
 
 
 @dataclass
@@ -70,6 +71,13 @@ class _PairItem:
 
 @dataclass
 class _PairDone:
+    pair: Pair
+
+
+@dataclass
+class _PairFailed:
+    """An emitted pair's computation was abandoned (e.g. watchdog cancel)."""
+
     pair: Pair
 
 
@@ -124,7 +132,10 @@ class PipelinedCpu(Implementation):
         bk = PairBookkeeper(grid, metrics=self.metrics)
         disp = DisplacementResult.empty(rows, cols)
 
-        pipe = Pipeline("pipelined-cpu", tracer=self.tracer, metrics=self.metrics)
+        pipe = Pipeline(
+            "pipelined-cpu", tracer=self.tracer, metrics=self.metrics,
+            watchdog=self.watchdog,
+        )
         # Q1 carries tile and pair work into the compute stage; it has two
         # producers (reader + bookkeeper), so stages put into it manually and
         # only the bookkeeper closes it (at end of computation).
@@ -169,7 +180,25 @@ class PipelinedCpu(Implementation):
             q_work.put(_TileItem(pos, tile))
             return None
 
-        def compute(item, _ctx):
+        def compute(item, ctx):
+            # Cooperative-cancellation wrapper (watchdog supervision): a
+            # cancelled item must still notify the bookkeeper, otherwise
+            # its refcounts never drain and the pipeline waits forever on
+            # a pair/tile that will never complete.  The exception is
+            # re-raised so stage-level accounting (drop records, abort
+            # dispositions) still applies.
+            try:
+                return _compute(item, ctx)
+            except ItemCancelled:
+                if self._skip_on_error:
+                    if isinstance(item, _TileItem):
+                        tiles_in_flight.release()
+                        q_events.put(_TileFailed(item.pos))
+                    elif isinstance(item, _PairItem):
+                        q_events.put(_PairFailed(item.pair))
+                raise
+
+        def _compute(item, _ctx):
             if isinstance(item, _TileItem):
                 # Never block the whole worker pool on slot starvation: if
                 # no slot frees up quickly, requeue the tile behind any
@@ -207,6 +236,21 @@ class PipelinedCpu(Implementation):
                 q_events.put(_FftDone(item.pos, slot))
             elif isinstance(item, _PairItem):
                 pair = item.pair
+                # Resume: a journaled pair still flows through the
+                # bookkeeper (its _PairDone drives refcounts and slot
+                # release) but skips the pciam computation entirely.
+                journaled = self._journal_lookup(
+                    pair.direction, pair.second.row, pair.second.col
+                )
+                if journaled is not None:
+                    disp.set(
+                        pair.direction, pair.second.row, pair.second.col,
+                        journaled,
+                    )
+                    with stats_lock:
+                        stats["resumed_pairs"] = stats.get("resumed_pairs", 0) + 1
+                    q_events.put(_PairDone(pair))
+                    return None
                 with state_lock:
                     img_i = pixels[pair.first]
                     img_j = pixels[pair.second]
@@ -229,11 +273,10 @@ class PipelinedCpu(Implementation):
                     workspace=workspaces.get() if workspaces is not None else None,
                     use_tile_stats=self.use_tile_stats,
                 )
-                disp.set(
-                    pair.direction,
-                    pair.second.row,
-                    pair.second.col,
-                    Translation.from_pciam(res),
+                t = Translation.from_pciam(res)
+                disp.set(pair.direction, pair.second.row, pair.second.col, t)
+                self._journal_record(
+                    pair.direction, pair.second.row, pair.second.col, t
                 )
                 with stats_lock:
                     stats["pairs"] += 1
@@ -265,6 +308,16 @@ class PipelinedCpu(Implementation):
                 maybe_finish()
             elif isinstance(event, _PairDone):
                 for pos in bk.pair_completed(event.pair):
+                    release_tile(pos)
+                maybe_finish()
+            elif isinstance(event, _PairFailed):
+                self._record_skipped_pair(
+                    event.pair.direction.name.lower(),
+                    event.pair.second.row,
+                    event.pair.second.col,
+                    reason="pair computation cancelled",
+                )
+                for pos in bk.pair_failed(event.pair):
                     release_tile(pos)
                 maybe_finish()
             elif isinstance(event, _TileFailed):

@@ -35,6 +35,7 @@ from repro.memmodel.workspace import ThreadLocalWorkspaces
 from repro.pipeline.bookkeeper import PairBookkeeper
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.stage import END_OF_STREAM
+from repro.recovery.cancel import ItemCancelled
 
 
 @dataclass
@@ -57,6 +58,11 @@ class _PairItem:
 
 @dataclass
 class _PairDone:
+    pair: Pair
+
+
+@dataclass
+class _PairFailed:
     pair: Pair
 
 
@@ -143,7 +149,8 @@ class PipelinedCpuNuma(Implementation):
         workspaces = ThreadLocalWorkspaces(arena) if arena is not None else None
 
         pipe = Pipeline(f"pipelined-cpu-numa-{c_lo}",
-                        tracer=self.tracer, metrics=self.metrics)
+                        tracer=self.tracer, metrics=self.metrics,
+                        watchdog=self.watchdog)
         pipe._workspaces = workspaces
         q_work = pipe.queue(maxsize=0, name="work")
         q_events = pipe.queue(maxsize=0, name="events")
@@ -181,7 +188,21 @@ class PipelinedCpuNuma(Implementation):
             q_work.put(_TileItem(pos, tile))
             return None
 
-        def compute(item, _ctx):
+        def compute(item, ctx):
+            # Same cancellation contract as pipelined-cpu: a cancelled
+            # item notifies the bookkeeper before the drop propagates.
+            try:
+                return _compute(item, ctx)
+            except ItemCancelled:
+                if self._skip_on_error:
+                    if isinstance(item, _TileItem):
+                        tiles_in_flight.release()
+                        q_events.put(_TileFailed(item.pos))
+                    elif isinstance(item, _PairItem):
+                        q_events.put(_PairFailed(item.pair))
+                raise
+
+        def _compute(item, _ctx):
             if isinstance(item, _TileItem):
                 try:
                     slot = pool.acquire(timeout=0.05)
@@ -216,6 +237,16 @@ class PipelinedCpuNuma(Implementation):
                 q_events.put(_FftDone(item.pos, slot))
             elif isinstance(item, _PairItem):
                 pair = item.pair
+                journaled = self._journal_lookup(
+                    pair.direction, pair.second.row, pair.second.col
+                )
+                if journaled is not None:
+                    disp.set(pair.direction, pair.second.row, pair.second.col,
+                             journaled)
+                    with stats_lock:
+                        stats["resumed_pairs"] = stats.get("resumed_pairs", 0) + 1
+                    q_events.put(_PairDone(pair))
+                    return None
                 with state_lock:
                     img_i, img_j = pixels[pair.first], pixels[pair.second]
                     fft_i = pool.array(slots[pair.first])
@@ -237,8 +268,11 @@ class PipelinedCpuNuma(Implementation):
                     workspace=workspaces.get() if workspaces is not None else None,
                     use_tile_stats=self.use_tile_stats,
                 )
-                disp.set(pair.direction, pair.second.row, pair.second.col,
-                         Translation.from_pciam(res))
+                t = Translation.from_pciam(res)
+                disp.set(pair.direction, pair.second.row, pair.second.col, t)
+                self._journal_record(
+                    pair.direction, pair.second.row, pair.second.col, t
+                )
                 with stats_lock:
                     stats["pairs"] += 1
                 q_events.put(_PairDone(pair))
@@ -266,6 +300,16 @@ class PipelinedCpuNuma(Implementation):
                 maybe_finish()
             elif isinstance(event, _PairDone):
                 for pos in bk.pair_completed(event.pair):
+                    release_tile(pos)
+                maybe_finish()
+            elif isinstance(event, _PairFailed):
+                self._record_skipped_pair(
+                    event.pair.direction.name.lower(),
+                    event.pair.second.row,
+                    event.pair.second.col,
+                    reason="pair computation cancelled",
+                )
+                for pos in bk.pair_failed(event.pair):
                     release_tile(pos)
                 maybe_finish()
             elif isinstance(event, _TileFailed):

@@ -269,7 +269,8 @@ class PipelinedGpu(Implementation):
             return buf.view(np.float64)[:, : fft_shape[1]]
 
         pipe = Pipeline(f"pipelined-gpu-{device.device_id}",
-                        tracer=self.tracer, metrics=self.metrics)
+                        tracer=self.tracer, metrics=self.metrics,
+                        watchdog=self.watchdog)
         q01 = pipe.queue(maxsize=self.queue_size, name="read-copy")
         q12 = pipe.queue(maxsize=0, name="copy-fft")
         q23 = pipe.queue(maxsize=0, name="events")      # fft-done + pair-done
@@ -433,6 +434,25 @@ class PipelinedGpu(Implementation):
             return None
 
         def displacement(pair: Pair, ctx):
+            # Resume: a journaled pair skips the device work *and* the CCF
+            # stage; its host/device bookkeeping is settled here so slot
+            # recycling and pipeline completion accounting still flow.
+            journaled = self._journal_lookup(
+                pair.direction, pair.second.row, pair.second.col
+            )
+            if journaled is not None:
+                disp.set(pair.direction, pair.second.row, pair.second.col,
+                         journaled)
+                with stats_lock:
+                    stats["resumed_pairs"] = stats.get("resumed_pairs", 0) + 1
+                with state_lock:
+                    for pos in (pair.first, pair.second):
+                        host_refcount[pos] -= 1
+                        if host_refcount[pos] == 0:
+                            pixels.pop(pos)
+                            tstats.pop(pos, None)
+                q23.put(_PairDone(pair))
+                return None
             with state_lock:
                 fft_i = fft_array(pair.first)
                 fft_j = fft_array(pair.second)
@@ -480,8 +500,11 @@ class PipelinedGpu(Implementation):
                     if c > best[0]:
                         best = (c, tx, ty)
             corr, tx, ty = best
-            disp.set(pair.direction, pair.second.row, pair.second.col,
-                     Translation(float(corr), int(tx), int(ty)))
+            t = Translation(float(corr), int(tx), int(ty))
+            disp.set(pair.direction, pair.second.row, pair.second.col, t)
+            self._journal_record(
+                pair.direction, pair.second.row, pair.second.col, t
+            )
             with stats_lock:
                 stats["pairs"] += 1
             with state_lock:

@@ -42,5 +42,6 @@ class SimpleCpu(Implementation):
             metrics=self.metrics,
             use_tile_stats=self.use_tile_stats,
             use_workspace=self.use_workspace,
+            journal=self.journal,
         )
         return disp, dict(disp.stats)

@@ -38,7 +38,7 @@ from repro.gpu.kernels import (
     rfft2_kernel,
 )
 from repro.gpu.profiler import TraceEvent
-from repro.grid.neighbors import pairs_for_tile
+from repro.grid.neighbors import grid_pairs, pairs_for_tile
 from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
 from repro.impls.base import Implementation
@@ -90,6 +90,21 @@ class SimpleGpu(Implementation):
         pairs_done: set = set()
         host_clock = 0.0
 
+        # Resume: journaled pairs never touch the device; tiles whose
+        # incident pairs are all journaled are not even read or copied.
+        if self.journal is not None:
+            resumed = 0
+            for pair in grid_pairs(grid):
+                t = self._journal_lookup(
+                    pair.direction, pair.second.row, pair.second.col
+                )
+                if t is not None:
+                    disp.set(pair.direction, pair.second.row, pair.second.col, t)
+                    pairs_done.add(pair)
+                    resumed += 1
+            if resumed:
+                stats["resumed_pairs"] = resumed
+
         def host_op(name: str, seconds: float) -> None:
             nonlocal host_clock
             device.profiler.record(
@@ -126,6 +141,8 @@ class SimpleGpu(Implementation):
 
         def load_and_transform(pos: GridPosition) -> None:
             nonlocal host_clock
+            if all(p in pairs_done for p in pairs_for_tile(grid, pos.row, pos.col)):
+                return
             if self.error_policy is None:
                 tile = dataset.load(pos.row, pos.col)
             else:
@@ -209,8 +226,11 @@ class SimpleGpu(Implementation):
                             best = (c, tx, ty)
                 host_op("ccf", self.host_costs.ccf(hw))
                 corr, tx, ty = best
-                disp.set(pair.direction, pair.second.row, pair.second.col,
-                         Translation(float(corr), int(tx), int(ty)))
+                t = Translation(float(corr), int(tx), int(ty))
+                disp.set(pair.direction, pair.second.row, pair.second.col, t)
+                self._journal_record(
+                    pair.direction, pair.second.row, pair.second.col, t
+                )
                 pairs_done.add(pair)
                 stats["pairs"] += 1
                 if tracer.enabled:

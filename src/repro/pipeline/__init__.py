@@ -16,7 +16,7 @@ framework, matching the structure of the paper's Fig. 8.
 
 from repro.pipeline.queues import MonitorQueue, QueueClosed
 from repro.pipeline.stage import Stage, StageContext, END_OF_STREAM
-from repro.pipeline.graph import Pipeline, PipelineError
+from repro.pipeline.graph import Pipeline, PipelineError, PipelineStallError
 from repro.pipeline.bookkeeper import PairBookkeeper
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "END_OF_STREAM",
     "Pipeline",
     "PipelineError",
+    "PipelineStallError",
     "PairBookkeeper",
 ]

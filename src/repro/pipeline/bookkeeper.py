@@ -174,6 +174,33 @@ class PairBookkeeper:
             self._publish()
         return freed
 
+    def pair_failed(self, pair: Pair) -> list[GridPosition]:
+        """Cancel an *emitted* pair whose computation will never finish.
+
+        The watchdog path: a pair was emitted (both transforms resident),
+        its compute-stage item hung, and the cancellation dropped it under
+        a skip policy.  Both members' reference counts are decremented as
+        if the pair had completed -- otherwise their buffers (and the
+        pipeline's completion count) would leak.  Returns newly-releasable
+        tiles, like :meth:`pair_completed`.  Idempotent per pair.
+        """
+        if pair not in self._emitted:
+            raise ValueError(f"pair {pair} failed but never emitted")
+        if pair in self._completed:
+            raise ValueError(f"pair {pair} already completed; cannot fail it")
+        if pair in self._cancelled:
+            return []
+        self._cancelled.add(pair)
+        freed = []
+        for member in (pair.first, pair.second):
+            self._refcount[member] -= 1
+            if self._refcount[member] == 0 and member in self._ready:
+                freed.append(member)
+        if self.metrics is not None:
+            self.metrics.counter("bookkeeper.pairs_cancelled").inc()
+            self._publish()
+        return freed
+
     def releasable(self, pos: GridPosition) -> bool:
         """A ready tile with no remaining incident pairs (all cancelled).
 

@@ -15,12 +15,14 @@ terminate (the bookkeeper closes its feedback consumer by counting).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 from repro.observe.sampler import QueueDepthSampler
 from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.queues import MonitorQueue
 from repro.pipeline.stage import DroppedItem, ErrorPolicy, Stage
+from repro.recovery.watchdog import StallReport, Watchdog, WatchdogConfig
 
 
 class PipelineError(RuntimeError):
@@ -41,6 +43,29 @@ class PipelineError(RuntimeError):
     ) -> None:
         super().__init__(message)
         self.failures: list[tuple[str, BaseException]] = list(failures or [])
+
+
+class PipelineStallError(PipelineError):
+    """The watchdog escalated: a hung item or a whole-pipeline stall.
+
+    Raised by ``join()``/``result()`` in place of an eternal block.
+    ``report`` is the watchdog's structured
+    :class:`~repro.recovery.watchdog.StallReport` (what hung, where, for
+    how long, and the progress counters at escalation time);
+    ``abandoned_threads`` names daemon workers that were still alive when
+    the supervised join gave up waiting on them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        report: StallReport,
+        failures: list[tuple[str, BaseException]] | None = None,
+        abandoned_threads: list[str] | None = None,
+    ) -> None:
+        super().__init__(message, failures=failures)
+        self.report = report
+        self.abandoned_threads = list(abandoned_threads or [])
 
 
 def aggregate_failures(
@@ -82,14 +107,23 @@ class Pipeline:
         tracer=None,
         metrics=None,
         queue_sample_interval: float = 0.005,
+        watchdog: WatchdogConfig | None = None,
     ) -> None:
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.queue_sample_interval = queue_sample_interval
+        #: When set, a :class:`~repro.recovery.watchdog.Watchdog` thread
+        #: supervises the run: stages are built ``supervised`` (per-item
+        #: cancel tokens + in-flight tables) and ``join()`` polls instead
+        #: of blocking so an escalation raises :class:`PipelineStallError`
+        #: rather than deadlocking.
+        self.watchdog_config = watchdog
         self.stages: list[Stage] = []
         self.queues: list[MonitorQueue] = []
         self._sampler: QueueDepthSampler | None = None
+        self._watchdog: Watchdog | None = None
+        self._abandoned_threads: list[str] = []
 
     # -- construction --------------------------------------------------------
 
@@ -118,6 +152,7 @@ class Pipeline:
             tracer=self.tracer,
             metrics=self.metrics,
             track_base=f"{self.name}/{name}",
+            supervised=self.watchdog_config is not None,
         )
         self.stages.append(s)
         return s
@@ -170,6 +205,10 @@ class Pipeline:
                 interval=self.queue_sample_interval,
                 prefix=f"queue:{self.name}",
             ).start()
+        if self._watchdog is None and self.watchdog_config is not None:
+            self._watchdog = Watchdog(
+                self, self.watchdog_config, metrics=self.metrics
+            ).start()
         for s in self.stages:
             s.start()
 
@@ -179,16 +218,58 @@ class Pipeline:
         self.join()
 
     def join(self) -> None:
-        """Wait for all workers; raise one aggregated :class:`PipelineError`."""
+        """Wait for all workers; raise one aggregated :class:`PipelineError`.
+
+        Supervised pipelines (``watchdog=``) poll-join so a watchdog
+        escalation can interrupt the wait: blocked workers are unblocked
+        by the abort's queue closures, any worker still wedged in a
+        non-cooperative handler after a short grace is *abandoned* (the
+        threads are daemons), and :class:`PipelineStallError` carries the
+        :class:`StallReport` instead of ``join()`` hanging forever.
+        """
         try:
-            for s in self.stages:
-                s.join()
+            if self._watchdog is None:
+                for s in self.stages:
+                    s.join()
+            else:
+                self._join_supervised()
         finally:
             if self._sampler is not None:
                 self._sampler.stop()
+            if self._watchdog is not None:
+                self._watchdog.stop()
         failures = [(s.name, exc) for s in self.stages for exc in s.errors]
+        if self._watchdog is not None and self._watchdog.escalated:
+            report = self._watchdog.report()
+            raise PipelineStallError(
+                f"pipeline {self.name!r} stalled ({report.kind}): "
+                f"{report.detail}",
+                report=report,
+                failures=failures,
+                abandoned_threads=self._abandoned_threads,
+            )
         if failures:
             raise aggregate_failures(self.name, failures)
+
+    def _join_supervised(self, poll: float = 0.05, grace: float = 5.0) -> None:
+        threads = [t for s in self.stages for t in s.threads]
+        abandon_at: float | None = None
+        while True:
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                return
+            if self._watchdog is not None and self._watchdog.escalated:
+                now = time.monotonic()
+                if abandon_at is None:
+                    abandon_at = now + grace
+                elif now >= abandon_at:
+                    self._abandoned_threads = [t.name for t in alive]
+                    return
+            alive[0].join(timeout=poll)
+
+    def watchdog_report(self) -> StallReport | None:
+        """The watchdog's report (escalated or cooperative), if any."""
+        return None if self._watchdog is None else self._watchdog.report()
 
     def result(self) -> dict[str, Any]:
         """Join and return :meth:`stats`; raises the aggregated error.
@@ -208,7 +289,7 @@ class Pipeline:
         return [d for s in self.stages for d in s.dropped]
 
     def stats(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "stages": {
                 s.name: {
                     "workers": s.workers,
@@ -231,6 +312,10 @@ class Pipeline:
                 for q in self.queues
             },
         }
+        report = self.watchdog_report()
+        if report is not None:
+            out["watchdog"] = report.to_dict()
+        return out
 
     def utilization(self, wall_seconds: float) -> dict[str, float]:
         """Per-stage busy fraction over a run's wall time.

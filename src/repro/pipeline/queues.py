@@ -67,6 +67,15 @@ class MonitorQueue:
         with self._lock:
             return len(self._items)
 
+    def depth(self) -> int:
+        """Current item count, read without the lock.
+
+        ``len(deque)`` is GIL-atomic; the watchdog polls this from outside
+        the pipeline and must never contend with (or wait behind) blocked
+        producers holding the monitor lock.
+        """
+        return len(self._items)
+
     @property
     def closed(self) -> bool:
         with self._lock:

@@ -31,6 +31,7 @@ from typing import Any, Callable
 
 from repro.observe.tracer import NULL_TRACER
 from repro.pipeline.queues import MonitorQueue, QueueClosed
+from repro.recovery.cancel import CancelToken, ItemCancelled, install_token
 
 #: Sentinel a *source* handler returns to end its stream.
 END_OF_STREAM = object()
@@ -147,7 +148,10 @@ def run_with_retries(
         t0 = time.perf_counter()
         try:
             value = fn()
-        except QueueClosed:
+        except (QueueClosed, ItemCancelled):
+            # QueueClosed is control flow; ItemCancelled means the
+            # watchdog flagged this item -- the token stays cancelled, so
+            # retrying could only burn backoff time before failing again.
             raise
         except policy.retryable as exc:
             if attempt >= policy.max_retries:
@@ -220,6 +224,7 @@ class Stage:
         tracer=None,
         metrics=None,
         track_base: str | None = None,
+        supervised: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"stage {name!r} needs at least one worker")
@@ -252,6 +257,13 @@ class Stage:
         self.queue_wait_seconds = 0.0
         self._count_lock = threading.Lock()
         self._active = 0
+        #: When True (a watchdog supervises the pipeline), each handler
+        #: invocation runs under a thread-local
+        #: :class:`~repro.recovery.cancel.CancelToken` and is listed in
+        #: the per-worker in-flight table the watchdog polls.  Off by
+        #: default so unsupervised pipelines pay nothing.
+        self.supervised = supervised
+        self._inflight: dict[int, tuple] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -305,9 +317,26 @@ class Stage:
         finally:
             self._worker_done()
 
+    def inflight(self) -> list[tuple]:
+        """Snapshot of ``(worker_index, item_key, started_monotonic, token)``
+        for every handler invocation currently executing.
+
+        Read lock-free by the watchdog: individual dict operations are
+        GIL-atomic, and a slightly stale snapshot only shifts detection by
+        one poll interval.
+        """
+        return list(self._inflight.values())
+
     def _handle(self, item: Any, ctx: StageContext) -> Any:
         tracer = self.tracer
         span_t0 = tracer.now() if tracer.enabled else 0.0
+        token = prev_token = None
+        if self.supervised:
+            token = CancelToken()
+            prev_token = install_token(token)
+            self._inflight[ctx.worker_index] = (
+                ctx.worker_index, item_key(item), time.monotonic(), token
+            )
         t0 = time.perf_counter()
         try:
             if self.policy is None:
@@ -316,6 +345,9 @@ class Stage:
                 result = self._handle_with_policy(item, ctx)
         finally:
             dt = time.perf_counter() - t0
+            if self.supervised:
+                self._inflight.pop(ctx.worker_index, None)
+                install_token(prev_token)
             with self._count_lock:
                 self.items_processed += 1
                 self.busy_seconds += dt

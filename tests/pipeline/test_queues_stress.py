@@ -141,3 +141,67 @@ def test_close_wakes_every_blocked_producer_and_consumer():
         t.join(timeout=5.0)
         assert not t.is_alive(), "close() left a thread blocked"
     assert sorted(raised) == ["get"] * 3 + ["put"] * 3
+
+
+@pytest.mark.parametrize("seed", [7, 8, 9])
+def test_abort_storm_close_while_puts_blocked(seed):
+    """Watchdog-abort teardown: close() fired from a third thread while
+    producers are blocked mid-``put`` on a full queue and consumers have
+    stopped draining.  Nobody deadlocks, every producer sees
+    :class:`QueueClosed`, and telemetry stays consistent.
+    """
+    rng = random.Random(seed)
+    q = MonitorQueue(maxsize=2, name="abort-storm")
+    n_producers = 6
+    outcomes = []
+    lock = threading.Lock()
+
+    def producer(pid):
+        sent = 0
+        try:
+            for i in range(100):
+                q.put((pid, i))
+                sent += 1
+        except QueueClosed:
+            pass
+        with lock:
+            outcomes.append(sent)
+
+    consumed = []
+
+    def lazy_consumer():
+        # Drains a few items then wedges (a stalled downstream stage),
+        # guaranteeing producers are parked in put() when close() lands.
+        for _ in range(rng.randint(0, 4)):
+            try:
+                consumed.append(q.get(timeout=1.0))
+            except QueueClosed:
+                return
+
+    producers = [
+        threading.Thread(target=producer, args=(p,)) for p in range(n_producers)
+    ]
+    consumer = threading.Thread(target=lazy_consumer)
+    for t in [*producers, consumer]:
+        t.start()
+    threading.Event().wait(0.05 + rng.random() * 0.05)
+    assert q.depth() == len(q)  # lock-free depth agrees while contended
+    q.close()  # the watchdog's abort path
+    for t in [*producers, consumer]:
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive(), "abort-close left a thread blocked in put()"
+    assert len(outcomes) == n_producers
+    # Whatever was accepted is accounted for: consumed + still queued.
+    assert q.total_put == sum(outcomes)
+    assert q.total_get == len(consumed)
+    assert q.total_put - q.total_get == q.depth()
+
+
+def test_depth_is_lock_free_and_truthful():
+    q = MonitorQueue(maxsize=0, name="depth")
+    assert q.depth() == 0
+    for i in range(5):
+        q.put(i)
+    assert q.depth() == 5 == len(q)
+    q.get()
+    assert q.depth() == 4

@@ -141,3 +141,90 @@ class TestMoreImplFlags:
         assert rc == 0
         out = capsys.readouterr().out
         assert out.count("max 0.0 px") == 2
+
+
+class TestRobustnessFlags:
+    @pytest.fixture
+    def ds_dir(self, tmp_path):
+        main(["synth", str(tmp_path / "ds"), "--rows", "3", "--cols", "3",
+              "--tile-size", "64", "--overlap", "0.25", "--seed", "5"])
+        return tmp_path / "ds"
+
+    def test_real_transforms_warns_deprecated(self, ds_dir):
+        with pytest.warns(DeprecationWarning, match="--real-transforms"):
+            assert main(["stitch", str(ds_dir), "--real-transforms"]) == 0
+
+    def test_checkpoint_then_resume(self, ds_dir, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["stitch", str(ds_dir), "--checkpoint", str(ckpt),
+                     "--positions-json", str(pa)]) == 0
+        assert (ckpt / "journal.jsonl").exists()
+        capsys.readouterr()
+        assert main(["stitch", str(ds_dir), "--checkpoint", str(ckpt),
+                     "--resume", "--positions-json", str(pb)]) == 0
+        assert "(0 pairs)" in capsys.readouterr().out  # nothing recomputed
+        assert json.loads(pa.read_text()) == json.loads(pb.read_text())
+
+    def test_resume_requires_checkpoint(self, ds_dir, capsys):
+        assert main(["stitch", str(ds_dir), "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_without_journal_fails(self, ds_dir, tmp_path):
+        from repro.recovery.journal import JournalError
+
+        with pytest.raises(JournalError):
+            main(["stitch", str(ds_dir), "--checkpoint",
+                  str(tmp_path / "empty"), "--resume"])
+
+    def test_mismatched_options_refuse_resume(self, ds_dir, tmp_path):
+        from repro.recovery.journal import JournalMismatch
+
+        ckpt = tmp_path / "ckpt"
+        assert main(["stitch", str(ds_dir), "--checkpoint", str(ckpt)]) == 0
+        with pytest.raises(JournalMismatch):
+            main(["stitch", str(ds_dir), "--checkpoint", str(ckpt),
+                  "--peaks", "5"])
+
+    def test_checkpointed_impl_resume(self, ds_dir, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["stitch", str(ds_dir), "--impl", "mt-cpu",
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["stitch", str(ds_dir), "--impl", "pipelined-cpu",
+                     "--checkpoint", str(ckpt), "--resume"]) == 0
+        assert "(0 pairs)" in capsys.readouterr().out
+
+    def test_fault_report_json(self, ds_dir, tmp_path):
+        out = tmp_path / "report.json"
+        rc = main(["stitch", str(ds_dir), "--inject-faults", "11:missing=1",
+                   "--max-retries", "0", "--on-tile-error", "skip",
+                   "--fault-report", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["injected"] == {"missing": 1}
+        assert payload["triggered"]["missing"] >= 1
+        assert len(payload["fault_report"]["skipped_tiles"]) == 1
+
+    def test_inject_faults_bare_seed_compat(self, ds_dir, capsys):
+        rc = main(["stitch", str(ds_dir), "--inject-faults", "42",
+                   "--max-retries", "1", "--on-tile-error", "skip"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injecting faults (seed 42)" in out
+
+    def test_inject_faults_bad_spec_errors(self, ds_dir):
+        with pytest.raises(ValueError, match="fault spec"):
+            main(["stitch", str(ds_dir), "--inject-faults", "nope"])
+
+    def test_watchdog_cancels_injected_hang(self, ds_dir, tmp_path, capsys):
+        rc = main(["stitch", str(ds_dir),
+                   "--impl", "pipelined-cpu",
+                   "--watchdog", "0.3", "--stall-timeout", "10",
+                   "--inject-faults", "7:hang=1,latency=0",
+                   "--on-tile-error", "skip",
+                   "--fault-report", str(tmp_path / "fr.json")])
+        assert rc == 0  # completed (degraded), did not deadlock
+        payload = json.loads((tmp_path / "fr.json").read_text())
+        errs = payload["fault_report"]["skipped_tile_errors"]
+        assert any("watchdog" in v for v in errs.values())
