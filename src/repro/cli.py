@@ -54,6 +54,25 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--backend`` shorthand -> Table II implementation.
+_BACKEND_IMPLS = {"seq": "simple-cpu", "thread": "mt-cpu", "proc": "proc-cpu"}
+
+
+def _workers_arg(value: str) -> int:
+    """Parse ``--workers``: an integer, or ``auto`` for the CPU count."""
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"need at least one worker, got {n}")
+    return n
+
+
 def _cmd_stitch(args: argparse.Namespace) -> int:
     from repro.core.compose import BlendMode
     from repro.core.pciam import CcfMode
@@ -73,6 +92,16 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint DIR", file=sys.stderr)
         return 2
+    if args.backend is not None:
+        backend_impl = _BACKEND_IMPLS[args.backend]
+        if args.impl not in ("stitcher", backend_impl):
+            print(
+                f"error: --backend {args.backend} selects --impl "
+                f"{backend_impl}, which conflicts with --impl {args.impl}",
+                file=sys.stderr,
+            )
+            return 2
+        args.impl = backend_impl
     if args.pattern:
         dataset = TileDataset.discover(
             args.dataset, pattern=args.pattern, overlap=args.overlap
@@ -139,6 +168,11 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         impl_kwargs = {}
         if args.impl in ("mt-cpu", "pipelined-cpu"):
             impl_kwargs["workers"] = args.workers
+            if args.impl == "pipelined-cpu":
+                impl_kwargs["fft_batch"] = args.fft_batch
+        elif args.impl == "proc-cpu":
+            impl_kwargs["workers"] = args.workers
+            impl_kwargs["fft_batch"] = args.fft_batch
         elif args.impl == "pipelined-cpu-numa":
             impl_kwargs["workers_per_socket"] = args.workers
         elif args.impl == "pipelined-gpu":
@@ -235,7 +269,10 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     if errors is not None:
         print(f"position error vs ground truth: max {np.nanmax(errors):.1f} px")
     if args.output:
-        mosaic = result.compose(BlendMode(args.blend), outline=args.outline)
+        mosaic = result.compose(
+            BlendMode(args.blend), outline=args.outline,
+            workers=args.compose_workers,
+        )
         top = float(mosaic.max()) or 1.0
         scaled = (np.clip(mosaic / top, 0, 1) * 65535).astype(np.uint16)
         # Atomic publish: a crash mid-write must not leave a torn TIFF
@@ -349,8 +386,21 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--impl", choices=["stitcher", *sorted(_IMPLS)],
                    default="stitcher",
                    help="phase-1 engine: the facade or a Table II implementation")
-    s.add_argument("--workers", type=int, default=2,
-                   help="worker threads for mt-cpu / pipelined-cpu impls")
+    s.add_argument("--backend", choices=sorted(_BACKEND_IMPLS),
+                   default=None,
+                   help="phase-1 parallelism shorthand: seq (simple-cpu), "
+                        "thread (mt-cpu), proc (proc-cpu process workers)")
+    s.add_argument("--workers", type=_workers_arg, default=2,
+                   metavar="N|auto",
+                   help="phase-1 workers (threads or processes, per "
+                        "--backend/--impl); 'auto' uses the CPU count")
+    s.add_argument("--fft-batch", type=int, default=4, metavar="K",
+                   help="batch K same-shape tiles per forward FFT in the "
+                        "proc-cpu / pipelined-cpu impls (1 disables batching)")
+    s.add_argument("--compose-workers", type=_workers_arg, default=1,
+                   metavar="N|auto",
+                   help="phase-3 stripe workers for the output mosaic "
+                        "(bit-identical to sequential); 'auto' = CPU count")
     s.add_argument("--gpus", type=int, default=1,
                    help="virtual GPUs for the pipelined-gpu impl")
     s.add_argument("--pattern", type=str, default=None,

@@ -26,6 +26,8 @@ therefore configurable and defaults to ``float32`` accumulation.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from enum import Enum
 
 import numpy as np
@@ -40,6 +42,12 @@ class BlendMode(Enum):
     LINEAR = "linear"
 
 
+#: Striped-composition context, staged by the parent before the worker
+#: processes fork and inherited by them by address (one live composition
+#: per process; callers are sequential).
+_COMPOSE_CTX: dict | None = None
+
+
 def _linear_weight(shape: tuple[int, int]) -> np.ndarray:
     """Separable ramp weight, 1 at the tile centre, ~0 at the borders."""
     h, w = shape
@@ -48,6 +56,91 @@ def _linear_weight(shape: tuple[int, int]) -> np.ndarray:
     out = np.outer(wy, wx)
     # Strictly positive so fully-covered pixels never divide by zero.
     return np.maximum(out, 1e-6)
+
+
+def _stripe_bounds(height: int, n: int) -> list[tuple[int, int]]:
+    """Split ``height`` canvas rows into ``<= n`` contiguous stripes."""
+    n = max(1, min(n, height))
+    base, extra = divmod(height, n)
+    out, y0 = [], 0
+    for k in range(n):
+        y1 = y0 + base + (1 if k < extra else 0)
+        out.append((y0, y1))
+        y0 = y1
+    return out
+
+
+def _render_stripe(
+    y0: int,
+    y1: int,
+    canvas: np.ndarray,
+    weight: np.ndarray | None,
+    tiles: list[tuple[int, int, int, int]],
+    load_tile,
+    blend: BlendMode,
+    lin_w: np.ndarray | None,
+    tile_shape: tuple[int, int],
+    on_tile_error: str,
+) -> list[tuple[int, int]]:
+    """Render canvas rows ``[y0, y1)``; returns the tiles it touched.
+
+    ``canvas``/``weight`` are full-height arrays; only rows ``[y0, y1)``
+    are written.  Tiles are visited in row-major order and every per-pixel
+    operation is the row-restriction of the sequential one, so a stripe is
+    bit-identical to the same rows of a sequential render: the tiles
+    covering any given pixel are blended in the same order, and slicing an
+    elementwise product (LINEAR) commutes with computing it.  Stripes are
+    disjoint, so parallel stripe renders need no locks or atomics -- each
+    owns its rows of both the canvas and the weight accumulator.
+    """
+    th, tw = tile_shape
+    rendered: list[tuple[int, int]] = []
+    for r, c, ty, tx in tiles:
+        by0, by1 = max(ty, y0), min(ty + th, y1)
+        if by1 <= by0:
+            continue
+        try:
+            tile = np.asarray(load_tile(r, c), dtype=np.float64)
+        except Exception:
+            if on_tile_error == "skip":
+                continue
+            raise
+        if tile.shape != (th, tw):
+            raise ValueError(
+                f"tile ({r},{c}) has shape {tile.shape}, expected {(th, tw)}"
+            )
+        src = tile[by0 - ty : by1 - ty, :]
+        dst = (slice(by0, by1), slice(tx, tx + tw))
+        if blend is BlendMode.OVERLAY:
+            canvas[dst] = src
+        elif blend is BlendMode.MAXIMUM:
+            np.maximum(canvas[dst], src, out=canvas[dst])
+        elif blend is BlendMode.AVERAGE:
+            canvas[dst] += src
+            weight[dst] += 1.0
+        elif blend is BlendMode.LINEAR:
+            w_src = lin_w[by0 - ty : by1 - ty, :]
+            canvas[dst] += src * w_src
+            weight[dst] += w_src
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(blend)
+        rendered.append((r, c))
+    if weight is not None:
+        w_band = weight[y0:y1]
+        c_band = canvas[y0:y1]
+        covered = w_band > 0
+        c_band[covered] /= w_band[covered]
+    return rendered
+
+
+def _compose_stripe_task(idx: int) -> list[tuple[int, int]]:
+    """Process-pool entry point: render one stripe from the forked context."""
+    ctx = _COMPOSE_CTX
+    y0, y1 = ctx["stripes"][idx]
+    return _render_stripe(
+        y0, y1, ctx["canvas"], ctx["weight"], ctx["tiles"], ctx["load_tile"],
+        ctx["blend"], ctx["lin_w"], ctx["tile_shape"], ctx["on_tile_error"],
+    )
 
 
 def compose(
@@ -61,12 +154,21 @@ def compose(
     skip_tiles=None,
     on_tile_error: str = "abort",
     return_mask: bool = False,
+    workers: int = 1,
 ):
     """Render the mosaic; returns a 2-D array of ``dtype``.
 
     ``load_tile(row, col) -> ndarray`` supplies pixels on demand.  Tiles are
     visited row-major, which for OVERLAY reproduces the usual microscopy
     convention (later rows/columns over earlier ones).
+
+    ``workers > 1`` renders the canvas as that many horizontal stripes in
+    parallel -- forked worker processes writing a shared-memory canvas
+    where the platform supports it, threads otherwise.  Stripes own
+    disjoint canvas rows (no atomics) and visit tiles in the sequential
+    order, so the result is bit-identical to ``workers=1`` for every blend
+    mode; the only cost is that a tile straddling a stripe boundary is
+    loaded once per stripe it touches.
 
     Degraded rendering: ``skip_tiles`` (iterable of ``(row, col)``) leaves
     holes where phase 1 dropped tiles; ``on_tile_error="skip"`` also turns
@@ -76,53 +178,40 @@ def compose(
     per-tile provenance record of the partial mosaic.
     """
     rows, cols = positions.rows, positions.cols
-    th, tw = tile_shape
     skip = {(int(r), int(c)) for r, c in (skip_tiles or ())}
     if on_tile_error not in ("abort", "skip"):
         raise ValueError(
             f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
         )
+    if workers < 1:
+        raise ValueError(f"need at least one compose worker, got {workers}")
+    th, tw = tile_shape
     canvas_shape = positions.mosaic_shape(tile_shape)
-    canvas = np.zeros(canvas_shape, dtype=np.float64)
     mask = np.zeros((rows, cols), dtype=bool)
-    weight = None
-    if blend in (BlendMode.AVERAGE, BlendMode.LINEAR):
-        weight = np.zeros(canvas_shape, dtype=np.float64)
+    need_weight = blend in (BlendMode.AVERAGE, BlendMode.LINEAR)
     lin_w = _linear_weight(tile_shape) if blend is BlendMode.LINEAR else None
+    # Row-major tile order -- the painter's order every stripe preserves.
+    tiles = [
+        (r, c, int(positions.positions[r, c][0]), int(positions.positions[r, c][1]))
+        for r in range(rows)
+        for c in range(cols)
+        if (r, c) not in skip
+    ]
 
-    for r in range(rows):
-        for c in range(cols):
-            if (r, c) in skip:
-                continue
-            try:
-                tile = np.asarray(load_tile(r, c), dtype=np.float64)
-            except Exception:
-                if on_tile_error == "skip":
-                    continue
-                raise
-            if tile.shape != (th, tw):
-                raise ValueError(
-                    f"tile ({r},{c}) has shape {tile.shape}, expected {(th, tw)}"
-                )
-            y, x = (int(v) for v in positions.positions[r, c])
-            region = (slice(y, y + th), slice(x, x + tw))
-            if blend is BlendMode.OVERLAY:
-                canvas[region] = tile
-            elif blend is BlendMode.MAXIMUM:
-                np.maximum(canvas[region], tile, out=canvas[region])
-            elif blend is BlendMode.AVERAGE:
-                canvas[region] += tile
-                weight[region] += 1.0
-            elif blend is BlendMode.LINEAR:
-                canvas[region] += tile * lin_w
-                weight[region] += lin_w
-            else:  # pragma: no cover - exhaustive enum
-                raise AssertionError(blend)
+    if workers <= 1:
+        canvas = np.zeros(canvas_shape, dtype=np.float64)
+        weight = np.zeros(canvas_shape, dtype=np.float64) if need_weight else None
+        rendered = _render_stripe(
+            0, canvas_shape[0], canvas, weight, tiles, load_tile,
+            blend, lin_w, tile_shape, on_tile_error,
+        )
+        for r, c in rendered:
             mask[r, c] = True
-
-    if weight is not None:
-        covered = weight > 0
-        canvas[covered] /= weight[covered]
+    else:
+        canvas = _compose_striped(
+            canvas_shape, mask, tiles, load_tile, blend, lin_w,
+            tile_shape, on_tile_error, workers,
+        )
 
     if outline:
         if outline_value is None:
@@ -141,6 +230,86 @@ def compose(
     if return_mask:
         return canvas, mask
     return canvas
+
+
+def _compose_striped(
+    canvas_shape: tuple[int, int],
+    mask: np.ndarray,
+    tiles: list[tuple[int, int, int, int]],
+    load_tile,
+    blend: BlendMode,
+    lin_w: np.ndarray | None,
+    tile_shape: tuple[int, int],
+    on_tile_error: str,
+    workers: int,
+) -> np.ndarray:
+    """Parallel phase-3 render: disjoint horizontal stripes in workers.
+
+    Preferred backend is forked processes sharing a ``ShmArena`` canvas
+    (and weight accumulator), so stripe renders escape the GIL entirely;
+    where ``fork`` is unavailable the same stripe tasks run on threads
+    over ordinary arrays.  Either way the blending math is
+    :func:`_render_stripe`, so the result is bit-identical to sequential.
+    """
+    global _COMPOSE_CTX
+    stripes = _stripe_bounds(canvas_shape[0], workers)
+    need_weight = blend in (BlendMode.AVERAGE, BlendMode.LINEAR)
+    use_procs = len(stripes) > 1 and "fork" in mp.get_all_start_methods()
+
+    if not use_procs:
+        canvas = np.zeros(canvas_shape, dtype=np.float64)
+        weight = np.zeros(canvas_shape, dtype=np.float64) if need_weight else None
+        with ThreadPoolExecutor(max_workers=len(stripes)) as pool:
+            futures = [
+                pool.submit(
+                    _render_stripe, y0, y1, canvas, weight, tiles, load_tile,
+                    blend, lin_w, tile_shape, on_tile_error,
+                )
+                for y0, y1 in stripes
+            ]
+            for fut in futures:
+                for r, c in fut.result():
+                    mask[r, c] = True
+        return canvas
+
+    from repro.memmodel.shm import ShmArena
+
+    arena = ShmArena()
+    try:
+        # POSIX shared memory is zero-filled on creation, so the slabs are
+        # ready-to-blend canvases without an extra clearing pass.
+        canvas = arena.slab("canvas", 1, canvas_shape, np.float64).slot(0)
+        weight = (
+            arena.slab("weight", 1, canvas_shape, np.float64).slot(0)
+            if need_weight
+            else None
+        )
+        _COMPOSE_CTX = {
+            "stripes": stripes,
+            "canvas": canvas,
+            "weight": weight,
+            "tiles": tiles,
+            "load_tile": load_tile,
+            "blend": blend,
+            "lin_w": lin_w,
+            "tile_shape": tile_shape,
+            "on_tile_error": on_tile_error,
+        }
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(stripes), mp_context=mp.get_context("fork")
+            ) as pool:
+                for rendered in pool.map(
+                    _compose_stripe_task, range(len(stripes))
+                ):
+                    for r, c in rendered:
+                        mask[r, c] = True
+        finally:
+            _COMPOSE_CTX = None
+        # Private copy so the mosaic outlives the arena unlink below.
+        return np.array(canvas)
+    finally:
+        arena.close()
 
 
 def compose_to_tiff(

@@ -98,11 +98,14 @@ class StitchResult:
         outline: bool = False,
         dtype=np.float32,
         return_mask: bool = False,
+        workers: int = 1,
     ):
         """Phase 3, on demand (the paper renders rather than always saving).
 
         Tiles phase 1 dropped are left as holes; with ``return_mask=True``
         the per-tile provenance mask comes back alongside the canvas.
+        ``workers > 1`` renders horizontal canvas stripes in parallel
+        (bit-identical to sequential; see :func:`repro.core.compose.compose`).
         """
         return compose(
             self.dataset.load,
@@ -114,6 +117,7 @@ class StitchResult:
             skip_tiles=self.skipped_tiles(),
             on_tile_error=self.on_tile_error,
             return_mask=return_mask,
+            workers=workers,
         )
 
     def position_errors(self, exclude_degraded: bool = False) -> np.ndarray | None:

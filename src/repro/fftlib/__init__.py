@@ -26,7 +26,14 @@ from repro.fftlib.plans import (
     default_cache,
 )
 from repro.fftlib.smooth import is_smooth, next_smooth, pad_to_shape
-from repro.fftlib.transforms import fft2, ifft2, irfft2, rfft2
+from repro.fftlib.transforms import (
+    batch_irfft2,
+    batch_rfft2,
+    fft2,
+    ifft2,
+    irfft2,
+    rfft2,
+)
 
 __all__ = [
     "Plan",
@@ -38,6 +45,8 @@ __all__ = [
     "ifft2",
     "rfft2",
     "irfft2",
+    "batch_rfft2",
+    "batch_irfft2",
     "is_smooth",
     "next_smooth",
     "pad_to_shape",

@@ -106,7 +106,12 @@ def _raw_transform(
     if kind is TransformKind.R2C:
         return _sfft.rfft2(a, overwrite_x=overwrite_input)
     if kind is TransformKind.C2R:
-        return _sfft.irfft2(a, s=inverse_shape, overwrite_x=overwrite_input)
+        # irfft2 transforms the last two axes; for batched (3-D) problems
+        # the leading axis is untouched, so only the spatial tail of the
+        # plan's shape parameterizes the inverse.
+        return _sfft.irfft2(
+            a, s=tuple(inverse_shape)[-2:], overwrite_x=overwrite_input
+        )
     raise ValueError(kind)  # pragma: no cover - exhaustive enum
 
 

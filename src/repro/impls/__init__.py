@@ -24,6 +24,7 @@ from repro.impls.fiji_baseline import FijiBaseline
 from repro.impls.mt_cpu import MtCpu
 from repro.impls.pipelined_cpu import PipelinedCpu
 from repro.impls.pipelined_cpu_numa import PipelinedCpuNuma
+from repro.impls.proc_cpu import ProcCpu
 from repro.impls.simple_gpu import SimpleGpu
 from repro.impls.pipelined_gpu import PipelinedGpu
 
@@ -31,6 +32,7 @@ ALL_IMPLEMENTATIONS = {
     "fiji-baseline": FijiBaseline,
     "simple-cpu": SimpleCpu,
     "mt-cpu": MtCpu,
+    "proc-cpu": ProcCpu,
     "pipelined-cpu": PipelinedCpu,
     "pipelined-cpu-numa": PipelinedCpuNuma,
     "simple-gpu": SimpleGpu,
@@ -43,6 +45,7 @@ __all__ = [
     "FijiBaseline",
     "SimpleCpu",
     "MtCpu",
+    "ProcCpu",
     "PipelinedCpu",
     "PipelinedCpuNuma",
     "SimpleGpu",

@@ -6,10 +6,22 @@ decomposition and a thread-variant of the SPMD approach."
 
 The grid is split into contiguous row bands, one per worker.  Each worker
 runs the sequential algorithm over its band; the north pairs joining band
-``k`` to band ``k-1`` are owned by band ``k``, whose worker loads the
-boundary row of the band above (tiles are read-only, so cross-band loads
-need no synchronization -- the duplicated boundary reads/FFTs are the price
-of SPMD's simplicity, and they are counted in the stats).
+``k`` to band ``k-1`` are owned by band ``k``, whose worker needs the
+boundary row of the band above.
+
+Two modes govern how that boundary row is obtained:
+
+``share_boundaries=True`` (default)
+    A prefetch phase computes each interior boundary row's products
+    (tile, forward spectrum, tile statistics) exactly once and shares
+    them with both adjacent bands -- tiles and their products are
+    read-only, so threads share them for free.  Every tile is then read
+    and transformed exactly once and ``duplicated_boundary_reads`` is 0.
+
+``share_boundaries=False`` (legacy SPMD)
+    Each band re-reads and re-transforms the boundary row of the band
+    above -- the duplicated work is classic SPMD simplicity tax, counted
+    in ``boundary_refts``/``duplicated_boundary_reads``.
 """
 
 from __future__ import annotations
@@ -44,11 +56,13 @@ class MtCpu(Implementation):
 
     name = "mt-cpu"
 
-    def __init__(self, workers: int = 4, **kw) -> None:
+    def __init__(self, workers: int = 4, share_boundaries: bool = True,
+                 **kw) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         super().__init__(**kw)
         self.workers = workers
+        self.share_boundaries = share_boundaries
 
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         disp = DisplacementResult.empty(dataset.rows, dataset.cols)
@@ -61,13 +75,23 @@ class MtCpu(Implementation):
         # sequentially, so one scratch set per worker suffices.
         arena = self._make_arena(dataset, count=len(bands))
 
+        #: grid row -> shared entry list, for rows prefetched once and
+        #: consumed by both adjacent bands (read-only after the barrier).
+        prefetched: dict[int, list] = {}
+        if self.share_boundaries and len(bands) > 1:
+            self._prefetch_boundaries(
+                dataset, bands, prefetched, stats, stats_lock, errors
+            )
+            if errors:
+                raise errors[0]
+
         def band_worker(k: int, r0: int, r1: int) -> None:
             try:
                 ws = arena.acquire() if arena is not None else None
                 try:
                     self._band(
                         dataset, disp, r0, r1, stats, stats_lock, band=k,
-                        workspace=ws,
+                        workspace=ws, prefetched=prefetched,
                     )
                 finally:
                     if arena is not None:
@@ -86,8 +110,69 @@ class MtCpu(Implementation):
         if errors:
             raise errors[0]
         stats["bands"] = len(bands)
+        # Legacy mode re-reads each boundary tile once; sharing removes
+        # every duplicate (satellite claim pinned by the architecture tests).
+        stats["duplicated_boundary_reads"] = stats["boundary_refts"]
         disp.stats = stats
         return disp, stats
+
+    def _prefetch_boundaries(
+        self, dataset, bands, prefetched, stats, stats_lock, errors,
+    ) -> None:
+        """Phase A: build each interior boundary row's products once.
+
+        The boundary rows are disjoint, so the prefetch threads share
+        nothing but the (locked) stats dict; the subsequent band phase
+        reads ``prefetched`` without locks -- it is frozen after the join
+        barrier here.
+        """
+        def prefetch_worker(b: int, r: int) -> None:
+            try:
+                prefetched[r] = self._row_products(
+                    dataset, r, stats, stats_lock,
+                    track=f"mt-cpu/boundary-{b}",
+                )
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=prefetch_worker, args=(b, r1 - 1), daemon=True
+            )
+            for b, (_, r1) in enumerate(bands[:-1])
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def _row_products(self, dataset, r: int, stats, stats_lock,
+                      track: str) -> list:
+        """Load + transform one grid row; entries are ``None`` for skips."""
+        local = {"reads": 0, "ffts": 0, "fft_copies_saved": 0}
+        entries: list[tuple | None] = []
+        for c in range(dataset.cols):
+            with self.tracer.span("read+fft", track, key=f"({r},{c})"):
+                tile = (
+                    dataset.load(r, c)
+                    if self.error_policy is None
+                    else self._load_tile(dataset, r, c)
+                )
+                if tile is None:
+                    entries.append(None)
+                    continue
+                fft = forward_fft(
+                    tile, self.fft_shape, self.cache,
+                    real=self.real_transforms, stats=local,
+                )
+                ts = TileStats(tile) if self.use_tile_stats else None
+                local["reads"] += 1
+                local["ffts"] += 1
+                entries.append((tile, fft, ts))
+        with stats_lock:
+            for k, v in local.items():
+                stats[k] = stats.get(k, 0) + v
+        return entries
 
     def _band(
         self,
@@ -99,12 +184,15 @@ class MtCpu(Implementation):
         stats_lock: threading.Lock,
         band: int = 0,
         workspace=None,
+        prefetched: dict | None = None,
     ) -> None:
         """Sequential pass over rows [r0, r1) with a 2-row sliding window.
 
         Row-major traversal within the band: computing row ``r`` needs only
         rows ``r-1`` and ``r`` live, so the band's working set is two rows
         of transforms (plus tile statistics) regardless of band height.
+        Rows present in ``prefetched`` (the shared boundary rows) are
+        consumed in place -- no read, no FFT, no duplicate accounting.
         """
         local = {"reads": 0, "ffts": 0, "pairs": 0, "boundary_refts": 0,
                  "fft_copies_saved": 0}
@@ -113,45 +201,50 @@ class MtCpu(Implementation):
 
         start = r0 - 1 if r0 > 0 else r0  # include boundary row from the band above
         for r in range(start, r1):
-            cur_row: list[tuple | None] = []
-            for c in range(dataset.cols):
-                with self.tracer.span("read+fft", track, key=f"({r},{c})"):
-                    tile = (
-                        dataset.load(r, c)
-                        if self.error_policy is None
-                        else self._load_tile(dataset, r, c)
-                    )
-                    if tile is None:
-                        # Tile dropped under the skip policy: its pairs are
-                        # recorded as skipped and never computed.
-                        cur_row.append(None)
-                    else:
-                        fft = forward_fft(
-                            tile, self.fft_shape, self.cache,
-                            real=self.real_transforms, stats=local,
+            if prefetched is not None and r in prefetched:
+                cur_row: list[tuple | None] = prefetched[r]
+            else:
+                cur_row = []
+                for c in range(dataset.cols):
+                    with self.tracer.span("read+fft", track, key=f"({r},{c})"):
+                        tile = (
+                            dataset.load(r, c)
+                            if self.error_policy is None
+                            else self._load_tile(dataset, r, c)
                         )
-                        ts = (
-                            TileStats(tile) if self.use_tile_stats else None
-                        )
-                        local["reads"] += 1
-                        local["ffts"] += 1
-                        if r == start and r0 > 0:
-                            local["boundary_refts"] += 1
-                        cur_row.append((tile, fft, ts))
-                # West pair within this row (owned by this band when r >= r0).
-                if c > 0 and r >= r0:
-                    with self.tracer.span("pair", track, key=f"west({r},{c})"):
-                        self._maybe_pair(
-                            disp, Direction.WEST, r, c, cur_row[c - 1], cur_row[c],
-                            local, workspace,
-                        )
-                # North pair down from the previous row.
-                if prev_row is not None and r >= r0:
-                    with self.tracer.span("pair", track, key=f"north({r},{c})"):
-                        self._maybe_pair(
-                            disp, Direction.NORTH, r, c, prev_row[c], cur_row[c],
-                            local, workspace,
-                        )
+                        if tile is None:
+                            # Tile dropped under the skip policy: its pairs
+                            # are recorded as skipped and never computed.
+                            cur_row.append(None)
+                        else:
+                            fft = forward_fft(
+                                tile, self.fft_shape, self.cache,
+                                real=self.real_transforms, stats=local,
+                            )
+                            ts = (
+                                TileStats(tile) if self.use_tile_stats else None
+                            )
+                            local["reads"] += 1
+                            local["ffts"] += 1
+                            if r == start and r0 > 0:
+                                local["boundary_refts"] += 1
+                            cur_row.append((tile, fft, ts))
+            if r >= r0:
+                for c in range(dataset.cols):
+                    # West pair within this row (owned by this band).
+                    if c > 0:
+                        with self.tracer.span("pair", track, key=f"west({r},{c})"):
+                            self._maybe_pair(
+                                disp, Direction.WEST, r, c,
+                                cur_row[c - 1], cur_row[c], local, workspace,
+                            )
+                    # North pair down from the previous row.
+                    if prev_row is not None:
+                        with self.tracer.span("pair", track, key=f"north({r},{c})"):
+                            self._maybe_pair(
+                                disp, Direction.NORTH, r, c,
+                                prev_row[c], cur_row[c], local, workspace,
+                            )
             prev_row = cur_row
         with stats_lock:
             for k, v in local.items():

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import forward_fft, pciam
+from repro.core.pciam import forward_fft, forward_fft_batch, pciam
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import spectrum_shape
 from repro.grid.neighbors import Pair
@@ -40,7 +40,7 @@ from repro.grid.tile_grid import GridPosition, TileGrid
 from repro.grid.traversal import Traversal, traverse
 from repro.impls.base import Implementation
 from repro.io.dataset import TileDataset
-from repro.memmodel.pool import BufferPool
+from repro.memmodel.pool import BufferPool, PoolExhausted
 from repro.memmodel.workspace import ThreadLocalWorkspaces
 from repro.pipeline.bookkeeper import PairBookkeeper
 from repro.pipeline.graph import Pipeline
@@ -55,6 +55,19 @@ class _TileItem:
     pixels: np.ndarray
     #: Accumulated time this tile spent waiting for a pool slot (see the
     #: requeue logic in the compute stage).
+    blocked_seconds: float = 0.0
+
+
+@dataclass
+class _TileBatch:
+    """``fft_batch`` tiles transformed through one batched forward FFT.
+
+    Carries the same pool-starvation accounting as a single tile; when
+    only some of the batch gets slots, the remainder is requeued as a
+    smaller batch (keeping its accumulated blocked time).
+    """
+
+    items: list
     blocked_seconds: float = 0.0
 
 
@@ -105,16 +118,23 @@ class PipelinedCpu(Implementation):
         traversal: Traversal = Traversal.CHAINED_DIAGONAL,
         queue_size: int = 8,
         pool_timeout: float = 60.0,
+        fft_batch: int = 1,
         **kw,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one compute worker, got {workers}")
+        if fft_batch < 1:
+            raise ValueError(f"fft_batch must be >= 1, got {fft_batch}")
         super().__init__(**kw)
         self.workers = workers
         self.pool_size = pool_size
         self.traversal = traversal
         self.queue_size = queue_size
         self.pool_timeout = pool_timeout
+        #: Tiles per batched forward transform in the FFT stage; 1 keeps
+        #: the classic one-FFT-per-item flow.  Batch slices are
+        #: bit-identical to single transforms, so this is throughput-only.
+        self.fft_batch = fft_batch
 
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         rows, cols = dataset.rows, dataset.cols
@@ -157,10 +177,19 @@ class PipelinedCpu(Implementation):
 
         order = iter(list(traverse(grid, self.traversal)))
 
+        #: Tiles awaiting a full batch (reader is single-threaded).
+        pending_batch: list[_TileItem] = []
+
+        def flush_batch() -> None:
+            if pending_batch:
+                q_work.put(_TileBatch(list(pending_batch)))
+                pending_batch.clear()
+
         def reader(_item, _ctx):
             try:
                 pos = next(order)
             except StopIteration:
+                flush_batch()
                 return END_OF_STREAM
             # Bounded wait so a pipeline abort cannot strand the reader on
             # the semaphore.
@@ -177,7 +206,12 @@ class PipelinedCpu(Implementation):
                     return None
             with stats_lock:
                 stats["reads"] += 1
-            q_work.put(_TileItem(pos, tile))
+            if self.fft_batch > 1:
+                pending_batch.append(_TileItem(pos, tile))
+                if len(pending_batch) >= self.fft_batch:
+                    flush_batch()
+            else:
+                q_work.put(_TileItem(pos, tile))
             return None
 
         def compute(item, ctx):
@@ -194,11 +228,67 @@ class PipelinedCpu(Implementation):
                     if isinstance(item, _TileItem):
                         tiles_in_flight.release()
                         q_events.put(_TileFailed(item.pos))
+                    elif isinstance(item, _TileBatch):
+                        for t in item.items:
+                            tiles_in_flight.release()
+                            q_events.put(_TileFailed(t.pos))
                     elif isinstance(item, _PairItem):
                         q_events.put(_PairFailed(item.pair))
                 raise
 
         def _compute(item, _ctx):
+            if isinstance(item, _TileBatch):
+                # Grab as many pool slots as are free right now; transform
+                # that sub-batch in one backend call and requeue the rest.
+                # Blocking for the full batch would recreate the deadlock
+                # the single-tile path avoids (pairs behind us in the FIFO
+                # are what release slots).
+                acquired: list[int] = []
+                try:
+                    acquired.append(pool.acquire(timeout=0.05))
+                    while len(acquired) < len(item.items):
+                        acquired.append(pool.acquire(blocking=False))
+                except (TimeoutError, PoolExhausted):
+                    pass
+                if not acquired:
+                    item.blocked_seconds += 0.05
+                    if item.blocked_seconds > self.pool_timeout:
+                        raise TimeoutError(
+                            f"transform pool ({pool.count} buffers) starved "
+                            f"for {self.pool_timeout}s; pool too small for "
+                            f"the traversal wavefront"
+                        )
+                    q_work.put(item)
+                    return None
+                take = item.items[: len(acquired)]
+                rest = item.items[len(acquired):]
+                if rest:
+                    q_work.put(_TileBatch(rest, item.blocked_seconds))
+                local: dict = {}
+                ffts = forward_fft_batch(
+                    [t.pixels for t in take], fft_shape, self.cache,
+                    real=self.real_transforms, stats=local,
+                )
+                for t_item, slot, fft in zip(take, acquired, ffts):
+                    pool.array(slot)[...] = fft
+                    ts = (
+                        TileStats(t_item.pixels) if self.use_tile_stats
+                        else None
+                    )
+                    with state_lock:
+                        pixels[t_item.pos] = t_item.pixels
+                        slots[t_item.pos] = slot
+                        if ts is not None:
+                            tstats[t_item.pos] = ts
+                    tiles_in_flight.release()
+                    q_events.put(_FftDone(t_item.pos, slot))
+                with stats_lock:
+                    stats["ffts"] += len(take)
+                    for key in ("fft_copies_saved", "fft_batches",
+                                "fft_batched_tiles"):
+                        if key in local:
+                            stats[key] = stats.get(key, 0) + local[key]
+                return None
             if isinstance(item, _TileItem):
                 # Never block the whole worker pool on slot starvation: if
                 # no slot frees up quickly, requeue the tile behind any

@@ -1,0 +1,525 @@
+"""Proc-CPU: SPMD row bands over processes (GIL-free phase 1).
+
+Same spatial decomposition as :class:`~repro.impls.mt_cpu.MtCpu`, but the
+band workers are OS *processes*, so the non-numpy half of the phase-1
+loop (peak contests, CCF dispatch, bookkeeping) runs truly concurrently
+instead of serializing on the GIL.  The pieces that make that practical:
+
+- **fork + shared memory, zero pickling of pixels.**  Workers are forked
+  from the parent after the run context (dataset handle, configuration,
+  shared slabs) is staged in a module global, so they inherit everything
+  by address; only the small per-band result records travel back through
+  the executor.  Cross-band products move through a
+  :class:`~repro.memmodel.shm.ShmArena` whose slabs are ``MAP_SHARED``,
+  visible to every process.
+
+- **two-phase boundary exchange.**  The north pairs joining band ``k`` to
+  band ``k-1`` need the boundary row's tiles/spectra/statistics in *both*
+  bands.  Phase A loads each interior boundary row exactly once and
+  publishes tile + forward spectrum + summed-area table into the arena;
+  Phase B band workers consume the slab views from both sides.  Every
+  tile in the grid is therefore read and transformed exactly once --
+  ``duplicated_boundary_reads`` is 0 by construction (MT-CPU's
+  ``boundary_refts`` waste is the thing this removes).
+
+- **batched forward FFTs.**  Row tiles are transformed ``fft_batch`` at a
+  time through :func:`repro.core.pciam.forward_fft_batch` -- one backend
+  call per stack amortizes per-transform dispatch overhead; slices are
+  bit-identical to the per-tile transform.
+
+- **deterministic merge.**  Each pair is owned by exactly one band;
+  workers return their displacement records and the parent folds them in
+  band order, so positions are bit-identical to ``simple-cpu``.
+
+- **durability from inside workers.**  Each worker appends completed
+  pairs to the run journal through its own
+  :class:`~repro.recovery.journal.JournalAppender` (``O_APPEND`` writes
+  interleave atomically), so a SIGKILL of the whole process tree loses at
+  most in-flight pairs, exactly like the threaded backends.  Resume reads
+  come from the fork-inherited journal state (read-only in workers).
+
+Workers watch their parent's pid and ``os._exit`` when it changes
+(SIGKILL of the parent must not leave orphans holding slab mappings), and
+the arena unlinks its segments on normal exit *and* via the creator's
+``resource_tracker`` after a kill.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.pciam import forward_fft, forward_fft_batch, pciam
+from repro.core.tilestats import TileStats
+from repro.fftlib.plans import TransformKind, spectrum_shape
+from repro.grid.neighbors import Direction
+from repro.impls.base import Implementation
+from repro.impls.mt_cpu import row_bands
+from repro.io.dataset import TileDataset
+from repro.memmodel.shm import ShmArena
+from repro.observe.tracer import Tracer
+from repro.pipeline.stage import run_with_retries
+from repro.recovery.journal import JournalAppender
+
+
+#: Run context staged by the parent immediately before the executor's
+#: workers fork, and inherited by them by address.  Exactly one proc-cpu
+#: run may be live per process at a time (runs are sequential in every
+#: caller; a second concurrent run would need a keyed registry here).
+_CTX: "_RunCtx | None" = None
+
+#: Worker-process journal appender, opened lazily on first record.
+_APPENDER: JournalAppender | None = None
+
+
+@dataclass
+class _RunCtx:
+    """Everything a forked band worker needs, reachable by inheritance."""
+
+    impl: "ProcCpu"
+    dataset: TileDataset
+    bands: list[tuple[int, int]]
+    #: Slab views indexed ``b * cols + c`` for interior boundary ``b``
+    #: (the last row of band ``b``); ``None`` when the grid has one band.
+    tiles: np.ndarray | None
+    spectra: np.ndarray | None
+    tables: np.ndarray | None
+    #: ``(n_boundaries, cols)`` int8: 1 = products published, 0 = tile
+    #: skipped (or Phase A not run -- never observed by Phase B).
+    mask: np.ndarray | None
+    journal_spec: tuple[str, bool] | None
+    trace_enabled: bool
+
+
+@dataclass
+class _TaskOutcome:
+    """What one worker task ships back to the parent for merging."""
+
+    #: ``(direction_value, row, col, Translation)`` in traversal order.
+    pairs: list = field(default_factory=list)
+    resumed: int = 0
+    skipped_tiles: list = field(default_factory=list)   # (r, c, errmsg)
+    skipped_pairs: list = field(default_factory=list)   # (direction, r, c, reason)
+    retries: list = field(default_factory=list)         # (r, c, attempt, errmsg)
+    stats: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    tracer_t0: float = 0.0
+
+
+def _watch_parent(ppid: int) -> None:  # pragma: no cover - daemon loop
+    """Exit hard if the parent dies: orphaned band workers must not keep
+    slab mappings (or executor queues) alive after a SIGKILL."""
+    while True:
+        if os.getppid() != ppid:
+            os._exit(1)
+        time.sleep(0.5)
+
+
+def _worker_init(ppid: int) -> None:
+    """Per-process setup: orphan watch + plan-cache warmup."""
+    global _APPENDER
+    _APPENDER = None
+    threading.Thread(target=_watch_parent, args=(ppid,), daemon=True).start()
+    ctx = _CTX
+    if ctx is None:  # pragma: no cover - defensive
+        return
+    impl = ctx.impl
+    shape = impl._transform_shape(ctx.dataset)
+    # Warm the forward/inverse plans once per worker so the first pair in
+    # every band pays no planning cost (the forked cache already holds
+    # plans the parent created, but a fresh parent cache arrives cold).
+    if impl.real_transforms:
+        impl.cache.plan(shape, TransformKind.R2C, allow_padding=False)
+        impl.cache.plan(shape, TransformKind.C2R, allow_padding=False)
+    else:
+        impl.cache.plan(shape, TransformKind.C2C_FORWARD, allow_padding=False)
+        impl.cache.plan(shape, TransformKind.C2C_INVERSE, allow_padding=False)
+
+
+def _journal_appender() -> JournalAppender | None:
+    global _APPENDER
+    ctx = _CTX
+    if ctx is None or ctx.journal_spec is None:
+        return None
+    if _APPENDER is None:
+        path, fsync = ctx.journal_spec
+        _APPENDER = JournalAppender(path, fsync=fsync)
+    return _APPENDER
+
+
+def _journal_lookup(impl, direction: Direction, r: int, c: int):
+    """Read-only resume lookup against the fork-inherited journal state.
+
+    Deliberately bypasses ``RunJournal.lookup``: its hit accounting would
+    land in the worker's copy and be lost.  Hits are counted in the
+    outcome and folded into the parent journal's counters at merge time.
+    """
+    journal = impl.journal
+    if journal is None:
+        return None
+    rec = journal.state.pairs.get((direction.value, int(r), int(c)))
+    if rec is None:
+        return None
+    return Translation(
+        correlation=rec["correlation"], tx=rec["tx"], ty=rec["ty"],
+        tx_f=rec["tx_f"], ty_f=rec["ty_f"],
+    )
+
+
+def _load_tile(impl, dataset, r: int, c: int, out: _TaskOutcome):
+    """Tile read under the error policy, with worker-local accounting.
+
+    Mirrors :meth:`Implementation._load_tile` but collects retry/skip
+    records in the outcome (the forked ``fault_report``/``metrics``
+    copies would swallow them) and journals skips through the worker's
+    appender so they are durable without the parent.
+    """
+    if impl.error_policy is None:
+        return dataset.load(r, c)
+
+    def on_retry(attempt: int, exc: BaseException) -> None:
+        out.retries.append((r, c, attempt, f"{type(exc).__name__}: {exc}"))
+
+    try:
+        value, _ = run_with_retries(
+            lambda: dataset.load(r, c),
+            impl.error_policy,
+            key=(r, c),
+            on_retry=on_retry,
+        )
+        return value
+    except Exception as exc:
+        if not impl._skip_on_error:
+            raise
+        out.skipped_tiles.append((r, c, f"{type(exc).__name__}: {exc}"))
+        ap = _journal_appender()
+        if ap is not None:
+            ap.record_skipped_tile(r, c, str(exc))
+        return None
+
+
+def _row_products(
+    impl, dataset, r: int, cols: int, out: _TaskOutcome, local: dict,
+    tracer, track: str,
+):
+    """Load + transform one grid row, ``fft_batch`` tiles per FFT call.
+
+    Returns ``[(tile, fft, stats) | None] * cols`` -- the per-tile entry
+    triple every band loop consumes.  Batch slices are bit-identical to
+    per-tile transforms, so batching never changes a displacement.
+    """
+    batch = max(1, impl.fft_batch)
+    entries: list[tuple | None] = [None] * cols
+    for c0 in range(0, cols, batch):
+        chunk = list(range(c0, min(c0 + batch, cols)))
+        with tracer.span("read", track, key=f"row{r}[{chunk[0]}:{chunk[-1] + 1}]"):
+            tiles = []
+            for c in chunk:
+                tile = _load_tile(impl, dataset, r, c, out)
+                tiles.append(tile)
+                if tile is not None:
+                    local["reads"] += 1
+        live = [(c, t) for c, t in zip(chunk, tiles) if t is not None]
+        if not live:
+            continue
+        with tracer.span("fft", track, key=f"row{r}x{len(live)}"):
+            ffts = forward_fft_batch(
+                [t for _, t in live], impl.fft_shape, impl.cache,
+                real=impl.real_transforms, stats=local,
+            )
+            local["ffts"] += len(live)
+        for (c, tile), fft in zip(live, ffts):
+            ts = TileStats(tile) if impl.use_tile_stats else None
+            entries[c] = (tile, fft, ts)
+    return entries
+
+
+def _slab_entry(ctx: _RunCtx, b: int, c: int):
+    """Entry triple for boundary ``b``, column ``c`` from the shared slabs.
+
+    ``TileStats`` is rebuilt around zero-copy slab views: the summed-area
+    table is adopted as published, and the mean-shifted pixels recompute
+    from the shared raw tile exactly as the original constructor did, so
+    every downstream value is bit-identical.
+    """
+    if ctx.mask is None or not ctx.mask[b, c]:
+        return None
+    cols = ctx.dataset.cols
+    slot = b * cols + c
+    tile = ctx.tiles[slot]
+    fft = ctx.spectra[slot]
+    if ctx.impl.use_tile_stats:
+        ts = TileStats.from_parts(tile - tile.mean(), ctx.tables[slot])
+    else:
+        ts = None
+    return (tile, fft, ts)
+
+
+def _boundary_task(b: int) -> _TaskOutcome:
+    """Phase A: publish boundary row ``b`` (last row of band ``b``)."""
+    ctx = _CTX
+    impl, dataset = ctx.impl, ctx.dataset
+    out = _TaskOutcome()
+    tracer = Tracer(enabled=ctx.trace_enabled)
+    out.tracer_t0 = tracer._t0
+    track = f"proc-cpu/boundary-{b}"
+    local = {"reads": 0, "ffts": 0}
+    r = ctx.bands[b][1] - 1
+    cols = dataset.cols
+    entries = _row_products(impl, dataset, r, cols, out, local, tracer, track)
+    for c, entry in enumerate(entries):
+        if entry is None:
+            continue
+        tile, fft, ts = entry
+        slot = b * cols + c
+        ctx.tiles[slot][: tile.shape[0], : tile.shape[1]] = tile
+        ctx.spectra[slot] = fft
+        if ts is not None:
+            ctx.tables[slot] = ts.table
+        ctx.mask[b, c] = 1
+    out.stats = local
+    out.spans = tracer.spans
+    return out
+
+
+def _band_task(k: int) -> _TaskOutcome:
+    """Phase B: all pairs owned by band ``k`` (rows ``[r0, r1)``).
+
+    Traversal and pair ownership match :class:`MtCpu` exactly -- west
+    pairs within rows ``>= r0``, north pairs down into the band -- except
+    that boundary rows (the row above, and this band's own last row when
+    it is interior) come from the Phase A slabs instead of fresh reads.
+    """
+    ctx = _CTX
+    impl, dataset = ctx.impl, ctx.dataset
+    r0, r1 = ctx.bands[k]
+    cols = dataset.cols
+    out = _TaskOutcome()
+    tracer = Tracer(enabled=ctx.trace_enabled)
+    out.tracer_t0 = tracer._t0
+    track = f"proc-cpu/band-{k}"
+    local = {"reads": 0, "ffts": 0, "pairs": 0}
+    n_bands = len(ctx.bands)
+    workspace = None
+    if impl.use_workspace:
+        workspace = impl._make_arena(dataset, count=1).acquire()
+
+    prev_row: list[tuple | None] | None = None
+    start = r0 - 1 if r0 > 0 else r0
+    for r in range(start, r1):
+        if r == r0 - 1:
+            # Boundary row from the band above: published by Phase A.
+            cur_row = [_slab_entry(ctx, k - 1, c) for c in range(cols)]
+        elif r == r1 - 1 and k < n_bands - 1:
+            # This band's own last row is the next band's boundary row;
+            # Phase A already read + transformed it.
+            cur_row = [_slab_entry(ctx, k, c) for c in range(cols)]
+        else:
+            cur_row = _row_products(
+                impl, dataset, r, cols, out, local, tracer, track
+            )
+        if r >= r0:
+            for c in range(cols):
+                if c > 0:
+                    _pair(impl, out, Direction.WEST, r, c,
+                          cur_row[c - 1], cur_row[c], local, workspace,
+                          tracer, track)
+                if prev_row is not None:
+                    _pair(impl, out, Direction.NORTH, r, c,
+                          prev_row[c], cur_row[c], local, workspace,
+                          tracer, track)
+        prev_row = cur_row
+    out.stats = local
+    out.spans = tracer.spans
+    return out
+
+
+def _pair(impl, out: _TaskOutcome, direction: Direction, r: int, c: int,
+          first, second, local: dict, workspace, tracer, track: str) -> None:
+    journaled = _journal_lookup(impl, direction, r, c)
+    if journaled is not None:
+        out.pairs.append((direction.value, r, c, journaled))
+        out.resumed += 1
+        return
+    if first is None or second is None:
+        out.skipped_pairs.append(
+            (direction.name.lower(), r, c, "member tile unreadable")
+        )
+        return
+    img_i, fft_i, stats_i = first
+    img_j, fft_j, stats_j = second
+    with tracer.span("pair", track, key=f"{direction.name.lower()}({r},{c})"):
+        res = pciam(
+            img_i, img_j, fft_i=fft_i, fft_j=fft_j,
+            fft_shape=impl.fft_shape, ccf_mode=impl.ccf_mode,
+            n_peaks=impl.n_peaks, real_transforms=impl.real_transforms,
+            cache=impl.cache, stats_i=stats_i, stats_j=stats_j,
+            workspace=workspace, use_tile_stats=impl.use_tile_stats,
+        )
+    t = Translation.from_pciam(res)
+    ap = _journal_appender()
+    if ap is not None:
+        ap.record_pair(direction.value, r, c, t)
+    out.pairs.append((direction.value, r, c, t))
+    local["pairs"] += 1
+
+
+class ProcCpu(Implementation):
+    """SPMD row bands over a fork-based process pool.
+
+    ``workers`` caps the band count (like MT-CPU); ``fft_batch`` sets how
+    many row tiles share one batched forward transform (1 disables
+    batching).  Positions are bit-identical to ``simple-cpu`` in every
+    configuration.
+    """
+
+    name = "proc-cpu"
+
+    def __init__(self, workers: int = 4, fft_batch: int = 4, **kw) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if fft_batch < 1:
+            raise ValueError(f"fft_batch must be >= 1, got {fft_batch}")
+        super().__init__(**kw)
+        self.workers = workers
+        self.fft_batch = fft_batch
+
+    def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
+        global _CTX, _APPENDER
+        bands = row_bands(dataset.rows, self.workers)
+        n_boundaries = len(bands) - 1
+        use_pool = n_boundaries > 0 and "fork" in mp.get_all_start_methods()
+
+        tile_shape = tuple(dataset.tile_shape)
+        fshape = self._transform_shape(dataset)
+        sshape = spectrum_shape(fshape) if self.real_transforms else fshape
+        slots = n_boundaries * dataset.cols
+
+        arena = None
+        tiles = spectra = tables = mask = None
+        if n_boundaries:
+            if use_pool:
+                # MAP_SHARED slabs: Phase A writes in workers must be
+                # visible to every Phase B worker.
+                arena = ShmArena()
+                tiles = arena.slab("tiles", slots, tile_shape, np.float64).array
+                spectra = arena.slab("spectra", slots, sshape, np.complex128).array
+                if self.use_tile_stats:
+                    tables = arena.slab(
+                        "tables", slots,
+                        (tile_shape[0] + 1, tile_shape[1] + 1), np.complex128,
+                    ).array
+                mask = arena.slab(
+                    "mask", n_boundaries, (dataset.cols,), np.int8
+                ).array
+            else:  # pragma: no cover - non-fork platforms
+                tiles = np.zeros((slots, *tile_shape))
+                spectra = np.zeros((slots, *sshape), dtype=np.complex128)
+                if self.use_tile_stats:
+                    tables = np.zeros(
+                        (slots, tile_shape[0] + 1, tile_shape[1] + 1),
+                        dtype=np.complex128,
+                    )
+                mask = np.zeros((n_boundaries, dataset.cols), dtype=np.int8)
+
+        _CTX = _RunCtx(
+            impl=self, dataset=dataset, bands=bands,
+            tiles=tiles, spectra=spectra, tables=tables, mask=mask,
+            journal_spec=(
+                self.journal.appender_spec() if self.journal is not None
+                else None
+            ),
+            trace_enabled=self.tracer.enabled,
+        )
+        disp = DisplacementResult.empty(dataset.rows, dataset.cols)
+        stats = {
+            "reads": 0, "ffts": 0, "pairs": 0,
+            "boundary_refts": 0, "duplicated_boundary_reads": 0,
+            "bands": len(bands), "process_workers": len(bands) if use_pool else 0,
+        }
+        try:
+            if use_pool:
+                outcomes = self._run_pool(bands, n_boundaries)
+            else:
+                outcomes = [
+                    _boundary_task(b) for b in range(n_boundaries)
+                ] + [_band_task(k) for k in range(len(bands))]
+            self._merge(disp, stats, outcomes)
+        finally:
+            _CTX = None
+            if _APPENDER is not None:
+                # Inline (poolless) tasks run in this process and may have
+                # opened a worker-style appender; close it per run.
+                _APPENDER.close()
+                _APPENDER = None
+            if arena is not None:
+                arena.close()
+        disp.stats = stats
+        return disp, stats
+
+    def _run_pool(self, bands, n_boundaries) -> list[_TaskOutcome]:
+        """Fork the pool (after ``_CTX`` is staged) and run both phases."""
+        ctx = mp.get_context("fork")
+        outcomes: list[_TaskOutcome] = []
+        with ProcessPoolExecutor(
+            max_workers=len(bands), mp_context=ctx,
+            initializer=_worker_init, initargs=(os.getpid(),),
+        ) as pool:
+            # Phase A must complete before any band consumes a slab; the
+            # barrier is cheap (boundary rows are a 1/band_height slice
+            # of the grid) and keeps Phase B entirely synchronization-free.
+            for fut in [pool.submit(_boundary_task, b)
+                        for b in range(n_boundaries)]:
+                outcomes.append(fut.result())
+            for fut in [pool.submit(_band_task, k)
+                        for k in range(len(bands))]:
+                outcomes.append(fut.result())
+        return outcomes
+
+    def _merge(self, disp: DisplacementResult, stats: dict,
+               outcomes: list[_TaskOutcome]) -> None:
+        """Fold worker outcomes into the parent-side result, in task order.
+
+        Pair ownership is disjoint across bands, so the fold order cannot
+        change any value -- but fixing it keeps every parent-side artifact
+        (trace, fault report, journal accounting) deterministic too.
+        """
+        resumed = 0
+        for out in outcomes:
+            for d, r, c, t in out.pairs:
+                disp.set(Direction(d), r, c, t)
+            resumed += out.resumed
+            for r, c, attempt, err in out.retries:
+                if self.fault_report is not None:
+                    self.fault_report.record_retry(
+                        "read", (r, c), attempt, RuntimeError(err)
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("read.retries").inc()
+            for r, c, err in out.skipped_tiles:
+                if self.fault_report is not None:
+                    self.fault_report.record_skipped_tile(
+                        (r, c), RuntimeError(err)
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("read.skipped_tiles").inc()
+            for d, r, c, reason in out.skipped_pairs:
+                self._record_skipped_pair(d, r, c, reason=reason)
+            for key, v in out.stats.items():
+                stats[key] = stats.get(key, 0) + v
+            self.tracer.absorb(out.spans, out.tracer_t0)
+        if resumed:
+            stats["resumed_pairs"] = resumed
+        if self.journal is not None:
+            self.journal.resumed_pairs += resumed
+            self.journal.note_worker_pairs(stats.get("pairs", 0))
+            if self.metrics is not None and resumed:
+                self.metrics.counter("journal.pairs_resumed").inc(resumed)

@@ -279,10 +279,20 @@ class RunJournal:
         cls, path: str | Path, fingerprint: dict,
         fsync: bool = True, metrics=None,
     ) -> "RunJournal":
-        """Start a fresh journal (truncating any existing file)."""
+        """Start a fresh journal (truncating any existing file).
+
+        The handle is opened in *append* mode (after an explicit
+        truncate) rather than ``"w"``: process-parallel backends hand
+        out :class:`JournalAppender` writers that append to the same
+        file concurrently, and POSIX only guarantees their short writes
+        interleave atomically when every writer uses ``O_APPEND`` --
+        a positional ``"w"`` handle in the parent would silently
+        overwrite worker records.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fh = open(path, "w", encoding="utf-8")
+        open(path, "w", encoding="utf-8").close()  # truncate
+        fh = open(path, "a", encoding="utf-8")
         journal = cls(path, fingerprint, JournalState(header=None), fh,
                       fsync=fsync, metrics=metrics)
         journal._append({
@@ -428,6 +438,16 @@ class RunJournal:
     def milestone(self, name: str) -> dict | None:
         return self.state.milestones.get(name)
 
+    def appender_spec(self) -> tuple[str, bool]:
+        """Picklable ``(path, fsync)`` for worker-side :class:`JournalAppender`s."""
+        return (str(self.path), self._fsync)
+
+    def note_worker_pairs(self, n: int) -> None:
+        """Fold worker-appended pair counts into this handle's accounting."""
+        self.recorded_pairs += int(n)
+        if self.metrics is not None and n:
+            self.metrics.counter("journal.pairs_recorded").inc(int(n))
+
     @property
     def journaled_pair_count(self) -> int:
         return len(self.state.pairs)
@@ -456,6 +476,67 @@ class RunJournal:
             self._fh.close()
 
     def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class JournalAppender:
+    """Append-only pair-record writer for process workers.
+
+    Workers in the ``proc-cpu`` backend journal each completed pair from
+    their own process.  They cannot share the parent's
+    :class:`RunJournal` handle (its lock is per-process and its buffered
+    file position is not), but they *can* safely share the file: every
+    appender opens the journal with ``O_APPEND``, and POSIX guarantees
+    that appends smaller than ``PIPE_BUF`` (4096 bytes -- our records are
+    ~150 bytes) land atomically at the end of the file, never interleaved
+    byte-wise with another writer's record.  The parent replays nothing
+    from workers; it re-counts recorded pairs from its own merge, so the
+    appender is fire-and-forget durable output only.
+
+    Construct with :meth:`RunJournal.appender_spec` output, or directly
+    from a path in an already-running worker.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.recorded_pairs = 0
+
+    def _append(self, payload: dict) -> None:
+        line = _encode_line(payload)
+        self._fh.write(line)
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def record_pair(self, direction: str, row: int, col: int, t) -> None:
+        """Journal one completed pair (durable on return)."""
+        self._append({
+            "t": "pair", "d": str(direction), "r": int(row), "c": int(col),
+            "correlation": float(t.correlation),
+            "tx": int(t.tx), "ty": int(t.ty),
+            "tx_f": None if t.tx_f is None else float(t.tx_f),
+            "ty_f": None if t.ty_f is None else float(t.ty_f),
+        })
+        self.recorded_pairs += 1
+
+    def record_skipped_tile(self, row: int, col: int, error: str = "") -> None:
+        self._append({
+            "t": "tile_skipped", "r": int(row), "c": int(col),
+            "error": str(error)[:200],
+        })
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "JournalAppender":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -1,0 +1,154 @@
+"""Striped-parallel composition is bit-identical to the sequential pass.
+
+The parallel renderer's whole contract is that ``workers`` is purely a
+throughput knob: disjoint canvas stripes, sequential tile order inside
+each stripe, per-stripe weight accumulation.  These tests pin the
+contract for every blend mode -- including tiles straddling stripe
+boundaries, jittered (non-grid) positions, skipped tiles and load
+failures -- with exact ``array_equal`` comparisons, never tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compose import BlendMode, compose
+from repro.core.global_opt import GlobalPositions
+
+BLENDS = list(BlendMode)
+
+
+def jittered_positions(rows, cols, step_y, step_x, seed=0):
+    """Grid positions with deterministic per-tile jitter, clipped >= 0."""
+    rng = np.random.default_rng(seed)
+    pos = np.zeros((rows, cols, 2), dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            jy, jx = rng.integers(-2, 3, size=2)
+            pos[r, c] = (max(0, r * step_y + jy), max(0, c * step_x + jx))
+    return GlobalPositions(positions=pos, method="test")
+
+
+def textured_loader(rows, cols, th, tw, seed=1):
+    rng = np.random.default_rng(seed)
+    tiles = {
+        (r, c): rng.random((th, tw)) * 100.0
+        for r in range(rows)
+        for c in range(cols)
+    }
+    return lambda r, c: tiles[(r, c)]
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("blend", BLENDS)
+    @pytest.mark.parametrize("workers", [2, 3, 7])
+    def test_all_blends_all_worker_counts(self, blend, workers):
+        load = textured_loader(3, 4, 16, 12)
+        gp = jittered_positions(3, 4, 12, 9)
+        ref, mref = compose(load, gp, (16, 12), blend, return_mask=True)
+        got, mgot = compose(
+            load, gp, (16, 12), blend, return_mask=True, workers=workers
+        )
+        assert np.array_equal(ref, got)
+        assert np.array_equal(mref, mgot)
+
+    @pytest.mark.parametrize("blend", BLENDS)
+    def test_tiles_straddling_every_stripe_boundary(self, blend):
+        """More stripes than tile rows: every tile crosses a boundary."""
+        load = textured_loader(2, 2, 32, 8)
+        gp = jittered_positions(2, 2, 24, 6, seed=3)
+        ref = compose(load, gp, (32, 8), blend)
+        # Canvas is ~56 rows; 16 stripes of ~4 rows each slice every
+        # 32-row tile into many stripe-local pieces.
+        got = compose(load, gp, (32, 8), blend, workers=16)
+        assert np.array_equal(ref, got)
+
+    def test_more_workers_than_canvas_rows(self):
+        load = textured_loader(1, 3, 4, 8)
+        gp = jittered_positions(1, 3, 0, 6, seed=4)
+        ref = compose(load, gp, (4, 8), BlendMode.LINEAR)
+        got = compose(load, gp, (4, 8), BlendMode.LINEAR, workers=64)
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("blend", [BlendMode.OVERLAY, BlendMode.AVERAGE])
+    def test_skip_tiles_and_mask(self, blend):
+        load = textured_loader(3, 3, 10, 10)
+        gp = jittered_positions(3, 3, 8, 8, seed=5)
+        skips = [(0, 1), (2, 2)]
+        ref, mref = compose(
+            load, gp, (10, 10), blend, skip_tiles=skips, return_mask=True
+        )
+        got, mgot = compose(
+            load, gp, (10, 10), blend, skip_tiles=skips, return_mask=True,
+            workers=4,
+        )
+        assert np.array_equal(ref, got)
+        assert np.array_equal(mref, mgot)
+        assert not mgot[0, 1] and not mgot[2, 2]
+
+    def test_load_failures_skipped_identically(self):
+        base = textured_loader(3, 3, 10, 10)
+
+        def load(r, c):
+            if (r, c) == (1, 1):
+                raise OSError("bad sector")
+            return base(r, c)
+
+        gp = jittered_positions(3, 3, 8, 8, seed=6)
+        ref, mref = compose(
+            load, gp, (10, 10), BlendMode.AVERAGE, on_tile_error="skip",
+            return_mask=True,
+        )
+        got, mgot = compose(
+            load, gp, (10, 10), BlendMode.AVERAGE, on_tile_error="skip",
+            return_mask=True, workers=3,
+        )
+        assert np.array_equal(ref, got)
+        assert np.array_equal(mref, mgot)
+        assert not mgot[1, 1]
+
+    def test_load_failures_abort_in_workers(self):
+        def load(r, c):
+            raise OSError("bad sector")
+
+        gp = jittered_positions(2, 2, 8, 8)
+        with pytest.raises(OSError):
+            compose(load, gp, (10, 10), BlendMode.OVERLAY, workers=2)
+
+    @pytest.mark.parametrize("blend", BLENDS)
+    def test_outline_and_dtype(self, blend):
+        load = textured_loader(2, 2, 12, 12)
+        gp = jittered_positions(2, 2, 9, 9, seed=7)
+        ref = compose(load, gp, (12, 12), blend, outline=True, dtype=np.float64)
+        got = compose(
+            load, gp, (12, 12), blend, outline=True, dtype=np.float64,
+            workers=3,
+        )
+        assert np.array_equal(ref, got)
+
+    def test_invalid_worker_count_rejected(self):
+        gp = jittered_positions(1, 1, 0, 0)
+        with pytest.raises(ValueError):
+            compose(lambda r, c: np.zeros((4, 4)), gp, (4, 4), workers=0)
+
+
+class TestPropertyIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.integers(1, 3),
+        cols=st.integers(1, 3),
+        step_y=st.integers(3, 14),
+        step_x=st.integers(3, 14),
+        workers=st.integers(2, 9),
+        blend=st.sampled_from(BLENDS),
+        seed=st.integers(0, 100),
+    )
+    def test_random_layouts(self, rows, cols, step_y, step_x, workers, blend,
+                            seed):
+        """Any layout (including heavy overlap when step < tile size), any
+        stripe count, any blend: striped == sequential, bit for bit."""
+        load = textured_loader(rows, cols, 12, 12, seed=seed)
+        gp = jittered_positions(rows, cols, step_y, step_x, seed=seed + 1)
+        ref = compose(load, gp, (12, 12), blend)
+        got = compose(load, gp, (12, 12), blend, workers=workers)
+        assert np.array_equal(ref, got)

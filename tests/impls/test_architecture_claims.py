@@ -27,10 +27,30 @@ class TestTransformReuse:
         assert res.stats["reads"] == 48
 
     def test_mt_cpu_redundancy_limited_to_band_boundaries(self, dataset_4x4):
-        res = MtCpu(workers=2).run(dataset_4x4)
+        """Legacy SPMD mode: each band re-reads the boundary row above."""
+        res = MtCpu(workers=2, share_boundaries=False).run(dataset_4x4)
         # 2 bands of a 4-row grid: exactly one duplicated boundary row.
         assert res.stats["reads"] == 16 + 4
         assert res.stats["boundary_refts"] == 4
+        assert res.stats["duplicated_boundary_reads"] == 4
+
+    def test_mt_cpu_shared_boundaries_no_redundancy(self, dataset_4x4):
+        """Default mode: boundary products are computed once and shared."""
+        res = MtCpu(workers=2).run(dataset_4x4)
+        assert res.stats["reads"] == 16
+        assert res.stats["ffts"] == 16
+        assert res.stats["boundary_refts"] == 0
+        assert res.stats["duplicated_boundary_reads"] == 0
+
+    def test_proc_cpu_no_redundancy(self, dataset_4x4):
+        """Process bands exchange boundary products through the arena."""
+        from repro.impls import ProcCpu
+
+        res = ProcCpu(workers=2).run(dataset_4x4)
+        assert res.stats["reads"] == 16
+        assert res.stats["ffts"] == 16
+        assert res.stats["duplicated_boundary_reads"] == 0
+        assert res.stats["process_workers"] == 2
 
     def test_pipelined_cpu_no_redundancy(self, dataset_4x4):
         res = PipelinedCpu(workers=3).run(dataset_4x4)

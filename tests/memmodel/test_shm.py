@@ -1,0 +1,221 @@
+"""Shared-memory arena lifecycle: no segment survives any exit path.
+
+POSIX shared memory outlives processes by design, so every exit path of
+the arena -- normal close, context manager, worker crash, even SIGKILL of
+the creating process -- must leave ``/dev/shm`` clean.  These tests assert
+that by name prefix via :func:`repro.memmodel.shm.leaked_segments`, the
+same check the chaos-smoke CI job runs.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.memmodel.shm import (
+    SHM_NAME_PREFIX,
+    SharedTileSlab,
+    ShmArena,
+    cleanup_stale,
+    leaked_segments,
+)
+
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="needs a /dev/shm view"
+)
+
+
+class TestSlab:
+    def test_roundtrip_and_views(self):
+        arena = ShmArena()
+        try:
+            slab = arena.slab("tiles", 3, (4, 5), np.float64)
+            slab.slot(1)[...] = 7.0
+            assert slab.array.shape == (3, 4, 5)
+            assert np.all(slab.slot(1) == 7.0)
+            assert np.all(slab.slot(0) == 0.0)  # POSIX shm zero-fill
+            # slot() is a view, not a copy.
+            slab.slot(2)[0, 0] = 1.5
+            assert slab.array[2, 0, 0] == 1.5
+        finally:
+            arena.close()
+
+    def test_attach_sees_creator_writes(self):
+        arena = ShmArena()
+        try:
+            slab = arena.slab("t", 2, (8,), np.complex128)
+            slab.slot(0)[...] = 3 + 4j
+            other = SharedTileSlab.attach(arena.spec()["t"])
+            try:
+                assert other.dtype == np.complex128
+                assert np.array_equal(other.slot(0), slab.slot(0))
+                other.slot(1)[...] = 9.0
+                assert np.all(slab.slot(1) == 9.0)
+            finally:
+                other.close()
+        finally:
+            arena.close()
+
+    def test_attacher_close_does_not_destroy_segment(self):
+        arena = ShmArena()
+        try:
+            slab = arena.slab("t", 1, (4,), np.float64)
+            attached = SharedTileSlab.attach(arena.spec()["t"])
+            attached.close()
+            # The creator's mapping must still be live and the segment
+            # still present under the prefix.
+            slab.slot(0)[...] = 2.0
+            assert leaked_segments(arena.prefix)
+        finally:
+            arena.close()
+
+    def test_slab_is_memoized_by_key(self):
+        with ShmArena() as arena:
+            a = arena.slab("x", 1, (2,), np.float64)
+            b = arena.slab("x", 1, (2,), np.float64)
+            assert a is b
+            assert arena.total_bytes == a.nbytes
+
+
+class TestArenaLifecycle:
+    def test_close_unlinks_everything(self):
+        arena = ShmArena()
+        arena.slab("a", 2, (16, 16), np.float64)
+        arena.slab("b", 1, (4,), np.int8)
+        assert len(leaked_segments(arena.prefix)) == 2
+        arena.close()
+        assert leaked_segments(arena.prefix) == []
+        arena.close()  # idempotent
+
+    def test_context_manager_unlinks_on_error(self):
+        prefix = None
+        with pytest.raises(RuntimeError):
+            with ShmArena() as arena:
+                prefix = arena.prefix
+                arena.slab("a", 1, (8,), np.float64)
+                raise RuntimeError("worker blew up")
+        assert leaked_segments(prefix) == []
+
+    def test_closed_arena_rejects_new_slabs(self):
+        arena = ShmArena()
+        arena.close()
+        with pytest.raises(RuntimeError):
+            arena.slab("late", 1, (1,), np.float64)
+
+    def test_worker_crash_leaves_parent_arena_usable(self):
+        """A forked worker dying must not unlink the parent's segments --
+        the attach-side resource-tracker deregistration in action."""
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork")
+        arena = ShmArena()
+        try:
+            slab = arena.slab("t", 1, (8,), np.float64)
+
+            def crash(spec):
+                s = SharedTileSlab.attach(spec)
+                s.slot(0)[...] = 5.0
+                os._exit(3)  # crash: no cleanup, no atexit
+
+            proc = mp.get_context("fork").Process(
+                target=crash, args=(slab.spec(),)
+            )
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == 3
+            # Parent still sees the segment and the worker's write.
+            assert leaked_segments(arena.prefix)
+            assert np.all(slab.slot(0) == 5.0)
+        finally:
+            arena.close()
+        assert leaked_segments(arena.prefix) == []
+
+    def test_sigkill_creator_segments_swept(self, tmp_path):
+        """SIGKILL the creating process: its resource tracker survives the
+        kill and sweeps the segments; nothing stays in /dev/shm."""
+        script = (
+            "import sys, time\n"
+            "from repro.memmodel.shm import ShmArena\n"
+            "import numpy as np\n"
+            "arena = ShmArena()\n"
+            "arena.slab('tiles', 4, (64, 64), np.float64)\n"
+            "print(arena.prefix, flush=True)\n"
+            "time.sleep(120)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            prefix = proc.stdout.readline().strip()
+            assert prefix.startswith(SHM_NAME_PREFIX)
+            assert leaked_segments(prefix), "child did not create its slab"
+            proc.kill()  # SIGKILL: no atexit, no finally
+            proc.wait(timeout=30)
+            # The tracker notices the dead creator asynchronously.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if not leaked_segments(prefix):
+                    break
+                time.sleep(0.1)
+            leftover = leaked_segments(prefix)
+            # Defensive sweep must also report/remove anything the tracker
+            # missed -- and either way the prefix ends up clean.
+            cleanup_stale(prefix)
+            assert leaked_segments(prefix) == [], (
+                f"segments survived SIGKILL + tracker sweep: {leftover}"
+            )
+            assert leftover == [], (
+                "resource tracker failed to sweep after SIGKILL "
+                f"(cleanup_stale had to remove {leftover})"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_cleanup_stale_removes_orphans(self):
+        """Last-resort sweep for a tracker that died with its process."""
+        prefix = f"{SHM_NAME_PREFIX}-test-{os.getpid()}"
+        seg = shared_memory.SharedMemory(name=f"{prefix}-orphan", create=True,
+                                         size=64)
+        seg.close()
+        assert leaked_segments(prefix) == [f"{prefix}-orphan"]
+        removed = cleanup_stale(prefix)
+        assert removed == [f"{prefix}-orphan"]
+        assert leaked_segments(prefix) == []
+
+
+def test_proc_cpu_run_leaves_no_segments(dataset_4x4):
+    """End-to-end: a proc-cpu run cleans up its whole arena."""
+    from repro.impls import ProcCpu
+
+    before = leaked_segments()
+    res = ProcCpu(workers=2).run(dataset_4x4)
+    assert res.stats["pairs"] == 24
+    assert leaked_segments() == before
+
+
+def test_striped_compose_leaves_no_segments(dataset_4x4, reference_displacements):
+    from repro.core.compose import BlendMode, compose
+    from repro.core.global_opt import resolve_absolute_positions
+
+    pos = resolve_absolute_positions(
+        reference_displacements.displacements, method="mst"
+    )
+    before = leaked_segments()
+    compose(dataset_4x4.load, pos, dataset_4x4.tile_shape,
+            blend=BlendMode.AVERAGE, workers=3)
+    assert leaked_segments() == before
