@@ -19,7 +19,6 @@ import json
 import os
 import sys
 import time
-import warnings
 from pathlib import Path
 
 import numpy as np
@@ -81,14 +80,6 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     from repro.io.dataset import TileDataset
     from repro.io.tiff import write_tiff
 
-    if args.real_transforms:
-        warnings.warn(
-            "--real-transforms is a deprecated no-op: half-spectrum (r2c) "
-            "transforms are the default; use --complex-transforms for the "
-            "full c2c escape hatch",
-            DeprecationWarning,
-            stacklevel=2,
-        )
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint DIR", file=sys.stderr)
         return 2
@@ -129,6 +120,15 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
         if args.trace:
             tracer = Tracer()
+    # Quality gate (docs/ROBUSTNESS.md): enabled by --quality-gate or by
+    # naming any of its knobs; off by default so positions stay
+    # bit-identical to ungated runs.
+    quality_on = (
+        args.quality_gate
+        or args.conf_thresh is not None
+        or args.residue_mode is not None
+        or args.min_peak_ratio is not None
+    )
     real_transforms = not args.complex_transforms
     stitcher = Stitcher(
         ccf_mode=CcfMode.PAPER4 if args.paper_faithful else CcfMode.EXTENDED,
@@ -139,6 +139,10 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         pad_to_smooth=args.pad,
         position_method=args.positions,
         refine=args.refine,
+        quality=quality_on,
+        conf_thresh=args.conf_thresh,
+        residue_mode=args.residue_mode,
+        min_peak_ratio=args.min_peak_ratio,
         planning=PlanningMode(args.planning),
         cache=cache,
         max_retries=args.max_retries,
@@ -205,12 +209,26 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
                 run.displacements, method=args.positions,
                 on_disconnected="nominal",
                 nominal_step=stitcher._nominal_step(dataset),
+                quality=stitcher.quality,
             )
         else:
             positions = resolve_absolute_positions(
-                run.displacements, method=args.positions
+                run.displacements, method=args.positions,
+                quality=stitcher.quality,
             )
         stats = dict(run.stats)
+        if positions.quality_report is not None:
+            stats["quality_report"] = positions.quality_report
+            if metrics is not None:
+                metrics.counter("quality.pairs_gated").inc(
+                    positions.quality_report.get("gated_pairs", 0)
+                )
+                metrics.counter("quality.irls_iterations").inc(
+                    positions.quality_report.get("irls_iterations", 0)
+                )
+                metrics.counter("quality.residue_damped_edges").inc(
+                    positions.quality_report.get("residue_damped_edges", 0)
+                )
         if report is not None:
             for rc in positions.degraded_tiles():
                 report.record_degraded_tile(rc)
@@ -245,6 +263,18 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     report = result.stats.get("fault_report")
     if report is not None and report:
         print(f"fault report: {report.summary()}")
+    quality_report = result.stats.get("quality_report")
+    if quality_report is not None:
+        reasons = ", ".join(
+            f"{k} x{v}" for k, v in sorted(quality_report["gate_reasons"].items())
+        ) or "none"
+        print(
+            f"quality gate: {quality_report['gated_pairs']}/"
+            f"{quality_report['pair_count']} pairs demoted ({reasons}); "
+            f"median confidence {quality_report['median_confidence']:.3f}; "
+            f"irls iterations {quality_report['irls_iterations']}, "
+            f"damped edges {quality_report['residue_damped_edges']}"
+        )
     if args.fault_report:
         plan = getattr(dataset, "fault_plan", None)
         payload = {
@@ -359,9 +389,6 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--peaks", type=int, default=2)
     s.add_argument("--paper-faithful", action="store_true",
                    help="Fig. 2 scheme verbatim: 1 peak, 4 interpretations")
-    s.add_argument("--real-transforms", action="store_true",
-                   help="deprecated no-op: half-spectrum (r2c) transforms "
-                        "are the default")
     s.add_argument("--complex-transforms", action="store_true",
                    help="full c2c transforms (escape hatch; doubles FFT "
                         "work and transform-pool memory)")
@@ -374,6 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--pad", action="store_true", help="pad FFTs to smooth sizes")
     s.add_argument("--refine", action="store_true",
                    help="stage-model filter + repair between phases 1 and 2")
+    s.add_argument("--quality-gate", action="store_true",
+                   help="score every pair (confidence, peak sharpness, "
+                        "stage-model deviation) and demote untrustworthy "
+                        "pairs to nominal-prior edges before phase 2 "
+                        "(docs/ROBUSTNESS.md); implied by the knobs below")
+    s.add_argument("--conf-thresh", type=float, default=None, metavar="C",
+                   help="demote pairs whose correlation falls below C "
+                        "(default 0.33; implies --quality-gate)")
+    s.add_argument("--residue-mode", choices=["none", "huber", "threshold"],
+                   default=None,
+                   help="IRLS damping of large residuals in the "
+                        "least_squares solver: huber re-weights, threshold "
+                        "hard-rejects (default none; implies --quality-gate)")
+    s.add_argument("--min-peak-ratio", type=float, default=None, metavar="R",
+                   help="demote pairs whose first/second correlation-peak "
+                        "magnitude ratio falls below R (default 1.0 = off; "
+                        "implies --quality-gate)")
     s.add_argument("--positions", choices=["mst", "least_squares"], default="mst")
     s.add_argument("--positions-json", type=Path)
     s.add_argument("--planning",

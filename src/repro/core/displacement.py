@@ -37,6 +37,11 @@ class Translation:
     ty: int
     tx_f: float | None = None
     ty_f: float | None = None
+    #: First-to-second phase-correlation peak-magnitude ratio (peak
+    #: sharpness), a quality signal for the phase-2 confidence gate.
+    #: ``None`` when unavailable (``n_peaks == 1`` runs, older journals,
+    #: repaired translations).
+    peak_ratio: float | None = None
 
     @property
     def fx(self) -> float:
@@ -51,8 +56,10 @@ class Translation:
     @staticmethod
     def from_pciam(r: PciamResult, subpixel: bool = False) -> "Translation":
         if subpixel:
-            return Translation(r.correlation, r.tx, r.ty, r.tx_f, r.ty_f)
-        return Translation(r.correlation, r.tx, r.ty)
+            return Translation(r.correlation, r.tx, r.ty, r.tx_f, r.ty_f,
+                               peak_ratio=r.peak_ratio)
+        return Translation(r.correlation, r.tx, r.ty,
+                           peak_ratio=r.peak_ratio)
 
 
 @dataclass

@@ -11,12 +11,25 @@ implemented here:
     overlaps) are simply never selected when any better path exists.
 ``least_squares``
     Global adjustment: minimize ``sum_ij w_ij * ||p_j - p_i - d_ij||^2``
-    over all edges, with correlation-derived weights, anchored at tile
+    over all edges, with confidence-derived weights, anchored at tile
     (0, 0).  This is the "global optimization approach to adjust them to a
     path invariant state" the paper describes; it uses every measurement
     instead of discarding the off-tree ones.
 
 Both return integer pixel positions normalized so ``min == (0, 0)``.
+
+Robustness (docs/ROBUSTNESS.md): with a
+:class:`~repro.core.quality_gate.QualityConfig`, every pair is scored by
+:func:`~repro.core.quality_gate.assess_quality` first.  Gated pairs --
+low correlation, diffuse correlation peak, or stage-model outliers -- are
+*demoted* to nominal-prior edges: their measured (garbage) translation is
+replaced by the stage model's median step at a token weight, so they keep
+the graph connected without pulling on their neighbours.  The
+least-squares solver additionally supports IRLS residue damping
+(``residue_mode: huber | threshold``): after each solve, edges with large
+residuals are down-weighted and the system is re-solved until the weights
+converge.  Non-finite correlations are always clamped to a finite floor
+before any weight is derived from them.
 
 Degraded operation: when phase 1 dropped tiles (fault tolerance), the
 displacement graph may be disconnected.  ``on_disconnected="nominal"``
@@ -36,7 +49,13 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.core.displacement import DisplacementResult
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.quality_gate import (
+    QualityAssessment,
+    QualityConfig,
+    assess_quality,
+    finite_correlation,
+)
 
 
 @dataclass
@@ -56,6 +75,10 @@ class GlobalPositions:
     #: fallback (tile disconnected from the anchor component).  ``None``
     #: when the graph was fully connected.
     degraded: np.ndarray | None = None
+    #: JSON-able gating/IRLS summary when a quality gate ran (pair
+    #: counts, gate reasons, stage models, IRLS iterations and damped
+    #: edge counts); ``None`` for ungated solves.
+    quality_report: dict | None = None
 
     @property
     def rows(self) -> int:
@@ -81,15 +104,15 @@ class GlobalPositions:
 
 
 def _edges(disp: DisplacementResult):
-    """Yield ``(u, v, translation)`` with u the west/north neighbour of v."""
+    """Yield ``(u, v, translation, direction)``; u is v's west/north peer."""
     for r in range(disp.rows):
         for c in range(disp.cols):
             t = disp.west[r][c]
             if t is not None:
-                yield (r, c - 1), (r, c), t
+                yield (r, c - 1), (r, c), t, "west"
             t = disp.north[r][c]
             if t is not None:
-                yield (r - 1, c), (r, c), t
+                yield (r - 1, c), (r, c), t, "north"
 
 
 def _normalize(pos: np.ndarray) -> np.ndarray:
@@ -101,11 +124,52 @@ def _normalize_f(pos: np.ndarray) -> np.ndarray:
     return pos - pos.reshape(-1, 2).min(axis=0)
 
 
-def _build_graph(disp: DisplacementResult) -> "nx.Graph":
+def _nominal_prior_translation(
+    assessment: QualityAssessment, direction: str
+) -> Translation | None:
+    """The stage model's step as a demoted edge's replacement value."""
+    nominal = assessment.nominal_translation(direction)
+    if nominal is None:
+        return None
+    dy, dx = nominal
+    return Translation(
+        correlation=0.0, tx=int(round(dx)), ty=int(round(dy)),
+        tx_f=float(dx), ty_f=float(dy),
+    )
+
+
+def _build_graph(
+    disp: DisplacementResult,
+    assessment: QualityAssessment | None = None,
+) -> "nx.Graph":
+    """The displacement graph with confidence-derived MST weights.
+
+    The maximum-confidence spanning tree is the minimum of
+    ``1 - confidence``, where confidence is the finite-clamped
+    correlation -- identical to the historical ``1 - correlation``
+    weight on clean (finite, ungated) data.  A non-finite correlation
+    previously produced a NaN weight, silently corrupting spanning-tree
+    selection; it now clamps to the floor (weight 2.0).  With an
+    ``assessment``, gated pairs carry a penalty offset of 2.0 so any
+    measured edge beats any demoted one, and their translation is
+    replaced by the stage model's nominal step so a tree forced through
+    one (connectivity) places the tile on the stage grid instead of at
+    the garbage measurement.
+    """
     g = nx.Graph()
-    for u, v, t in _edges(disp):
-        # Maximum-correlation spanning tree == minimum of (1 - corr).
-        g.add_edge(u, v, weight=1.0 - t.correlation, translation=t, forward=(u, v))
+    for u, v, t, direction in _edges(disp):
+        confidence = finite_correlation(t.correlation)
+        weight = 1.0 - confidence
+        if assessment is not None:
+            q = assessment.quality(direction, v[0], v[1])
+            if q is not None and q.gated:
+                prior = _nominal_prior_translation(assessment, direction)
+                if prior is not None:
+                    t = prior
+                # Any ungated edge (weight <= 2.0) is preferred to any
+                # gated one; among gated edges, higher confidence wins.
+                weight = 2.0 + (1.0 - confidence)
+        g.add_edge(u, v, weight=weight, translation=t, forward=(u, v))
     for r in range(disp.rows):
         for c in range(disp.cols):
             g.add_node((r, c))
@@ -156,8 +220,9 @@ def _mst_positions(
     subpixel: bool = False,
     on_disconnected: str = "error",
     nominal_step=None,
+    assessment: QualityAssessment | None = None,
 ) -> GlobalPositions:
-    g = _build_graph(disp)
+    g = _build_graph(disp, assessment)
     connected = disp.rows * disp.cols <= 1 or nx.is_connected(g)
     if not connected and on_disconnected != "nominal":
         raise ValueError("displacement graph is disconnected; cannot stitch")
@@ -169,6 +234,7 @@ def _mst_positions(
     degraded = np.zeros((disp.rows, disp.cols), dtype=bool)
     seen: set = set()
     total_corr = 0.0
+    gated_in_tree = 0
     # Anchor component: rooted at (0, 0).  Every other component is rooted
     # at its smallest (row, col) member, anchored on the nominal grid.
     roots = [(0, 0)]
@@ -199,14 +265,40 @@ def _mst_positions(
                 pos[v] = pos[u] + sign * np.array([dy, dx], dtype=np.float64)
                 degraded[v] = degraded[root]
                 total_corr += t.correlation
+                if data["weight"] > 2.0:
+                    gated_in_tree += 1
                 stack.append(v)
+    quality_report = None
+    if assessment is not None:
+        quality_report = assessment.report()
+        quality_report["gated_edges_in_tree"] = gated_in_tree
     return GlobalPositions(
         positions=_normalize(pos),
         method="mst",
         spanning_tree_correlation=total_corr,
         positions_f=_normalize_f(pos) if subpixel else None,
         degraded=degraded if degraded.any() else None,
+        quality_report=quality_report,
     )
+
+
+def _residue_damping(
+    residuals: np.ndarray, mode: str, residue_len: float
+) -> np.ndarray:
+    """Per-edge IRLS damping factors in ``(0, 1]`` from residual lengths.
+
+    ``huber`` is the classic Huber IRLS weight (quadratic inside the
+    delta, linear beyond: weight ``residue_len / |r|``); ``threshold``
+    collapses offending edges to a token weight, the hard-rejection
+    analogue.
+    """
+    if mode == "huber":
+        return np.minimum(
+            1.0, residue_len / np.maximum(residuals, 1e-12)
+        )
+    if mode == "threshold":
+        return np.where(residuals <= residue_len, 1.0, 1e-3)
+    raise ValueError(f"unknown residue mode {mode!r}")
 
 
 def _least_squares_positions(
@@ -215,13 +307,14 @@ def _least_squares_positions(
     subpixel: bool = False,
     on_disconnected: str = "error",
     nominal_step=None,
+    assessment: QualityAssessment | None = None,
 ) -> GlobalPositions:
     n = disp.rows * disp.cols
 
     def idx(rc) -> int:
         return rc[0] * disp.cols + rc[1]
 
-    g = _build_graph(disp)
+    g = _build_graph(disp, assessment)
     connected = n <= 1 or nx.is_connected(g)
     if not connected and on_disconnected != "nominal":
         raise ValueError("displacement graph is disconnected; cannot stitch")
@@ -235,45 +328,124 @@ def _least_squares_positions(
             degraded[rc] = True
     step = estimate_nominal_step(disp, nominal_step) if off_anchor else None
 
-    rows_a, cols_a, vals, b_y, b_x = [], [], [], [], []
-    eq = 0
-    for u, v, t in _edges(disp):
-        w = max(min_weight, (t.correlation + 1.0) / 2.0)
-        rows_a += [eq, eq]
-        cols_a += [idx(v), idx(u)]
-        vals += [w, -w]
+    cfg = assessment.config if assessment is not None else None
+
+    # Per-edge system data.  Gated pairs are demoted: their measurement is
+    # replaced by the stage model's nominal step at a token weight, so the
+    # graph stays connected without the garbage value pulling on anyone.
+    e_iu: list[int] = []
+    e_iv: list[int] = []
+    e_w: list[float] = []
+    e_dy: list[float] = []
+    e_dx: list[float] = []
+    e_gated: list[bool] = []
+    for u, v, t, direction in _edges(disp):
+        gated = False
+        if assessment is not None:
+            q = assessment.quality(direction, v[0], v[1])
+            if q is not None and q.gated:
+                prior = _nominal_prior_translation(assessment, direction)
+                if prior is not None:
+                    t = prior
+                    gated = True
+        if gated:
+            w = cfg.gate_weight
+        else:
+            # Clamp first: the historical expression fed a NaN correlation
+            # straight into max(), surviving only by argument order.
+            confidence = finite_correlation(t.correlation)
+            w = max(min_weight, (confidence + 1.0) / 2.0)
         dy, dx = (t.fy, t.fx) if subpixel else (float(t.ty), float(t.tx))
-        b_y.append(w * dy)
-        b_x.append(w * dx)
-        eq += 1
-    # Anchor tile (0,0) at the origin to pin the translation gauge freedom.
-    rows_a.append(eq)
-    cols_a.append(0)
-    vals.append(1.0)
-    b_y.append(0.0)
-    b_x.append(0.0)
-    eq += 1
-    # Weak nominal prior for tiles cut off from the anchor component: pins
-    # their otherwise-free gauge to the nominal grid without measurably
-    # perturbing the measured edges (weight 1e-6 vs >= min_weight).
+        e_iu.append(idx(u))
+        e_iv.append(idx(v))
+        e_w.append(w)
+        e_dy.append(dy)
+        e_dx.append(dx)
+        e_gated.append(gated)
+
+    n_edges = len(e_w)
+    base_w = np.asarray(e_w, dtype=np.float64)
+    arr_dy = np.asarray(e_dy, dtype=np.float64)
+    arr_dx = np.asarray(e_dx, dtype=np.float64)
+    gated_mask = np.asarray(e_gated, dtype=bool)
+    iu = np.asarray(e_iu, dtype=np.int64)
+    iv = np.asarray(e_iv, dtype=np.int64)
+
+    # Extra rows appended after the edge equations: the gauge anchor and
+    # (under degraded operation) the weak nominal priors for tiles cut off
+    # from the anchor component (weight 1e-6: pins their otherwise-free
+    # gauge to the nominal grid without measurably perturbing the
+    # measured edges).
+    extra_cols: list[int] = [0]
+    extra_vals: list[float] = [1.0]
+    extra_by: list[float] = [0.0]
+    extra_bx: list[float] = [0.0]
     for rc in off_anchor:
         nominal = _nominal_position(rc, step)
-        rows_a.append(eq)
-        cols_a.append(idx(rc))
-        vals.append(1e-6)
-        b_y.append(1e-6 * nominal[0])
-        b_x.append(1e-6 * nominal[1])
-        eq += 1
+        extra_cols.append(idx(rc))
+        extra_vals.append(1e-6)
+        extra_by.append(1e-6 * nominal[0])
+        extra_bx.append(1e-6 * nominal[1])
 
-    a = sp.csr_matrix((vals, (rows_a, cols_a)), shape=(eq, n))
-    y = spla.lsqr(a, np.asarray(b_y), atol=1e-12, btol=1e-12)[0]
-    x = spla.lsqr(a, np.asarray(b_x), atol=1e-12, btol=1e-12)[0]
+    def solve(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        rows_a: list[int] = []
+        cols_a: list[int] = []
+        vals: list[float] = []
+        b_y: list[float] = []
+        b_x: list[float] = []
+        eq = 0
+        for e in range(n_edges):
+            w = weights[e]
+            rows_a += [eq, eq]
+            cols_a += [int(iv[e]), int(iu[e])]
+            vals += [w, -w]
+            b_y.append(w * arr_dy[e])
+            b_x.append(w * arr_dx[e])
+            eq += 1
+        for col, val, by, bx in zip(extra_cols, extra_vals, extra_by, extra_bx):
+            rows_a.append(eq)
+            cols_a.append(col)
+            vals.append(val)
+            b_y.append(by)
+            b_x.append(bx)
+            eq += 1
+        a = sp.csr_matrix((vals, (rows_a, cols_a)), shape=(eq, n))
+        y = spla.lsqr(a, np.asarray(b_y), atol=1e-12, btol=1e-12)[0]
+        x = spla.lsqr(a, np.asarray(b_x), atol=1e-12, btol=1e-12)[0]
+        return y, x
+
+    residue_mode = cfg.residue_mode if cfg is not None else "none"
+    damp = np.ones(n_edges, dtype=np.float64)
+    irls_iterations = 0
+    y, x = solve(base_w)
+    if residue_mode != "none" and n_edges:
+        # IRLS: damp edges whose residual exceeds the Huber delta /
+        # threshold and re-solve until the damping stabilizes.  Demoted
+        # (nominal-prior) edges are exempt -- they are already priors.
+        for _ in range(cfg.max_irls_iterations):
+            res_y = (y[iv] - y[iu]) - arr_dy
+            res_x = (x[iv] - x[iu]) - arr_dx
+            residuals = np.hypot(res_y, res_x)
+            new_damp = _residue_damping(residuals, residue_mode, cfg.residue_len)
+            new_damp[gated_mask] = 1.0
+            delta = float(np.max(np.abs(new_damp - damp)))
+            if delta <= cfg.irls_tol:
+                break
+            damp = new_damp
+            irls_iterations += 1
+            y, x = solve(base_w * damp)
     pos = np.stack([y, x], axis=-1).reshape(disp.rows, disp.cols, 2)
+    quality_report = None
+    if assessment is not None:
+        quality_report = assessment.report()
+        quality_report["irls_iterations"] = irls_iterations
+        quality_report["residue_damped_edges"] = int((damp < 1.0).sum())
     return GlobalPositions(
         positions=_normalize(pos),
         method="least_squares",
         positions_f=_normalize_f(pos) if subpixel else None,
         degraded=degraded if degraded.any() else None,
+        quality_report=quality_report,
     )
 
 
@@ -283,6 +455,7 @@ def resolve_absolute_positions(
     subpixel: bool = False,
     on_disconnected: str = "error",
     nominal_step: tuple[tuple[float, float], tuple[float, float]] | None = None,
+    quality: QualityConfig | None = None,
 ) -> GlobalPositions:
     """Phase 2 entry point; ``method`` is ``"mst"`` or ``"least_squares"``.
 
@@ -297,6 +470,16 @@ def resolve_absolute_positions(
     (step from :func:`estimate_nominal_step`, seeded by ``nominal_step``
     metadata when the surviving edges cannot define it) and flags its
     tiles in ``GlobalPositions.degraded``.
+
+    ``quality`` enables the registration quality gate
+    (:mod:`repro.core.quality_gate`): pairs failing the confidence /
+    peak-sharpness / stage-model gates are demoted to nominal-prior
+    edges, solver weights become confidence-derived, and -- for the
+    least-squares method -- ``residue_mode`` selects Huber or threshold
+    IRLS damping of large residuals.  The gating/IRLS summary lands in
+    ``GlobalPositions.quality_report``.  With the default gate and clean
+    data, nothing gates and positions are bit-identical to ``quality=
+    None``.
     """
     if on_disconnected not in ("error", "nominal"):
         raise ValueError(
@@ -309,14 +492,17 @@ def resolve_absolute_positions(
             raise ValueError(
                 "no displacements computed and no nominal_step to fall back on"
             )
+    assessment = assess_quality(disp, quality) if quality is not None else None
     if method == "mst":
         return _mst_positions(
             disp, subpixel=subpixel,
             on_disconnected=on_disconnected, nominal_step=nominal_step,
+            assessment=assessment,
         )
     if method == "least_squares":
         return _least_squares_positions(
             disp, subpixel=subpixel,
             on_disconnected=on_disconnected, nominal_step=nominal_step,
+            assessment=assessment,
         )
     raise ValueError(f"unknown method {method!r} (use 'mst' or 'least_squares')")

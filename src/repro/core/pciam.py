@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.ccf import ccf_at, subpixel_refine
 from repro.core.ncc import normalized_correlation
-from repro.core.peak import peak_candidates, top_peaks
+from repro.core.peak import peak_candidates, peak_magnitude_ratio, top_peaks
 from repro.core.tilestats import TileStats, ccf_at_stats, subpixel_refine_stats
 from repro.fftlib.plans import PlanCache, PlanningMode, TransformKind, default_cache
 from repro.fftlib.smooth import next_smooth_shape, pad_to_shape
@@ -53,6 +53,10 @@ class PciamResult:
     peak_index: tuple[int, int]  # (py, px) in the transform grid
     tx_f: float = 0.0
     ty_f: float = 0.0
+    #: First-to-second peak-magnitude ratio (peak sharpness): a diffuse
+    #: correlation surface has a ratio near 1, a decisive one well above
+    #: it.  ``None`` when only one peak was reduced (``n_peaks == 1``).
+    peak_ratio: float | None = None
 
     def __iter__(self):
         yield self.correlation
@@ -264,6 +268,7 @@ def pciam(
     inv = plan.execute(ncc, overwrite_input=overwrite)
     peaks = top_peaks(inv, n_peaks, mag_out=peak_mag)
     peak_val, py, px = peaks[0]
+    peak_ratio = peak_magnitude_ratio([m for m, _, _ in peaks])
 
     if use_tile_stats:
         if stats_i is None:
@@ -303,4 +308,5 @@ def pciam(
         peak_index=(py, px),
         tx_f=tx_f,
         ty_f=ty_f,
+        peak_ratio=peak_ratio,
     )

@@ -55,6 +55,24 @@ def top_peaks(
     return out
 
 
+def peak_magnitude_ratio(magnitudes) -> float | None:
+    """First-to-second peak-magnitude ratio, the peak-sharpness score.
+
+    ``magnitudes`` must be ordered decreasing (as :func:`top_peaks`
+    returns them).  A decisive correlation surface concentrates energy
+    in one peak (ratio well above 1); a diffuse surface -- blank or
+    saturated overlap, sparse content -- spreads it (ratio near 1).
+    Returns ``None`` when fewer than two peaks were reduced, and
+    ``inf`` when the runner-up magnitude is zero.
+    """
+    if len(magnitudes) < 2:
+        return None
+    first, second = float(magnitudes[0]), float(magnitudes[1])
+    if second <= 0.0:
+        return float("inf")
+    return first / second
+
+
 def peak_candidates(
     py: int,
     px: int,

@@ -15,7 +15,7 @@ order and the phase-2 solver are all options with paper-faithful defaults.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.core.compose import BlendMode, compose
 from repro.core.displacement import DisplacementResult, compute_grid_displacements
 from repro.core.global_opt import GlobalPositions, resolve_absolute_positions
 from repro.core.pciam import CcfMode, smooth_fft_shape
+from repro.core.quality_gate import QualityConfig
 from repro.core.refine import RefineConfig, refine_displacements
 from repro.faults.report import FaultReport
 from repro.fftlib.plans import PlanCache, PlanningMode
@@ -160,6 +161,10 @@ class Stitcher:
         pad_to_smooth: bool = False,
         position_method: str = "mst",
         refine: bool | RefineConfig = False,
+        quality: QualityConfig | bool | None = None,
+        conf_thresh: float | None = None,
+        residue_mode: str | None = None,
+        min_peak_ratio: float | None = None,
         planning: PlanningMode = PlanningMode.ESTIMATE,
         cache: PlanCache | None = None,
         max_retries: int = 0,
@@ -188,6 +193,28 @@ class Stitcher:
         if refine is True:
             refine = RefineConfig()
         self.refine: RefineConfig | None = refine or None
+        # ``quality`` enables the phase-2 registration quality gate
+        # (docs/ROBUSTNESS.md): True for the default gate, a QualityConfig
+        # for tuned gating, or None/False to solve exactly as before (the
+        # default -- positions stay bit-identical to ungated runs).  The
+        # convenience knobs mirror the CLI flags; passing any of them
+        # turns the gate on.
+        if quality is True:
+            quality = QualityConfig()
+        elif quality is False:
+            quality = None
+        overrides = {
+            k: v
+            for k, v in (
+                ("conf_thresh", conf_thresh),
+                ("residue_mode", residue_mode),
+                ("min_peak_ratio", min_peak_ratio),
+            )
+            if v is not None
+        }
+        if overrides:
+            quality = replace(quality or QualityConfig(), **overrides)
+        self.quality: QualityConfig | None = quality
         self.planning = planning
         self.cache = cache
         if on_tile_error not in ("abort", "skip"):
@@ -348,10 +375,12 @@ class Stitcher:
                     subpixel=self.subpixel,
                     on_disconnected="nominal",
                     nominal_step=self._nominal_step(dataset),
+                    quality=self.quality,
                 )
             else:
                 pos = resolve_absolute_positions(
-                    disp, method=self.position_method, subpixel=self.subpixel
+                    disp, method=self.position_method, subpixel=self.subpixel,
+                    quality=self.quality,
                 )
         t2 = time.perf_counter()
         if journal is not None:
@@ -365,6 +394,18 @@ class Stitcher:
             )
             stats["journal"] = journal.summary()
             journal.close()
+        if pos.quality_report is not None:
+            stats["quality_report"] = pos.quality_report
+            if self.metrics is not None:
+                self.metrics.counter("quality.pairs_gated").inc(
+                    pos.quality_report.get("gated_pairs", 0)
+                )
+                self.metrics.counter("quality.irls_iterations").inc(
+                    pos.quality_report.get("irls_iterations", 0)
+                )
+                self.metrics.counter("quality.residue_damped_edges").inc(
+                    pos.quality_report.get("residue_damped_edges", 0)
+                )
         if report is not None:
             for rc in pos.degraded_tiles():
                 report.record_degraded_tile(rc)

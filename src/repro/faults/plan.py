@@ -32,6 +32,8 @@ from enum import Enum
 from random import Random
 from typing import Any
 
+import numpy as np
+
 from repro.io.tiff import TiffError
 from repro.memmodel.pool import PoolExhausted
 
@@ -45,6 +47,21 @@ class FaultKind(str, Enum):
     STAGE_ERROR = "stage_error"    # handler exception in a named stage
     HANG = "hang"                  # operation blocks until cancelled (or a bound)
     STALL = "stall"                # named stage silently swallows items
+    # Data-level kinds (docs/ROBUSTNESS.md): the read *succeeds* but the
+    # pixels mislead registration -- the class of dirty data the
+    # phase-2 quality gate exists for.
+    DUST = "dust"                  # occluding blobs -> overlap contents disagree
+    SATURATE = "saturate"          # blown-out exposure -> featureless overlap
+    SHIFT = "shift"                # content shifted -> confident wrong offset
+
+
+#: Per-kind RNG stream salt so a tile damaged by several data faults
+#: draws independent randomness for each.
+_DATA_KIND_SALT = {
+    FaultKind.DUST: 101,
+    FaultKind.SATURATE: 102,
+    FaultKind.SHIFT: 103,
+}
 
 
 @dataclass(frozen=True)
@@ -142,6 +159,9 @@ class FaultPlan:
         "transient": FaultKind.TRANSIENT_IO,
         "slow": FaultKind.SLOW_READ,
         "hang": FaultKind.HANG,
+        "dust": FaultKind.DUST,
+        "saturate": FaultKind.SATURATE,
+        "shift": FaultKind.SHIFT,
     }
     _SPEC_STAGE_KINDS = {
         "stall": FaultKind.STALL,
@@ -368,6 +388,41 @@ class FaultPlan:
                 if fire:
                     self._hang(fault.latency)
 
+    _DATA_KINDS = (FaultKind.DUST, FaultKind.SATURATE, FaultKind.SHIFT)
+
+    def transform_tile(self, row: int, col: int, pixels, level: float):
+        """Apply this plan's data-level faults to freshly read pixels.
+
+        Called by :class:`FaultyDataset` *after* a successful read;
+        returns the (possibly damaged) pixel array.  ``level`` is the
+        sensor full-scale count saturation clips to.  Damage is a pure
+        function of ``(plan seed, tile index, fault kind)``, so repeated
+        reads of the same tile -- retries, band-partitioned
+        implementations, resumed runs -- see identical pixels.
+        """
+        from repro.synth.noise import (
+            apply_content_shift,
+            apply_dust,
+            apply_saturation,
+        )
+
+        for fault in self.faults_for_tile(row, col):
+            if fault.kind not in self._DATA_KINDS:
+                continue
+            with self._lock:
+                attempt = self._next_attempt((id(fault), row, col))
+                self._record(fault, attempt)
+            rng = np.random.default_rng(
+                (self.seed, row, col, _DATA_KIND_SALT[fault.kind])
+            )
+            if fault.kind is FaultKind.DUST:
+                pixels = apply_dust(pixels, rng)
+            elif fault.kind is FaultKind.SATURATE:
+                pixels = apply_saturation(pixels, level)
+            elif fault.kind is FaultKind.SHIFT:
+                pixels = apply_content_shift(pixels, rng)
+        return pixels
+
     def before_acquire(self) -> None:
         """Raise :class:`PoolExhausted` per pending pool faults."""
         for fault in self.faults:
@@ -406,8 +461,21 @@ class FaultyDataset:
     def load(self, row: int, col: int, dtype=None, **kw):
         self.fault_plan.before_load(row, col, self._dataset.path(row, col))
         if dtype is None:
-            return self._dataset.load(row, col, **kw)
-        return self._dataset.load(row, col, dtype=dtype, **kw)
+            pixels = self._dataset.load(row, col, **kw)
+        else:
+            pixels = self._dataset.load(row, col, dtype=dtype, **kw)
+        if not any(
+            f.kind in FaultPlan._DATA_KINDS and f.tile == (row, col)
+            for f in self.fault_plan.faults
+        ):
+            return pixels
+        # Data-level damage rides on top of the real read; the saturation
+        # level is the acquisition's full-scale count so the clip lands
+        # at the same value whatever dtype the caller asked for.
+        meta = getattr(self._dataset, "metadata", None)
+        bit_depth = int(getattr(meta, "bit_depth", 16) or 16)
+        level = float((1 << bit_depth) - 1)
+        return self.fault_plan.transform_tile(row, col, pixels, level)
 
 
 class FaultyPool:

@@ -171,6 +171,7 @@ def _journal_lookup(impl, direction: Direction, r: int, c: int):
     return Translation(
         correlation=rec["correlation"], tx=rec["tx"], ty=rec["ty"],
         tx_f=rec["tx_f"], ty_f=rec["ty_f"],
+        peak_ratio=rec.get("peak_ratio"),
     )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.ccf import ccf_at
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.peak import peak_candidates
+from repro.core.peak import peak_candidates, peak_magnitude_ratio
 from repro.core.pciam import CcfMode
 from repro.core.tilestats import TileStats, ccf_at_stats
 from repro.fftlib.plans import spectrum_shape
@@ -226,7 +226,8 @@ class SimpleGpu(Implementation):
                             best = (c, tx, ty)
                 host_op("ccf", self.host_costs.ccf(hw))
                 corr, tx, ty = best
-                t = Translation(float(corr), int(tx), int(ty))
+                ratio = peak_magnitude_ratio([m for m, _ in peaks])
+                t = Translation(float(corr), int(tx), int(ty), peak_ratio=ratio)
                 disp.set(pair.direction, pair.second.row, pair.second.col, t)
                 self._journal_record(
                     pair.direction, pair.second.row, pair.second.col, t

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import os
 import threading
 import zlib
@@ -44,7 +45,7 @@ JOURNAL_VERSION = 1
 
 #: Keys of :class:`~repro.core.displacement.Translation` fields in a pair
 #: record, in serialization order.
-_PAIR_FIELDS = ("correlation", "tx", "ty", "tx_f", "ty_f")
+_PAIR_FIELDS = ("correlation", "tx", "ty", "tx_f", "ty_f", "peak_ratio")
 
 
 class JournalError(RuntimeError):
@@ -65,6 +66,16 @@ class JournalMismatch(JournalError):
 
 def _canonical(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _finite_or_none(value) -> float | None:
+    """Optional float for JSON: ``inf``/NaN (a peak ratio with a zero
+    runner-up) would serialize as non-standard JSON, so they journal as
+    null -- which the quality gate treats as "no ratio recorded"."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
 
 
 def _crc(payload: dict) -> int:
@@ -394,6 +405,7 @@ class RunJournal:
             "tx": int(t.tx), "ty": int(t.ty),
             "tx_f": None if t.tx_f is None else float(t.tx_f),
             "ty_f": None if t.ty_f is None else float(t.ty_f),
+            "peak_ratio": _finite_or_none(t.peak_ratio),
         })
         self.recorded_pairs += 1
         if self.metrics is not None:
@@ -433,6 +445,9 @@ class RunJournal:
         return Translation(
             correlation=rec["correlation"], tx=rec["tx"], ty=rec["ty"],
             tx_f=rec["tx_f"], ty_f=rec["ty_f"],
+            # Journals written before the quality gate existed have no
+            # peak_ratio key; they replay with the gate-neutral None.
+            peak_ratio=rec.get("peak_ratio"),
         )
 
     def milestone(self, name: str) -> dict | None:
@@ -521,6 +536,7 @@ class JournalAppender:
             "tx": int(t.tx), "ty": int(t.ty),
             "tx_f": None if t.tx_f is None else float(t.tx_f),
             "ty_f": None if t.ty_f is None else float(t.ty_f),
+            "peak_ratio": _finite_or_none(t.peak_ratio),
         })
         self.recorded_pairs += 1
 

@@ -73,3 +73,86 @@ class CameraModel:
 
 
 NOISELESS = CameraModel(vignette=0.0, shot_noise=0.0, read_noise=0.0)
+
+
+# -- data-level damage (docs/ROBUSTNESS.md) ---------------------------------
+#
+# These model *content* faults rather than I/O faults: the tile reads
+# fine, but what is in it misleads registration.  All are deterministic
+# functions of the supplied generator and dtype-agnostic (they preserve
+# the input dtype), so a seeded fault plan replays bit-identically at
+# whatever precision the pipeline loads tiles in.
+
+
+def apply_dust(
+    pixels: np.ndarray,
+    rng: np.random.Generator,
+    blobs: int = 8,
+    radius_frac: float = 0.18,
+    opacity: float = 0.95,
+) -> np.ndarray:
+    """Dark occluding blobs: dust or debris on the slide or optics.
+
+    Each blob multiplies the covered pixels by ``1 - opacity``.  Dust is
+    *per exposure*, so the same specimen point in the overlapping
+    neighbour is unobstructed -- the overlap contents disagree and the
+    pair's correlation collapses.
+    """
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D tile, got shape {pixels.shape}")
+    out = pixels.astype(np.float64)
+    h, w = out.shape
+    yy = np.arange(h, dtype=np.float64)[:, None]
+    xx = np.arange(w, dtype=np.float64)[None, :]
+    for _ in range(blobs):
+        cy = rng.uniform(0.0, h)
+        cx = rng.uniform(0.0, w)
+        r = rng.uniform(0.5, 1.0) * radius_frac * min(h, w)
+        mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= r * r
+        out[mask] *= 1.0 - opacity
+    return out.astype(pixels.dtype)
+
+
+def apply_saturation(
+    pixels: np.ndarray,
+    level: float,
+    fraction: float = 0.85,
+) -> np.ndarray:
+    """Blown-out exposure: the brightest ``fraction`` of pixels clip to
+    ``level`` (the sensor's full-scale count).
+
+    Clipping destroys the texture the phase correlation keys on, leaving
+    a nearly flat tile whose every candidate offset correlates equally
+    badly.
+    """
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D tile, got shape {pixels.shape}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    out = pixels.astype(np.float64)
+    thresh = np.quantile(out, 1.0 - fraction)
+    out[out >= thresh] = float(level)
+    return out.astype(pixels.dtype)
+
+
+def apply_content_shift(
+    pixels: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: int | None = None,
+) -> np.ndarray:
+    """Circularly shift the tile contents by a large random offset.
+
+    Models a stage glitch / wrong-well acquisition: the tile is sharp
+    and textured, so phase correlation locks on *confidently* -- at an
+    offset that is wrong by the shift.  This is the fault class the
+    stage-model deviation gate exists for (a confidence threshold alone
+    cannot see it).
+    """
+    if pixels.ndim != 2:
+        raise ValueError(f"expected a 2-D tile, got shape {pixels.shape}")
+    h, w = pixels.shape
+    if magnitude is None:
+        magnitude = max(16, min(h, w) // 4)
+    dy = int(magnitude) * (1 if rng.integers(0, 2) else -1)
+    dx = int(magnitude) * (1 if rng.integers(0, 2) else -1)
+    return np.roll(pixels, (dy, dx), axis=(0, 1))

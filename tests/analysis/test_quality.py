@@ -55,6 +55,43 @@ class TestQualitySummary:
         q = quality_summary(DisplacementResult.empty(1, 1))
         assert q.pair_count == 0
         assert q.low_confidence_fraction == 0.0
+        assert q.weak_tiles == []
+        assert q.direction_medians == {}
+
+    def test_all_skipped_pairs(self):
+        # A 3x3 grid where phase 1 dropped every pair (e.g. all tiles
+        # unreadable under a skip policy): same shape as the empty grid,
+        # and emphatically not trustworthy.
+        q = quality_summary(DisplacementResult.empty(3, 3))
+        assert q.pair_count == 0
+        assert q.low_confidence_fraction == 0.0
+        assert not q.trustworthy
+
+    def test_trustworthy_boundaries(self):
+        # Exactly 10% weak with a median at exactly 0.5 stays trustworthy...
+        d = make_disp([0.4] + [0.5] * 3, [0.5] * 3, rows=2, cols=3)
+        ten_pct = quality_summary(d, threshold=0.45)
+        assert ten_pct.low_confidence_fraction == pytest.approx(1 / 7)
+        # 1/7 > 0.10, so this crosses the weak-fraction line.
+        assert not ten_pct.trustworthy
+        # ...no weak pairs but a sub-0.5 median also fails the gate.
+        low_med = quality_summary(make_disp([0.45] * 4, [0.45] * 3), threshold=0.1)
+        assert low_med.low_confidence_pairs == 0
+        assert low_med.median_correlation < 0.5
+        assert not low_med.trustworthy
+        # Clean on both axes passes.
+        good = quality_summary(make_disp([0.9] * 4, [0.9] * 3))
+        assert good.trustworthy
+
+    def test_low_confidence_fraction_scales(self):
+        d = make_disp([0.1, 0.1, 0.9, 0.9], [0.9] * 3)
+        q = quality_summary(d)
+        assert q.low_confidence_fraction == pytest.approx(2 / 7)
+
+    def test_threshold_parameter_respected(self):
+        d = make_disp([0.6] * 4, [0.6] * 3)
+        assert quality_summary(d, threshold=0.5).low_confidence_pairs == 0
+        assert quality_summary(d, threshold=0.7).low_confidence_pairs == 7
 
     def test_real_stitch_is_trustworthy(self, reference_displacements):
         q = quality_summary(reference_displacements.displacements)

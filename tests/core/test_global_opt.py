@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.global_opt import resolve_absolute_positions
+from repro.core.global_opt import _build_graph, resolve_absolute_positions
+from repro.core.quality_gate import QualityConfig
 
 
 def exact_displacements(positions: np.ndarray, corr: float = 1.0) -> DisplacementResult:
@@ -130,3 +131,147 @@ class TestInterface:
         d = DisplacementResult.empty(2, 2)  # no edges at all
         with pytest.raises(ValueError):
             resolve_absolute_positions(d, "mst")
+
+
+class TestNonFiniteCorrelations:
+    """Regression: NaN correlations used to poison the solvers.
+
+    ``_build_graph`` computed ``1.0 - nan`` as an MST edge weight
+    (corrupting spanning-tree selection), and the least-squares weight
+    ``max(min_weight, (nan + 1) / 2)`` survived only by ``max()``'s
+    argument-order behaviour with NaN.  Both now clamp to a finite floor
+    first.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_mst_weight_is_finite(self, bad):
+        pos = random_positions(2, 2, seed=7)
+        disp = exact_displacements(pos)
+        t = disp.west[1][1]
+        disp.west[1][1] = Translation(bad, t.tx, t.ty)
+        g = _build_graph(disp)
+        assert all(
+            np.isfinite(data["weight"]) for _, _, data in g.edges(data=True)
+        )
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_nan_edge_avoided_like_worst_correlation(self, method):
+        # The NaN pair is garbage; clamping it to the floor means both
+        # solvers treat it exactly like a correlation of -1 and the
+        # redundant cycle recovers the truth.
+        pos = random_positions(2, 2, seed=8)
+        disp = exact_displacements(pos)
+        disp.west[1][1] = Translation(float("nan"), 999, 999)
+        gp = resolve_absolute_positions(disp, method)
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        assert np.abs(gp.positions - expected).max() <= 2
+
+    def test_all_finite_positions_out(self):
+        pos = random_positions(3, 3, seed=9)
+        disp = exact_displacements(pos)
+        disp.north[1][1] = Translation(float("nan"), 0, 50)
+        for method in ("mst", "least_squares"):
+            gp = resolve_absolute_positions(disp, method)
+            assert np.isfinite(gp.positions).all()
+
+
+def corrupted_system(seed=10, rows=4, cols=4):
+    """A consistent grid with one confidently-wrong and one garbage pair."""
+    pos = random_positions(rows, cols, seed)
+    disp = exact_displacements(pos, corr=0.9)
+    disp.west[1][1] = Translation(0.95, 999, 40)   # confident, wrong offset
+    disp.north[2][2] = Translation(0.01, -30, 700)  # garbage, low confidence
+    expected = pos - pos.reshape(-1, 2).min(axis=0)
+    return disp, expected
+
+
+class TestQualityGatedSolve:
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_clean_data_bit_identical_with_default_gate(self, method):
+        """With defaults and nothing to gate, the gated solve must build
+        the identical system: positions are bit-for-bit the ungated ones."""
+        pos = random_positions(4, 5, seed=11)
+        disp = exact_displacements(pos, corr=0.9)
+        ungated = resolve_absolute_positions(disp, method)
+        gated = resolve_absolute_positions(disp, method, quality=QualityConfig())
+        assert np.array_equal(ungated.positions, gated.positions)
+        assert gated.quality_report["gated_pairs"] == 0
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_demotes_corrupted_pairs(self, method):
+        disp, expected = corrupted_system()
+        gp = resolve_absolute_positions(disp, method, quality=QualityConfig())
+        assert gp.quality_report["gated_pairs"] == 2
+        reasons = gp.quality_report["gate_reasons"]
+        assert reasons.get("stage_outlier", 0) >= 1
+        assert reasons.get("low_correlation", 0) >= 1
+        assert np.abs(gp.positions - expected).max() <= 2
+
+    def test_gated_solve_beats_ungated(self):
+        disp, expected = corrupted_system()
+        ungated = resolve_absolute_positions(disp, "least_squares")
+        gated = resolve_absolute_positions(
+            disp, "least_squares", quality=QualityConfig(residue_mode="huber")
+        )
+        err_ungated = np.abs(ungated.positions - expected).max()
+        err_gated = np.abs(gated.positions - expected).max()
+        assert err_gated <= 2
+        assert err_ungated > err_gated
+
+    def test_huber_irls_damps_surviving_outlier(self):
+        # An outlier small enough to pass the gates but large enough to
+        # trip the residue damping: IRLS must iterate and improve on the
+        # single-solve result.
+        pos = random_positions(3, 3, seed=12, jitter=0)
+        disp = exact_displacements(pos, corr=0.9)
+        t = disp.west[1][1]
+        disp.west[1][1] = Translation(0.9, t.tx + 6, t.ty)
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        plain = resolve_absolute_positions(
+            disp, "least_squares", quality=QualityConfig(stage_radius=100.0)
+        )
+        huber = resolve_absolute_positions(
+            disp, "least_squares",
+            quality=QualityConfig(stage_radius=100.0, residue_mode="huber"),
+        )
+        assert huber.quality_report["irls_iterations"] >= 1
+        assert huber.quality_report["residue_damped_edges"] >= 1
+        err_plain = np.abs(plain.positions - expected).sum()
+        err_huber = np.abs(huber.positions - expected).sum()
+        assert err_huber <= err_plain
+
+    def test_threshold_mode_hard_rejects(self):
+        pos = random_positions(3, 3, seed=13, jitter=0)
+        disp = exact_displacements(pos, corr=0.9)
+        t = disp.west[1][1]
+        disp.west[1][1] = Translation(0.9, t.tx + 6, t.ty)
+        expected = pos - pos.reshape(-1, 2).min(axis=0)
+        gp = resolve_absolute_positions(
+            disp, "least_squares",
+            quality=QualityConfig(stage_radius=100.0, residue_mode="threshold"),
+        )
+        assert gp.quality_report["residue_damped_edges"] >= 1
+        assert np.abs(gp.positions - expected).max() <= 1
+
+    def test_residue_mode_none_never_iterates(self):
+        disp, _ = corrupted_system()
+        gp = resolve_absolute_positions(
+            disp, "least_squares", quality=QualityConfig()
+        )
+        assert gp.quality_report["irls_iterations"] == 0
+        assert gp.quality_report["residue_damped_edges"] == 0
+
+    def test_mst_reports_gated_edges_in_tree(self):
+        # Only a gated edge can reach tile (1,1): the tree is forced
+        # through a demoted (nominal) edge and must say so.
+        pos = random_positions(3, 3, seed=14, jitter=0)
+        disp = exact_displacements(pos, corr=0.9)
+        disp.west[1][1] = Translation(0.95, 999, 40)  # confident, wrong
+        disp.west[1][2] = None
+        disp.north[1][1] = None
+        disp.north[2][1] = None
+        gp = resolve_absolute_positions(disp, "mst", quality=QualityConfig())
+        assert gp.quality_report["gated_edges_in_tree"] == 1
+        # The demoted edge places the tile on the stage model's step, not
+        # at the garbage measurement.
+        assert np.abs(gp.positions).max() < 200

@@ -1,0 +1,180 @@
+"""Registration quality gate: scoring, demotion decisions, config."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.displacement import DisplacementResult, Translation
+from repro.core.peak import peak_magnitude_ratio
+from repro.core.quality_gate import (
+    CORRELATION_FLOOR,
+    QualityConfig,
+    assess_quality,
+    finite_correlation,
+)
+
+
+def make_disp(rows=3, cols=3, corr=0.9, tx=50, ty=0, ntx=0, nty=48):
+    d = DisplacementResult.empty(rows, cols)
+    for r in range(rows):
+        for c in range(1, cols):
+            d.west[r][c] = Translation(corr, tx, ty)
+    for r in range(1, rows):
+        for c in range(cols):
+            d.north[r][c] = Translation(corr, ntx, nty)
+    return d
+
+
+class TestFiniteCorrelation:
+    def test_passthrough(self):
+        assert finite_correlation(0.7) == 0.7
+        assert finite_correlation(-0.3) == -0.3
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_clamps_non_finite(self, bad):
+        assert finite_correlation(bad) == CORRELATION_FLOOR
+
+
+class TestPeakMagnitudeRatio:
+    def test_decisive_peak(self):
+        assert peak_magnitude_ratio([10.0, 2.0]) == 5.0
+
+    def test_single_peak_is_none(self):
+        assert peak_magnitude_ratio([10.0]) is None
+        assert peak_magnitude_ratio([]) is None
+
+    def test_zero_runner_up(self):
+        assert peak_magnitude_ratio([10.0, 0.0]) == float("inf")
+
+
+class TestQualityConfig:
+    def test_defaults_follow_feabas(self):
+        cfg = QualityConfig()
+        assert cfg.conf_thresh == 0.33
+        assert cfg.residue_mode == "none"
+        assert cfg.residue_len == 2.0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"residue_mode": "hampel"},
+            {"conf_thresh": 1.5},
+            {"min_peak_ratio": -1.0},
+            {"residue_len": 0.0},
+            {"max_irls_iterations": 0},
+            {"gate_weight": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            QualityConfig(**kw)
+
+
+class TestAssessQuality:
+    def test_clean_grid_nothing_gates(self):
+        a = assess_quality(make_disp(), QualityConfig())
+        assert a.gated_pairs == 0
+        assert all(q.reasons == () for q in a.pairs.values())
+        # Confidence is exactly the correlation, so the solvers' weights
+        # reduce to the legacy expressions.
+        assert all(q.confidence == 0.9 for q in a.pairs.values())
+
+    def test_low_correlation_gates(self):
+        d = make_disp()
+        d.west[1][1] = Translation(0.05, 50, 0)
+        a = assess_quality(d, QualityConfig())
+        q = a.quality("west", 1, 1)
+        assert q.gated
+        assert "low_correlation" in q.reasons
+        assert a.gated_pairs == 1
+
+    def test_non_finite_correlation_gates_with_reason(self):
+        d = make_disp()
+        d.west[1][1] = Translation(float("nan"), 50, 0)
+        a = assess_quality(d, QualityConfig())
+        q = a.quality("west", 1, 1)
+        assert q.gated
+        assert "non_finite" in q.reasons
+        assert q.confidence == CORRELATION_FLOOR
+
+    def test_stage_outlier_gates_despite_high_correlation(self):
+        # A confidently-wrong match: good correlation, offset far from
+        # the stage model -- the case a confidence threshold cannot see.
+        d = make_disp(rows=4, cols=4)
+        d.west[2][2] = Translation(0.95, 50 - 40, 30)
+        a = assess_quality(d, QualityConfig())
+        q = a.quality("west", 2, 2)
+        assert q.gated
+        assert q.reasons == ("stage_outlier",)
+        assert q.stage_deviation > a.stage_model["west"].radius
+
+    def test_small_jitter_does_not_gate(self):
+        d = make_disp(rows=4, cols=4)
+        d.west[2][2] = Translation(0.9, 53, -2)  # within the 8 px floor
+        a = assess_quality(d, QualityConfig())
+        assert not a.quality("west", 2, 2).gated
+
+    def test_explicit_stage_radius(self):
+        d = make_disp(rows=4, cols=4)
+        d.west[2][2] = Translation(0.9, 53, -2)
+        a = assess_quality(d, QualityConfig(stage_radius=1.0))
+        assert a.quality("west", 2, 2).gated
+
+    def test_peak_ratio_gate(self):
+        d = make_disp()
+        d.west[1][1] = Translation(0.9, 50, 0, peak_ratio=1.01)
+        d.west[1][2] = Translation(0.9, 50, 0, peak_ratio=2.0)
+        a = assess_quality(d, QualityConfig(min_peak_ratio=1.1))
+        assert a.quality("west", 1, 1).gated
+        assert "low_peak_ratio" in a.quality("west", 1, 1).reasons
+        assert not a.quality("west", 1, 2).gated
+
+    def test_missing_peak_ratio_passes_gate(self):
+        # n_peaks=1 runs and pre-gate journals carry no ratio.
+        a = assess_quality(make_disp(), QualityConfig(min_peak_ratio=2.0))
+        assert a.gated_pairs == 0
+
+    def test_no_model_below_min_valid(self):
+        d = DisplacementResult.empty(2, 2)
+        d.west[0][1] = Translation(0.9, 50, 0)
+        d.west[1][1] = Translation(0.9, 50, 0)
+        a = assess_quality(d, QualityConfig(min_valid_for_model=3))
+        assert "west" not in a.stage_model
+        # Nominal fallback still exists for demotion targets.
+        assert a.nominal_translation("west") == (0.0, 50.0)
+
+    def test_nominal_translation_order_is_dy_dx(self):
+        a = assess_quality(make_disp(), QualityConfig())
+        assert a.nominal_translation("west") == (0.0, 50.0)
+        assert a.nominal_translation("north") == (48.0, 0.0)
+
+    def test_report_is_json_able(self):
+        import json
+
+        d = make_disp()
+        d.west[1][1] = Translation(0.05, 50, 0)
+        a = assess_quality(d, QualityConfig())
+        rep = a.report()
+        json.dumps(rep)
+        assert rep["pair_count"] == 12
+        assert rep["gated_pairs"] == 1
+        assert rep["gate_reasons"] == {"low_correlation": 1}
+        assert "west" in rep["stage_model"]
+
+    def test_empty_grid(self):
+        a = assess_quality(DisplacementResult.empty(1, 1), QualityConfig())
+        assert a.pairs == {}
+        assert a.gated_pairs == 0
+        assert a.report()["pair_count"] == 0
+
+    def test_all_non_finite_direction_cannot_demote(self):
+        # No finite translation to demote onto: pairs keep their
+        # measurements (gated=False) but carry the failure reasons.
+        d = DisplacementResult.empty(1, 3)
+        d.west[0][1] = Translation(float("nan"), 0, 0, tx_f=float("nan"), ty_f=float("nan"))
+        d.west[0][2] = Translation(float("nan"), 0, 0, tx_f=float("nan"), ty_f=float("nan"))
+        a = assess_quality(d, QualityConfig())
+        for q in a.pairs.values():
+            assert not q.gated
+            assert "non_finite" in q.reasons

@@ -1,0 +1,111 @@
+"""Data-level fault kinds: dust, saturation, content shift.
+
+Unlike the I/O kinds, these reads *succeed* -- the damage is in the
+pixels, which is the class of dirty data the phase-2 quality gate
+(docs/ROBUSTNESS.md) exists to survive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+from repro.synth import make_synthetic_dataset
+from repro.synth.noise import apply_content_shift, apply_dust, apply_saturation
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    d = tmp_path_factory.mktemp("data-faults")
+    return make_synthetic_dataset(
+        d, rows=3, cols=3, tile_height=64, tile_width=64, overlap=0.25, seed=3
+    )
+
+
+class TestDamageFunctions:
+    def test_dust_darkens_and_preserves_dtype(self):
+        rng = np.random.default_rng(0)
+        tile = np.full((64, 64), 1000, dtype=np.uint16)
+        out = apply_dust(tile, rng)
+        assert out.dtype == np.uint16
+        assert out.shape == tile.shape
+        assert out.sum() < tile.sum()
+        assert (out <= tile).all()
+
+    def test_saturation_clips_to_level(self):
+        rng = np.random.default_rng(1)
+        tile = rng.integers(0, 1000, size=(32, 32)).astype(np.uint16)
+        out = apply_saturation(tile, level=65535, fraction=0.5)
+        assert out.dtype == np.uint16
+        assert (out == 65535).mean() >= 0.5
+
+    def test_shift_is_a_permutation(self):
+        rng = np.random.default_rng(2)
+        tile = np.arange(64 * 64, dtype=np.uint16).reshape(64, 64)
+        out = apply_content_shift(tile, rng)
+        assert out.dtype == tile.dtype
+        assert sorted(out.ravel()) == sorted(tile.ravel())
+        assert not np.array_equal(out, tile)
+
+    @pytest.mark.parametrize(
+        "fn", [apply_dust, apply_content_shift],
+    )
+    def test_rejects_non_2d(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros((2, 2, 2), dtype=np.uint8), np.random.default_rng(0))
+
+
+class TestPlanIntegration:
+    def test_damage_is_deterministic_across_reads(self, dataset):
+        plan = FaultPlan(seed=9)
+        plan.add(Fault(FaultKind.DUST, tile=(1, 1)))
+        plan.add(Fault(FaultKind.SHIFT, tile=(2, 2)))
+        wrapped = plan.wrap_dataset(dataset)
+        first = {rc: wrapped.load(*rc) for rc in [(1, 1), (2, 2)]}
+        second = {rc: wrapped.load(*rc) for rc in [(1, 1), (2, 2)]}
+        for rc in first:
+            assert np.array_equal(first[rc], second[rc])
+
+    def test_damage_differs_from_clean(self, dataset):
+        plan = FaultPlan(seed=9)
+        for kind, rc in [
+            (FaultKind.DUST, (1, 1)),
+            (FaultKind.SATURATE, (1, 2)),
+            (FaultKind.SHIFT, (2, 2)),
+        ]:
+            plan.add(Fault(kind, tile=rc))
+        wrapped = plan.wrap_dataset(dataset)
+        for rc in [(1, 1), (1, 2), (2, 2)]:
+            assert not np.array_equal(wrapped.load(*rc), dataset.load(*rc))
+
+    def test_undamaged_tiles_untouched(self, dataset):
+        plan = FaultPlan(seed=9)
+        plan.add(Fault(FaultKind.DUST, tile=(1, 1)))
+        wrapped = plan.wrap_dataset(dataset)
+        assert np.array_equal(wrapped.load(0, 0), dataset.load(0, 0))
+
+    def test_events_recorded(self, dataset):
+        plan = FaultPlan(seed=9)
+        plan.add(Fault(FaultKind.SATURATE, tile=(1, 1)))
+        wrapped = plan.wrap_dataset(dataset)
+        wrapped.load(1, 1)
+        assert plan.triggered_summary() == {"saturate": 1}
+        assert plan.summary() == {"saturate": 1}
+
+    def test_from_spec_parses_data_kinds(self):
+        plan = FaultPlan.from_spec("7:dust=2,saturate=1,shift=1", 4, 4)
+        assert plan.summary() == {"dust": 2, "saturate": 1, "shift": 1}
+        # Tile (0, 0) is never damaged and every target is distinct.
+        tiles = [f.tile for f in plan.faults]
+        assert (0, 0) not in tiles
+        assert len(set(tiles)) == len(tiles)
+
+    def test_seeded_plan_replays_identically(self, dataset):
+        loads = []
+        for _ in range(2):
+            plan = FaultPlan.from_spec("11:dust=1,shift=1", 3, 3)
+            wrapped = plan.wrap_dataset(dataset)
+            loads.append(
+                [wrapped.load(r, c) for r in range(3) for c in range(3)]
+            )
+        for a, b in zip(*loads):
+            assert np.array_equal(a, b)

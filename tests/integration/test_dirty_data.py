@@ -1,0 +1,114 @@
+"""Acceptance: robust registration under dirty data.
+
+The ISSUE contract, end to end on real stitches:
+
+- with ~10% of pairs corrupted by the data-level fault kinds, default
+  confidence gating plus ``residue_mode="huber"`` recovers positions
+  within 1 px RMS of the clean-run reference;
+- the ungated solve on the same damaged input demonstrably exceeds that
+  tolerance;
+- clean-data runs with defaults (no quality gate) stay bit-identical to
+  the pre-gate pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stitcher import Stitcher
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+from repro.synth import make_synthetic_dataset
+
+
+def gauge_aligned_rms(positions: np.ndarray, reference: np.ndarray) -> float:
+    """RMS position error after removing the global-translation gauge.
+
+    Absolute positions are only defined up to a shared offset; median
+    alignment keeps a handful of outlier tiles from biasing the gauge.
+    """
+    a = np.asarray(positions, dtype=np.float64).reshape(-1, 2)
+    b = np.asarray(reference, dtype=np.float64).reshape(-1, 2)
+    diff = a - b
+    diff -= np.median(diff, axis=0)
+    return float(np.sqrt(np.mean(np.sum(diff**2, axis=1))))
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    d = tmp_path_factory.mktemp("dirty-data")
+    return make_synthetic_dataset(
+        d, rows=6, cols=6, tile_height=128, tile_width=128, overlap=0.25, seed=42
+    )
+
+
+def dirty(dataset):
+    """Three damaged tiles: each touches up to 4 pairs on a 6x6 grid
+    (60 pairs), so ~10-20% of pairs see corrupted overlap content."""
+    plan = FaultPlan(seed=5)
+    plan.add(Fault(FaultKind.DUST, tile=(1, 3)))
+    plan.add(Fault(FaultKind.SATURATE, tile=(4, 2)))
+    plan.add(Fault(FaultKind.SHIFT, tile=(2, 4)))
+    return plan.wrap_dataset(dataset)
+
+
+@pytest.fixture(scope="module")
+def clean_reference(dataset):
+    return Stitcher(position_method="least_squares").stitch(dataset)
+
+
+class TestDirtyDataAcceptance:
+    def test_gated_huber_recovers_within_1px_rms(self, dataset, clean_reference):
+        res = Stitcher(
+            position_method="least_squares", quality=True, residue_mode="huber"
+        ).stitch(dirty(dataset))
+        rms = gauge_aligned_rms(
+            res.positions.positions, clean_reference.positions.positions
+        )
+        assert rms <= 1.0, f"gated+huber RMS {rms:.3f} px vs clean reference"
+        report = res.stats["quality_report"]
+        assert report["gated_pairs"] > 0
+        assert report["residue_mode"] == "huber"
+        # The confidently-wrong shift tile needs the stage-model gate;
+        # dust/saturation collapse correlation.
+        assert set(report["gate_reasons"]) & {"low_correlation", "stage_outlier"}
+
+    def test_ungated_solve_exceeds_tolerance(self, dataset, clean_reference):
+        res = Stitcher(position_method="least_squares").stitch(dirty(dataset))
+        rms = gauge_aligned_rms(
+            res.positions.positions, clean_reference.positions.positions
+        )
+        assert rms > 1.0, f"ungated RMS {rms:.3f} px unexpectedly survived"
+        assert "quality_report" not in res.stats
+
+    def test_gating_metrics_counters_emitted(self, dataset):
+        stitcher = Stitcher(
+            position_method="least_squares",
+            quality=True,
+            residue_mode="huber",
+            metrics=True,
+        )
+        res = stitcher.stitch(dirty(dataset))
+        counters = res.metrics["counters"]
+        assert counters["quality.pairs_gated"] > 0
+        assert "quality.irls_iterations" in counters
+        assert "quality.residue_damped_edges" in counters
+
+    @pytest.mark.parametrize("method", ["mst", "least_squares"])
+    def test_clean_defaults_bit_identical(self, dataset, method):
+        """The pre-gate contract: a default Stitcher (quality=None) and an
+        explicitly ungated one produce bit-identical positions."""
+        default = Stitcher(position_method=method).stitch(dataset)
+        explicit = Stitcher(position_method=method, quality=False).stitch(dataset)
+        assert np.array_equal(
+            default.positions.positions, explicit.positions.positions
+        )
+        assert "quality_report" not in default.stats
+
+    def test_mst_gated_also_recovers(self, dataset, clean_reference):
+        res = Stitcher(position_method="mst", quality=True).stitch(dirty(dataset))
+        rms = gauge_aligned_rms(
+            res.positions.positions, clean_reference.positions.positions
+        )
+        # MST cannot average residuals, so the bar is looser -- but the
+        # gate must still keep the damaged pairs out of the tree's way.
+        assert rms <= 2.0
+        assert res.stats["quality_report"]["gated_pairs"] > 0

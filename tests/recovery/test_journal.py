@@ -60,6 +60,48 @@ class TestRoundTrip:
         with pytest.raises(JournalError):
             j.record_pair("west", 0, 1, T1)
 
+    def test_peak_ratio_round_trips(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        finite = Translation(0.9, 3, -17, peak_ratio=2.5)
+        absent = Translation(0.9, 3, -17)
+        # inf means "no second peak at all": not representable in JSON,
+        # journalled as null and replayed gate-neutral.
+        unbounded = Translation(0.9, 3, -17, peak_ratio=float("inf"))
+        with make_journal(
+            path,
+            [("west", 0, 1, finite), ("west", 1, 1, absent), ("north", 1, 0, unbounded)],
+        ):
+            pass
+        j = RunJournal.resume(path, FP)
+        assert j.lookup("west", 0, 1).peak_ratio == 2.5
+        assert j.lookup("west", 1, 1).peak_ratio is None
+        assert j.lookup("north", 1, 0).peak_ratio is None
+        j.close()
+
+    def test_pre_gate_journal_replays_without_peak_ratio(self, tmp_path):
+        # Journals written before the quality gate carry no peak_ratio
+        # key; replay must default it to None rather than KeyError.
+        path = tmp_path / "journal.jsonl"
+        with make_journal(path, [("west", 0, 1, T1)]):
+            pass
+        raw = path.read_text().splitlines()
+        rewritten = []
+        for line in raw:
+            rec = json.loads(line)
+            if rec.get("kind") == "pair":
+                rec.pop("peak_ratio", None)
+                rec.pop("crc", None)
+                rec["crc"] = zlib.crc32(
+                    json.dumps(rec, sort_keys=True, separators=(",", ":")).encode()
+                )
+            rewritten.append(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+        path.write_text("\n".join(rewritten) + "\n")
+        j = RunJournal.resume(path, FP)
+        t = j.lookup("west", 0, 1)
+        assert t is not None
+        assert t.peak_ratio is None
+        j.close()
+
 
 class TestTornTail:
     def test_truncated_final_line_is_dropped_and_counted(self, tmp_path):

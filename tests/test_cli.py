@@ -40,7 +40,7 @@ class TestStitch:
 
     def test_flags(self, dataset_dir, tmp_path):
         rc = main(["stitch", str(dataset_dir),
-                   "--real-transforms", "--pad", "--refine",
+                   "--pad", "--refine",
                    "--positions", "least_squares",
                    "--blend", "linear",
                    "-o", str(tmp_path / "m.tif")])
@@ -150,9 +150,27 @@ class TestRobustnessFlags:
               "--tile-size", "64", "--overlap", "0.25", "--seed", "5"])
         return tmp_path / "ds"
 
-    def test_real_transforms_warns_deprecated(self, ds_dir):
-        with pytest.warns(DeprecationWarning, match="--real-transforms"):
-            assert main(["stitch", str(ds_dir), "--real-transforms"]) == 0
+    def test_real_transforms_flag_removed(self, ds_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["stitch", str(ds_dir), "--real-transforms"])
+        assert "--real-transforms" in capsys.readouterr().err
+
+    def test_quality_gate_flag(self, ds_dir, capsys):
+        assert main(["stitch", str(ds_dir), "--quality-gate"]) == 0
+        assert "quality gate:" in capsys.readouterr().out
+
+    def test_quality_knobs_imply_gate(self, ds_dir, capsys):
+        assert main(["stitch", str(ds_dir),
+                     "--positions", "least_squares",
+                     "--conf-thresh", "0.2",
+                     "--residue-mode", "huber",
+                     "--min-peak-ratio", "1.0"]) == 0
+        assert "quality gate:" in capsys.readouterr().out
+
+    def test_quality_gate_on_impl_path(self, ds_dir, capsys):
+        assert main(["stitch", str(ds_dir), "--impl", "mt-cpu",
+                     "--quality-gate"]) == 0
+        assert "quality gate:" in capsys.readouterr().out
 
     def test_checkpoint_then_resume(self, ds_dir, tmp_path, capsys):
         ckpt = tmp_path / "ckpt"
