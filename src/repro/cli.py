@@ -4,6 +4,7 @@ Commands:
 
 ``synth``     generate a synthetic acquisition (tiles + metadata)
 ``stitch``    stitch an acquisition directory into a mosaic TIFF
+``serve``     run the stitching service (HTTP job server, warm workers)
 ``info``      inspect a dataset or TIFF file
 ``simulate``  run the paper-scale performance simulation (Table II)
 
@@ -321,6 +322,39 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.recovery import WatchdogConfig
+    from repro.service.server import StitchService
+
+    service = StitchService(
+        spool_dir=args.spool,
+        workers=args.workers,
+        dataset_root=args.dataset_root,
+        max_depth=args.queue_depth,
+        per_tenant_limit=args.per_tenant,
+        default_retry_budget=args.retry_budget,
+        watchdog=WatchdogConfig(
+            item_deadline=args.job_deadline,
+            stall_timeout=args.stall_timeout,
+            poll_interval=0.05,
+        ),
+    )
+    service.start()
+    host, port = service.start_http(args.host, args.port)
+    print(f"stitching service on http://{host}:{port} "
+          f"({args.workers} workers, spool {args.spool})")
+    print("endpoints: POST /jobs, GET /jobs/<id>, GET /jobs/<id>/result, "
+          "POST /jobs/<id>/cancel, GET /metrics, GET /healthz")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down ...")
+    finally:
+        service.stop()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.io.dataset import METADATA_FILENAME, TileDataset
     from repro.io.tiff import read_tiff
@@ -491,6 +525,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect and print per-stage counters/latency "
                         "percentiles as JSON")
     s.set_defaults(func=_cmd_stitch)
+
+    s = sub.add_parser(
+        "serve",
+        help="run the stitching service (async HTTP job server over a "
+             "pool of persistent warm workers)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 = ephemeral)")
+    s.add_argument("--workers", type=_workers_arg, default=2,
+                   metavar="N|auto",
+                   help="persistent worker processes; each keeps a warm "
+                        "FFT plan cache across jobs")
+    s.add_argument("--spool", type=Path, default=Path("stitch-spool"),
+                   help="per-job state root (checkpoints, positions)")
+    s.add_argument("--dataset-root", type=Path, default=None,
+                   help="confine job dataset paths to this directory")
+    s.add_argument("--queue-depth", type=int, default=64,
+                   help="max queued jobs before 429 + Retry-After")
+    s.add_argument("--per-tenant", type=int, default=16,
+                   help="max queued jobs per tenant")
+    s.add_argument("--job-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="default per-job watchdog deadline (a job spec's "
+                        "deadline_seconds overrides)")
+    s.add_argument("--stall-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="kill + requeue a job writing no journal records "
+                        "for this long")
+    s.add_argument("--retry-budget", type=int, default=1,
+                   help="default requeues per job after worker death "
+                        "(a job spec's retry_budget overrides)")
+    s.set_defaults(func=_cmd_serve)
 
     s = sub.add_parser("info", help="inspect a dataset directory or TIFF")
     s.add_argument("path", type=Path)

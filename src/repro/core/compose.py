@@ -27,8 +27,10 @@ therefore configurable and defaults to ``float32`` accumulation.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from enum import Enum
+from pathlib import Path
 
 import numpy as np
 
@@ -335,26 +337,44 @@ def compose_to_tiff(
 
     ``scale`` maps pixel values to the integer range (``None`` = identity
     with clipping to the dtype's range).  ``band_rows`` defaults to twice
-    the tile height.  Returns the mosaic shape.  OVERLAY and AVERAGE
-    blends are supported (LINEAR feathering needs cross-band weights).
+    the tile height.  Returns the mosaic shape.  OVERLAY, AVERAGE and
+    MAXIMUM blends are supported; LINEAR feathering is rejected because
+    its normalization needs cross-band weights (use :func:`compose`).
     ``skip_tiles``/``on_tile_error`` mirror :func:`compose` for partial
     mosaics (a skipped tile is simply left out of every band).
+
+    Every argument is validated *before* any output I/O, and the strips
+    stream into a same-directory ``<name>.part`` file that is renamed
+    over ``path`` only after the last band: a rejected call or a
+    mid-stream failure (bad tile under ``on_tile_error="abort"``, disk
+    error, kill) never leaves a partial mosaic at ``path`` -- readers
+    see the old complete file or the new one, nothing in between.
     """
     from repro.io.tiff import TiffStripWriter
 
-    if blend not in (BlendMode.OVERLAY, BlendMode.AVERAGE):
-        raise ValueError(f"streaming compose supports OVERLAY/AVERAGE, not {blend}")
+    # -- validate everything up front: no strip I/O until the request is
+    # known-good, so a rejection can never leave output behind.
+    blend = BlendMode(blend)
+    if blend not in (BlendMode.OVERLAY, BlendMode.AVERAGE, BlendMode.MAXIMUM):
+        raise ValueError(
+            f"streaming compose supports OVERLAY/AVERAGE/MAXIMUM, not "
+            f"{blend} (LINEAR needs cross-band weights; use compose())"
+        )
     if on_tile_error not in ("abort", "skip"):
         raise ValueError(
             f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
         )
     skip = {(int(r), int(c)) for r, c in (skip_tiles or ())}
     dtype = np.dtype(dtype)
-    th, tw = tile_shape
+    if dtype.kind not in "iu":
+        raise ValueError(f"streaming compose needs an integer dtype, got {dtype}")
+    th, tw = (int(v) for v in tile_shape)
+    if th < 1 or tw < 1:
+        raise ValueError(f"bad tile shape {tile_shape}")
     height, width = positions.mosaic_shape(tile_shape)
     if band_rows is None:
         band_rows = 2 * th
-    band_rows = max(1, min(band_rows, height))
+    band_rows = max(1, min(int(band_rows), height))
     limit = float(np.iinfo(dtype).max)
 
     # Row-band index: which tiles intersect each band (tiles sorted
@@ -366,35 +386,47 @@ def compose_to_tiff(
         if (r, c) not in skip
     ]
 
-    with TiffStripWriter(path, height, width, dtype) as writer:
-        for y0 in range(0, height, band_rows):
-            y1 = min(height, y0 + band_rows)
-            band = np.zeros((y1 - y0, width), dtype=np.float64)
-            weight = (
-                np.zeros_like(band) if blend is BlendMode.AVERAGE else None
-            )
-            for r, c, ty, tx in tiles_by_order:
-                by0, by1 = max(ty, y0), min(ty + th, y1)
-                if by1 <= by0:
-                    continue
-                try:
-                    tile = np.asarray(load_tile(r, c), dtype=np.float64)
-                except Exception:
-                    if on_tile_error == "skip":
+    path = Path(path)
+    tmp = path.with_name(path.name + ".part")
+    try:
+        with TiffStripWriter(tmp, height, width, dtype) as writer:
+            for y0 in range(0, height, band_rows):
+                y1 = min(height, y0 + band_rows)
+                band = np.zeros((y1 - y0, width), dtype=np.float64)
+                weight = (
+                    np.zeros_like(band) if blend is BlendMode.AVERAGE else None
+                )
+                for r, c, ty, tx in tiles_by_order:
+                    by0, by1 = max(ty, y0), min(ty + th, y1)
+                    if by1 <= by0:
                         continue
-                    raise
-                src = tile[by0 - ty : by1 - ty, :]
-                dst = (slice(by0 - y0, by1 - y0), slice(tx, tx + tw))
-                if blend is BlendMode.OVERLAY:
-                    band[dst] = src
-                else:
-                    band[dst] += src
-                    weight[dst] += 1.0
-            if weight is not None:
-                covered = weight > 0
-                band[covered] /= weight[covered]
-            if scale is not None:
-                band *= scale
-            np.clip(band, 0, limit, out=band)
-            writer.write_rows(band.astype(dtype))
+                    try:
+                        tile = np.asarray(load_tile(r, c), dtype=np.float64)
+                    except Exception:
+                        if on_tile_error == "skip":
+                            continue
+                        raise
+                    src = tile[by0 - ty : by1 - ty, :]
+                    dst = (slice(by0 - y0, by1 - y0), slice(tx, tx + tw))
+                    if blend is BlendMode.OVERLAY:
+                        band[dst] = src
+                    elif blend is BlendMode.MAXIMUM:
+                        # Per-pixel max is band-local (each pixel's
+                        # contributors all intersect its band), so MAXIMUM
+                        # streams safely where LINEAR cannot.
+                        np.maximum(band[dst], src, out=band[dst])
+                    else:
+                        band[dst] += src
+                        weight[dst] += 1.0
+                if weight is not None:
+                    covered = weight > 0
+                    band[covered] /= weight[covered]
+                if scale is not None:
+                    band *= scale
+                np.clip(band, 0, limit, out=band)
+                writer.write_rows(band.astype(dtype))
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return height, width

@@ -439,6 +439,13 @@ class Stitcher:
         channel's displacements apply to all.  The reference channel (pick
         the one with the most texture) is stitched normally; the others
         reuse its positions, costing only phase 3 each.
+
+        Provenance follows the positions: when the reference run carried
+        a fault policy (retries/skips) or a quality gate, the dependent
+        channels share its ``fault_report``/``quality_report`` and its
+        ``on_tile_error`` policy, so a tile dropped from the reference
+        registration is also left out of every dependent channel's
+        mosaic -- the channels stay aligned *and* identically masked.
         """
         if not datasets:
             raise ValueError("need at least one channel")
@@ -455,6 +462,13 @@ class Stitcher:
                     f"{ref_ds.rows}x{ref_ds.cols}/{ref_ds.tile_shape}"
                 )
         ref_result = self.stitch(ref_ds)
+        # Shared provenance: only keys the reference run actually produced
+        # (a clean default run keeps the minimal one-key stats dict).
+        shared = {
+            key: ref_result.stats[key]
+            for key in ("fault_report", "quality_report")
+            if key in ref_result.stats
+        }
         out: list[StitchResult] = []
         for i, ds in enumerate(datasets):
             if i == reference:
@@ -467,7 +481,8 @@ class Stitcher:
                         positions=ref_result.positions,
                         phase1_seconds=0.0,
                         phase2_seconds=0.0,
-                        stats={"positions_from_channel": reference},
+                        stats={"positions_from_channel": reference, **shared},
+                        on_tile_error=ref_result.on_tile_error,
                     )
                 )
         return out

@@ -214,6 +214,13 @@ class PlanCache:
         self._wisdom: dict[PlanKey, str] = {}
         self._lock = threading.Lock()
         self.planning_seconds = 0.0
+        #: Plan-lookup accounting: ``hits`` counts :meth:`plan` calls
+        #: answered from the cache, ``misses`` counts plan creations.
+        #: A warm worker serving its second same-geometry job shows
+        #: hits > 0 and misses == 0 -- the amortization the service's
+        #: persistent pools exist for.
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -253,7 +260,9 @@ class PlanCache:
             if cached is not None and not (
                 allow_padding is False and cached.strategy != "direct"
             ):
+                self.hits += 1
                 return cached
+            self.misses += 1
             if not allow_padding:
                 plan = Plan(key, "direct", key.shape, planning_time=0.0)
                 # Cache only if nothing better is already cached.
@@ -294,6 +303,15 @@ class PlanCache:
         planning_time = time.perf_counter() - t0
         win = direct if t_direct <= t_padded else padded
         return Plan(key, win.strategy, win.fft_shape, planning_time=planning_time)
+
+    def stats(self) -> dict:
+        """JSON-able lookup accounting (entries, hits, misses)."""
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     # -- wisdom -----------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Thin blocking HTTP client for the stitching service.
+
+Stdlib-only (``http.client``), one connection per call -- the server
+closes connections after each response anyway.  The client's job is to
+turn HTTP status codes back into Python semantics: 429 becomes
+:class:`BackpressureError` carrying the server's ``Retry-After`` hint,
+other non-2xx become :class:`ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service (other than backpressure)."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error", f"HTTP {status}")
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.payload = payload
+
+
+class BackpressureError(ServiceError):
+    """HTTP 429: submission rejected; retry after ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload: dict, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+        self.reason = payload.get("reason", "rejected")
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.StitchService`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            ctype = resp.getheader("Content-Type", "")
+            if ctype.startswith("application/json"):
+                data = json.loads(raw.decode("utf-8"))
+            else:
+                data = raw.decode("utf-8")
+            if resp.status == 429:
+                retry_after = float(
+                    resp.getheader("Retry-After")
+                    or (data.get("retry_after", 1.0)
+                        if isinstance(data, dict) else 1.0)
+                )
+                raise BackpressureError(resp.status, data, retry_after)
+            if resp.status >= 400:
+                if not isinstance(data, dict):
+                    data = {"error": str(data)}
+                raise ServiceError(resp.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        """POST a job spec; returns the accepted job record (202)."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def submit_with_retry(self, spec: dict, attempts: int = 10,
+                          max_wait: float = 5.0) -> dict:
+        """Submit, honouring backpressure by sleeping ``Retry-After``.
+
+        The honest-client loop the backpressure contract expects; gives
+        up (re-raising) after ``attempts`` rejections.
+        """
+        last: BackpressureError | None = None
+        for _ in range(attempts):
+            try:
+                return self.submit(spec)
+            except BackpressureError as exc:
+                last = exc
+                time.sleep(min(exc.retry_after, max_wait))
+        assert last is not None
+        raise last
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics.json")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")

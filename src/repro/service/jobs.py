@@ -1,0 +1,225 @@
+"""The service's job model: what a client submits, what the server tracks.
+
+A :class:`JobSpec` is the client-facing request -- which dataset to
+stitch, under which tenant, at what priority, with which (whitelisted)
+stitcher options.  A :class:`JobRecord` is the server-side lifecycle
+object wrapped around it: state machine, attempt counter, timestamps and
+the eventual result summary.  Records are what every endpoint serializes.
+
+Two job shapes exist, mirroring the workloads a real plate-scanning
+service sees:
+
+- **full** jobs run phases 1-3 (registration + solve, optional compose);
+- **parameter-reuse** jobs (``reuse_positions_from``) skip registration
+  entirely and apply a completed job's solved positions to another
+  channel/plane of the same scan -- the cheap job shape multi-channel
+  acquisition produces (see ``Stitcher.stitch_channels``).
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+#: Stitcher keyword arguments a job spec may set.  Everything else --
+#: tracing, checkpoint paths, plan caches -- is owned by the service
+#: (the checkpoint directory in particular *is* the job's durability
+#: story and must not be client-controlled).
+ALLOWED_OPTIONS = frozenset({
+    "position_method",
+    "subpixel",
+    "n_peaks",
+    "max_retries",
+    "on_tile_error",
+    "quality",
+    "conf_thresh",
+    "residue_mode",
+    "min_peak_ratio",
+    "refine",
+})
+
+#: Output blend modes a job may request for its optional mosaic.
+ALLOWED_BLENDS = ("overlay", "average", "maximum")
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+_JOB_ID_RE = re.compile(r"^[a-f0-9]{12}$")
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated stitch request.
+
+    ``priority`` is an integer in [0, 9]; higher runs first.  ``tenant``
+    names the admission-control bucket.  ``deadline_seconds`` is the
+    per-job watchdog budget (None = the pool default);
+    ``retry_budget`` is how many times the service may re-queue the job
+    after a worker death or watchdog kill before declaring it failed.
+    """
+
+    dataset: str
+    tenant: str = "default"
+    priority: int = 0
+    options: dict = field(default_factory=dict)
+    #: Completed job id whose solved positions this job applies
+    #: (parameter-reuse: phase 3 only, no registration).
+    reuse_positions_from: str | None = None
+    #: Optional mosaic output path (streamed TIFF) and blend mode.
+    output: str | None = None
+    blend: str = "overlay"
+    #: ``SEED[:kind=count,...]`` fault-injection spec (testing/chaos).
+    inject_faults: str | None = None
+    deadline_seconds: float | None = None
+    retry_budget: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ValueError("job spec needs a dataset path")
+        if not _TENANT_RE.match(self.tenant):
+            raise ValueError(
+                f"tenant must match {_TENANT_RE.pattern}, got {self.tenant!r}"
+            )
+        if not 0 <= int(self.priority) <= 9:
+            raise ValueError(f"priority must be in [0, 9], got {self.priority}")
+        unknown = set(self.options) - ALLOWED_OPTIONS
+        if unknown:
+            raise ValueError(
+                f"unknown job options {sorted(unknown)} "
+                f"(allowed: {sorted(ALLOWED_OPTIONS)})"
+            )
+        if self.blend not in ALLOWED_BLENDS:
+            raise ValueError(
+                f"blend must be one of {ALLOWED_BLENDS}, got {self.blend!r}"
+            )
+        if self.reuse_positions_from is not None and not _JOB_ID_RE.match(
+            self.reuse_positions_from
+        ):
+            raise ValueError(
+                f"reuse_positions_from must be a job id, "
+                f"got {self.reuse_positions_from!r}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+        if self.retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        """Build a spec from a request body, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ValueError("job spec must be a JSON object")
+        known = {
+            "dataset", "tenant", "priority", "options",
+            "reuse_positions_from", "output", "blend", "inject_faults",
+            "deadline_seconds", "retry_budget",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown job spec keys {sorted(unknown)}")
+        kwargs: dict[str, Any] = dict(payload)
+        if "priority" in kwargs:
+            kwargs["priority"] = int(kwargs["priority"])
+        if "retry_budget" in kwargs:
+            kwargs["retry_budget"] = int(kwargs["retry_budget"])
+        if "options" in kwargs and kwargs["options"] is None:
+            kwargs["options"] = {}
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "options": dict(self.options),
+            "reuse_positions_from": self.reuse_positions_from,
+            "output": self.output,
+            "blend": self.blend,
+            "inject_faults": self.inject_faults,
+            "deadline_seconds": self.deadline_seconds,
+            "retry_budget": self.retry_budget,
+        }
+
+
+@dataclass
+class JobRecord:
+    """Server-side lifecycle of one submitted job.
+
+    State transitions (enforced by :meth:`transition`)::
+
+        queued -> running -> done | failed | cancelled
+        running -> queued            (requeue after worker death/kill)
+        queued -> cancelled
+
+    ``attempts`` counts executions started; a job whose worker died
+    ``retry_budget`` times fails rather than requeueing forever.
+    """
+
+    spec: JobSpec
+    id: str = field(default_factory=new_job_id)
+    state: JobState = JobState.QUEUED
+    #: Monotonic submission sequence number, assigned by the queue --
+    #: the FIFO key within a (tenant, priority) lane.
+    seq: int = -1
+    attempts: int = 0
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    worker: int | None = None
+    error: str | None = None
+    #: Worker-reported summary (pairs, timings, plan-cache hits, journal).
+    result: dict | None = None
+    cancel_requested: bool = False
+
+    _VALID = {
+        JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED),
+        JobState.RUNNING: (
+            JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+            JobState.QUEUED,
+        ),
+        JobState.DONE: (),
+        JobState.FAILED: (),
+        JobState.CANCELLED: (),
+    }
+
+    def transition(self, to: JobState) -> None:
+        if to not in self._VALID[self.state]:
+            raise ValueError(f"illegal job transition {self.state} -> {to}")
+        self.state = to
+
+    def to_dict(self) -> dict:
+        """JSON payload for the status endpoint."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "dataset": self.spec.dataset,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "worker": self.worker,
+            "error": self.error,
+            "result": self.result,
+            "spec": self.spec.to_dict(),
+        }

@@ -88,11 +88,82 @@ class TestComposeToTiff:
         compose_to_tiff(tmp_path / "m.tif", load, gp, (8, 8), scale=1000.0)
         assert read_tiff(tmp_path / "m.tif")[0, 0] == 500
 
+    def test_maximum_blend_matches_in_memory(self, tmp_path):
+        load = self.make_tiles()
+        gp = grid_positions(3, 3, 12)
+        p = tmp_path / "m.tif"
+        # band_rows=5 splits every tile across bands: per-pixel max must
+        # still agree with the all-in-memory reference.
+        shape = compose_to_tiff(p, load, gp, (16, 16),
+                                blend=BlendMode.MAXIMUM, band_rows=5)
+        ref = compose(load, gp, (16, 16), blend=BlendMode.MAXIMUM,
+                      dtype=np.float64)
+        streamed = read_tiff(p)
+        assert streamed.shape == shape
+        assert np.array_equal(streamed, np.clip(ref, 0, 65535).astype(np.uint16))
+
     def test_linear_blend_rejected(self, tmp_path):
         gp = grid_positions(1, 1, 0)
-        with pytest.raises(ValueError, match="OVERLAY/AVERAGE"):
+        with pytest.raises(ValueError, match="OVERLAY/AVERAGE/MAXIMUM"):
             compose_to_tiff(tmp_path / "m.tif", self.make_tiles(1, 1), gp,
                             (16, 16), blend=BlendMode.LINEAR)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"blend": BlendMode.LINEAR},
+            {"on_tile_error": "retry-forever"},
+            {"dtype": np.float32},
+            {"blend": "no-such-blend"},
+        ],
+    )
+    def test_rejection_leaves_no_partial_output(self, tmp_path, kwargs):
+        """An up-front validation failure must not touch the filesystem."""
+        gp = grid_positions(2, 2, 12)
+        p = tmp_path / "m.tif"
+        with pytest.raises(ValueError):
+            compose_to_tiff(p, self.make_tiles(2, 2), gp, (16, 16), **kwargs)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_midstream_failure_leaves_no_partial_output(self, tmp_path):
+        """A bad tile under abort policy must not leave a torn mosaic."""
+        tiles = self.make_tiles(3, 3)
+
+        def load(r, c):
+            if (r, c) == (2, 1):  # fails only in a late band
+                raise OSError("tile rotted")
+            return tiles(r, c)
+
+        gp = grid_positions(3, 3, 12)
+        p = tmp_path / "m.tif"
+        with pytest.raises(OSError, match="tile rotted"):
+            compose_to_tiff(p, load, gp, (16, 16), band_rows=5,
+                            on_tile_error="abort")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_midstream_failure_preserves_previous_mosaic(self, tmp_path):
+        """Re-compose over an existing mosaic: failure keeps the old file."""
+        load = self.make_tiles(2, 2)
+        gp = grid_positions(2, 2, 12)
+        p = tmp_path / "m.tif"
+        compose_to_tiff(p, load, gp, (16, 16))
+        before = read_tiff(p)
+
+        def broken(r, c):
+            raise OSError("gone")
+
+        with pytest.raises(OSError):
+            compose_to_tiff(p, broken, gp, (16, 16), on_tile_error="abort")
+        assert np.array_equal(read_tiff(p), before)
+        assert list(tmp_path.iterdir()) == [p]
+
+    def test_string_blend_accepted(self, tmp_path):
+        """The service layer passes blend names; coercion is up front."""
+        load = self.make_tiles(1, 1)
+        gp = grid_positions(1, 1, 0)
+        compose_to_tiff(tmp_path / "m.tif", load, gp, (16, 16),
+                        blend="average")
+        assert (tmp_path / "m.tif").exists()
 
     def test_end_to_end_with_stitcher(self, dataset_4x4, tmp_path):
         res = Stitcher().stitch(dataset_4x4)

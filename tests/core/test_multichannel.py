@@ -85,3 +85,62 @@ class TestStitchChannels:
             Stitcher().stitch_channels([])
         with pytest.raises(IndexError):
             Stitcher().stitch_channels([ds_a], reference=3)
+
+
+class TestProvenancePropagation:
+    """Dependent channels inherit the reference run's provenance.
+
+    Positions already flow across channels; these tests pin down that the
+    *context* of those positions -- skip policy, fault report, quality
+    report -- flows with them, so a dependent channel's compose() leaves
+    holes exactly where the reference registration dropped tiles.
+    """
+
+    def test_skip_policy_and_fault_report_shared(self, two_channels):
+        from repro.faults import FaultPlan
+
+        ds_a, ds_b = two_channels
+        plan = FaultPlan.random(3, 4, seed=9, missing=1, corrupt=1,
+                                transient=0, slow=0)
+        res_a, res_b = Stitcher(
+            max_retries=1, on_tile_error="skip"
+        ).stitch_channels([plan.wrap_dataset(ds_a), ds_b])
+
+        assert res_b.on_tile_error == "skip"
+        # Same object, not a copy: one registration, one report.
+        assert res_b.stats["fault_report"] is res_a.stats["fault_report"]
+        assert res_b.skipped_tiles() == res_a.skipped_tiles()
+        assert len(res_b.skipped_tiles()) == 2
+        assert res_b.stats["positions_from_channel"] == 0
+        assert np.array_equal(res_a.positions.positions,
+                              res_b.positions.positions)
+
+    def test_dependent_compose_masks_reference_holes(self, two_channels):
+        from repro.faults import FaultPlan
+
+        ds_a, ds_b = two_channels
+        plan = FaultPlan.random(3, 4, seed=9, missing=1, corrupt=1,
+                                transient=0, slow=0)
+        res_a, res_b = Stitcher(
+            max_retries=1, on_tile_error="skip"
+        ).stitch_channels([plan.wrap_dataset(ds_a), ds_b])
+        _, mask_a = res_a.compose(return_mask=True)
+        _, mask_b = res_b.compose(return_mask=True)
+        # Channel B's tiles are all readable, yet its mosaic must carry
+        # the same holes: those positions were never registered.
+        assert np.array_equal(mask_a, mask_b)
+        assert int(mask_b.sum()) == 3 * 4 - 2
+
+    def test_quality_report_shared(self, two_channels):
+        ds_a, ds_b = two_channels
+        res_a, res_b = Stitcher(quality=True).stitch_channels([ds_a, ds_b])
+        assert "quality_report" in res_a.stats
+        assert res_b.stats["quality_report"] is res_a.stats["quality_report"]
+
+    def test_clean_run_stats_stay_minimal(self, two_channels):
+        """No fault policy, no gate: the dependent stats dict stays the
+        historical one-key shape (nothing leaks in unconditionally)."""
+        ds_a, ds_b = two_channels
+        _, res_b = Stitcher().stitch_channels([ds_a, ds_b])
+        assert res_b.stats == {"positions_from_channel": 0}
+        assert res_b.on_tile_error == "abort"

@@ -1,0 +1,1 @@
+"""Service layer tests: queue, pool, HTTP server, e2e lifecycle."""

@@ -1,0 +1,89 @@
+"""Job model: spec validation, record state machine, serialization."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    ALLOWED_OPTIONS,
+    JobRecord,
+    JobSpec,
+    JobState,
+    new_job_id,
+)
+
+
+class TestJobSpec:
+    def test_minimal_spec(self):
+        spec = JobSpec(dataset="/data/scan1")
+        assert spec.tenant == "default"
+        assert spec.priority == 0
+        assert spec.retry_budget == 1
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(dataset="/d", tenant="lab-a", priority=3,
+                       options={"subpixel": True}, blend="average",
+                       retry_budget=2)
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    @pytest.mark.parametrize("payload,match", [
+        ({}, "dataset"),
+        ({"dataset": "/d", "tenant": "bad tenant!"}, "tenant"),
+        ({"dataset": "/d", "priority": 11}, "priority"),
+        ({"dataset": "/d", "options": {"checkpoint": "/x"}}, "unknown job options"),
+        ({"dataset": "/d", "blend": "linear"}, "blend"),
+        ({"dataset": "/d", "reuse_positions_from": "../etc"}, "job id"),
+        ({"dataset": "/d", "deadline_seconds": -1}, "deadline"),
+        ({"dataset": "/d", "retry_budget": -1}, "retry_budget"),
+        ({"dataset": "/d", "surprise": 1}, "unknown job spec keys"),
+    ])
+    def test_invalid_specs_rejected(self, payload, match):
+        with pytest.raises((ValueError, TypeError), match=match):
+            JobSpec.from_dict(payload)
+
+    def test_checkpoint_is_not_client_controllable(self):
+        """The per-job journal is the durability story; a client must
+        not be able to point it elsewhere."""
+        assert "checkpoint" not in ALLOWED_OPTIONS
+        assert "resume" not in ALLOWED_OPTIONS
+        assert "cache" not in ALLOWED_OPTIONS
+
+    def test_reuse_accepts_generated_ids(self):
+        jid = new_job_id()
+        spec = JobSpec(dataset="/d", reuse_positions_from=jid)
+        assert spec.reuse_positions_from == jid
+
+
+class TestJobRecord:
+    def test_lifecycle_happy_path(self):
+        rec = JobRecord(spec=JobSpec(dataset="/d"))
+        assert rec.state is JobState.QUEUED
+        rec.transition(JobState.RUNNING)
+        rec.transition(JobState.DONE)
+        assert rec.state.terminal
+
+    def test_requeue_cycle_allowed(self):
+        rec = JobRecord(spec=JobSpec(dataset="/d"))
+        rec.transition(JobState.RUNNING)
+        rec.transition(JobState.QUEUED)   # worker died, retry
+        rec.transition(JobState.RUNNING)
+        rec.transition(JobState.FAILED)
+
+    @pytest.mark.parametrize("start,bad", [
+        (JobState.QUEUED, JobState.DONE),      # must run first
+        (JobState.QUEUED, JobState.FAILED),
+        (JobState.DONE, JobState.RUNNING),     # terminal states are final
+        (JobState.FAILED, JobState.QUEUED),
+        (JobState.CANCELLED, JobState.RUNNING),
+    ])
+    def test_illegal_transitions_rejected(self, start, bad):
+        rec = JobRecord(spec=JobSpec(dataset="/d"), state=start)
+        with pytest.raises(ValueError, match="illegal job transition"):
+            rec.transition(bad)
+
+    def test_to_dict_is_json_able(self):
+        rec = JobRecord(spec=JobSpec(dataset="/d"))
+        payload = json.loads(json.dumps(rec.to_dict()))
+        assert payload["state"] == "queued"
+        assert payload["spec"]["dataset"] == "/d"

@@ -1,0 +1,290 @@
+"""Queue policy under deterministic stress: fairness, FIFO, conservation.
+
+Everything here runs against an injected fake clock -- no sleeps, no
+wall-time dependence.  The load tests drive randomized submit / take /
+cancel schedules (seeded, plus a hypothesis sweep) and assert the
+invariant the service's no-job-loss guarantee rests on::
+
+    accepted == taken + cancelled + depth
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.queue import AdmissionRejected, JobQueue
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_queue(**kwargs) -> tuple[JobQueue, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("max_depth", 64)
+    kwargs.setdefault("per_tenant_limit", 16)
+    return JobQueue(clock=clock, **kwargs), clock
+
+
+def job(tenant="default", priority=0, **kw) -> JobRecord:
+    return JobRecord(spec=JobSpec(dataset="/d", tenant=tenant,
+                                  priority=priority, **kw))
+
+
+class TestOrdering:
+    def test_fifo_within_one_tenant(self):
+        q, _ = make_queue()
+        jobs = [q.submit(job()) for _ in range(5)]
+        assert [q.take(0).id for _ in range(5)] == [j.id for j in jobs]
+
+    def test_priority_beats_arrival_order(self):
+        q, _ = make_queue()
+        low = q.submit(job(priority=1))
+        high = q.submit(job(priority=8))
+        mid = q.submit(job(priority=5))
+        assert [q.take(0).id for _ in range(3)] == [high.id, mid.id, low.id]
+
+    def test_round_robin_across_tenants(self):
+        """Three tenants, one flooding: service alternates fairly."""
+        q, _ = make_queue()
+        for _ in range(6):
+            q.submit(job(tenant="noisy"))
+        q.submit(job(tenant="quiet-a"))
+        q.submit(job(tenant="quiet-b"))
+        served = [q.take(0).spec.tenant for _ in range(4)]
+        # Both quiet tenants are served within the first three takes --
+        # the noisy tenant cannot monopolize the pool.
+        assert "quiet-a" in served[:3]
+        assert "quiet-b" in served[:3]
+        assert served.count("noisy") <= 2
+
+    def test_round_robin_is_least_recently_served(self):
+        q, _ = make_queue()
+        for tenant in ("a", "b"):
+            for _ in range(3):
+                q.submit(job(tenant=tenant))
+        order = [q.take(0).spec.tenant for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_fifo_within_priority_across_requeue(self):
+        """A requeued job re-enters at the front of its lane."""
+        q, _ = make_queue()
+        first = q.submit(job())
+        second = q.submit(job())
+        taken = q.take(0)
+        assert taken.id == first.id
+        q.requeue(taken)
+        assert q.take(0).id == first.id  # still ahead of `second`
+        assert q.take(0).id == second.id
+
+    def test_wait_seconds_use_injected_clock(self):
+        from repro.observe import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        q = JobQueue(clock=clock, metrics=metrics)
+        q.submit(job())
+        clock.advance(7.5)
+        q.take(0)
+        h = metrics.histogram("service.queue_wait_seconds")
+        assert h.percentile(50) == 7.5
+
+
+class TestBackpressure:
+    def test_depth_limit_rejects_with_retry_after(self):
+        q, _ = make_queue(max_depth=3, per_tenant_limit=16)
+        for _ in range(3):
+            q.submit(job())
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(job())
+        assert exc_info.value.reason == "queue_full"
+        assert 0.1 <= exc_info.value.retry_after <= 60.0
+
+    def test_tenant_limit_spares_other_tenants(self):
+        q, _ = make_queue(max_depth=64, per_tenant_limit=2)
+        q.submit(job(tenant="greedy"))
+        q.submit(job(tenant="greedy"))
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(job(tenant="greedy"))
+        assert exc_info.value.reason == "tenant_limit"
+        q.submit(job(tenant="polite"))  # unaffected
+
+    def test_retry_after_tracks_service_rate(self):
+        q, _ = make_queue(max_depth=4, workers=2)
+        q.note_job_seconds(10.0)
+        for _ in range(4):
+            q.submit(job())
+        with pytest.raises(AdmissionRejected) as exc_info:
+            q.submit(job())
+        # 10 s/job EWMA, depth 4 + 1, 2 workers -> ~25 s.
+        assert exc_info.value.retry_after == pytest.approx(25.0)
+
+    def test_requeue_bypasses_admission(self):
+        """A full queue must still accept a requeue -- the job was
+        already accepted and must not be lost."""
+        q, _ = make_queue(max_depth=1)
+        first = q.submit(job())
+        taken = q.take(0)
+        q.submit(job())  # queue full again
+        q.requeue(taken)  # no exception
+        assert q.depth() == 2
+        assert q.take(0).id == first.id
+
+    def test_closed_queue_rejects(self):
+        q, _ = make_queue()
+        q.close()
+        with pytest.raises(AdmissionRejected, match="shut down"):
+            q.submit(job())
+
+
+class TestConservation:
+    """accepted == taken + cancelled + depth, under randomized load."""
+
+    def _drive(self, seed: int, n_ops: int, q: JobQueue) -> int:
+        """Randomized submit/take/requeue/cancel; returns requeue count."""
+        rng = random.Random(seed)
+        queued_ids: list[str] = []
+        requeues = 0
+        for _ in range(n_ops):
+            op = rng.random()
+            if op < 0.55:
+                try:
+                    rec = q.submit(job(
+                        tenant=rng.choice(["a", "b", "c"]),
+                        priority=rng.randrange(0, 10),
+                    ))
+                    queued_ids.append(rec.id)
+                except AdmissionRejected:
+                    pass
+            elif op < 0.85:
+                rec = q.take(0)
+                if rec is not None:
+                    queued_ids.remove(rec.id)
+                    if rng.random() < 0.2:  # simulated worker death
+                        q.requeue(rec)
+                        queued_ids.append(rec.id)
+                        requeues += 1
+            elif queued_ids:
+                victim = rng.choice(queued_ids)
+                if q.cancel(victim) is not None:
+                    queued_ids.remove(victim)
+        return requeues
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_randomized_load_conserves_jobs(self, seed):
+        q, _ = make_queue(max_depth=8, per_tenant_limit=4)
+        requeues = self._drive(seed, 400, q)
+        s = q.stats()
+        # Each requeue recycles an already-accepted job back into the
+        # queue, so `taken` over-counts acceptances by the requeue count;
+        # the net flow must balance exactly.
+        assert s["accepted"] + requeues == (
+            s["taken"] + s["cancelled"] + s["depth"]
+        )
+        # And nothing invented: live depth agrees with the counter.
+        assert s["depth"] == q.depth()
+
+    @pytest.mark.parametrize("seed", [0, 3, 99])
+    def test_no_accepted_job_lost(self, seed):
+        """Every accepted job is eventually taken or cancelled -- none
+        vanish, even with interleaved requeues and rejections."""
+        q, _ = make_queue(max_depth=8, per_tenant_limit=4)
+        rng = random.Random(seed)
+        accepted: set[str] = set()
+        finished: set[str] = set()
+        for _ in range(300):
+            if rng.random() < 0.5:
+                try:
+                    rec = q.submit(job(tenant=rng.choice(["a", "b"]),
+                                       priority=rng.randrange(3)))
+                    accepted.add(rec.id)
+                except AdmissionRejected:
+                    pass
+            else:
+                rec = q.take(0)
+                if rec is not None:
+                    if rng.random() < 0.15:
+                        q.requeue(rec)
+                    else:
+                        finished.add(rec.id)
+        # Drain the remainder deterministically.
+        while (rec := q.take(0)) is not None:
+            finished.add(rec.id)
+        assert finished == accepted
+        assert q.depth() == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        max_depth=st.integers(1, 12),
+        per_tenant=st.integers(1, 6),
+        n_ops=st.integers(10, 250),
+    )
+    def test_conservation_property(self, seed, max_depth, per_tenant, n_ops):
+        clock = FakeClock()
+        q = JobQueue(max_depth=max_depth, per_tenant_limit=per_tenant,
+                     clock=clock)
+        rng = random.Random(seed)
+        live: list[str] = []
+        taken_net = 0
+        for _ in range(n_ops):
+            roll = rng.random()
+            clock.advance(rng.random())
+            if roll < 0.6:
+                try:
+                    rec = q.submit(job(tenant=rng.choice("abcd"),
+                                       priority=rng.randrange(10)))
+                    live.append(rec.id)
+                except AdmissionRejected:
+                    pass
+            elif roll < 0.9:
+                rec = q.take(0)
+                if rec is not None:
+                    live.remove(rec.id)
+                    if rng.random() < 0.25:
+                        q.requeue(rec)
+                        live.append(rec.id)
+                        taken_net -= 1
+                    taken_net += 1
+            elif live:
+                victim = rng.choice(live)
+                if q.cancel(victim) is not None:
+                    live.remove(victim)
+        s = q.stats()
+        assert s["accepted"] == taken_net + s["cancelled"] + s["depth"]
+        assert s["depth"] == len(live)
+        # Tenant book-keeping agrees with the global depth.
+        assert sum(q.depth_by_tenant().values()) == s["depth"]
+
+
+class TestShutdown:
+    def test_drain_returns_everything_in_seq_order(self):
+        q, _ = make_queue()
+        jobs = [q.submit(job(priority=p)) for p in (5, 1, 9)]
+        q.close()
+        drained = q.drain()
+        assert [r.id for r in drained] == [j.id for j in jobs]
+        assert q.depth() == 0
+
+    def test_take_after_close_returns_none_when_empty(self):
+        q, _ = make_queue()
+        q.close()
+        assert q.take(0) is None
+
+    def test_close_still_serves_queued_jobs(self):
+        q, _ = make_queue()
+        rec = q.submit(job())
+        q.close()
+        assert q.take(0).id == rec.id

@@ -1,0 +1,216 @@
+"""HTTP surface of the service: routing, validation, serialization.
+
+The worker pool is deliberately *not* started here -- submitted jobs
+stay queued, which makes every endpoint's behaviour deterministic.  The
+running-pool lifecycle is covered by ``test_service_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import (
+    BackpressureError,
+    ServiceClient,
+    ServiceError,
+    StitchService,
+)
+from repro.synth import make_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    ds = make_synthetic_dataset(
+        tmp_path_factory.mktemp("srv-ds"), rows=2, cols=2,
+        tile_height=32, tile_width=32, overlap=0.25, seed=3,
+    )
+    return str(ds.directory)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = StitchService(tmp_path / "spool", workers=1, max_depth=4,
+                        per_tenant_limit=2)
+    svc.start_http()  # HTTP only; pool stays cold so jobs stay queued
+    yield svc
+    svc.stop_http()
+
+
+@pytest.fixture()
+def client(service):
+    host, port = service.address
+    return ServiceClient(host, port)
+
+
+class TestSubmission:
+    def test_submit_returns_accepted_record(self, client, dataset_dir):
+        rec = client.submit({"dataset": dataset_dir, "tenant": "lab-a"})
+        assert rec["state"] == "queued"
+        assert rec["tenant"] == "lab-a"
+        assert len(rec["id"]) == 12
+
+    def test_unknown_keys_rejected_400(self, client, dataset_dir):
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit({"dataset": dataset_dir, "shell": "rm -rf /"})
+        assert exc_info.value.status == 400
+        assert "unknown job spec keys" in str(exc_info.value)
+
+    def test_missing_dataset_rejected_400(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit({"dataset": "/no/such/place"})
+        assert exc_info.value.status == 400
+
+    def test_malformed_json_rejected_400(self, service):
+        host, port = service.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("POST", "/jobs", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 400
+        assert "bad JSON" in payload["error"]
+
+    def test_backpressure_429_with_retry_after(self, client, dataset_dir):
+        for i in range(2):
+            client.submit({"dataset": dataset_dir, "tenant": f"t{i}",
+                           "priority": i})
+        client.submit({"dataset": dataset_dir, "tenant": "t2"})
+        client.submit({"dataset": dataset_dir, "tenant": "t3"})
+        with pytest.raises(BackpressureError) as exc_info:
+            client.submit({"dataset": dataset_dir, "tenant": "t4"})
+        assert exc_info.value.status == 429
+        assert exc_info.value.reason == "queue_full"
+        assert exc_info.value.retry_after > 0
+
+    def test_tenant_limit_429(self, client, dataset_dir):
+        client.submit({"dataset": dataset_dir, "tenant": "noisy"})
+        client.submit({"dataset": dataset_dir, "tenant": "noisy"})
+        with pytest.raises(BackpressureError) as exc_info:
+            client.submit({"dataset": dataset_dir, "tenant": "noisy"})
+        assert exc_info.value.reason == "tenant_limit"
+
+    def test_dataset_root_confinement(self, tmp_path, dataset_dir):
+        svc = StitchService(tmp_path / "spool", workers=1,
+                            dataset_root=tmp_path / "datasets")
+        (tmp_path / "datasets").mkdir()
+        svc.start_http()
+        try:
+            host, port = svc.address
+            client = ServiceClient(host, port)
+            with pytest.raises(ServiceError) as exc_info:
+                client.submit({"dataset": dataset_dir})  # outside the root
+            assert exc_info.value.status == 400
+            assert "escapes" in str(exc_info.value)
+            with pytest.raises(ServiceError) as exc_info:
+                client.submit({"dataset": "../../etc"})
+            assert exc_info.value.status == 400
+        finally:
+            svc.stop_http()
+
+
+class TestStatusAndLifecycle:
+    def test_status_roundtrip(self, client, dataset_dir):
+        rec = client.submit({"dataset": dataset_dir})
+        got = client.status(rec["id"])
+        assert got["id"] == rec["id"]
+        assert got["state"] == "queued"
+        assert got["spec"]["dataset"] == dataset_dir
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.status("0123456789ab")
+        assert exc_info.value.status == 404
+
+    def test_malformed_job_id_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.status("..%2f..%2fetc")
+        assert exc_info.value.status == 404
+
+    def test_list_jobs_with_tenant_filter(self, client, dataset_dir):
+        client.submit({"dataset": dataset_dir, "tenant": "aa"})
+        client.submit({"dataset": dataset_dir, "tenant": "bb"})
+        assert {j["tenant"] for j in client.list_jobs()} == {"aa", "bb"}
+        only = client.list_jobs(tenant="aa")
+        assert len(only) == 1 and only[0]["tenant"] == "aa"
+
+    def test_cancel_queued_job(self, client, dataset_dir):
+        rec = client.submit({"dataset": dataset_dir})
+        cancelled = client.cancel(rec["id"])
+        assert cancelled["state"] == "cancelled"
+        # Idempotent: cancelling again reports the same terminal state.
+        assert client.cancel(rec["id"])["state"] == "cancelled"
+
+    def test_result_of_unfinished_job_409(self, client, dataset_dir):
+        rec = client.submit({"dataset": dataset_dir})
+        with pytest.raises(ServiceError) as exc_info:
+            client.result(rec["id"])
+        assert exc_info.value.status == 409
+        assert exc_info.value.payload["state"] == "queued"
+
+    def test_wrong_method_405(self, service, dataset_dir):
+        host, port = service.address
+        client = ServiceClient(host, port)
+        rec = client.submit({"dataset": dataset_dir})
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("DELETE", f"/jobs/{rec['id']}")
+        resp = conn.getresponse()
+        resp.read()
+        conn.close()
+        assert resp.status == 405
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/api/v9/jobs")
+        assert exc_info.value.status == 404
+
+
+class TestMetricsEndpoints:
+    def test_healthz(self, client, dataset_dir):
+        client.submit({"dataset": dataset_dir})
+        health = client.health()
+        assert health["ok"] is True
+        assert health["queue_depth"] == 1
+        assert health["jobs"]["queued"] == 1
+
+    def test_metrics_json_sections(self, client, dataset_dir):
+        client.submit({"dataset": dataset_dir})
+        snap = client.metrics()
+        assert snap["counters"]["service.jobs_submitted"] == 1
+        assert snap["counters"]["service.queue_accepted"] == 1
+        assert snap["jobs"]["queued"] == 1
+        assert snap["queue"]["accepted"] == 1
+
+    def test_metrics_text_parses_as_prometheus(self, client, dataset_dir):
+        """Every non-comment line must be `name[{labels}] value`."""
+        client.submit({"dataset": dataset_dir})
+        client.cancel(client.submit({"dataset": dataset_dir})["id"])
+        text = client.metrics_text()
+        assert text.endswith("\n")
+        seen = {}
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[1] == "TYPE" and parts[3] in (
+                    "counter", "gauge", "summary"
+                )
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            seen[name] = float(value)
+        assert seen["repro_service_jobs_submitted"] == 2.0
+        assert seen['repro_service_jobs{state="queued"}'] == 1.0
+        assert seen['repro_service_jobs{state="cancelled"}'] == 1.0
+
+    def test_cancel_counts_balance(self, client, dataset_dir):
+        ids = [client.submit({"dataset": dataset_dir, "tenant": f"t{i}"})["id"]
+               for i in range(3)]
+        client.cancel(ids[0])
+        snap = client.metrics()
+        jobs = snap["jobs"]
+        assert snap["counters"]["service.jobs_submitted"] == (
+            jobs["queued"] + jobs["cancelled"]
+        )
