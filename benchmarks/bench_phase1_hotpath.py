@@ -53,7 +53,7 @@ BENCH_PATH = REPO_ROOT / "BENCH_phase1.json"
 #: numpy kernels (not python dispatch) dominant, approaching the regime of
 #: the paper's 1392x1040 tiles while staying CI-friendly.
 MODES = {
-    "full": (8, 8, 512, 3),
+    "full": (8, 8, 512, 5),
     "quick": (5, 5, 256, 2),
 }
 
@@ -78,7 +78,13 @@ SWEEP_READ_LATENCY = 0.04
 
 SWEEP_WORKERS = (1, 2, 4, 8)
 
-STAGES = ("read", "fft", "tilestats", "pair")
+STAGES = ("read", "downsample", "fft", "tilestats", "pair")
+
+#: Positional agreement required of the coarse-to-fine configuration:
+#: RMS distance between its (tx, ty) and the optimized full-resolution
+#: reference, in pixels.  The refinement walks to the full-resolution
+#: integer peak, so on clean synthetic grids the RMS is exactly 0.
+COARSE_RMS_LIMIT_PX = 0.5
 
 
 class LatencyDataset:
@@ -110,7 +116,7 @@ def _load_tiles(rows: int, cols: int, tile: int, seed: int = 7):
         }
 
 
-def _run_once(tiles, rows, cols, *, real, stats, workspace):
+def _run_once(tiles, rows, cols, *, real, stats, workspace, coarse=None):
     from repro.core.displacement import compute_grid_displacements
     from repro.core.pciam import CcfMode
     from repro.fftlib.plans import PlanCache
@@ -130,6 +136,7 @@ def _run_once(tiles, rows, cols, *, real, stats, workspace):
         use_workspace=workspace,
         cache=PlanCache(),
         tracer=tracer,
+        coarse=coarse,
     )
     seconds = time.perf_counter() - t0
     stage_seconds = {name: 0.0 for name in STAGES}
@@ -149,27 +156,43 @@ def _translations(result):
 
 
 def measure(mode: str) -> dict:
+    import math
+
+    from repro.core.coarse import CoarseConfig
+
     rows, cols, tile, reps = MODES[mode]
     tiles = _load_tiles(rows, cols, tile)
     pairs = 2 * rows * cols - rows - cols
     configs = {
         "baseline": dict(real=False, stats=False, workspace=False),
         "optimized": dict(real=True, stats=True, workspace=True),
+        "coarse": dict(real=True, stats=True, workspace=True,
+                       coarse=CoarseConfig()),
     }
     report: dict = {
         "mode": mode, "rows": rows, "cols": cols, "tile": tile,
         "pairs": pairs, "repetitions": reps,
     }
     outputs = {}
-    for name, cfg in configs.items():
-        best, best_stages, result = None, None, None
-        for _ in range(reps):
+    # Round-robin the configurations within each repetition (rather than
+    # all reps of one config back to back): every config samples the same
+    # load profile of the host, so the config-to-config *ratios* -- what
+    # the CI gates check -- are far more stable than the absolute times.
+    best_of: dict[str, tuple] = {}
+    results: dict = {}
+    for _ in range(reps):
+        for name, cfg in configs.items():
             result, seconds, stage_seconds = _run_once(
                 tiles, rows, cols, **cfg
             )
-            if best is None or seconds < best:
-                best, best_stages = seconds, stage_seconds
-        outputs[name] = _translations(result)
+            if name not in best_of or seconds < best_of[name][0]:
+                best_of[name] = (seconds, stage_seconds)
+            # Runs are deterministic: any repetition's result serves.
+            results[name] = result
+            outputs[name] = _translations(result)
+    for name in configs:
+        best, best_stages = best_of[name]
+        result = results[name]
         report[name] = {
             "seconds": round(best, 4),
             "pairs_per_sec": round(pairs / best, 2),
@@ -180,6 +203,13 @@ def measure(mode: str) -> dict:
                 resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
             ),
         }
+        if name == "coarse":
+            report[name]["coarse_hits"] = int(
+                result.stats.get("coarse_hits", 0)
+            )
+            report[name]["full_fallbacks"] = int(
+                result.stats.get("full_fallbacks", 0)
+            )
     for a, b in zip(outputs["baseline"], outputs["optimized"]):
         if a is None and b is None:
             continue
@@ -193,6 +223,25 @@ def measure(mode: str) -> dict:
     report["speedup"] = round(
         report["optimized"]["pairs_per_sec"]
         / report["baseline"]["pairs_per_sec"], 3,
+    )
+    # Coarse-to-fine is allowed to disagree in *correlation* (its contest
+    # probes a windowed subset of the full candidate set) but its
+    # positions must track the full-resolution reference: RMS distance is
+    # the accuracy metric the coarse gate enforces.
+    sq, n = 0.0, 0
+    for a, b in zip(outputs["optimized"], outputs["coarse"]):
+        if a is None and b is None:
+            continue
+        if a is None or b is None:
+            raise AssertionError(
+                "coarse run dropped or added a pair vs optimized"
+            )
+        sq += (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
+        n += 1
+    report["coarse"]["rms_px_vs_optimized"] = round(math.sqrt(sq / n), 4)
+    report["coarse"]["speedup_vs_optimized"] = round(
+        report["coarse"]["pairs_per_sec"]
+        / report["optimized"]["pairs_per_sec"], 3,
     )
     return report
 
@@ -293,15 +342,19 @@ def _print_report(report: dict) -> None:
     print(f"phase-1 hot path, {report['rows']}x{report['cols']} grid, "
           f"{report['tile']}px tiles, {report['pairs']} pairs "
           f"(best of {report['repetitions']}):")
-    for name in ("baseline", "optimized"):
+    for name in ("baseline", "optimized", "coarse"):
         r = report[name]
         stages = ", ".join(
-            f"{k} {v:.3f}s" for k, v in r["stage_seconds"].items()
+            f"{k} {v:.3f}s" for k, v in r["stage_seconds"].items() if v
         )
         print(f"  {name:>9}: {r['pairs_per_sec']:8.1f} pairs/s "
               f"({r['seconds']:.3f}s; {stages}; rss {r['peak_rss_mb']} MB)")
     print(f"  speedup: {report['speedup']:.2f}x (identical results: "
           f"{report['identical_results']})")
+    c = report["coarse"]
+    print(f"  coarse: {c['speedup_vs_optimized']:.2f}x vs optimized, "
+          f"{c['coarse_hits']} hits / {c['full_fallbacks']} fallbacks, "
+          f"rms {c['rms_px_vs_optimized']:.3f} px")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -327,6 +380,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="with --sweep: fail unless proc-cpu at the highest "
                          "swept worker count reaches X times simple-cpu "
                          "pairs/sec (CI gate; skips rewriting the artifact)")
+    ap.add_argument("--coarse-gate", type=float, default=None, metavar="X",
+                    help="fail unless the coarse-to-fine configuration "
+                         "reaches X times the optimized pairs/sec AND its "
+                         f"positions stay within {COARSE_RMS_LIMIT_PX} px "
+                         "RMS of the full-resolution reference (CI gate; "
+                         "skips rewriting the artifact).  Use the full "
+                         "geometry: coarse-to-fine only pays off at "
+                         "paper-scale tile sizes, so --quick measures the "
+                         "wrong regime")
     args = ap.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
@@ -359,6 +421,26 @@ def main(argv: list[str] | None = None) -> int:
 
     report = measure(mode)
     _print_report(report)
+
+    if args.coarse_gate is not None:
+        c = report["coarse"]
+        ok = True
+        print(f"  coarse gate: {c['speedup_vs_optimized']:.2f}x vs "
+              f"optimized (need >= {args.coarse_gate:.2f}x), rms "
+              f"{c['rms_px_vs_optimized']:.3f} px "
+              f"(limit {COARSE_RMS_LIMIT_PX})")
+        if c["speedup_vs_optimized"] < args.coarse_gate:
+            print("FAIL: coarse-to-fine speedup gate not met",
+                  file=sys.stderr)
+            ok = False
+        if c["rms_px_vs_optimized"] > COARSE_RMS_LIMIT_PX:
+            print("FAIL: coarse-to-fine positions drifted beyond "
+                  f"{COARSE_RMS_LIMIT_PX} px RMS", file=sys.stderr)
+            ok = False
+        if not ok:
+            return 1
+        print("OK: coarse gate met")
+        return 0
 
     if args.check:
         committed = read_json(args.output) or {}

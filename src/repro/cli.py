@@ -130,6 +130,14 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         or args.residue_mode is not None
         or args.min_peak_ratio is not None
     )
+    # Coarse-to-fine registration (docs/PERFORMANCE.md): enabled by
+    # --coarse-registration or by naming either of its knobs; off by
+    # default so displacements stay bit-identical to single-pass runs.
+    coarse_on = (
+        args.coarse_registration
+        or args.coarse_scale is not None
+        or args.coarse_conf_thresh is not None
+    )
     real_transforms = not args.complex_transforms
     stitcher = Stitcher(
         ccf_mode=CcfMode.PAPER4 if args.paper_faithful else CcfMode.EXTENDED,
@@ -144,6 +152,9 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         conf_thresh=args.conf_thresh,
         residue_mode=args.residue_mode,
         min_peak_ratio=args.min_peak_ratio,
+        coarse=coarse_on,
+        coarse_scale=args.coarse_scale,
+        coarse_conf_thresh=args.coarse_conf_thresh,
         planning=PlanningMode(args.planning),
         cache=cache,
         max_retries=args.max_retries,
@@ -196,7 +207,7 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
             use_workspace=not args.no_workspace,
             cache=cache, error_policy=policy, fault_report=report,
             tracer=tracer, metrics=metrics, journal=journal,
-            watchdog=watchdog, **impl_kwargs,
+            watchdog=watchdog, coarse=stitcher.coarse, **impl_kwargs,
         )
         try:
             run = impl.run(dataset)
@@ -261,6 +272,11 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         print(f"wisdom -> {args.wisdom}")
     print(f"stitched {dataset.rows}x{dataset.cols} grid in {elapsed:.2f} s "
           f"({result.stats['pairs']} pairs)")
+    if stitcher.coarse is not None:
+        print(f"coarse: {result.stats.get('coarse_hits', 0)} hits, "
+              f"{result.stats.get('full_fallbacks', 0)} fallbacks "
+              f"(factor {stitcher.coarse.factor}, "
+              f"conf >= {stitcher.coarse.conf_thresh})")
     report = result.stats.get("fault_report")
     if report is not None and report:
         print(f"fault report: {report.summary()}")
@@ -452,6 +468,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="demote pairs whose first/second correlation-peak "
                         "magnitude ratio falls below R (default 1.0 = off; "
                         "implies --quality-gate)")
+    s.add_argument("--coarse-registration", action="store_true",
+                   help="two-pass coarse-to-fine PCIAM: register on "
+                        "block-mean downsampled tiles, refine confident "
+                        "peaks at full resolution, fall back to full "
+                        "PCIAM otherwise (docs/PERFORMANCE.md); implied "
+                        "by the knobs below")
+    s.add_argument("--coarse-scale", type=float, default=None, metavar="S",
+                   help="coarse-pass downsampling scale in (0, 0.5] "
+                        "(default 0.5 = factor 2; implies "
+                        "--coarse-registration)")
+    s.add_argument("--coarse-conf-thresh", type=float, default=None,
+                   metavar="C",
+                   help="minimum refined correlation to trust the coarse "
+                        "pass; below it the pair falls back to full "
+                        "PCIAM (default 0.95; implies "
+                        "--coarse-registration)")
     s.add_argument("--positions", choices=["mst", "least_squares"], default="mst")
     s.add_argument("--positions-json", type=Path)
     s.add_argument("--planning",

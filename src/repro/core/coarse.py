@@ -1,0 +1,582 @@
+"""Coarse-to-fine PCIAM: downsampled first pass + windowed refinement.
+
+The full-resolution PCIAM of :mod:`repro.core.pciam` spends nearly all
+of its time in the forward FFTs and the NCC/inverse pair -- all of it
+proportional to the tile area.  For pure-translation registration the
+phase-correlation peak survives block-mean downsampling almost
+unchanged (feabas registers at ``coarse_downsample: 0.5`` and only
+refines confident matches at full resolution), so a two-pass scheme
+does ~1/f^2 of the FFT work:
+
+1. **Coarse pass** -- both tiles are block-mean downsampled by an
+   integer ``factor`` (:mod:`repro.core.downsample`) and a standard
+   PCIAM front half runs at the coarse shape: forward FFTs, NCC,
+   inverse, peak reduction.  Plans are cached per coarse shape in the
+   same :class:`~repro.fftlib.plans.PlanCache` as the full-resolution
+   ones (the cache is keyed on ``(shape, kind)``, so the two
+   resolutions never cross-contaminate).
+2. **Windowed refinement** -- each coarse peak's periodic
+   interpretations are upscaled by ``factor`` and the full-resolution
+   CCF surface is probed only *around* those candidate hills: the O(1)
+   summed-area statistics (:func:`~repro.core.tilestats.ccf_at_stats`)
+   evaluate each probe without any full-resolution FFT.  A bounded
+   steepest-ascent walk (Chebyshev radius ``2 * factor`` by default,
+   covering the worst-case upscaling error of rounding + anti-alias
+   blur + edge padding) finds the full-resolution integer peak.
+3. **Confidence gate** -- the refined correlation and the coarse
+   peak-sharpness ratio are judged with the same thresholds the
+   quality gate uses (``conf_thresh`` / ``min_peak_ratio``).  A
+   confident result is accepted with provenance ``"coarse"``; anything
+   else (blank, damaged, or feature-poor overlaps) falls back to the
+   unmodified full-resolution :func:`~repro.core.pciam.pciam` with
+   provenance ``"fallback"`` -- so dirty data degrades to exactly the
+   single-pass behaviour, never to a wrong-but-confident answer.
+
+:func:`resolve_coarse_peaks` packages steps 2-3 on their own so the
+GPU implementations -- which run step 1 on the device and only see the
+reduced peak list on the host -- share the identical refinement and
+fallback logic with the CPU paths.  That sharing is what keeps every
+implementation bit-identical to ``simple-cpu`` in coarse mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.ccf import ccf_at, subpixel_refine
+from repro.core.downsample import downsample, downsampled_shape
+from repro.core.ncc import normalized_correlation
+from repro.core.peak import peak_candidates, peak_magnitude_ratio, top_peaks
+from repro.core.pciam import CcfMode, PciamResult, forward_fft, pciam
+from repro.core.tilestats import TileStats, ccf_at_stats, subpixel_refine_stats
+from repro.fftlib.plans import (
+    PlanCache,
+    PlanningMode,
+    TransformKind,
+    default_cache,
+)
+
+#: Provenance stamps carried on results (and journaled with each pair,
+#: so a resumed run can prove which path produced every translation).
+PROVENANCE_COARSE = "coarse"
+PROVENANCE_FALLBACK = "fallback"
+
+#: A runner-up candidate hill is climbed when its centre probe is within
+#: this much correlation of the best centre's: the true hill's centre can
+#: sit a pixel or two off its peak (coarse quantization) and score below a
+#: smooth impostor, but never this far below.
+_HILL_MARGIN = 0.2
+
+#: A centre probing at least this high is *decisive*: a genuinely aligned
+#: overlap scores >= 0.98 while impostor hills (smooth strips correlating
+#: at a wrong offset) top out around 0.9, so the contest can stop without
+#: probing the remaining -- typically larger-overlap, costlier --
+#: candidates.  A ``conf_thresh`` above this raises the bar with it.
+_DECISIVE_CORR = 0.95
+
+#: The most a bounded climb has been observed to raise a hill centre's
+#: correlation (the centre sits at most ``radius`` from the summit, and
+#: the CCF surface is smooth at that distance).  A best centre further
+#: than this below ``conf_thresh`` cannot climb to a confident answer,
+#: so the walk is skipped and the pair goes straight to the
+#: full-resolution fallback -- the climb's probes would be pure waste.
+_CLIMB_HEADROOM = 0.25
+
+
+@dataclass(frozen=True)
+class CoarseConfig:
+    """Knobs of the coarse-to-fine pass.
+
+    ``factor``
+        Integer downsampling factor of the first pass (2 = the feabas
+        ``coarse_downsample: 0.5``); FFT work shrinks by ``factor**2``.
+    ``conf_thresh``
+        Minimum refined full-resolution correlation to accept the
+        coarse-seeded answer.  Deliberately much stricter than the
+        quality gate's 0.33: that threshold decides whether a pair is
+        usable at all, this one decides whether the *shortcut* is
+        trusted over the exhaustive path.  At the true integer
+        alignment the refined Pearson correlation is >= 0.98 on every
+        clean pair we measured, while a wrong hill (e.g. smooth
+        vignette strips correlating at an absurd offset) tops out
+        around 0.9 -- so 0.95 accepts every correct refinement and
+        sends everything doubtful to the full-resolution fallback,
+        which can be slower but never wrong.
+    ``min_peak_ratio``
+        Minimum coarse first-to-second peak-magnitude ratio; a diffuse
+        coarse surface (ratio ~1) is not trusted to have found the
+        right hill.  The default 1.0 never rejects on its own.
+    ``coarse_peaks``
+        How many coarse-surface peaks to reduce and contest.  The
+        coarse surface ranks the true peak first for ~90% of pairs but
+        can demote it behind fixed-pattern artifacts on feature-poor
+        overlaps; contesting the top 8 recovers nearly all of those at
+        the cost of a few extra O(overlap) probes (the cheap-first
+        probe ordering means extra candidates rarely cost anything),
+        and every recovered pair is a full-PCIAM fallback avoided.
+    ``search_radius``
+        Chebyshev radius of the full-resolution refinement window
+        around each upscaled candidate; ``None`` derives ``2 * factor``
+        (covers rounding of ±factor/2, ±1 coarse pixel of anti-alias
+        blur, and the edge-padding bias of partial blocks).
+    ``min_overlap_frac``
+        Minimum overlap a refinement probe must cover *in each
+        dimension* (as a fraction of that dimension) to be scored at
+        all.  A Pearson correlation over a sliver is trivially high --
+        a 2-pixel overlap correlates at exactly 1.0, and a 2-row strip
+        of a smooth specimen is not much better -- so without a floor
+        the confidence gate would bless degenerate near-full-shift
+        aliases as "coarse hits".  Probes below the floor score
+        ``-inf``; when every candidate is degenerate the pair falls
+        back to full PCIAM (a false reject only costs speed, never
+        correctness).  The default 5% sits well under any real
+        microscope overlap (the paper's scans use ~10%) while rejecting
+        the aliases whose strips are a few pixels wide.
+    """
+
+    factor: int = 2
+    conf_thresh: float = 0.95
+    min_peak_ratio: float = 1.0
+    coarse_peaks: int = 8
+    search_radius: int | None = None
+    min_overlap_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ValueError(
+                f"coarse factor must be >= 2, got {self.factor} "
+                "(factor 1 is just the full-resolution path)"
+            )
+        if self.coarse_peaks < 1:
+            raise ValueError(
+                f"coarse_peaks must be >= 1, got {self.coarse_peaks}"
+            )
+        if self.search_radius is not None and self.search_radius < 1:
+            raise ValueError(
+                f"search_radius must be >= 1, got {self.search_radius}"
+            )
+        if not 0.0 <= self.min_overlap_frac < 1.0:
+            raise ValueError(
+                f"min_overlap_frac must be in [0, 1), "
+                f"got {self.min_overlap_frac}"
+            )
+
+    @property
+    def radius(self) -> int:
+        """Effective refinement window radius (full-resolution pixels)."""
+        if self.search_radius is not None:
+            return self.search_radius
+        return 2 * self.factor
+
+    @staticmethod
+    def from_scale(scale: float, **overrides) -> "CoarseConfig":
+        """Build a config from a downsampling *scale* (0.5 -> factor 2).
+
+        The CLI exposes the feabas-style fractional scale; block-mean
+        downsampling needs an integer factor, so the nearest integer
+        reciprocal is used (0.5 -> 2, 0.25 -> 4, 0.3 -> 3).
+        """
+        if not 0.0 < scale <= 0.5:
+            raise ValueError(
+                f"coarse scale must be in (0, 0.5], got {scale}"
+            )
+        return CoarseConfig(factor=round(1.0 / scale), **overrides)
+
+    def to_fingerprint(self) -> dict:
+        """JSON-able identity for journal fingerprint binding."""
+        return {
+            "factor": self.factor,
+            "conf_thresh": self.conf_thresh,
+            "min_peak_ratio": self.min_peak_ratio,
+            "coarse_peaks": self.coarse_peaks,
+            "search_radius": self.radius,
+            "min_overlap_frac": self.min_overlap_frac,
+        }
+
+
+def coarse_transform_shape(
+    full_fft_shape: tuple[int, int], factor: int
+) -> tuple[int, int]:
+    """Coarse-pass transform shape for a full-resolution transform shape.
+
+    Matches what :func:`~repro.core.downsample.downsample` produces for
+    the tile, so the coarse FFT runs un-padded at the downsampled size
+    (and every implementation derives the same device-buffer / slab /
+    workspace geometry from it).
+    """
+    return downsampled_shape(full_fft_shape, factor)
+
+
+def coarse_forward_fft(
+    tile: np.ndarray,
+    factor: int,
+    fft_shape: tuple[int, int] | None = None,
+    cache: PlanCache | None = None,
+    mode: PlanningMode = PlanningMode.ESTIMATE,
+    real: bool = False,
+    stats: dict | None = None,
+) -> np.ndarray:
+    """Coarse-pass spectrum of a tile: block-mean downsample, then FFT.
+
+    ``fft_shape`` is the *full-resolution* transform shape (as passed to
+    :func:`~repro.core.pciam.forward_fft`); the coarse transform runs at
+    :func:`coarse_transform_shape` of it.  This is the per-tile product
+    the implementations compute once and share across the tile's (up to
+    four) incident pairs, exactly as they do full-resolution spectra in
+    single-pass mode.
+    """
+    cshape = (
+        coarse_transform_shape(tuple(fft_shape), factor)
+        if fft_shape is not None
+        else None
+    )
+    return forward_fft(
+        downsample(np.asarray(tile), factor), cshape, cache, mode,
+        real=real, stats=stats,
+    )
+
+
+def _bump(stats: dict | None, key: str) -> None:
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + 1
+
+
+def refine_from_coarse_peaks(
+    peaks: list[tuple[float, int, int]],
+    coarse_fft_shape: tuple[int, int],
+    config: CoarseConfig,
+    ccf_mode: CcfMode = CcfMode.PAPER4,
+    img_i: np.ndarray | None = None,
+    img_j: np.ndarray | None = None,
+    stats_i: TileStats | None = None,
+    stats_j: TileStats | None = None,
+    use_tile_stats: bool = True,
+    subpixel: bool = False,
+) -> tuple[float, int, int, float, float]:
+    """Full-resolution refinement of coarse peaks; returns the best probe.
+
+    Every coarse peak's periodic interpretations (the same candidate set
+    full PCIAM contests, but on the *coarse* grid) are upscaled by
+    ``config.factor`` into candidate hill centres.  Neighbouring coarse
+    peaks usually sit on the same hill, so a centre within Chebyshev
+    ``factor`` of one already listed is skipped -- the climb covers the
+    difference -- and zero-overlap centres are dropped outright.  The
+    survivors are probed smallest overlap first: a probe costs
+    O(overlap), and for a grid scan the true alignment *is* a
+    small-overlap candidate, so when one probes decisively (above both
+    ``config.conf_thresh`` and the impostor ceiling) the contest stops
+    before paying for the near-full-overlap aliases at several times
+    the price.  The best centre's hill is then walked uphill on the
+    full-resolution CCF surface (deterministic steepest ascent:
+    orthogonal neighbours first, diagonals only on an orthogonal
+    plateau, bounded to Chebyshev ``config.radius`` from the hill's
+    centre, probes memoized); absent a decisive centre, a close
+    runner-up hill is climbed too, since the true centre may merely sit
+    a pixel further downhill than an impostor's.  No full-resolution
+    FFT is involved: with tile statistics each probe is O(overlap) for
+    the cross term and O(1) for everything else.
+
+    Returns ``(correlation, tx, ty, tx_f, ty_f)`` of the best probe
+    (``tx_f``/``ty_f`` carry the parabolic sub-pixel vertex when
+    ``subpixel``, the integers otherwise).
+    """
+    if use_tile_stats:
+        if stats_i is None:
+            stats_i = TileStats(img_i)
+        if stats_j is None:
+            stats_j = TileStats(img_j)
+
+        def evaluate(tx: int, ty: int) -> float:
+            return ccf_at_stats(stats_i, stats_j, tx, ty)
+    else:
+
+        def evaluate(tx: int, ty: int) -> float:
+            return ccf_at(img_i, img_j, tx, ty)
+
+    memo: dict[tuple[int, int], float] = {}
+    h, w = stats_i.shape if use_tile_stats else img_i.shape
+    # Probes overlapping fewer rows or columns than this are never
+    # scored: Pearson correlation *inflates monotonically* as a strip of
+    # smooth content thins (a 2-pixel overlap correlates at exactly 1.0),
+    # so slivers would sail through the confidence gate with garbage
+    # translations.  The absolute term keeps the whole climb window out
+    # of the sliver regime even when the fractional floor rounds to a
+    # couple of pixels on small tiles.
+    floor = 2 * config.radius + 1
+    min_h = max(floor, math.ceil(config.min_overlap_frac * h))
+    min_w = max(floor, math.ceil(config.min_overlap_frac * w))
+
+    def probe(tx: int, ty: int) -> float:
+        key = (tx, ty)
+        c = memo.get(key)
+        if c is None:
+            if h - abs(ty) >= min_h and w - abs(tx) >= min_w:
+                c = evaluate(tx, ty)
+            else:
+                c = -np.inf
+            memo[key] = c
+        return c
+
+    f = config.factor
+    radius = config.radius
+    extended = ccf_mode is CcfMode.EXTENDED
+    cands: list[tuple[int, int, int]] = []
+    taken: list[tuple[int, int]] = []
+    for _mag, qy, qx in peaks:
+        for ctx, cty in peak_candidates(
+            qy, qx, coarse_fft_shape, extended=extended
+        ):
+            cx, cy = ctx * f, cty * f
+            if any(
+                max(abs(cx - px), abs(cy - py)) <= f for px, py in taken
+            ):
+                continue
+            taken.append((cx, cy))
+            if h - abs(cy) < min_h or w - abs(cx) < min_w:
+                continue
+            area = (h - abs(cy)) * (w - abs(cx))
+            cands.append((area, cx, cy))
+    # Contest the candidate hills like full PCIAM contests candidate
+    # translations -- cheapest probes first, stopping at a decisive one.
+    cands.sort()
+    decisive = max(config.conf_thresh, _DECISIVE_CORR)
+    centers: list[tuple[float, tuple[int, int]]] = []
+    for _area, cx, cy in cands:
+        c = probe(cx, cy)
+        centers.append((c, (cx, cy)))
+        if c >= decisive:
+            break
+    centers.sort(key=lambda e: (-e[0], e[1]))
+
+    def climb(sx: int, sy: int, c0: float) -> tuple[float, int, int]:
+        bx, by, bc = sx, sy, c0
+        for _ in range(2 * radius):
+            step = None
+            sc = bc
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = bx + dx, by + dy
+                if abs(nx - sx) > radius or abs(ny - sy) > radius:
+                    continue
+                c = probe(nx, ny)
+                if c > sc:
+                    sc, step = c, (nx, ny)
+            if step is None:
+                # Orthogonal plateau: a concave hill peaks here, and a
+                # summit already above the decisive bar cannot move by a
+                # diagonal pixel of correlation.  Otherwise check the
+                # diagonals once before declaring a maximum (ridges at
+                # ~45 degrees can hide the true peak there).
+                if bc >= decisive:
+                    break
+                for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+                    nx, ny = bx + dx, by + dy
+                    if abs(nx - sx) > radius or abs(ny - sy) > radius:
+                        continue
+                    c = probe(nx, ny)
+                    if c > sc:
+                        sc, step = c, (nx, ny)
+                if step is None:
+                    break
+            bx, by = step
+            bc = sc
+        return bc, bx, by
+
+    best = (-np.inf, 0, 0)
+    if centers and centers[0][0] < config.conf_thresh - _CLIMB_HEADROOM:
+        # Hopeless: even a perfect climb cannot reach the gate.  Return
+        # the raw centre so the gate rejects and the fallback runs.
+        c0, (sx, sy) = centers[0]
+        best = (c0, sx, sy)
+    elif centers:
+        c0, (sx, sy) = centers[0]
+        best = max(best, climb(sx, sy, c0))
+        # A decisive best centre (already above the gate) cannot be beaten
+        # by another hill -- wrong hills top out well below the gate -- so
+        # the runner-up climb is only paid when the contest was close.
+        if len(centers) > 1 and c0 < config.conf_thresh:
+            c1, (sx, sy) = centers[1]
+            if c1 >= c0 - _HILL_MARGIN:
+                best = max(best, climb(sx, sy, c1))
+    corr, tx, ty = float(best[0]), int(best[1]), int(best[2])
+    tx_f, ty_f = float(tx), float(ty)
+    if subpixel:
+        if use_tile_stats:
+            tx_f, ty_f = subpixel_refine_stats(stats_i, stats_j, tx, ty)
+        else:
+            tx_f, ty_f = subpixel_refine(img_i, img_j, tx, ty)
+    return corr, tx, ty, tx_f, ty_f
+
+
+def resolve_coarse_peaks(
+    peaks: list[tuple[float, int, int]],
+    coarse_fft_shape: tuple[int, int],
+    config: CoarseConfig,
+    ccf_mode: CcfMode = CcfMode.PAPER4,
+    img_i: np.ndarray | None = None,
+    img_j: np.ndarray | None = None,
+    stats_i: TileStats | None = None,
+    stats_j: TileStats | None = None,
+    use_tile_stats: bool = True,
+    subpixel: bool = False,
+    fallback=None,
+    stats: dict | None = None,
+) -> PciamResult:
+    """Refine coarse peaks, gate on confidence, fall back when in doubt.
+
+    ``peaks`` are the coarse pass's reduced ``(magnitude, py, px)`` list
+    (host- or device-produced -- the GPU implementations call this with
+    the output of their ``reduce_max`` kernel).  ``fallback`` is a
+    zero-argument callable returning the full-resolution
+    :class:`~repro.core.pciam.PciamResult`; it runs only when the gate
+    rejects.  ``stats`` (a plain dict) receives the ``coarse_hits`` /
+    ``full_fallbacks`` counters.
+    """
+    peak_ratio = peak_magnitude_ratio([m for m, _, _ in peaks])
+    corr, tx, ty, tx_f, ty_f = refine_from_coarse_peaks(
+        peaks, coarse_fft_shape, config, ccf_mode,
+        img_i=img_i, img_j=img_j, stats_i=stats_i, stats_j=stats_j,
+        use_tile_stats=use_tile_stats, subpixel=subpixel,
+    )
+    # Non-finite probe scores (degenerate overlap variance) fail the gate.
+    confident = math.isfinite(corr) and corr >= config.conf_thresh and not (
+        peak_ratio is not None and peak_ratio < config.min_peak_ratio
+    )
+    if confident:
+        _bump(stats, "coarse_hits")
+        mag, py, px = peaks[0]
+        return PciamResult(
+            correlation=corr,
+            tx=tx,
+            ty=ty,
+            peak_value=float(mag),
+            peak_index=(int(py), int(px)),
+            tx_f=tx_f,
+            ty_f=ty_f,
+            peak_ratio=peak_ratio,
+            provenance=PROVENANCE_COARSE,
+        )
+    _bump(stats, "full_fallbacks")
+    if fallback is None:
+        raise ValueError(
+            "coarse confidence gate rejected the pair but no fallback "
+            "was supplied"
+        )
+    return replace(fallback(), provenance=PROVENANCE_FALLBACK)
+
+
+def coarse_pciam(
+    img_i: np.ndarray,
+    img_j: np.ndarray,
+    coarse: CoarseConfig,
+    cfft_i: np.ndarray | None = None,
+    cfft_j: np.ndarray | None = None,
+    fft_shape: tuple[int, int] | None = None,
+    ccf_mode: CcfMode = CcfMode.PAPER4,
+    n_peaks: int = 1,
+    real_transforms: bool = False,
+    subpixel: bool = False,
+    cache: PlanCache | None = None,
+    planning: PlanningMode = PlanningMode.ESTIMATE,
+    stats_i: TileStats | None = None,
+    stats_j: TileStats | None = None,
+    workspace=None,
+    use_tile_stats: bool = True,
+    stats: dict | None = None,
+) -> PciamResult:
+    """Two-pass drop-in for :func:`~repro.core.pciam.pciam`.
+
+    Same contract and parameters, plus:
+
+    ``coarse``
+        The :class:`CoarseConfig` driving the first pass and the gate.
+    ``cfft_i`` / ``cfft_j``
+        Optional precomputed *coarse* spectra from
+        :func:`coarse_forward_fft` with the same ``fft_shape`` /
+        ``real_transforms`` -- the per-tile reuse product of coarse
+        mode, replacing the full-resolution ``fft_i`` / ``fft_j``.
+    ``workspace``
+        A pair workspace sized for the **coarse** transform shape (the
+        arena in coarse mode is built at
+        :func:`coarse_transform_shape`); the fallback path allocates its
+        own scratch since the coarse buffers cannot hold a
+        full-resolution NCC.
+    ``stats``
+        Dict receiving ``coarse_hits`` / ``full_fallbacks``.
+
+    The fallback recomputes the full-resolution spectra on demand --
+    coarse mode deliberately never computes them up front, which is
+    where its speedup lives; the occasional rejected pair pays two extra
+    FFTs instead of every pair paying them always.
+    """
+    if img_i.shape != img_j.shape:
+        raise ValueError(
+            f"pciam requires same-size tiles, got {img_i.shape} vs {img_j.shape}"
+        )
+    cache = cache if cache is not None else default_cache()
+    full_shape = tuple(fft_shape) if fft_shape is not None else img_i.shape
+    cshape = coarse_transform_shape(full_shape, coarse.factor)
+    cspectrum = (
+        (cshape[0], cshape[1] // 2 + 1) if real_transforms else cshape
+    )
+    if cfft_i is None:
+        cfft_i = coarse_forward_fft(
+            img_i, coarse.factor, full_shape, cache, planning,
+            real=real_transforms,
+        )
+    if cfft_j is None:
+        cfft_j = coarse_forward_fft(
+            img_j, coarse.factor, full_shape, cache, planning,
+            real=real_transforms,
+        )
+    if cfft_i.shape != cspectrum or cfft_j.shape != cspectrum:
+        raise ValueError(
+            f"supplied coarse transforms have shape {cfft_i.shape}/"
+            f"{cfft_j.shape}, expected {cspectrum}"
+        )
+    if use_tile_stats:
+        # Full-resolution statistics back both the refinement probes and
+        # the fallback; build them once here when the caller did not.
+        if stats_i is None:
+            stats_i = TileStats(img_i)
+        if stats_j is None:
+            stats_j = TileStats(img_j)
+
+    out = workspace.ncc if workspace is not None else None
+    mag_out = workspace.ncc_mag if workspace is not None else None
+    peak_mag = workspace.peak_mag if workspace is not None else None
+    ncc = normalized_correlation(cfft_i, cfft_j, out=out, mag_out=mag_out)
+    inverse_kind = (
+        TransformKind.C2R if real_transforms else TransformKind.C2C_INVERSE
+    )
+    plan = cache.plan(cshape, inverse_kind, planning, allow_padding=False)
+    inv = plan.execute(ncc, overwrite_input=workspace is not None)
+    # Reduce more peaks than the caller asked for: the coarse surface
+    # demotes the true peak behind fixed-pattern artifacts on ~10% of
+    # pairs, and the full-resolution contest is what sorts them out.
+    peaks = top_peaks(inv, max(n_peaks, coarse.coarse_peaks), mag_out=peak_mag)
+
+    def fallback() -> PciamResult:
+        return pciam(
+            img_i, img_j,
+            fft_shape=fft_shape,
+            ccf_mode=ccf_mode,
+            n_peaks=n_peaks,
+            real_transforms=real_transforms,
+            subpixel=subpixel,
+            cache=cache,
+            planning=planning,
+            stats_i=stats_i,
+            stats_j=stats_j,
+            workspace=None,
+            use_tile_stats=use_tile_stats,
+        )
+
+    return resolve_coarse_peaks(
+        peaks, cshape, config=coarse, ccf_mode=ccf_mode,
+        img_i=img_i, img_j=img_j, stats_i=stats_i, stats_j=stats_j,
+        use_tile_stats=use_tile_stats, subpixel=subpixel,
+        fallback=fallback, stats=stats,
+    )

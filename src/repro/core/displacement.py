@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.coarse import (
+    CoarseConfig,
+    coarse_pciam,
+    coarse_transform_shape,
+)
+from repro.core.downsample import downsample
 from repro.core.pciam import CcfMode, PciamResult, forward_fft, pciam
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import PlanCache, PlanningMode
@@ -42,6 +48,11 @@ class Translation:
     #: ``None`` when unavailable (``n_peaks == 1`` runs, older journals,
     #: repaired translations).
     peak_ratio: float | None = None
+    #: ``"coarse"``/``"fallback"`` when the coarse-to-fine path produced
+    #: the pair (:mod:`repro.core.coarse`); ``None`` for the single-pass
+    #: full-resolution path.  Journaled, so a resumed run can prove which
+    #: path produced every translation.
+    provenance: str | None = None
 
     @property
     def fx(self) -> float:
@@ -57,9 +68,11 @@ class Translation:
     def from_pciam(r: PciamResult, subpixel: bool = False) -> "Translation":
         if subpixel:
             return Translation(r.correlation, r.tx, r.ty, r.tx_f, r.ty_f,
-                               peak_ratio=r.peak_ratio)
+                               peak_ratio=r.peak_ratio,
+                               provenance=r.provenance)
         return Translation(r.correlation, r.tx, r.ty,
-                           peak_ratio=r.peak_ratio)
+                           peak_ratio=r.peak_ratio,
+                           provenance=r.provenance)
 
 
 @dataclass
@@ -134,6 +147,7 @@ def compute_grid_displacements(
     use_tile_stats: bool = True,
     use_workspace: bool = True,
     journal=None,
+    coarse: CoarseConfig | None = None,
 ) -> DisplacementResult:
     """Compute west/north translations for the whole grid sequentially.
 
@@ -172,6 +186,17 @@ def compute_grid_displacements(
     ``stats["pairs"]`` counts only *computed* pairs, so a resumed run can
     prove it recomputed nothing that was already on disk
     (``stats["resumed_pairs"]`` carries the journal hits).
+
+    With ``coarse`` (a :class:`~repro.core.coarse.CoarseConfig`), the
+    per-tile product becomes the block-mean-downsampled *coarse*
+    spectrum (a ``"downsample"`` span precedes each ``"fft"`` span, and
+    the workspace arena is sized for the coarse transform shape), pairs
+    go through :func:`~repro.core.coarse.coarse_pciam`, and
+    ``stats["coarse_hits"]`` / ``stats["full_fallbacks"]`` count the
+    gate's decisions.  Full-resolution tile statistics are still built
+    (the refinement probes and the fallback need them); results carry
+    their provenance into the journal.  ``coarse=None`` leaves the
+    single-pass path byte-identical to previous releases.
     """
     from repro.observe.tracer import NULL_TRACER
 
@@ -193,6 +218,9 @@ def compute_grid_displacements(
         "peak_live_transforms": 0,
         "fft_copies_saved": 0,
     }
+    if coarse is not None:
+        stats["coarse_hits"] = 0
+        stats["full_fallbacks"] = 0
     # Resume: serve journaled pairs up front so the traversal below skips
     # their computation (and the loads of tiles with nothing left to do).
     if journal is not None:
@@ -288,11 +316,26 @@ def compute_grid_displacements(
             return
         tiles[pos] = np.asarray(pixels, dtype=np.float64)
         stats["reads"] += 1
-        with tracer.span("fft", "sequential", key=str(pos)):
-            ffts[pos] = forward_fft(
-                tiles[pos], fft_shape, cache, planning,
-                real=real_transforms, stats=stats,
-            )
+        if coarse is not None:
+            # Coarse mode's per-tile product is the downsampled spectrum:
+            # the full-resolution transform is never computed up front
+            # (the occasional gate-rejected pair recomputes it inside the
+            # fallback instead of every pair paying for it always).
+            with tracer.span("downsample", "sequential", key=str(pos)):
+                small = downsample(tiles[pos], coarse.factor)
+            with tracer.span("fft", "sequential", key=str(pos)):
+                ffts[pos] = forward_fft(
+                    small,
+                    coarse_transform_shape(tuple(fft_shape), coarse.factor)
+                    if fft_shape is not None else None,
+                    cache, planning, real=real_transforms, stats=stats,
+                )
+        else:
+            with tracer.span("fft", "sequential", key=str(pos)):
+                ffts[pos] = forward_fft(
+                    tiles[pos], fft_shape, cache, planning,
+                    real=real_transforms, stats=stats,
+                )
         if use_tile_stats:
             # Per-tile summed-area tables: computed once, shared by the
             # tile's up-to-four incident pairs, released with the FFT.
@@ -318,25 +361,58 @@ def compute_grid_displacements(
                 continue
             if pair.first in ffts and pair.second in ffts:
                 with tracer.span("pair", "sequential", key=str(pair)):
-                    r = pciam(
-                        tiles[pair.first],
-                        tiles[pair.second],
-                        fft_i=ffts[pair.first],
-                        fft_j=ffts[pair.second],
-                        fft_shape=fft_shape,
-                        ccf_mode=ccf_mode,
-                        n_peaks=n_peaks,
-                        real_transforms=real_transforms,
-                        subpixel=subpixel,
-                        cache=cache,
-                        planning=planning,
-                        stats_i=tstats.get(pair.first),
-                        stats_j=tstats.get(pair.second),
-                        workspace=ensure_workspace(
-                            fft_shape or tiles[pair.first].shape
-                        ),
-                        use_tile_stats=use_tile_stats,
-                    )
+                    if coarse is not None:
+                        r = coarse_pciam(
+                            tiles[pair.first],
+                            tiles[pair.second],
+                            coarse,
+                            cfft_i=ffts[pair.first],
+                            cfft_j=ffts[pair.second],
+                            fft_shape=fft_shape,
+                            ccf_mode=ccf_mode,
+                            n_peaks=n_peaks,
+                            real_transforms=real_transforms,
+                            subpixel=subpixel,
+                            cache=cache,
+                            planning=planning,
+                            stats_i=tstats.get(pair.first),
+                            stats_j=tstats.get(pair.second),
+                            workspace=ensure_workspace(
+                                coarse_transform_shape(
+                                    tuple(fft_shape or tiles[pair.first].shape),
+                                    coarse.factor,
+                                )
+                            ),
+                            use_tile_stats=use_tile_stats,
+                            stats=stats,
+                        )
+                        if metrics is not None:
+                            name = (
+                                "coarse.hits"
+                                if r.provenance == "coarse"
+                                else "coarse.fallbacks"
+                            )
+                            metrics.counter(name).inc()
+                    else:
+                        r = pciam(
+                            tiles[pair.first],
+                            tiles[pair.second],
+                            fft_i=ffts[pair.first],
+                            fft_j=ffts[pair.second],
+                            fft_shape=fft_shape,
+                            ccf_mode=ccf_mode,
+                            n_peaks=n_peaks,
+                            real_transforms=real_transforms,
+                            subpixel=subpixel,
+                            cache=cache,
+                            planning=planning,
+                            stats_i=tstats.get(pair.first),
+                            stats_j=tstats.get(pair.second),
+                            workspace=ensure_workspace(
+                                fft_shape or tiles[pair.first].shape
+                            ),
+                            use_tile_stats=use_tile_stats,
+                        )
                 t = Translation.from_pciam(r, subpixel=subpixel)
                 result.set(pair.direction, pair.second.row, pair.second.col, t)
                 if journal is not None:

@@ -57,6 +57,11 @@ class PciamResult:
     #: correlation surface has a ratio near 1, a decisive one well above
     #: it.  ``None`` when only one peak was reduced (``n_peaks == 1``).
     peak_ratio: float | None = None
+    #: How the result was produced.  ``None`` for the single-pass full-
+    #: resolution path; the coarse-to-fine path (:mod:`repro.core.coarse`)
+    #: stamps ``"coarse"`` (confident first pass + windowed refinement)
+    #: or ``"fallback"`` (coarse confidence too low, full PCIAM rerun).
+    provenance: str | None = None
 
     def __iter__(self):
         yield self.correlation

@@ -22,28 +22,10 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.compose import BlendMode
+from repro.core.downsample import downsample
 from repro.core.global_opt import GlobalPositions
 
-
-def downsample(tile: np.ndarray, factor: int) -> np.ndarray:
-    """Block-mean downsample by an integer factor (edge blocks padded).
-
-    Block averaging (rather than strided subsampling) is what image
-    pyramids use: it low-passes before decimation, so zoomed-out renders
-    do not alias.
-    """
-    if factor < 1:
-        raise ValueError(f"factor must be >= 1, got {factor}")
-    if factor == 1:
-        return np.asarray(tile, dtype=np.float64)
-    h, w = tile.shape
-    ph = (-h) % factor
-    pw = (-w) % factor
-    a = np.asarray(tile, dtype=np.float64)
-    if ph or pw:
-        a = np.pad(a, ((0, ph), (0, pw)), mode="edge")
-    hh, ww = a.shape[0] // factor, a.shape[1] // factor
-    return a.reshape(hh, factor, ww, factor).mean(axis=(1, 3))
+__all__ = ["MosaicPyramid", "downsample"]
 
 
 class MosaicPyramid:

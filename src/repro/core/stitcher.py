@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.coarse import CoarseConfig
 from repro.core.compose import BlendMode, compose
 from repro.core.displacement import DisplacementResult, compute_grid_displacements
 from repro.core.global_opt import GlobalPositions, resolve_absolute_positions
@@ -165,6 +166,9 @@ class Stitcher:
         conf_thresh: float | None = None,
         residue_mode: str | None = None,
         min_peak_ratio: float | None = None,
+        coarse: CoarseConfig | bool | None = None,
+        coarse_scale: float | None = None,
+        coarse_conf_thresh: float | None = None,
         planning: PlanningMode = PlanningMode.ESTIMATE,
         cache: PlanCache | None = None,
         max_retries: int = 0,
@@ -215,6 +219,33 @@ class Stitcher:
         if overrides:
             quality = replace(quality or QualityConfig(), **overrides)
         self.quality: QualityConfig | None = quality
+        # ``coarse`` enables two-pass coarse-to-fine registration
+        # (docs/PERFORMANCE.md): True for the defaults, a CoarseConfig for
+        # tuned behaviour, None/False for single-pass PCIAM (the default --
+        # displacements stay bit-identical to pre-coarse runs).  The
+        # convenience knobs mirror the CLI flags; passing either turns the
+        # two-pass mode on.
+        if coarse is True:
+            coarse = CoarseConfig()
+        elif coarse is False:
+            coarse = None
+        if coarse_scale is not None:
+            keep = (
+                {}
+                if coarse is None
+                else {
+                    k: getattr(coarse, k)
+                    for k in ("conf_thresh", "min_peak_ratio",
+                              "coarse_peaks", "search_radius",
+                              "min_overlap_frac")
+                }
+            )
+            coarse = CoarseConfig.from_scale(coarse_scale, **keep)
+        if coarse_conf_thresh is not None:
+            coarse = replace(
+                coarse or CoarseConfig(), conf_thresh=coarse_conf_thresh
+            )
+        self.coarse: CoarseConfig | None = coarse
         self.planning = planning
         self.cache = cache
         if on_tile_error not in ("abort", "skip"):
@@ -282,6 +313,7 @@ class Stitcher:
             fft_shape=self._fft_shape(dataset),
             position_method=self.position_method,
             refine=self.refine is not None,
+            coarse=self.coarse,
         )
 
     def open_journal(self, dataset: TileDataset) -> RunJournal | None:
@@ -329,6 +361,7 @@ class Stitcher:
             use_tile_stats=self.use_tile_stats,
             use_workspace=self.use_workspace,
             journal=journal,
+            coarse=self.coarse,
         )
 
     def stitch(self, dataset: TileDataset) -> StitchResult:

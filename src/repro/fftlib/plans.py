@@ -221,6 +221,12 @@ class PlanCache:
         #: persistent pools exist for.
         self.hits = 0
         self.misses = 0
+        #: Per-problem lookup accounting (``PlanKey -> [hits, misses]``).
+        #: Coarse-to-fine runs plan at two resolutions in one cache;
+        #: the per-shape split is what proves the coarse-shape plans are
+        #: being reused (and never cross-contaminate the full-resolution
+        #: entries, which stay keyed separately).
+        self._key_stats: dict[PlanKey, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -256,13 +262,16 @@ class PlanCache:
         """
         key = PlanKey(tuple(int(n) for n in shape), kind)
         with self._lock:
+            counts = self._key_stats.setdefault(key, [0, 0])
             cached = self._plans.get(key)
             if cached is not None and not (
                 allow_padding is False and cached.strategy != "direct"
             ):
                 self.hits += 1
+                counts[0] += 1
                 return cached
             self.misses += 1
+            counts[1] += 1
             if not allow_padding:
                 plan = Plan(key, "direct", key.shape, planning_time=0.0)
                 # Cache only if nothing better is already cached.
@@ -305,12 +314,36 @@ class PlanCache:
         return Plan(key, win.strategy, win.fft_shape, planning_time=planning_time)
 
     def stats(self) -> dict:
-        """JSON-able lookup accounting (entries, hits, misses)."""
+        """JSON-able lookup accounting (entries, hits, misses).
+
+        ``per_shape`` breaks the totals down by planning problem, one
+        entry per ``(shape, kind)``, largest shape first -- in a
+        coarse-to-fine run the full-resolution and coarse shapes appear
+        as separate rows, each with its own hit/miss/execution counts.
+        """
         with self._lock:
+            per_shape = [
+                {
+                    "shape": list(key.shape),
+                    "kind": key.kind.value,
+                    "hits": counts[0],
+                    "misses": counts[1],
+                    "executions": (
+                        self._plans[key].executions
+                        if key in self._plans else 0
+                    ),
+                }
+                for key, counts in sorted(
+                    self._key_stats.items(),
+                    key=lambda kv: (kv[0].shape, kv[0].kind.value),
+                    reverse=True,
+                )
+            ]
             return {
                 "entries": len(self._plans),
                 "hits": self.hits,
                 "misses": self.misses,
+                "per_shape": per_shape,
             }
 
     # -- wisdom -----------------------------------------------------------

@@ -8,8 +8,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.coarse import (
+    CoarseConfig,
+    coarse_forward_fft,
+    coarse_pciam,
+    coarse_transform_shape,
+)
 from repro.core.displacement import DisplacementResult
-from repro.core.pciam import CcfMode
+from repro.core.pciam import CcfMode, forward_fft, pciam
 from repro.fftlib.plans import PlanCache
 from repro.io.dataset import TileDataset
 from repro.memmodel.workspace import WorkspaceArena
@@ -62,6 +68,7 @@ class Implementation(abc.ABC):
         metrics=None,
         journal=None,
         watchdog=None,
+        coarse: CoarseConfig | None = None,
     ) -> None:
         self.ccf_mode = ccf_mode
         self.n_peaks = n_peaks
@@ -95,6 +102,13 @@ class Implementation(abc.ABC):
         #: cannot be supervised cooperatively by itself).
         self.journal = journal
         self.watchdog = watchdog
+        #: Coarse-to-fine registration (docs/PERFORMANCE.md): when set, the
+        #: per-tile product becomes the downsampled coarse spectrum, pairs
+        #: go through :func:`~repro.core.coarse.coarse_pciam`, and the pair
+        #: workspaces shrink to the coarse transform shape.  ``None`` (the
+        #: default) keeps every implementation byte-identical to the
+        #: single-pass full-resolution path.
+        self.coarse = coarse
 
     @abc.abstractmethod
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
@@ -106,14 +120,85 @@ class Implementation(abc.ABC):
             return tuple(self.fft_shape)
         return tuple(dataset.tile_shape)
 
+    def _pair_transform_shape(self, dataset: TileDataset) -> tuple[int, int]:
+        """The shape pair NCC/inverse scratch is sized for.
+
+        Coarse mode shrinks the per-pair transforms to the downsampled
+        shape (the full-resolution refinement probes need no FFT scratch).
+        """
+        shape = self._transform_shape(dataset)
+        if self.coarse is not None:
+            return coarse_transform_shape(shape, self.coarse.factor)
+        return shape
+
     def _make_arena(self, dataset: TileDataset, count: int):
         """Per-worker pair-workspace arena, or ``None`` when disabled."""
         if not self.use_workspace:
             return None
         return WorkspaceArena(
-            self._transform_shape(dataset),
+            self._pair_transform_shape(dataset),
             real=self.real_transforms,
             count=count,
+        )
+
+    def _forward_spectrum(self, tile, stats: dict | None = None,
+                          cache: PlanCache | None = None):
+        """Per-tile forward spectrum in the current mode.
+
+        Full-resolution R2C/C2C in single-pass mode; block-mean
+        downsample + coarse-shape transform in coarse mode.  Either way
+        this is the product computed once per tile and shared across the
+        tile's incident pairs.
+        """
+        cache = self.cache if cache is None else cache
+        if self.coarse is not None:
+            return coarse_forward_fft(
+                tile, self.coarse.factor, self.fft_shape, cache,
+                real=self.real_transforms, stats=stats,
+            )
+        return forward_fft(
+            tile, self.fft_shape, cache,
+            real=self.real_transforms, stats=stats,
+        )
+
+    def _register_pair(self, img_i, img_j, fft_i=None, fft_j=None,
+                       stats_i=None, stats_j=None, workspace=None,
+                       stats: dict | None = None,
+                       cache: PlanCache | None = None):
+        """One pairwise registration in the current mode.
+
+        Single-pass mode delegates to :func:`~repro.core.pciam.pciam`
+        with the precomputed full-resolution spectra; coarse mode to
+        :func:`~repro.core.coarse.coarse_pciam` with the precomputed
+        *coarse* spectra (``stats`` then receives the ``coarse_hits`` /
+        ``full_fallbacks`` counters, and the result carries provenance).
+        """
+        cache = self.cache if cache is None else cache
+        if self.coarse is not None:
+            return coarse_pciam(
+                img_i, img_j, self.coarse,
+                cfft_i=fft_i, cfft_j=fft_j,
+                fft_shape=self.fft_shape,
+                ccf_mode=self.ccf_mode,
+                n_peaks=self.n_peaks,
+                real_transforms=self.real_transforms,
+                cache=cache,
+                stats_i=stats_i, stats_j=stats_j,
+                workspace=workspace,
+                use_tile_stats=self.use_tile_stats,
+                stats=stats,
+            )
+        return pciam(
+            img_i, img_j,
+            fft_i=fft_i, fft_j=fft_j,
+            fft_shape=self.fft_shape,
+            ccf_mode=self.ccf_mode,
+            n_peaks=self.n_peaks,
+            real_transforms=self.real_transforms,
+            cache=cache,
+            stats_i=stats_i, stats_j=stats_j,
+            workspace=workspace,
+            use_tile_stats=self.use_tile_stats,
         )
 
     @property

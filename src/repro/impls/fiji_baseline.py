@@ -23,7 +23,6 @@ same answers); only the cost structure differs.
 from __future__ import annotations
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import pciam
 from repro.grid.neighbors import grid_pairs
 from repro.grid.tile_grid import TileGrid
 from repro.impls.base import Implementation
@@ -72,18 +71,12 @@ class FijiBaseline(Implementation):
                 stats["reads"] += 2
                 # No workspace on purpose -- per-pair allocation is part of
                 # the plugin architecture being reproduced.  Kernel-level
-                # choices (half-spectrum transforms, tile statistics) are
-                # shared: they change cost, not architecture or answers.
-                r = pciam(
-                    img_i,
-                    img_j,
-                    fft_shape=self.fft_shape,
-                    ccf_mode=self.ccf_mode,
-                    n_peaks=self.n_peaks,
-                    real_transforms=self.real_transforms,
-                    cache=self.cache,
-                    use_tile_stats=self.use_tile_stats,
-                )
+                # choices (half-spectrum transforms, tile statistics,
+                # coarse-to-fine registration) are shared: they change
+                # cost, not architecture or answers.  In coarse mode both
+                # coarse spectra are recomputed per pair, matching the
+                # plugin's no-caching cost structure.
+                r = self._register_pair(img_i, img_j, stats=stats)
                 stats["ffts"] += 2
                 stats["pairs"] += 1
                 t = Translation.from_pciam(r)

@@ -31,7 +31,6 @@ import threading
 import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import forward_fft, pciam
 from repro.core.tilestats import TileStats
 from repro.grid.neighbors import Direction
 from repro.impls.base import Implementation
@@ -161,10 +160,7 @@ class MtCpu(Implementation):
                 if tile is None:
                     entries.append(None)
                     continue
-                fft = forward_fft(
-                    tile, self.fft_shape, self.cache,
-                    real=self.real_transforms, stats=local,
-                )
+                fft = self._forward_spectrum(tile, stats=local)
                 ts = TileStats(tile) if self.use_tile_stats else None
                 local["reads"] += 1
                 local["ffts"] += 1
@@ -217,10 +213,7 @@ class MtCpu(Implementation):
                             # are recorded as skipped and never computed.
                             cur_row.append(None)
                         else:
-                            fft = forward_fft(
-                                tile, self.fft_shape, self.cache,
-                                real=self.real_transforms, stats=local,
-                            )
+                            fft = self._forward_spectrum(tile, stats=local)
                             ts = (
                                 TileStats(tile) if self.use_tile_stats else None
                             )
@@ -270,20 +263,10 @@ class MtCpu(Implementation):
               workspace=None) -> None:
         img_i, fft_i, stats_i = first
         img_j, fft_j, stats_j = second
-        res = pciam(
-            img_i,
-            img_j,
-            fft_i=fft_i,
-            fft_j=fft_j,
-            fft_shape=self.fft_shape,
-            ccf_mode=self.ccf_mode,
-            n_peaks=self.n_peaks,
-            real_transforms=self.real_transforms,
-            cache=self.cache,
-            stats_i=stats_i,
-            stats_j=stats_j,
-            workspace=workspace,
-            use_tile_stats=self.use_tile_stats,
+        res = self._register_pair(
+            img_i, img_j, fft_i=fft_i, fft_j=fft_j,
+            stats_i=stats_i, stats_j=stats_j,
+            workspace=workspace, stats=local,
         )
         t = Translation.from_pciam(res)
         disp.set(direction, r, c, t)

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import forward_fft, forward_fft_batch, pciam
+from repro.core.downsample import downsample
+from repro.core.pciam import forward_fft, forward_fft_batch
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import spectrum_shape
 from repro.grid.neighbors import Pair
@@ -139,12 +140,14 @@ class PipelinedCpu(Implementation):
     def _run(self, dataset: TileDataset) -> tuple[DisplacementResult, dict]:
         rows, cols = dataset.rows, dataset.cols
         grid = TileGrid(rows, cols)
-        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
         pool_size = self.pool_size or default_pool_size(rows, cols)
+        # The pool holds per-tile spectra: coarse mode shrinks every
+        # buffer to the coarse transform shape (factor^2 less memory).
+        pair_shape = self._pair_transform_shape(dataset)
         # Half-spectrum transforms shrink every pool buffer to
         # (h, w//2 + 1) -- the paper's "roughly half the memory".
         buf_shape = (
-            spectrum_shape(fft_shape) if self.real_transforms else fft_shape
+            spectrum_shape(pair_shape) if self.real_transforms else pair_shape
         )
         pool = BufferPool(pool_size, buf_shape, dtype=np.complex128)
         arena = self._make_arena(dataset, count=self.workers)
@@ -265,8 +268,15 @@ class PipelinedCpu(Implementation):
                 if rest:
                     q_work.put(_TileBatch(rest, item.blocked_seconds))
                 local: dict = {}
+                # Coarse mode: downsample each tile, batch-transform the
+                # stack at the coarse shape (the pool buffers' shape).
+                batch_inputs = (
+                    [downsample(t.pixels, self.coarse.factor) for t in take]
+                    if self.coarse is not None
+                    else [t.pixels for t in take]
+                )
                 ffts = forward_fft_batch(
-                    [t.pixels for t in take], fft_shape, self.cache,
+                    batch_inputs, pair_shape, self.cache,
                     real=self.real_transforms, stats=local,
                 )
                 for t_item, slot, fft in zip(take, acquired, ffts):
@@ -310,7 +320,9 @@ class PipelinedCpu(Implementation):
                 buf = pool.array(slot)
                 local: dict = {}
                 buf[...] = forward_fft(
-                    item.pixels, fft_shape, self.cache,
+                    downsample(item.pixels, self.coarse.factor)
+                    if self.coarse is not None else item.pixels,
+                    pair_shape, self.cache,
                     real=self.real_transforms, stats=local,
                 )
                 ts = TileStats(item.pixels) if self.use_tile_stats else None
@@ -348,20 +360,12 @@ class PipelinedCpu(Implementation):
                     fft_j = pool.array(slots[pair.second])
                     stats_i = tstats.get(pair.first)
                     stats_j = tstats.get(pair.second)
-                res = pciam(
-                    img_i,
-                    img_j,
-                    fft_i=fft_i,
-                    fft_j=fft_j,
-                    fft_shape=fft_shape,
-                    ccf_mode=self.ccf_mode,
-                    n_peaks=self.n_peaks,
-                    real_transforms=self.real_transforms,
-                    cache=self.cache,
-                    stats_i=stats_i,
-                    stats_j=stats_j,
+                local_pair: dict = {}
+                res = self._register_pair(
+                    img_i, img_j, fft_i=fft_i, fft_j=fft_j,
+                    stats_i=stats_i, stats_j=stats_j,
                     workspace=workspaces.get() if workspaces is not None else None,
-                    use_tile_stats=self.use_tile_stats,
+                    stats=local_pair,
                 )
                 t = Translation.from_pciam(res)
                 disp.set(pair.direction, pair.second.row, pair.second.col, t)
@@ -370,6 +374,8 @@ class PipelinedCpu(Implementation):
                 )
                 with stats_lock:
                     stats["pairs"] += 1
+                    for key, v in local_pair.items():
+                        stats[key] = stats.get(key, 0) + v
                 q_events.put(_PairDone(pair))
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unexpected work item {item!r}")

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import forward_fft, pciam
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import spectrum_shape
 from repro.grid.neighbors import Pair, grid_pairs
@@ -135,14 +134,16 @@ class PipelinedCpuNuma(Implementation):
     def _build_pipeline(
         self, dataset, grid, disp, pairs, stats, stats_lock
     ) -> Pipeline:
-        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
         bk = PairBookkeeper(grid, pairs=pairs, metrics=self.metrics)
         my_tiles = bk.tiles
         tile_cols = sorted({p.col for p in my_tiles})
         c_lo, c_hi = tile_cols[0], tile_cols[-1]
         pool_size = self.pool_size or (2 * min(grid.rows, c_hi - c_lo + 1) + 4)
+        # Per-socket pools hold per-tile spectra; coarse mode shrinks
+        # them to the coarse transform shape.
+        pair_shape = self._pair_transform_shape(dataset)
         buf_shape = (
-            spectrum_shape(fft_shape) if self.real_transforms else fft_shape
+            spectrum_shape(pair_shape) if self.real_transforms else pair_shape
         )
         pool = BufferPool(pool_size, buf_shape, dtype=np.complex128)
         arena = self._make_arena(dataset, count=self.workers_per_socket)
@@ -217,10 +218,7 @@ class PipelinedCpuNuma(Implementation):
                     return None
                 buf = pool.array(slot)
                 local: dict = {}
-                buf[...] = forward_fft(
-                    item.pixels, fft_shape, self.cache,
-                    real=self.real_transforms, stats=local,
-                )
+                buf[...] = self._forward_spectrum(item.pixels, stats=local)
                 ts = TileStats(item.pixels) if self.use_tile_stats else None
                 with state_lock:
                     pixels[item.pos] = item.pixels
@@ -253,20 +251,12 @@ class PipelinedCpuNuma(Implementation):
                     fft_j = pool.array(slots[pair.second])
                     stats_i = tstats.get(pair.first)
                     stats_j = tstats.get(pair.second)
-                res = pciam(
-                    img_i,
-                    img_j,
-                    fft_i=fft_i,
-                    fft_j=fft_j,
-                    fft_shape=fft_shape,
-                    ccf_mode=self.ccf_mode,
-                    n_peaks=self.n_peaks,
-                    real_transforms=self.real_transforms,
-                    cache=self.cache,
-                    stats_i=stats_i,
-                    stats_j=stats_j,
+                local_pair: dict = {}
+                res = self._register_pair(
+                    img_i, img_j, fft_i=fft_i, fft_j=fft_j,
+                    stats_i=stats_i, stats_j=stats_j,
                     workspace=workspaces.get() if workspaces is not None else None,
-                    use_tile_stats=self.use_tile_stats,
+                    stats=local_pair,
                 )
                 t = Translation.from_pciam(res)
                 disp.set(pair.direction, pair.second.row, pair.second.col, t)
@@ -275,6 +265,8 @@ class PipelinedCpuNuma(Implementation):
                 )
                 with stats_lock:
                     stats["pairs"] += 1
+                    for key, v in local_pair.items():
+                        stats[key] = stats.get(key, 0) + v
                 q_events.put(_PairDone(pair))
             else:  # pragma: no cover
                 raise TypeError(f"unexpected work item {item!r}")

@@ -34,9 +34,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ccf import ccf_at
+from repro.core.coarse import resolve_coarse_peaks
 from repro.core.displacement import DisplacementResult, Translation
+from repro.core.downsample import downsample
 from repro.core.peak import peak_candidates, peak_magnitude_ratio
-from repro.core.pciam import CcfMode
+from repro.core.pciam import CcfMode, pciam
 from repro.core.tilestats import TileStats, ccf_at_stats
 from repro.fftlib.plans import spectrum_shape
 from repro.fftlib.smooth import pad_to_shape
@@ -238,7 +240,16 @@ class PipelinedGpu(Implementation):
         c0, c1 = part["cols"]
         export_col = part.get("export_col")
         import_hooks = import_hooks if import_hooks is not None else []
-        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
+        # Coarse mode shrinks every device surface (pool slots, ghost
+        # buffers, NCC scratch, inverse scratch) to the coarse transform
+        # shape -- factor^2 less device memory, H2D and p2p traffic.  The
+        # host keeps full-resolution pixels + statistics for the CCF
+        # stage's refinement probes and the full-PCIAM fallback.
+        fft_shape = (
+            self._pair_transform_shape(dataset)
+            if self.coarse is not None
+            else (tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape)
+        )
         bk = PairBookkeeper(grid, pairs=part["pairs"], metrics=self.metrics)
         my_tiles = bk.tiles
 
@@ -330,6 +341,8 @@ class PipelinedGpu(Implementation):
         def copier(item: _TileItem, _ctx):
             slot = pool.acquire(timeout=self.pool_timeout)
             src = item.pixels
+            if self.coarse is not None:
+                src = downsample(src, self.coarse.factor)
             if src.shape != fft_shape:
                 src = pad_to_shape(src, fft_shape)
             if real:
@@ -468,7 +481,11 @@ class PipelinedGpu(Implementation):
             else:
                 ifft2_kernel(device, scratch.data, scratch.data, stream_disp)
                 surface = scratch.data
-            peaks, _ = reduce_max_kernel(device, surface, stream_disp, k=self.n_peaks)
+            k = (
+                max(self.n_peaks, self.coarse.coarse_peaks)
+                if self.coarse is not None else self.n_peaks
+            )
+            peaks, _ = reduce_max_kernel(device, surface, stream_disp, k=k)
             flat = np.array([v for p in peaks for v in p], dtype=np.float64)
             device.d2h(flat, stream_disp)  # O(k) scalars only
             ctx.emit(_CcfWork(pair, peaks))
@@ -485,29 +502,62 @@ class PipelinedGpu(Implementation):
                 img_j = pixels[pair.second]
                 st_i = tstats.get(pair.first)
                 st_j = tstats.get(pair.second)
-            best = (-np.inf, 0, 0)
-            seen: set[tuple[int, int]] = set()
-            for _mag, flat_idx in work.peaks:
-                py, px = np.unravel_index(int(flat_idx), fft_shape)
-                for tx, ty in peak_candidates(int(py), int(px), fft_shape, extended=extended):
-                    if (tx, ty) in seen:
-                        continue
-                    seen.add((tx, ty))
-                    if st_i is not None and st_j is not None:
-                        c = ccf_at_stats(st_i, st_j, tx, ty)
-                    else:
-                        c = ccf_at(img_i, img_j, tx, ty)
-                    if c > best[0]:
-                        best = (c, tx, ty)
-            corr, tx, ty = best
-            ratio = peak_magnitude_ratio([m for m, _ in work.peaks])
-            t = Translation(float(corr), int(tx), int(ty), peak_ratio=ratio)
+            local_pair: dict = {}
+            if self.coarse is not None:
+                # Host-side coarse-to-fine resolution: contest + hill-climb
+                # over the upscaled device peaks, full PCIAM (host FFTs
+                # from the retained pixels) when the confidence gate
+                # rejects the coarse evidence.
+                cpeaks = [
+                    (float(mag),
+                     *map(int, np.unravel_index(int(flat_idx), fft_shape)))
+                    for mag, flat_idx in work.peaks
+                ]
+                res = resolve_coarse_peaks(
+                    cpeaks, fft_shape, config=self.coarse,
+                    ccf_mode=self.ccf_mode,
+                    img_i=img_i, img_j=img_j,
+                    stats_i=st_i, stats_j=st_j,
+                    use_tile_stats=self.use_tile_stats,
+                    fallback=lambda: pciam(
+                        img_i, img_j,
+                        fft_shape=self.fft_shape,
+                        ccf_mode=self.ccf_mode,
+                        n_peaks=self.n_peaks,
+                        real_transforms=self.real_transforms,
+                        cache=self.cache,
+                        stats_i=st_i, stats_j=st_j,
+                        use_tile_stats=self.use_tile_stats,
+                    ),
+                    stats=local_pair,
+                )
+                t = Translation.from_pciam(res)
+            else:
+                best = (-np.inf, 0, 0)
+                seen: set[tuple[int, int]] = set()
+                for _mag, flat_idx in work.peaks:
+                    py, px = np.unravel_index(int(flat_idx), fft_shape)
+                    for tx, ty in peak_candidates(int(py), int(px), fft_shape, extended=extended):
+                        if (tx, ty) in seen:
+                            continue
+                        seen.add((tx, ty))
+                        if st_i is not None and st_j is not None:
+                            c = ccf_at_stats(st_i, st_j, tx, ty)
+                        else:
+                            c = ccf_at(img_i, img_j, tx, ty)
+                        if c > best[0]:
+                            best = (c, tx, ty)
+                corr, tx, ty = best
+                ratio = peak_magnitude_ratio([m for m, _ in work.peaks])
+                t = Translation(float(corr), int(tx), int(ty), peak_ratio=ratio)
             disp.set(pair.direction, pair.second.row, pair.second.col, t)
             self._journal_record(
                 pair.direction, pair.second.row, pair.second.col, t
             )
             with stats_lock:
                 stats["pairs"] += 1
+                for key, v in local_pair.items():
+                    stats[key] = stats.get(key, 0) + v
             with state_lock:
                 for pos in (pair.first, pair.second):
                     host_refcount[pos] -= 1

@@ -57,7 +57,8 @@ import multiprocessing as mp
 import numpy as np
 
 from repro.core.displacement import DisplacementResult, Translation
-from repro.core.pciam import forward_fft, forward_fft_batch, pciam
+from repro.core.downsample import downsample
+from repro.core.pciam import forward_fft_batch
 from repro.core.tilestats import TileStats
 from repro.fftlib.plans import TransformKind, spectrum_shape
 from repro.grid.neighbors import Direction
@@ -132,16 +133,22 @@ def _worker_init(ppid: int) -> None:
     if ctx is None:  # pragma: no cover - defensive
         return
     impl = ctx.impl
-    shape = impl._transform_shape(ctx.dataset)
     # Warm the forward/inverse plans once per worker so the first pair in
     # every band pays no planning cost (the forked cache already holds
     # plans the parent created, but a fresh parent cache arrives cold).
-    if impl.real_transforms:
-        impl.cache.plan(shape, TransformKind.R2C, allow_padding=False)
-        impl.cache.plan(shape, TransformKind.C2R, allow_padding=False)
-    else:
-        impl.cache.plan(shape, TransformKind.C2C_FORWARD, allow_padding=False)
-        impl.cache.plan(shape, TransformKind.C2C_INVERSE, allow_padding=False)
+    # Coarse mode warms the coarse shapes (the per-pair hot path) *and*
+    # the full-resolution shapes (the fallback path) -- the PlanCache is
+    # keyed on (kind, shape), so the two never collide.
+    shapes = [impl._transform_shape(ctx.dataset)]
+    if impl.coarse is not None:
+        shapes.insert(0, impl._pair_transform_shape(ctx.dataset))
+    for shape in shapes:
+        if impl.real_transforms:
+            impl.cache.plan(shape, TransformKind.R2C, allow_padding=False)
+            impl.cache.plan(shape, TransformKind.C2R, allow_padding=False)
+        else:
+            impl.cache.plan(shape, TransformKind.C2C_FORWARD, allow_padding=False)
+            impl.cache.plan(shape, TransformKind.C2C_INVERSE, allow_padding=False)
 
 
 def _journal_appender() -> JournalAppender | None:
@@ -172,6 +179,7 @@ def _journal_lookup(impl, direction: Direction, r: int, c: int):
         correlation=rec["correlation"], tx=rec["tx"], ty=rec["ty"],
         tx_f=rec["tx_f"], ty_f=rec["ty_f"],
         peak_ratio=rec.get("peak_ratio"),
+        provenance=rec.get("provenance"),
     )
 
 
@@ -232,8 +240,23 @@ def _row_products(
         if not live:
             continue
         with tracer.span("fft", track, key=f"row{r}x{len(live)}"):
+            if impl.coarse is not None:
+                # Batched *coarse* FFTs: downsample each tile, then one
+                # backend call transforms the whole stack at the coarse
+                # shape (slices stay bit-identical to per-tile
+                # coarse_forward_fft).
+                inputs = [
+                    downsample(t, impl.coarse.factor) for _, t in live
+                ]
+                batch_shape = (
+                    None if impl.fft_shape is None
+                    else impl._pair_transform_shape(dataset)
+                )
+            else:
+                inputs = [t for _, t in live]
+                batch_shape = impl.fft_shape
             ffts = forward_fft_batch(
-                [t for _, t in live], impl.fft_shape, impl.cache,
+                inputs, batch_shape, impl.cache,
                 real=impl.real_transforms, stats=local,
             )
             local["ffts"] += len(live)
@@ -358,12 +381,10 @@ def _pair(impl, out: _TaskOutcome, direction: Direction, r: int, c: int,
     img_i, fft_i, stats_i = first
     img_j, fft_j, stats_j = second
     with tracer.span("pair", track, key=f"{direction.name.lower()}({r},{c})"):
-        res = pciam(
+        res = impl._register_pair(
             img_i, img_j, fft_i=fft_i, fft_j=fft_j,
-            fft_shape=impl.fft_shape, ccf_mode=impl.ccf_mode,
-            n_peaks=impl.n_peaks, real_transforms=impl.real_transforms,
-            cache=impl.cache, stats_i=stats_i, stats_j=stats_j,
-            workspace=workspace, use_tile_stats=impl.use_tile_stats,
+            stats_i=stats_i, stats_j=stats_j,
+            workspace=workspace, stats=local,
         )
     t = Translation.from_pciam(res)
     ap = _journal_appender()
@@ -400,7 +421,9 @@ class ProcCpu(Implementation):
         use_pool = n_boundaries > 0 and "fork" in mp.get_all_start_methods()
 
         tile_shape = tuple(dataset.tile_shape)
-        fshape = self._transform_shape(dataset)
+        # In coarse mode the published per-tile spectrum is coarse-shaped
+        # (the full-resolution spectrum is never computed up front).
+        fshape = self._pair_transform_shape(dataset)
         sshape = spectrum_shape(fshape) if self.real_transforms else fshape
         slots = n_boundaries * dataset.cols
 

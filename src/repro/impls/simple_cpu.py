@@ -43,5 +43,6 @@ class SimpleCpu(Implementation):
             use_tile_stats=self.use_tile_stats,
             use_workspace=self.use_workspace,
             journal=self.journal,
+            coarse=self.coarse,
         )
         return disp, dict(disp.stats)

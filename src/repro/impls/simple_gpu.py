@@ -21,9 +21,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ccf import ccf_at
+from repro.core.coarse import resolve_coarse_peaks
 from repro.core.displacement import DisplacementResult, Translation
+from repro.core.downsample import downsample
 from repro.core.peak import peak_candidates, peak_magnitude_ratio
-from repro.core.pciam import CcfMode
+from repro.core.pciam import CcfMode, pciam
 from repro.core.tilestats import TileStats, ccf_at_stats
 from repro.fftlib.plans import spectrum_shape
 from repro.fftlib.smooth import pad_to_shape
@@ -70,8 +72,16 @@ class SimpleGpu(Implementation):
         self.last_device = device
         rows, cols = dataset.rows, dataset.cols
         grid = TileGrid(rows, cols)
-        fft_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
-        hw = fft_shape[0] * fft_shape[1]
+        full_shape = tuple(self.fft_shape) if self.fft_shape else dataset.tile_shape
+        # Coarse mode moves every device-side surface (staging, pool
+        # buffers, NCC scratch, inverse) to the coarse transform shape --
+        # factor^2 less device memory and H2D traffic.  The host keeps
+        # full-resolution tiles + statistics for refinement and fallback.
+        fft_shape = (
+            self._pair_transform_shape(dataset)
+            if self.coarse is not None else full_shape
+        )
+        hw = full_shape[0] * full_shape[1]
         real = self.real_transforms
         # Half-spectrum transforms shrink every device pool buffer to
         # (h, w//2+1) -- cuFFT R2C halves both work and footprint.
@@ -152,7 +162,11 @@ class SimpleGpu(Implementation):
                     return
             host_op("read-tile", self.host_costs.read(hw) + self.host_costs.decode(hw))
             stats["reads"] += 1
-            src = tile if tile.shape == fft_shape else pad_to_shape(tile, fft_shape)
+            src = (
+                downsample(tile, self.coarse.factor)
+                if self.coarse is not None else tile
+            )
+            src = src if src.shape == fft_shape else pad_to_shape(src, fft_shape)
             slot = pool.acquire(blocking=False)
             host_src = src if real else src.astype(np.complex128)
             ev = device.h2d(host_src, staging, stream, not_before=host_clock)
@@ -199,8 +213,12 @@ class SimpleGpu(Implementation):
                     ev = ifft2_kernel(device, buf, buf, stream, not_before=host_clock)
                     surface = buf
                 host_clock = ev.end
+                k = (
+                    max(self.n_peaks, self.coarse.coarse_peaks)
+                    if self.coarse is not None else self.n_peaks
+                )
                 peaks, ev = reduce_max_kernel(device, surface, stream,
-                                              not_before=host_clock, k=self.n_peaks)
+                                              not_before=host_clock, k=k)
                 host_clock = ev.end
                 # D2H of the reduction result only (O(k) scalars).
                 flat = np.array([v for p in peaks for v in p], dtype=np.float64)
@@ -210,24 +228,55 @@ class SimpleGpu(Implementation):
 
                 img_i, img_j = tiles[pair.first], tiles[pair.second]
                 stats_i, stats_j = tstats.get(pair.first), tstats.get(pair.second)
-                best = (-np.inf, 0, 0)
-                seen: set[tuple[int, int]] = set()
-                for _mag, flat_idx in peaks:
-                    py, px = np.unravel_index(int(flat_idx), fft_shape)
-                    for tx, ty in peak_candidates(int(py), int(px), fft_shape, extended=extended):
-                        if (tx, ty) in seen:
-                            continue
-                        seen.add((tx, ty))
-                        if stats_i is not None and stats_j is not None:
-                            c = ccf_at_stats(stats_i, stats_j, tx, ty)
-                        else:
-                            c = ccf_at(img_i, img_j, tx, ty)
-                        if c > best[0]:
-                            best = (c, tx, ty)
-                host_op("ccf", self.host_costs.ccf(hw))
-                corr, tx, ty = best
-                ratio = peak_magnitude_ratio([m for m, _ in peaks])
-                t = Translation(float(corr), int(tx), int(ty), peak_ratio=ratio)
+                if self.coarse is not None:
+                    # Host-side coarse-to-fine resolution: contest +
+                    # hill-climb over the upscaled device peaks, full
+                    # PCIAM (host FFTs from the retained pixels) when the
+                    # confidence gate rejects.
+                    cpeaks = [
+                        (float(mag),
+                         *map(int, np.unravel_index(int(flat_idx), fft_shape)))
+                        for mag, flat_idx in peaks
+                    ]
+                    res = resolve_coarse_peaks(
+                        cpeaks, fft_shape, config=self.coarse,
+                        ccf_mode=self.ccf_mode,
+                        img_i=img_i, img_j=img_j,
+                        stats_i=stats_i, stats_j=stats_j,
+                        use_tile_stats=self.use_tile_stats,
+                        fallback=lambda: pciam(
+                            img_i, img_j,
+                            fft_shape=self.fft_shape,
+                            ccf_mode=self.ccf_mode,
+                            n_peaks=self.n_peaks,
+                            real_transforms=real,
+                            cache=self.cache,
+                            stats_i=stats_i, stats_j=stats_j,
+                            use_tile_stats=self.use_tile_stats,
+                        ),
+                        stats=stats,
+                    )
+                    host_op("ccf", self.host_costs.ccf(hw))
+                    t = Translation.from_pciam(res)
+                else:
+                    best = (-np.inf, 0, 0)
+                    seen: set[tuple[int, int]] = set()
+                    for _mag, flat_idx in peaks:
+                        py, px = np.unravel_index(int(flat_idx), fft_shape)
+                        for tx, ty in peak_candidates(int(py), int(px), fft_shape, extended=extended):
+                            if (tx, ty) in seen:
+                                continue
+                            seen.add((tx, ty))
+                            if stats_i is not None and stats_j is not None:
+                                c = ccf_at_stats(stats_i, stats_j, tx, ty)
+                            else:
+                                c = ccf_at(img_i, img_j, tx, ty)
+                            if c > best[0]:
+                                best = (c, tx, ty)
+                    host_op("ccf", self.host_costs.ccf(hw))
+                    corr, tx, ty = best
+                    ratio = peak_magnitude_ratio([m for m, _ in peaks])
+                    t = Translation(float(corr), int(tx), int(ty), peak_ratio=ratio)
                 disp.set(pair.direction, pair.second.row, pair.second.col, t)
                 self._journal_record(
                     pair.direction, pair.second.row, pair.second.col, t

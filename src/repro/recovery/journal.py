@@ -45,7 +45,8 @@ JOURNAL_VERSION = 1
 
 #: Keys of :class:`~repro.core.displacement.Translation` fields in a pair
 #: record, in serialization order.
-_PAIR_FIELDS = ("correlation", "tx", "ty", "tx_f", "ty_f", "peak_ratio")
+_PAIR_FIELDS = ("correlation", "tx", "ty", "tx_f", "ty_f", "peak_ratio",
+                "prov")
 
 
 class JournalError(RuntimeError):
@@ -116,6 +117,7 @@ def options_fingerprint(
     fft_shape=None,
     position_method: str = "mst",
     refine: bool = False,
+    coarse=None,
 ) -> dict:
     """The result-affecting PCIAM/solver options.
 
@@ -123,8 +125,15 @@ def options_fingerprint(
     workspaces, worker counts, implementation choice) are deliberately
     excluded: every implementation and every hot-path mode produces
     identical displacements, so a run checkpointed under one may resume
-    under another.
+    under another.  Coarse-to-fine registration *is* fingerprinted
+    (``coarse`` takes a :meth:`CoarseConfig.to_fingerprint` dict): its
+    refinement probes a subset of the full candidate contest, so its
+    correlations are not interchangeable with single-pass values.
+    Journals written before the option existed fingerprint-match a
+    coarse-off resume (absent key and ``None`` compare equal).
     """
+    if coarse is not None and hasattr(coarse, "to_fingerprint"):
+        coarse = coarse.to_fingerprint()
     return {
         "ccf_mode": getattr(ccf_mode, "value", ccf_mode),
         "n_peaks": int(n_peaks),
@@ -132,6 +141,7 @@ def options_fingerprint(
         "fft_shape": list(fft_shape) if fft_shape is not None else None,
         "position_method": str(position_method),
         "refine": bool(refine),
+        "coarse": coarse,
     }
 
 
@@ -239,7 +249,11 @@ def _apply_line(state: JournalState, line: bytes) -> bool:
         key = (obj["d"], int(obj["r"]), int(obj["c"]))
         if key in state.pairs:
             state.stats.duplicates += 1
-        state.pairs[key] = {f: obj.get(f) for f in _PAIR_FIELDS}
+        # Replay state uses Translation field names; ``prov`` is only the
+        # wire key, so the dicts stay valid ``Translation(**v)`` kwargs.
+        pair = {f: obj.get(f) for f in _PAIR_FIELDS if f != "prov"}
+        pair["provenance"] = obj.get("prov")
+        state.pairs[key] = pair
         state.stats.pairs = len(state.pairs)
     elif kind == "milestone":
         state.milestones[obj["name"]] = obj.get("data", {})
@@ -399,14 +413,21 @@ class RunJournal:
 
     def record_pair(self, direction: str, row: int, col: int, t) -> None:
         """Journal one completed pairwise displacement (durable on return)."""
-        self._append({
+        rec = {
             "t": "pair", "d": str(direction), "r": int(row), "c": int(col),
             "correlation": float(t.correlation),
             "tx": int(t.tx), "ty": int(t.ty),
             "tx_f": None if t.tx_f is None else float(t.tx_f),
             "ty_f": None if t.ty_f is None else float(t.ty_f),
             "peak_ratio": _finite_or_none(t.peak_ratio),
-        })
+        }
+        # Registration provenance ("coarse"/"fallback") journals only when
+        # set, so single-pass journals stay byte-identical to pre-coarse
+        # writers and resume cleanly on older readers.
+        prov = getattr(t, "provenance", None)
+        if prov is not None:
+            rec["prov"] = str(prov)
+        self._append(rec)
         self.recorded_pairs += 1
         if self.metrics is not None:
             self.metrics.counter("journal.pairs_recorded").inc()
@@ -448,6 +469,7 @@ class RunJournal:
             # Journals written before the quality gate existed have no
             # peak_ratio key; they replay with the gate-neutral None.
             peak_ratio=rec.get("peak_ratio"),
+            provenance=rec.get("provenance"),
         )
 
     def milestone(self, name: str) -> dict | None:
@@ -530,14 +552,18 @@ class JournalAppender:
 
     def record_pair(self, direction: str, row: int, col: int, t) -> None:
         """Journal one completed pair (durable on return)."""
-        self._append({
+        rec = {
             "t": "pair", "d": str(direction), "r": int(row), "c": int(col),
             "correlation": float(t.correlation),
             "tx": int(t.tx), "ty": int(t.ty),
             "tx_f": None if t.tx_f is None else float(t.tx_f),
             "ty_f": None if t.ty_f is None else float(t.ty_f),
             "peak_ratio": _finite_or_none(t.peak_ratio),
-        })
+        }
+        prov = getattr(t, "provenance", None)
+        if prov is not None:
+            rec["prov"] = str(prov)
+        self._append(rec)
         self.recorded_pairs += 1
 
     def record_skipped_tile(self, row: int, col: int, error: str = "") -> None:

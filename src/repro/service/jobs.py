@@ -39,6 +39,9 @@ ALLOWED_OPTIONS = frozenset({
     "residue_mode",
     "min_peak_ratio",
     "refine",
+    "coarse",
+    "coarse_scale",
+    "coarse_conf_thresh",
 })
 
 #: Output blend modes a job may request for its optional mosaic.

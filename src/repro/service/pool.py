@@ -81,6 +81,12 @@ def _build_stitcher(options: dict, plan_cache, checkpoint: str | None):
         residue_mode=options.get("residue_mode"),
         min_peak_ratio=options.get("min_peak_ratio"),
         refine=bool(options.get("refine", False)),
+        coarse=(
+            bool(options["coarse"]) if options.get("coarse") is not None
+            else None
+        ),
+        coarse_scale=options.get("coarse_scale"),
+        coarse_conf_thresh=options.get("coarse_conf_thresh"),
         cache=plan_cache,
         checkpoint=checkpoint,
         resume="auto",
@@ -110,6 +116,10 @@ def _execute_job(msg: dict, warm: dict) -> dict:
 
     plan_cache = warm["plan_cache"]
     hits0, misses0 = plan_cache.hits, plan_cache.misses
+    shapes0 = {
+        (tuple(row["shape"]), row["kind"]): (row["hits"], row["misses"])
+        for row in plan_cache.stats()["per_shape"]
+    }
     t0 = time.perf_counter()
     skipped: list = []
     summary: dict = {}
@@ -152,6 +162,9 @@ def _execute_job(msg: dict, warm: dict) -> dict:
         })
         if "quality_report" in result.stats:
             summary["quality_report"] = result.stats["quality_report"]
+        for key in ("coarse_hits", "full_fallbacks"):
+            if key in result.stats:
+                summary[key] = int(result.stats[key])
 
     positions_path = job_dir / "positions.json"
     _write_atomic(
@@ -182,6 +195,20 @@ def _execute_job(msg: dict, warm: dict) -> dict:
             "hits": plan_cache.hits - hits0,
             "misses": plan_cache.misses - misses0,
             "entries": len(plan_cache),
+            # Per-(shape, kind) deltas for *this* job: a warm worker's
+            # second same-geometry job shows hits and no misses on every
+            # row -- including the coarse-shape rows when the job ran
+            # coarse-to-fine registration.
+            "per_shape": [
+                {
+                    **row,
+                    "hits": row["hits"] - shapes0.get(
+                        (tuple(row["shape"]), row["kind"]), (0, 0))[0],
+                    "misses": row["misses"] - shapes0.get(
+                        (tuple(row["shape"]), row["kind"]), (0, 0))[1],
+                }
+                for row in plan_cache.stats()["per_shape"]
+            ],
         },
         "worker_jobs_served": warm["jobs_served"],
         "worker_pid": os.getpid(),
@@ -576,6 +603,28 @@ class WorkerPool:
         self.metrics.histogram("service.phase2_seconds").observe(
             summary.get("phase2_seconds", 0.0)
         )
+        pc = summary.get("plan_cache") or {}
+        if pc.get("hits"):
+            self.metrics.counter("service.plan_cache_hits").inc(pc["hits"])
+        if pc.get("misses"):
+            self.metrics.counter("service.plan_cache_misses").inc(pc["misses"])
+        # Per-shape reuse counters: coarse-to-fine jobs surface their
+        # coarse-shape plan rows here, so /metrics proves the coarse
+        # plans are being reused across jobs, not re-planned.
+        for row in pc.get("per_shape", []):
+            shape = "x".join(str(n) for n in row["shape"])
+            base = f"service.plan_cache.{row['kind']}.{shape}"
+            if row.get("hits"):
+                self.metrics.counter(f"{base}.hits").inc(row["hits"])
+            if row.get("misses"):
+                self.metrics.counter(f"{base}.misses").inc(row["misses"])
+        if "coarse_hits" in summary:
+            self.metrics.counter("service.coarse_hits").inc(
+                summary["coarse_hits"]
+            )
+            self.metrics.counter("service.full_fallbacks").inc(
+                summary.get("full_fallbacks", 0)
+            )
         pc = summary.get("plan_cache", {})
         self.metrics.counter("service.plan_cache_hits").inc(
             int(pc.get("hits", 0))

@@ -1,0 +1,194 @@
+"""Coarse-to-fine PCIAM: config, equivalence, gating, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.coarse import (
+    PROVENANCE_COARSE,
+    PROVENANCE_FALLBACK,
+    CoarseConfig,
+    coarse_forward_fft,
+    coarse_pciam,
+    coarse_transform_shape,
+    resolve_coarse_peaks,
+)
+from repro.core.pciam import CcfMode, pciam
+from repro.fftlib.plans import PlanCache, TransformKind
+from repro.synth.specimen import generate_plate
+
+PLATE = generate_plate(420, 420, seed=3)
+H = W = 128
+
+
+def cut_pair(ty: int, tx: int, base: int = 60):
+    """Two windows of the shared plate, I_j offset (tx, ty) from I_i."""
+    img_i = PLATE[base : base + H, base : base + W]
+    img_j = PLATE[base + ty : base + ty + H, base + tx : base + tx + W]
+    return img_i, img_j
+
+
+class TestCoarseConfig:
+    def test_defaults(self):
+        c = CoarseConfig()
+        assert c.factor == 2
+        assert c.radius == 4  # 2 * factor
+
+    def test_explicit_radius_wins(self):
+        assert CoarseConfig(search_radius=7).radius == 7
+
+    def test_factor_one_rejected(self):
+        with pytest.raises(ValueError):
+            CoarseConfig(factor=1)
+
+    @pytest.mark.parametrize("scale,factor", [(0.5, 2), (0.25, 4), (0.3, 3)])
+    def test_from_scale(self, scale, factor):
+        assert CoarseConfig.from_scale(scale).factor == factor
+
+    @pytest.mark.parametrize("scale", [0.0, -0.5, 0.6, 1.0])
+    def test_from_scale_rejects_out_of_range(self, scale):
+        with pytest.raises(ValueError):
+            CoarseConfig.from_scale(scale)
+
+    def test_fingerprint_resolves_derived_radius(self):
+        fp = CoarseConfig(factor=3).to_fingerprint()
+        assert fp["factor"] == 3
+        assert fp["search_radius"] == 6
+
+    def test_transform_shape_halves(self):
+        assert coarse_transform_shape((128, 128), 2) == (64, 64)
+        assert coarse_transform_shape((130, 96), 4) == (33, 24)
+
+
+class TestCoarseRecovery:
+    @pytest.mark.parametrize("ty,tx", [(5, 94), (0, 100), (96, -4), (92, 2)])
+    def test_matches_full_pciam_extended(self, ty, tx):
+        img_i, img_j = cut_pair(ty, tx)
+        full = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        stats: dict = {}
+        c = coarse_pciam(
+            img_i, img_j, CoarseConfig(), ccf_mode=CcfMode.EXTENDED,
+            n_peaks=2, stats=stats,
+        )
+        assert (c.ty, c.tx) == (full.ty, full.tx) == (ty, tx)
+        assert c.correlation == pytest.approx(full.correlation, abs=1e-9)
+        assert c.provenance == PROVENANCE_COARSE
+        assert stats == {"coarse_hits": 1}
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_matches_across_factors(self, factor):
+        img_i, img_j = cut_pair(6, 98)
+        c = coarse_pciam(
+            img_i, img_j, CoarseConfig(factor=factor),
+            ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+        )
+        assert (c.ty, c.tx) == (6, 98)
+
+    def test_real_transforms_match_complex(self):
+        img_i, img_j = cut_pair(4, 96)
+        a = coarse_pciam(img_i, img_j, CoarseConfig(),
+                         ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        b = coarse_pciam(img_i, img_j, CoarseConfig(),
+                         ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+                         real_transforms=True)
+        assert (a.ty, a.tx) == (b.ty, b.tx)
+
+    def test_precomputed_coarse_spectra_match_internal(self):
+        img_i, img_j = cut_pair(3, 95)
+        cache = PlanCache()
+        cfg = CoarseConfig()
+        cfft_i = coarse_forward_fft(img_i, cfg.factor, img_i.shape, cache)
+        cfft_j = coarse_forward_fft(img_j, cfg.factor, img_j.shape, cache)
+        r1 = coarse_pciam(img_i, img_j, cfg, ccf_mode=CcfMode.EXTENDED,
+                          n_peaks=2, cache=cache)
+        r2 = coarse_pciam(img_i, img_j, cfg, cfft_i=cfft_i, cfft_j=cfft_j,
+                          ccf_mode=CcfMode.EXTENDED, n_peaks=2, cache=cache)
+        assert (r1.ty, r1.tx, r1.correlation) == (r2.ty, r2.tx, r2.correlation)
+
+    def test_wrong_coarse_spectrum_shape_rejected(self):
+        img_i, img_j = cut_pair(3, 95)
+        bad = np.zeros((H, W), dtype=complex)  # full-res, not coarse
+        with pytest.raises(ValueError):
+            coarse_pciam(img_i, img_j, CoarseConfig(), cfft_i=bad, cfft_j=bad)
+
+    def test_subpixel_carries_fractional_fields(self):
+        img_i, img_j = cut_pair(5, 94)
+        r = coarse_pciam(img_i, img_j, CoarseConfig(),
+                         ccf_mode=CcfMode.EXTENDED, n_peaks=2, subpixel=True)
+        full = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2,
+                     subpixel=True)
+        assert r.tx_f == pytest.approx(full.tx_f, abs=1e-9)
+        assert r.ty_f == pytest.approx(full.ty_f, abs=1e-9)
+
+
+class TestConfidenceGate:
+    def test_unrelated_tiles_fall_back(self):
+        rng = np.random.default_rng(9)
+        img_i = rng.random((H, W))
+        img_j = rng.random((H, W))
+        stats: dict = {}
+        r = coarse_pciam(img_i, img_j, CoarseConfig(), n_peaks=2, stats=stats)
+        full = pciam(img_i, img_j, n_peaks=2)
+        assert r.provenance == PROVENANCE_FALLBACK
+        assert stats == {"full_fallbacks": 1}
+        assert (r.ty, r.tx, r.correlation) == (full.ty, full.tx, full.correlation)
+
+    def test_impossible_threshold_forces_fallback(self):
+        img_i, img_j = cut_pair(5, 94)
+        cfg = CoarseConfig(conf_thresh=1.1)  # nothing passes
+        r = coarse_pciam(img_i, img_j, cfg, ccf_mode=CcfMode.EXTENDED,
+                         n_peaks=2)
+        full = pciam(img_i, img_j, ccf_mode=CcfMode.EXTENDED, n_peaks=2)
+        assert r.provenance == PROVENANCE_FALLBACK
+        assert (r.ty, r.tx) == (full.ty, full.tx)
+
+    def test_resolve_without_fallback_raises_on_rejection(self):
+        rng = np.random.default_rng(5)
+        img_i = rng.random((32, 32))
+        img_j = rng.random((32, 32))
+        peaks = [(1.0, 0, 0)]
+        with pytest.raises(ValueError, match="no fallback"):
+            resolve_coarse_peaks(
+                peaks, (16, 16), config=CoarseConfig(),
+                img_i=img_i, img_j=img_j,
+            )
+
+
+class TestMixedResolutionPlanCache:
+    def test_coarse_and_full_shapes_never_share_plans(self):
+        img_i, img_j = cut_pair(5, 94)
+        cache = PlanCache()
+        coarse_pciam(img_i, img_j, CoarseConfig(), ccf_mode=CcfMode.EXTENDED,
+                     n_peaks=2, cache=cache)
+        shapes = {tuple(row["shape"]) for row in cache.stats()["per_shape"]}
+        # Coarse-only clean pair: every planning problem is at 64x64.
+        assert shapes == {(64, 64)}
+        # A forced fallback now adds full-resolution rows alongside.
+        coarse_pciam(img_i, img_j, CoarseConfig(conf_thresh=1.1),
+                     ccf_mode=CcfMode.EXTENDED, n_peaks=2, cache=cache)
+        shapes = {tuple(row["shape"]) for row in cache.stats()["per_shape"]}
+        assert shapes == {(64, 64), (128, 128)}
+        for row in cache.stats()["per_shape"]:
+            p = cache.cached(tuple(row["shape"]),
+                             TransformKind(row["kind"]))
+            assert p is not None
+            assert p.key.shape == tuple(row["shape"])
+
+    def test_second_pair_hits_coarse_plans(self):
+        cache = PlanCache()
+        coarse_pciam(*cut_pair(5, 94), CoarseConfig(),
+                     ccf_mode=CcfMode.EXTENDED, n_peaks=2, cache=cache)
+        before = {
+            (tuple(r["shape"]), r["kind"]): (r["hits"], r["misses"])
+            for r in cache.stats()["per_shape"]
+        }
+        assert all(m >= 1 for _, m in before.values())
+        coarse_pciam(*cut_pair(3, 96), CoarseConfig(),
+                     ccf_mode=CcfMode.EXTENDED, n_peaks=2, cache=cache)
+        after = {
+            (tuple(r["shape"]), r["kind"]): (r["hits"], r["misses"])
+            for r in cache.stats()["per_shape"]
+        }
+        for key, (h0, m0) in before.items():
+            h1, m1 = after[key]
+            assert m1 == m0, f"{key} re-planned on the second pair"
+            assert h1 > h0, f"{key} not reused on the second pair"

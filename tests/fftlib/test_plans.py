@@ -92,6 +92,59 @@ class TestPlanCache:
         assert plan.fft_shape == (11, 13)
 
 
+class TestPerShapeStats:
+    def test_hits_and_misses_tallied_per_key(self):
+        cache = PlanCache()
+        cache.plan((8, 8), TransformKind.C2C_FORWARD)   # miss
+        cache.plan((8, 8), TransformKind.C2C_FORWARD)   # hit
+        cache.plan((8, 8), TransformKind.C2C_FORWARD)   # hit
+        cache.plan((4, 4), TransformKind.C2C_FORWARD)   # miss
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 2
+        by_key = {
+            (tuple(r["shape"]), r["kind"]): r for r in stats["per_shape"]
+        }
+        big = by_key[((8, 8), TransformKind.C2C_FORWARD.value)]
+        small = by_key[((4, 4), TransformKind.C2C_FORWARD.value)]
+        assert (big["hits"], big["misses"]) == (2, 1)
+        assert (small["hits"], small["misses"]) == (0, 1)
+
+    def test_mixed_resolutions_stay_separate(self):
+        """Coarse-to-fine uses one cache for both resolutions: the
+        (shape, kind) keying must never let one shape's plan satisfy
+        the other's lookups."""
+        cache = PlanCache()
+        full = cache.plan((128, 128), TransformKind.C2C_INVERSE)
+        coarse = cache.plan((64, 64), TransformKind.C2C_INVERSE)
+        assert full is not coarse
+        assert cache.plan((128, 128), TransformKind.C2C_INVERSE) is full
+        assert cache.plan((64, 64), TransformKind.C2C_INVERSE) is coarse
+        by_shape = {
+            tuple(r["shape"]): r for r in cache.stats()["per_shape"]
+        }
+        assert by_shape[(128, 128)]["misses"] == 1
+        assert by_shape[(64, 64)]["misses"] == 1
+        assert by_shape[(128, 128)]["hits"] == 1
+        assert by_shape[(64, 64)]["hits"] == 1
+
+    def test_per_shape_sorted_largest_first(self):
+        cache = PlanCache()
+        cache.plan((4, 4), TransformKind.R2C)
+        cache.plan((64, 64), TransformKind.R2C)
+        cache.plan((16, 16), TransformKind.R2C)
+        shapes = [tuple(r["shape"]) for r in cache.stats()["per_shape"]]
+        assert shapes == [(64, 64), (16, 16), (4, 4)]
+
+    def test_executions_reported(self):
+        cache = PlanCache()
+        plan = cache.plan((4, 4), TransformKind.C2C_FORWARD)
+        a = np.ones((4, 4), dtype=np.complex128)
+        plan.execute(a)
+        plan.execute(a)
+        (row,) = cache.stats()["per_shape"]
+        assert row["executions"] == 2
+
+
 class TestWisdom:
     def test_roundtrip(self):
         cache = PlanCache()

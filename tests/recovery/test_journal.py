@@ -103,6 +103,76 @@ class TestRoundTrip:
         j.close()
 
 
+class TestCoarseProvenance:
+    def test_provenance_round_trips(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        hit = Translation(0.99, 3, -17, provenance="coarse")
+        fell = Translation(0.41, -2, 40, provenance="fallback")
+        with make_journal(path, [("west", 0, 1, hit), ("north", 1, 0, fell)]):
+            pass
+        j = RunJournal.resume(path, FP)
+        assert j.lookup("west", 0, 1).provenance == "coarse"
+        assert j.lookup("north", 1, 0).provenance == "fallback"
+        j.close()
+
+    def test_single_pass_records_carry_no_prov_key(self, tmp_path):
+        """Coarse-off journals must stay byte-compatible with pre-coarse
+        writers: no ``prov`` key is ever emitted for provenance None."""
+        path = tmp_path / "journal.jsonl"
+        with make_journal(path, [("west", 0, 1, T1)]):
+            pass
+        recs = [json.loads(l) for l in path.read_text().splitlines()]
+        (pair,) = [r for r in recs if "d" in r]
+        assert "prov" not in pair
+        j = RunJournal.resume(path, FP)
+        assert j.lookup("west", 0, 1).provenance is None
+        j.close()
+
+    def test_coarse_config_binds_the_fingerprint(self, tmp_path):
+        from repro.core.coarse import CoarseConfig
+
+        path = tmp_path / "journal.jsonl"
+        coarse_fp = {
+            "dataset": FP["dataset"],
+            "options": options_fingerprint(coarse=CoarseConfig()),
+        }
+        RunJournal.create(path, coarse_fp).close()
+        # Same coarse config resumes; coarse-off (or a different factor)
+        # refuses -- the two-pass gate changes which answers are recorded.
+        RunJournal.resume(path, coarse_fp).close()
+        with pytest.raises(JournalMismatch) as ei:
+            RunJournal.resume(path, FP)
+        assert "options.coarse" in {p for p, _, _ in ei.value.differences}
+        other = {
+            "dataset": FP["dataset"],
+            "options": options_fingerprint(coarse=CoarseConfig(factor=4)),
+        }
+        with pytest.raises(JournalMismatch):
+            RunJournal.resume(path, other)
+
+    def test_pre_coarse_journal_resumes_coarse_off(self, tmp_path):
+        """Journals written before coarse mode existed (no ``coarse`` key
+        in the fingerprint) must resume under a coarse-off run."""
+        path = tmp_path / "journal.jsonl"
+        with make_journal(path, [("west", 0, 1, T1)]):
+            pass
+        raw = path.read_text().splitlines()
+        rewritten = []
+        for line in raw:
+            rec = json.loads(line)
+            if "fingerprint" in rec:
+                del rec["fingerprint"]["options"]["coarse"]
+                rec.pop("crc", None)
+                rec["crc"] = zlib.crc32(
+                    json.dumps(rec, sort_keys=True, separators=(",", ":")).encode()
+                )
+            rewritten.append(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+        path.write_text("\n".join(rewritten) + "\n")
+        j = RunJournal.resume(path, FP)
+        assert j.lookup("west", 0, 1) == T1
+        j.close()
+
+
 class TestTornTail:
     def test_truncated_final_line_is_dropped_and_counted(self, tmp_path):
         path = tmp_path / "journal.jsonl"

@@ -110,6 +110,74 @@ def test_sigkill_then_resume_is_bit_identical(
     assert np.array_equal(pos_ref.positions, pos_res.positions)
 
 
+def test_coarse_sigkill_then_resume_is_bit_identical(dataset_4x4, tmp_path):
+    """Coarse-to-fine mode survives a SIGKILL the same way: the journal
+    carries each pair's coarse/fallback provenance, the coarse config is
+    bound into the fingerprint, and the resumed output is bit-identical
+    to an uninterrupted coarse run."""
+    from repro.impls import SimpleCpu
+
+    ckpt = tmp_path / "ckpt"
+    journal_path = checkpoint_journal_path(ckpt)
+    result = run_until_killed(
+        stitch_argv(
+            dataset_4x4.directory, ckpt, impl="mt-cpu",
+            extra=["--inject-faults", SLOW, "--coarse-registration"],
+        ),
+        journal_path,
+        kill_after_records=6,
+        env=subprocess_env(SRC_DIR),
+        timeout=120.0,
+    )
+    assert result.killed, (
+        f"child finished before the kill threshold "
+        f"({result.journal_records} records)\n{result.stdout}"
+    )
+    state = load_journal(journal_path)
+    assert 1 <= len(state.pairs) < 24, "kill did not land mid-phase-1"
+    # Every journaled pair carries its provenance stamp.
+    raw = [json.loads(l) for l in journal_path.read_text().splitlines()[:-1]]
+    provs = {r.get("prov") for r in raw if "d" in r}
+    assert provs <= {"coarse", "fallback"} and provs
+
+    stitcher = Stitcher(
+        checkpoint=str(ckpt), resume="require", coarse=True
+    )
+    journal = stitcher.open_journal(dataset_4x4)
+    try:
+        run = ALL_IMPLEMENTATIONS["mt-cpu"](
+            journal=journal, coarse=stitcher.coarse
+        ).run(dataset_4x4)
+    finally:
+        journal.close()
+    assert run.stats["resumed_pairs"] == len(state.pairs)
+
+    ref = SimpleCpu(coarse=stitcher.coarse).run(dataset_4x4)
+    grid = TileGrid(dataset_4x4.rows, dataset_4x4.cols)
+    for pair in grid_pairs(grid):
+        a = ref.displacements.get(
+            pair.direction, pair.second.row, pair.second.col
+        )
+        b = run.displacements.get(
+            pair.direction, pair.second.row, pair.second.col
+        )
+        assert a == b, f"{pair} diverged after coarse resume"
+
+
+def test_coarse_off_refuses_coarse_journal(dataset_4x4, tmp_path):
+    """Resuming a coarse-mode journal without coarse mode must refuse:
+    the gate changes which answers get recorded."""
+    from repro.recovery.journal import JournalMismatch
+
+    ckpt = tmp_path / "ckpt"
+    stitcher = Stitcher(checkpoint=str(ckpt), coarse=True)
+    stitcher.open_journal(dataset_4x4).close()
+    with pytest.raises(JournalMismatch):
+        Stitcher(checkpoint=str(ckpt), resume="require").open_journal(
+            dataset_4x4
+        )
+
+
 def test_cross_impl_resume(dataset_4x4, reference_displacements, tmp_path):
     """A journal written by one implementation resumes under another:
     the fingerprint deliberately excludes the impl name."""

@@ -93,6 +93,51 @@ class TestExecution:
         assert second.result["worker_jobs_served"] == 2
         assert second.result["worker_pid"] == first.result["worker_pid"]
 
+    def test_coarse_job_matches_full_and_reuses_coarse_plans(
+        self, harness, small_ds
+    ):
+        full = harness.settle(harness.submit(dataset=str(small_ds.directory)))
+        first = harness.settle(harness.submit(
+            dataset=str(small_ds.directory), options={"coarse": True},
+        ))
+        second = harness.settle(harness.submit(
+            dataset=str(small_ds.directory), options={"coarse": True},
+        ))
+        assert first.state is JobState.DONE
+        # Coarse provenance counters surface in the job summary ...
+        assert first.result["coarse_hits"] + first.result["full_fallbacks"] == 12
+        assert "coarse_hits" not in full.result
+        # ... and positions match the single-pass job bit-for-bit.
+        pos_full = json.loads(harness.pool.positions_path(full.id).read_text())
+        pos_coarse = json.loads(
+            harness.pool.positions_path(first.id).read_text()
+        )
+        assert pos_full["positions"] == pos_coarse["positions"]
+        # The warm worker re-serves the coarse-shape plans across jobs:
+        # the per-shape delta rows of the second coarse job show zero
+        # misses on every shape the first coarse job planned.
+        shapes1 = {
+            (tuple(r["shape"]), r["kind"])
+            for r in first.result["plan_cache"]["per_shape"]
+        }
+        for row in second.result["plan_cache"]["per_shape"]:
+            key = (tuple(row["shape"]), row["kind"])
+            if key in shapes1:
+                assert row["misses"] == 0, f"{key} re-planned on warm worker"
+        # Service-level counters aggregate the per-job numbers.
+        snap = harness.metrics.snapshot()["counters"]
+        assert snap.get("service.coarse_hits", 0) == (
+            first.result["coarse_hits"] + second.result["coarse_hits"]
+        )
+
+    def test_coarse_options_validated(self):
+        with pytest.raises(ValueError):
+            JobSpec(dataset="x", options={"coarse_factor": 2})  # not allowed
+        spec = JobSpec(dataset="x", options={
+            "coarse": True, "coarse_scale": 0.5, "coarse_conf_thresh": 0.9,
+        })
+        assert spec.options["coarse_scale"] == 0.5
+
     def test_reuse_job_applies_source_positions(self, harness, small_ds):
         src = harness.settle(harness.submit(dataset=str(small_ds.directory)))
         reuse = harness.settle(harness.submit(

@@ -49,6 +49,35 @@ class TestStitch:
     def test_paper_faithful_mode(self, dataset_dir):
         assert main(["stitch", str(dataset_dir), "--paper-faithful"]) == 0
 
+    def test_coarse_registration_matches_full(self, dataset_dir, tmp_path,
+                                              capsys):
+        full = tmp_path / "full.json"
+        coarse = tmp_path / "coarse.json"
+        assert main(["stitch", str(dataset_dir),
+                     "--positions-json", str(full)]) == 0
+        capsys.readouterr()
+        assert main(["stitch", str(dataset_dir), "--coarse-registration",
+                     "--positions-json", str(coarse)]) == 0
+        text = capsys.readouterr().out
+        # The CI-greppable summary line: hits + fallbacks with the knobs.
+        assert "coarse:" in text and "hits" in text and "fallbacks" in text
+        assert json.loads(full.read_text()) == json.loads(coarse.read_text())
+
+    def test_coarse_scale_and_thresh_imply_coarse(self, dataset_dir, capsys):
+        assert main(["stitch", str(dataset_dir),
+                     "--coarse-scale", "0.5",
+                     "--coarse-conf-thresh", "0.9"]) == 0
+        assert "conf >= 0.9" in capsys.readouterr().out
+
+    def test_coarse_on_impl_path(self, dataset_dir, capsys):
+        assert main(["stitch", str(dataset_dir), "--impl", "mt-cpu",
+                     "--coarse-registration"]) == 0
+        assert "coarse:" in capsys.readouterr().out
+
+    def test_bad_coarse_scale_errors(self, dataset_dir):
+        with pytest.raises(ValueError):
+            main(["stitch", str(dataset_dir), "--coarse-scale", "0.7"])
+
     def test_outline(self, dataset_dir, tmp_path):
         out = tmp_path / "o.tif"
         assert main(["stitch", str(dataset_dir), "-o", str(out), "--outline"]) == 0
