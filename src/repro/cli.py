@@ -73,6 +73,25 @@ def _workers_arg(value: str) -> int:
     return n
 
 
+def _bytes_arg(value: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``512M``)."""
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    text = value.strip().lower().rstrip("b")
+    scale = 1
+    if text and text[-1] in suffixes:
+        scale = suffixes[text[-1]]
+        text = text[:-1]
+    try:
+        n = int(float(text) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected BYTES or e.g. 512M, got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"byte budget must be >= 1, got {n}")
+    return n
+
+
 def _cmd_stitch(args: argparse.Namespace) -> int:
     from repro.core.compose import BlendMode
     from repro.core.pciam import CcfMode
@@ -340,8 +359,28 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.recovery import WatchdogConfig
+    from repro.service.resilience import (
+        BreakerConfig,
+        BrownoutPolicy,
+        ResilienceConfig,
+    )
     from repro.service.server import StitchService
 
+    try:
+        brownout = BrownoutPolicy.parse(args.brownout)
+    except ValueError as exc:
+        print(f"bad --brownout spec: {exc}")
+        return 2
+    resilience = ResilienceConfig(
+        quarantine_threshold=args.quarantine_threshold,
+        breaker=BreakerConfig(
+            death_threshold=args.breaker_threshold,
+            window_seconds=args.breaker_window,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+        brownout=brownout,
+        spool_budget_bytes=args.spool_budget,
+    )
     service = StitchService(
         spool_dir=args.spool,
         workers=args.workers,
@@ -354,6 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stall_timeout=args.stall_timeout,
             poll_interval=0.05,
         ),
+        resilience=resilience,
     )
     service.start()
     host, port = service.start_http(args.host, args.port)
@@ -589,6 +629,28 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--retry-budget", type=int, default=1,
                    help="default requeues per job after worker death "
                         "(a job spec's retry_budget overrides)")
+    s.add_argument("--quarantine-threshold", type=int, default=3,
+                   metavar="K",
+                   help="worker deaths attributed to one job before it is "
+                        "quarantined with a post-mortem")
+    s.add_argument("--breaker-threshold", type=int, default=3,
+                   help="worker deaths inside --breaker-window that trip "
+                        "the crash-loop circuit breaker open")
+    s.add_argument("--breaker-window", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="sliding window for the breaker's death count")
+    s.add_argument("--breaker-cooldown", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="first OPEN interval before half-open canary "
+                        "probing (doubles per failed canary, capped)")
+    s.add_argument("--spool-budget", type=_bytes_arg, default=None,
+                   metavar="BYTES",
+                   help="spool disk budget (suffixes K/M/G); submissions "
+                        "that would exceed it are rejected with 429")
+    s.add_argument("--brownout", type=str, default="off",
+                   metavar="MODE[:k=v,...]",
+                   help="overload policy: off, shed, or degrade "
+                        "(e.g. 'degrade:depth=0.8,shed-priority=4')")
     s.set_defaults(func=_cmd_serve)
 
     s = sub.add_parser("info", help="inspect a dataset directory or TIFF")

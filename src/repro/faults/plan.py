@@ -47,6 +47,11 @@ class FaultKind(str, Enum):
     STAGE_ERROR = "stage_error"    # handler exception in a named stage
     HANG = "hang"                  # operation blocks until cancelled (or a bound)
     STALL = "stall"                # named stage silently swallows items
+    #: Process suicide: the first ``failures`` reads of the target tile
+    #: SIGKILL the *current process* -- how the chaos harness makes a
+    #: specific job deterministically kill every worker it lands on
+    #: (poison input), as opposed to the harness's externally timed kills.
+    CRASH = "crash"
     # Data-level kinds (docs/ROBUSTNESS.md): the read *succeeds* but the
     # pixels mislead registration -- the class of dirty data the
     # phase-2 quality gate exists for.
@@ -159,6 +164,7 @@ class FaultPlan:
         "transient": FaultKind.TRANSIENT_IO,
         "slow": FaultKind.SLOW_READ,
         "hang": FaultKind.HANG,
+        "crash": FaultKind.CRASH,
         "dust": FaultKind.DUST,
         "saturate": FaultKind.SATURATE,
         "shift": FaultKind.SHIFT,
@@ -387,6 +393,21 @@ class FaultPlan:
                         self._record(fault, attempt)
                 if fire:
                     self._hang(fault.latency)
+            if fault.kind is FaultKind.CRASH:
+                # Attempt counting keeps this deterministic *and* finite:
+                # with failures=N the tile kills its host process N times,
+                # then reads cleanly -- a transiently-poison job; with a
+                # large N it is poison forever and earns quarantine.
+                with self._lock:
+                    attempt = self._next_attempt((id(fault), row, col))
+                    fire = attempt < fault.failures
+                    if fire:
+                        self._record(fault, attempt)
+                if fire:
+                    import os as _os
+                    import signal as _signal
+
+                    _os.kill(_os.getpid(), _signal.SIGKILL)
 
     _DATA_KINDS = (FaultKind.DUST, FaultKind.SATURATE, FaultKind.SHIFT)
 

@@ -34,6 +34,7 @@ from repro.recovery.journal import (
     JournalLoadStats,
     JournalMismatch,
     JournalState,
+    JournalWriteError,
     RunJournal,
     checkpoint_journal_path,
     dataset_fingerprint,
@@ -65,6 +66,7 @@ __all__ = [
     "JournalLoadStats",
     "JournalMismatch",
     "JournalState",
+    "JournalWriteError",
     "RunJournal",
     "checkpoint_journal_path",
     "dataset_fingerprint",

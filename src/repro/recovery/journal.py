@@ -53,6 +53,26 @@ class JournalError(RuntimeError):
     """The journal file cannot be used (unreadable header, bad mode)."""
 
 
+class JournalWriteError(JournalError):
+    """An append could not be made durable (ENOSPC, EIO, closed fd).
+
+    Raised instead of letting the raw :class:`OSError` escape so a full
+    disk mid-run surfaces as a clean, typed per-job failure -- the
+    journal file itself stays loadable (at worst one torn tail line,
+    which replay already tolerates) and a later resume recovers every
+    record that fsync'd before the disk filled.
+    """
+
+    def __init__(self, path, cause: OSError):
+        super().__init__(
+            f"journal append to {path} failed: "
+            f"[{cause.errno}] {cause.strerror or cause}"
+        )
+        self.path = Path(path)
+        self.errno = cause.errno
+        self.__cause__ = cause
+
+
 class JournalMismatch(JournalError):
     """Resume refused: the journal belongs to a different run.
 
@@ -406,10 +426,17 @@ class RunJournal:
             raise JournalError(f"journal {self.path} is closed")
         line = _encode_line(payload)
         with self._lock:
-            self._fh.write(line)
-            self._fh.flush()
-            if self._fsync:
-                os.fsync(self._fh.fileno())
+            try:
+                self._fh.write(line)
+                self._fh.flush()
+                if self._fsync:
+                    os.fsync(self._fh.fileno())
+            except OSError as exc:
+                # ENOSPC (or EIO) mid-run: the record is NOT durable.
+                # Surface a typed error the caller can treat as a clean
+                # job failure; the file holds at most a torn tail, which
+                # load_journal() already drops, so resume stays safe.
+                raise JournalWriteError(self.path, exc) from exc
 
     def record_pair(self, direction: str, row: int, col: int, t) -> None:
         """Journal one completed pairwise displacement (durable on return)."""
@@ -545,10 +572,13 @@ class JournalAppender:
 
     def _append(self, payload: dict) -> None:
         line = _encode_line(payload)
-        self._fh.write(line)
-        self._fh.flush()
-        if self._fsync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise JournalWriteError(self.path, exc) from exc
 
     def record_pair(self, direction: str, row: int, col: int, t) -> None:
         """Journal one completed pair (durable on return)."""

@@ -15,28 +15,58 @@ them into a standing service:
 - :mod:`repro.service.server` -- the asyncio HTTP/JSON front end
   (submit/status/cancel/result/metrics endpoints);
 - :mod:`repro.service.client` -- a thin blocking client for tests,
-  examples and the CI smoke job.
+  examples and the CI smoke job;
+- :mod:`repro.service.resilience` -- poison-job quarantine, crash-loop
+  circuit breaking, brownout load shedding and the spool disk budget.
 
 Start one with ``python -m repro serve DATASET_ROOT`` or embed
 :class:`~repro.service.server.StitchService` directly (the e2e tests
 do).  See docs/API.md "Running as a service".
 """
 
-from repro.service.client import BackpressureError, ServiceClient, ServiceError
+from repro.service.client import (
+    BackpressureError,
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.queue import AdmissionRejected, JobQueue
 from repro.service.pool import WorkerPool
+from repro.service.resilience import (
+    BreakerConfig,
+    BreakerState,
+    BrownoutPolicy,
+    CircuitBreaker,
+    HealthReport,
+    LoadShedder,
+    PoisonTracker,
+    ResilienceConfig,
+    SpoolBudget,
+    SpoolBudgetExceeded,
+)
 from repro.service.server import StitchService
 
 __all__ = [
     "AdmissionRejected",
     "BackpressureError",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "HealthReport",
+    "JobFailedError",
     "JobQueue",
     "JobRecord",
     "JobSpec",
     "JobState",
+    "LoadShedder",
+    "PoisonTracker",
+    "ResilienceConfig",
     "ServiceClient",
     "ServiceError",
+    "SpoolBudget",
+    "SpoolBudgetExceeded",
     "StitchService",
     "WorkerPool",
 ]

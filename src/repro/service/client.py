@@ -4,13 +4,18 @@ Stdlib-only (``http.client``), one connection per call -- the server
 closes connections after each response anyway.  The client's job is to
 turn HTTP status codes back into Python semantics: 429 becomes
 :class:`BackpressureError` carrying the server's ``Retry-After`` hint,
-other non-2xx become :class:`ServiceError` with the server's message.
+other non-2xx become :class:`ServiceError` with the server's message,
+and a terminal failed/quarantined job surfaces (on request) as
+:class:`JobFailedError` rendering the server's structured error detail
+-- exception type, last journal milestone, per-attempt death signals --
+instead of a flat string.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 
 
@@ -31,6 +36,36 @@ class BackpressureError(ServiceError):
         super().__init__(status, payload)
         self.retry_after = retry_after
         self.reason = payload.get("reason", "rejected")
+
+
+class JobFailedError(Exception):
+    """A waited-on job reached ``failed`` or ``quarantined``.
+
+    The message folds in the server's structured ``error_detail`` so an
+    operator reading a stack trace sees what actually happened --
+    exception type, how far the journal got, what killed the workers --
+    without a follow-up status call.  The full record is on ``.record``.
+    """
+
+    def __init__(self, record: dict):
+        self.record = record
+        self.state = record.get("state", "failed")
+        self.detail = record.get("error_detail") or {}
+        parts = [
+            f"job {record.get('id')} {self.state}: "
+            f"{record.get('error') or 'unknown error'}"
+        ]
+        if self.detail.get("type"):
+            parts.append(f"type={self.detail['type']}")
+        if self.detail.get("attempts"):
+            parts.append(f"attempts={self.detail['attempts']}")
+        if self.detail.get("last_milestone"):
+            parts.append(f"last_milestone={self.detail['last_milestone']}")
+        if self.detail.get("death_signals"):
+            parts.append(
+                "death_signals=" + ",".join(self.detail["death_signals"])
+            )
+        super().__init__(" | ".join(parts))
 
 
 class ServiceClient:
@@ -80,19 +115,30 @@ class ServiceClient:
         return self._request("POST", "/jobs", body=spec)
 
     def submit_with_retry(self, spec: dict, attempts: int = 10,
-                          max_wait: float = 5.0) -> dict:
-        """Submit, honouring backpressure by sleeping ``Retry-After``.
+                          max_wait: float = 5.0, base_wait: float = 0.05,
+                          sleep=time.sleep, rng: random.Random | None = None,
+                          ) -> dict:
+        """Submit, honouring backpressure with decorrelated-jitter waits.
 
-        The honest-client loop the backpressure contract expects; gives
-        up (re-raising) after ``attempts`` rejections.
+        Each rejection sleeps ``uniform(base_wait, 3 * previous_wait)``
+        (AWS-style decorrelated jitter, so a burst of rejected clients
+        spreads out instead of retrying in lockstep), floored by the
+        server's honest ``Retry-After`` hint and capped at ``max_wait``.
+        ``sleep`` and ``rng`` are injectable so the unit tests drive the
+        loop on a fake clock with a seeded stream.  Gives up
+        (re-raising) after ``attempts`` rejections.
         """
+        rng = rng if rng is not None else random.Random()
         last: BackpressureError | None = None
+        wait = base_wait
         for _ in range(attempts):
             try:
                 return self.submit(spec)
             except BackpressureError as exc:
                 last = exc
-                time.sleep(min(exc.retry_after, max_wait))
+                wait = min(max_wait, rng.uniform(base_wait, wait * 3))
+                wait = max(wait, min(exc.retry_after, max_wait))
+                sleep(wait)
         assert last is not None
         raise last
 
@@ -110,12 +156,22 @@ class ServiceClient:
         return self._request("GET", f"/jobs/{job_id}/result")
 
     def wait(self, job_id: str, timeout: float = 120.0,
-             poll: float = 0.2) -> dict:
-        """Poll until the job is terminal; returns the final record."""
+             poll: float = 0.2, raise_on_failure: bool = False) -> dict:
+        """Poll until the job is terminal; returns the final record.
+
+        With ``raise_on_failure`` a terminal ``failed``/``quarantined``
+        state raises :class:`JobFailedError` rendering the structured
+        error detail instead of returning a record the caller must
+        inspect.
+        """
         deadline = time.monotonic() + timeout
         while True:
             record = self.status(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            if record["state"] in ("done", "failed", "cancelled",
+                                   "quarantined"):
+                if raise_on_failure and record["state"] in ("failed",
+                                                            "quarantined"):
+                    raise JobFailedError(record)
                 return record
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -57,10 +57,15 @@ class JobState(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Terminal isolation state: the job's attempts killed too many
+    #: workers (poison input); it is never requeued and carries a
+    #: structured post-mortem instead of a result.
+    QUARANTINED = "quarantined"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+                        JobState.QUARANTINED)
 
 
 def new_job_id() -> str:
@@ -169,12 +174,14 @@ class JobRecord:
 
     State transitions (enforced by :meth:`transition`)::
 
-        queued -> running -> done | failed | cancelled
+        queued -> running -> done | failed | cancelled | quarantined
         running -> queued            (requeue after worker death/kill)
         queued -> cancelled
 
     ``attempts`` counts executions started; a job whose worker died
-    ``retry_budget`` times fails rather than requeueing forever.
+    ``retry_budget`` times fails rather than requeueing forever, and a
+    job attributed ``quarantine_threshold`` worker deaths is quarantined
+    with a post-mortem regardless of remaining budget.
     """
 
     spec: JobSpec
@@ -189,25 +196,63 @@ class JobRecord:
     finished_at: float | None = None
     worker: int | None = None
     error: str | None = None
+    #: Exception class name for worker-reported failures (structured
+    #: error detail; the flat ``error`` string keeps the full message).
+    error_type: str | None = None
     #: Worker-reported summary (pairs, timings, plan-cache hits, journal).
     result: dict | None = None
     cancel_requested: bool = False
+    #: Per-attempt worker-death records (signal, cause, clock) filled in
+    #: by the pool's poison tracker.
+    death_events: list = field(default_factory=list)
+    #: Quarantine post-mortem (deaths, signals, last journal milestone).
+    post_mortem: dict | None = None
+    #: Journal milestone the job had durably reached when it failed.
+    last_milestone: str | None = None
+    #: Brownout degradations applied at admission (e.g. ["coarse"]).
+    degraded_by_brownout: list = field(default_factory=list)
 
     _VALID = {
         JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED),
         JobState.RUNNING: (
             JobState.DONE, JobState.FAILED, JobState.CANCELLED,
-            JobState.QUEUED,
+            JobState.QUEUED, JobState.QUARANTINED,
         ),
         JobState.DONE: (),
         JobState.FAILED: (),
         JobState.CANCELLED: (),
+        JobState.QUARANTINED: (),
     }
 
     def transition(self, to: JobState) -> None:
         if to not in self._VALID[self.state]:
             raise ValueError(f"illegal job transition {self.state} -> {to}")
         self.state = to
+
+    def error_detail(self) -> dict | None:
+        """Structured failure report for the status endpoint.
+
+        ``None`` for healthy jobs; for failed/quarantined ones the
+        client gets machine-usable fields -- exception type, the last
+        journal milestone the run durably reached, the attempt count and
+        every attributed worker-death signal -- instead of a flat
+        message it would have to parse.
+        """
+        if self.error is None and not self.death_events:
+            return None
+        detail = {
+            "error": self.error,
+            "type": self.error_type,
+            "attempts": self.attempts,
+            "last_milestone": self.last_milestone,
+            "death_signals": [
+                e["signal"] if isinstance(e, dict) else e.signal
+                for e in self.death_events
+            ],
+        }
+        if self.post_mortem is not None:
+            detail["post_mortem"] = self.post_mortem
+        return detail
 
     def to_dict(self) -> dict:
         """JSON payload for the status endpoint."""
@@ -223,6 +268,8 @@ class JobRecord:
             "finished_at": self.finished_at,
             "worker": self.worker,
             "error": self.error,
+            "error_detail": self.error_detail(),
             "result": self.result,
+            "degraded_by_brownout": list(self.degraded_by_brownout),
             "spec": self.spec.to_dict(),
         }

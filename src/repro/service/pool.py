@@ -48,6 +48,12 @@ from repro.recovery.journal import checkpoint_journal_path
 from repro.recovery.watchdog import Watchdog, WatchdogConfig
 from repro.service.jobs import JobRecord, JobState
 from repro.service.queue import JobQueue
+from repro.service.resilience import (
+    CircuitBreaker,
+    PoisonTracker,
+    ResilienceConfig,
+    describe_exit,
+)
 
 #: Default supervision thresholds for service jobs: no per-job deadline
 #: unless the spec names one, and a generous no-journal-progress window
@@ -242,6 +248,7 @@ def _worker_main(conn, worker_id: int) -> None:
                 "id": msg["id"],
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__,
                 "traceback": traceback.format_exc(limit=8),
             })
 
@@ -342,6 +349,8 @@ class WorkerPool:
         resolve_positions=None,
         on_transition=None,
         clock=time.monotonic,
+        resilience: ResilienceConfig | None = None,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -353,11 +362,25 @@ class WorkerPool:
         self.resolve_positions = resolve_positions
         self.on_transition = on_transition
         self.clock = clock
+        self.tracer = tracer
+        self.resilience = resilience or ResilienceConfig()
+        #: Crash-loop breaker gating every dispatch (see resilience.py).
+        self.breaker = CircuitBreaker(
+            self.resilience.breaker, clock=clock, metrics=metrics,
+            tracer=tracer,
+        )
+        #: Per-job worker-death attribution feeding quarantine decisions.
+        self.poison = PoisonTracker(
+            self.resilience.quarantine_threshold, clock=clock
+        )
         self._ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         self._handles: list[_WorkerHandle | None] = [None] * workers
         self._threads: list[threading.Thread] = []
+        #: Consecutive deaths per slot, resetting on a surviving reply --
+        #: the exponent of the respawn backoff.
+        self._consecutive_deaths: dict[int, int] = {}
         self._stopping = threading.Event()
         self._lock = threading.Lock()
         self._started = False
@@ -419,17 +442,29 @@ class WorkerPool:
 
     def _dispatch_loop(self, slot: int) -> None:
         while not self._stopping.is_set():
+            # The breaker is the dispatch gate: CLOSED serves normally,
+            # OPEN makes every slot wait out the cooldown, HALF_OPEN
+            # grants exactly one canary permit at a time.
+            permit = self.breaker.acquire()
+            if permit is None:
+                self._stopping.wait(0.05)
+                continue
             record = self.queue.take(timeout=0.1)
             if record is None:
+                self.breaker.abandon(permit)
                 continue
             if record.cancel_requested:
+                self.breaker.abandon(permit)
                 self._finish(record, JobState.CANCELLED)
                 continue
+            died = False
             try:
-                self._run_job(slot, record)
+                died = self._run_job(slot, record) == "died"
             except Exception as exc:  # pragma: no cover - defensive
                 record.error = f"dispatcher error: {exc}"
                 self._finish(record, JobState.FAILED)
+            finally:
+                self.breaker.release(permit, died)
 
     def _ensure_worker(self, slot: int) -> _WorkerHandle:
         handle = self._handles[slot]
@@ -441,7 +476,8 @@ class WorkerPool:
             self._handles[slot] = handle
         return handle
 
-    def _run_job(self, slot: int, record: JobRecord) -> None:
+    def _run_job(self, slot: int, record: JobRecord) -> str:
+        """Run one job on this slot; returns ``"done"`` or ``"died"``."""
         handle = self._ensure_worker(slot)
         record.transition(JobState.RUNNING)
         record.attempts += 1
@@ -459,15 +495,16 @@ class WorkerPool:
             if self.resolve_positions is None:
                 record.error = "this pool cannot resolve reuse jobs"
                 self._finish(record, JobState.FAILED)
-                return
+                return "done"
             try:
                 path, source = self.resolve_positions(
                     record.spec.reuse_positions_from
                 )
             except Exception as exc:
                 record.error = f"cannot reuse positions: {exc}"
+                record.error_type = type(exc).__name__
                 self._finish(record, JobState.FAILED)
-                return
+                return "done"
             msg["reuse_positions_path"] = str(path)
             msg["reuse_source_job"] = source
 
@@ -475,19 +512,25 @@ class WorkerPool:
             handle.conn.send(msg)
         except (OSError, BrokenPipeError):
             self._handle_death(slot, record)
-            return
+            return "died"
 
         outcome = self._supervise(slot, handle, record)
-        if outcome == "died":
-            self._handle_death(slot, record)
+        if outcome in ("died", "deadline"):
+            self._handle_death(
+                slot, record,
+                cause="deadline" if outcome == "deadline" else "worker_death",
+            )
+            return "died"
+        return "done"
 
     def _supervise(self, slot: int, handle: _WorkerHandle,
                    record: JobRecord) -> str:
         """Wait for the worker's reply under watchdog supervision.
 
         Returns ``"done"`` when a reply was handled (success or worker-
-        reported failure, or cancellation) and ``"died"`` when the
-        worker process went away without replying.
+        reported failure, or cancellation), ``"died"`` when the worker
+        process went away without replying, and ``"deadline"`` when the
+        watchdog's deadline escalation killed it.
         """
         cfg = self.watchdog_config
         if record.spec.deadline_seconds is not None:
@@ -530,41 +573,101 @@ class WorkerPool:
                     self._count("service.jobs_deadline_killed")
                     handle.kill()
                     handle.process.join(timeout=5.0)
-                    return "died"
+                    return "deadline"
         finally:
             watchdog.stop()
 
     def _handle_reply(self, handle: _WorkerHandle, record: JobRecord,
                       reply: dict) -> None:
+        self._consecutive_deaths[record.worker or 0] = 0
         if reply.get("ok"):
             summary = reply["summary"]
             handle.jobs_served = summary.get(
                 "worker_jobs_served", handle.jobs_served + 1
             )
             record.result = summary
+            self.poison.forget(record.id)
             self._finish(record, JobState.DONE)
             self._observe_success(record, summary)
         else:
             record.error = reply.get("error", "unknown worker error")
+            record.error_type = reply.get(
+                "error_type",
+                (record.error or "").split(":", 1)[0] or None,
+            )
+            record.last_milestone = self._last_milestone(record.id)
             record.result = {"traceback": reply.get("traceback")}
             self._finish(record, JobState.FAILED)
 
-    def _handle_death(self, slot: int, record: JobRecord) -> None:
-        """Worker died without a reply: respawn, then requeue or fail.
+    def _last_milestone(self, job_id: str) -> str | None:
+        """Latest journal milestone the job durably reached, if any."""
+        from repro.recovery.journal import load_journal
+
+        try:
+            state = load_journal(self.journal_path(job_id))
+        except OSError:  # pragma: no cover - defensive
+            return None
+        if not state.milestones:
+            return None
+        return next(reversed(state.milestones))
+
+    def _respawn(self, slot: int) -> None:
+        """Replace a dead worker after the breaker's paced backoff.
+
+        Capped exponential in the slot's consecutive-death count, with
+        deterministic jitter -- the anti-hot-loop half of the crash-loop
+        protection (the breaker's dispatch gate is the other half).
+        """
+        n = self._consecutive_deaths.get(slot, 0) + 1
+        self._consecutive_deaths[slot] = n
+        delay = self.breaker.respawn_backoff(n)
+        if self.metrics is not None:
+            self.metrics.histogram("service.respawn_backoff_seconds").observe(
+                delay
+            )
+        if delay > 0:
+            self._stopping.wait(delay)
+        self._count("service.workers_respawned")
+        self._handles[slot] = _WorkerHandle(self._ctx, slot)
+
+    def _handle_death(self, slot: int, record: JobRecord,
+                      cause: str = "worker_death") -> None:
+        """Worker died without a reply: attribute, respawn (paced), then
+        quarantine, requeue or fail.
 
         The respawn is unconditional: a SIGKILL surfaces as pipe EOF
         *before* ``Process.is_alive()`` flips false, so trusting
         liveness here would hand the requeued attempt straight back to
         the dying worker and burn its retry budget on the same death.
+        What is *not* unconditional any more is the requeue: each death
+        is attributed to the job that was running, and a job that has
+        killed ``quarantine_threshold`` workers is quarantined with a
+        post-mortem instead of being given another worker to kill.
         """
         self._count("service.worker_deaths")
         handle = self._handles[slot]
+        exitcode = None
         if handle is not None:
             handle.kill()
+            handle.process.join(timeout=5.0)
+            exitcode = handle.process.exitcode
             handle.shutdown(timeout=5.0)
-        self._handles[slot] = _WorkerHandle(self._ctx, slot)
+        sig = "deadline-kill" if cause == "deadline" else describe_exit(exitcode)
+        self.breaker.record_death()
+        is_poison = self.poison.record_death(
+            record.id, record.attempts, sig, cause=cause
+        )
+        record.death_events.append({
+            "attempt": record.attempts, "signal": sig,
+            "cause": cause, "at": self.clock(),
+        })
+        self._respawn(slot)
         if record.cancel_requested:
+            self.poison.forget(record.id)
             self._finish(record, JobState.CANCELLED)
+            return
+        if is_poison:
+            self._quarantine(record)
             return
         if record.attempts <= record.spec.retry_budget:
             record.transition(JobState.QUEUED)
@@ -573,11 +676,41 @@ class WorkerPool:
             self._notify(record)
         else:
             record.error = (
-                f"worker died and retry budget "
+                f"worker died ({sig}) and retry budget "
                 f"({record.spec.retry_budget}) is exhausted after "
                 f"{record.attempts} attempt(s)"
             )
+            record.error_type = "WorkerDied"
+            record.last_milestone = self._last_milestone(record.id)
             self._finish(record, JobState.FAILED)
+
+    def _quarantine(self, record: JobRecord) -> None:
+        """Terminal isolation for a poison job, with a post-mortem."""
+        pm = self.poison.post_mortem(
+            record.id, journal_path=self.journal_path(record.id)
+        )
+        record.post_mortem = pm
+        record.last_milestone = pm.get("last_milestone")
+        record.error = (
+            f"quarantined: {pm['worker_deaths']} worker death(s) "
+            f"attributed to this job (threshold "
+            f"{self.poison.threshold}); signals {pm['death_signals']}"
+        )
+        record.error_type = "PoisonJobQuarantined"
+        self._count("service.quarantined_jobs")
+        if self.tracer is not None:
+            t = self.tracer.now()
+            self.tracer.record_span(
+                f"quarantine:{record.id}", "service", t, t,
+                args={"deaths": pm["worker_deaths"],
+                      "signals": pm["death_signals"]},
+            )
+        self.poison.forget(record.id)
+        self._finish(record, JobState.QUARANTINED)
+        # The tenant's lane just lost its head-of-line job for good;
+        # reset its rotation slot so it is not penalized for the time
+        # its poison job monopolized a worker.
+        self.queue.rebalance_rotation()
 
     # -- bookkeeping ---------------------------------------------------------
 

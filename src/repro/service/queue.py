@@ -227,9 +227,29 @@ class JobQueue:
 
     # -- introspection / lifecycle -------------------------------------------
 
+    def rebalance_rotation(self) -> None:
+        """Drop rotation memory for tenants with nothing queued.
+
+        Called after a quarantine removes a tenant's job from
+        circulation without a requeue: a tenant whose lanes went quiet
+        should re-enter the least-recently-served rotation as *new*
+        (served first on return), not carry the stale take-counter its
+        poison job earned while monopolizing a worker.
+        """
+        with self._cond:
+            live = {t for (_, t), lane in self._lanes.items() if lane}
+            for tenant in [t for t in self._last_served if t not in live]:
+                del self._last_served[tenant]
+
     def depth(self) -> int:
         with self._cond:
             return self._depth
+
+    @property
+    def service_ewma(self) -> float | None:
+        """Current per-job service-seconds EWMA (None until first job)."""
+        with self._cond:
+            return self._service_ewma
 
     def depth_by_tenant(self) -> dict[str, int]:
         with self._cond:

@@ -31,10 +31,17 @@ import time
 from pathlib import Path
 
 from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import Tracer
 from repro.recovery.watchdog import WatchdogConfig
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.pool import DEFAULT_WATCHDOG, WorkerPool
 from repro.service.queue import AdmissionRejected, JobQueue
+from repro.service.resilience import (
+    HealthReport,
+    LoadShedder,
+    ResilienceConfig,
+    SpoolBudget,
+)
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[a-f0-9]{12})(?P<rest>/result|/cancel)?$")
 
@@ -70,14 +77,18 @@ class StitchService:
         default_retry_budget: int | None = None,
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
+        resilience: ResilienceConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.spool_dir = Path(spool_dir)
         self.dataset_root = (
             Path(dataset_root).resolve() if dataset_root is not None else None
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.default_retry_budget = default_retry_budget
         self.clock = clock
+        self.resilience = resilience or ResilienceConfig()
         self.queue = JobQueue(
             max_depth=max_depth,
             per_tenant_limit=per_tenant_limit,
@@ -94,6 +105,21 @@ class StitchService:
             resolve_positions=self._resolve_positions,
             on_transition=self._on_transition,
             clock=clock,
+            resilience=self.resilience,
+            tracer=self.tracer,
+        )
+        self.shedder = LoadShedder(self.resilience.brownout,
+                                   metrics=self.metrics)
+        self.spool_budget = (
+            SpoolBudget(
+                self.spool_dir,
+                self.resilience.spool_budget_bytes,
+                per_job_estimate=self.resilience.spool_per_job_estimate,
+                clock=clock,
+                metrics=self.metrics,
+            )
+            if self.resilience.spool_budget_bytes is not None
+            else None
         )
         self.jobs: dict[str, JobRecord] = {}
         self._lock = threading.Lock()
@@ -182,13 +208,48 @@ class StitchService:
             payload = {**payload, "retry_budget": self.default_retry_budget}
         spec = JobSpec.from_dict(payload)
         spec = self._resolve_dataset(spec)
+        report = self.health_report()
+        self.shedder.check_admission(
+            spec.priority, report, self.queue.retry_after_hint()
+        )  # may raise AdmissionRejected("shed_load")
+        if self.spool_budget is not None:
+            self.spool_budget.admit()  # may raise SpoolBudgetExceeded
+        degraded = self.shedder.degrade_options(report)
         record = JobRecord(spec=spec)
+        if degraded:
+            spec, applied = self._degrade_spec(spec, degraded)
+            record = JobRecord(spec=spec, id=record.id)
+            record.degraded_by_brownout = applied
+            if applied and self.metrics is not None:
+                self.metrics.counter("service.jobs_degraded").inc()
         self.queue.submit(record)  # may raise AdmissionRejected
         with self._lock:
             self.jobs[record.id] = record
         if self.metrics is not None:
             self.metrics.counter("service.jobs_submitted").inc()
         return record
+
+    @staticmethod
+    def _degrade_spec(spec: JobSpec,
+                      degradations: list[str]) -> tuple[JobSpec, list[str]]:
+        """Apply brownout degradations to an admitted spec.
+
+        Returns the (possibly rebuilt) spec plus the degradations that
+        actually changed it -- forcing coarse on a job already running
+        coarse, or skipping compose on a job with no output, is a no-op
+        the record should not advertise.
+        """
+        fields = spec.to_dict()
+        applied: list[str] = []
+        if "coarse" in degradations and not fields["options"].get("coarse"):
+            fields["options"] = {**fields["options"], "coarse": True}
+            applied.append("coarse")
+        if "skip_compose" in degradations and fields["output"] is not None:
+            fields["output"] = None
+            applied.append("skip_compose")
+        if not applied:
+            return spec, []
+        return JobSpec(**fields), applied
 
     def _resolve_dataset(self, spec: JobSpec) -> JobSpec:
         path = Path(spec.dataset)
@@ -256,6 +317,18 @@ class StitchService:
                 self._transitions.wait(timeout=min(remaining, 0.5))
         return record
 
+    def health_report(self) -> HealthReport:
+        """Classify the service's live load into ok/degraded/browned_out."""
+        workers = self.pool.worker_stats()
+        return self.shedder.assess(
+            depth=self.queue.depth(),
+            max_depth=self.queue.max_depth,
+            workers_alive=sum(1 for w in workers if w["alive"]),
+            workers_total=len(workers),
+            service_ewma=self.queue.service_ewma,
+            breaker_state=self.pool.breaker.state,
+        )
+
     def job_state_counts(self) -> dict[str, int]:
         with self._lock:
             counts = {state.value: 0 for state in JobState}
@@ -287,6 +360,10 @@ class StitchService:
         snap["jobs"] = self.job_state_counts()
         snap["queue"] = self.queue.stats()
         snap["workers"] = self.pool.worker_stats()
+        snap["breaker"] = self.pool.breaker.snapshot()
+        snap["health"] = self.health_report().to_dict()
+        if self.spool_budget is not None:
+            snap["spool"] = self.spool_budget.snapshot()
         return snap
 
     def metrics_text(self) -> str:
@@ -405,12 +482,19 @@ class StitchService:
         if path == "/metrics.json" and method == "GET":
             return 200, {}, self.metrics_snapshot()
         if path == "/healthz" and method == "GET":
-            return 200, {}, {
-                "ok": True,
+            report = self.health_report()
+            payload = {
+                "ok": report.ok,
+                "status": report.status,
+                "reasons": list(report.reasons),
                 "queue_depth": self.queue.depth(),
                 "jobs": self.job_state_counts(),
                 "workers": self.pool.worker_stats(),
+                "breaker": self.pool.breaker.snapshot(),
             }
+            if self.spool_budget is not None:
+                payload["spool"] = self.spool_budget.snapshot()
+            return 200, {}, payload
         raise ServiceHTTPError(404, {"error": f"no route {method} {path}"})
 
     def _record(self, job_id: str) -> JobRecord:

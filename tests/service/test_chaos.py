@@ -1,0 +1,107 @@
+"""Chaos acceptance: the seeded harness and its invariants.
+
+One full chaos cycle (real forked workers, real SIGKILLs, real
+journals) is expensive, so the suite runs a single module-scoped cycle
+and asserts every invariant class against its report, plus cheap
+schedule-level determinism checks that never start a service.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.service.chaos import (
+    QUARANTINE_K,
+    ChaosReport,
+    ChaosSchedule,
+    run_chaos,
+)
+
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory) -> ChaosReport:
+    return run_chaos(tmp_path_factory.mktemp("chaos"), SEED)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.generate(SEED, "/ds")
+        b = ChaosSchedule.generate(SEED, "/ds")
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        assert (ChaosSchedule.generate(1, "/ds")
+                != ChaosSchedule.generate(2, "/ds"))
+
+    def test_every_fault_class_present_for_any_seed(self):
+        for seed in range(20):
+            kinds = {j.kind for j in ChaosSchedule.generate(seed, "/ds").jobs}
+            assert {"poison", "deadline", "data"} <= kinds
+
+    def test_poison_jobs_outlive_the_quarantine_threshold(self):
+        """Retry budgets must exceed K, so quarantine -- not budget
+        exhaustion -- is what must stop a poison job."""
+        for job in ChaosSchedule.generate(SEED, "/ds").jobs:
+            if job.kind == "poison":
+                assert job.spec["retry_budget"] >= QUARANTINE_K
+
+    def test_schedule_rejects_tiny_runs(self):
+        with pytest.raises(ValueError, match="coverage"):
+            ChaosSchedule.generate(SEED, "/ds", n_jobs=3)
+
+
+class TestChaosInvariants:
+    def test_all_invariants_hold(self, report):
+        failures = report.verify()
+        assert not failures, "\n".join(failures)
+
+    def test_conservation_explicitly(self, report):
+        s, c = report.queue_stats, report.state_counts
+        assert s["depth"] == 0 and c["queued"] == 0 and c["running"] == 0
+        assert s["accepted"] == (c["done"] + c["failed"] + c["cancelled"]
+                                 + c["quarantined"])
+
+    def test_poison_jobs_quarantined_with_post_mortem(self, report):
+        poisoned = report.by_kind("poison")
+        assert poisoned, "schedule guarantees at least one poison job"
+        for record in poisoned:
+            assert record["state"] == "quarantined"
+            detail = record["error_detail"]
+            assert detail["type"] == "PoisonJobQuarantined"
+            assert detail["death_signals"] == ["SIGKILL"] * QUARANTINE_K
+            pm = detail["post_mortem"]
+            assert pm["worker_deaths"] == QUARANTINE_K
+            assert pm["threshold"] == QUARANTINE_K
+
+    def test_clean_jobs_bit_identical(self, report):
+        clean = report.by_kind("clean")
+        positions = [json.dumps(r["_positions"]) for r in clean
+                     if r["state"] == "done"]
+        assert len(set(positions)) <= 1
+
+    def test_deadline_jobs_killed_by_watchdog(self, report):
+        for record in report.by_kind("deadline"):
+            assert record["state"] == "failed"
+            assert "deadline-kill" in record["error_detail"]["death_signals"]
+
+    def test_disk_full_event_rejected_submissions(self, report):
+        assert report.shed_during_disk_full >= 1
+        assert report.metrics.get("service.spool_budget_rejected", 0) >= 1
+
+    def test_breaker_recovered_after_chaos(self, report):
+        assert report.probe_state == "done"
+        assert report.breaker["state"] == "closed"
+        # The poison job's K deaths crossed the trip threshold at least
+        # once, so the run exercised the full open -> half-open -> closed
+        # cycle, not just the closed steady state.
+        assert report.breaker["trips"] >= 1
+        assert report.metrics.get("service.worker_deaths", 0) >= QUARANTINE_K
+
+    def test_report_serializes(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report.to_dict(), default=str))
+        assert json.loads(path.read_text())["seed"] == SEED

@@ -269,6 +269,118 @@ class TestConservation:
         assert sum(q.depth_by_tenant().values()) == s["depth"]
 
 
+class TestFairnessUnderRequeueStorms:
+    """Round-robin must survive worker-death requeue storms: a tenant
+    whose jobs keep dying (and re-entering at the front of its lane)
+    cannot starve the tenants whose jobs complete."""
+
+    def test_requeue_storm_does_not_starve_other_tenants(self):
+        q, _ = make_queue()
+        for _ in range(4):
+            q.submit(job(tenant="dying"))
+            q.submit(job(tenant="healthy"))
+        healthy_served = 0
+        for _ in range(16):
+            rec = q.take(0)
+            assert rec is not None
+            if rec.spec.tenant == "dying":
+                q.requeue(rec)  # its worker "died" -- storm
+            else:
+                healthy_served += 1
+            if healthy_served == 4:
+                break
+        # All four healthy jobs complete despite the storm, and the
+        # alternation means the storm never gets two consecutive turns.
+        assert healthy_served == 4
+
+    def test_requeue_storm_alternates_strictly(self):
+        q, _ = make_queue()
+        for _ in range(3):
+            q.submit(job(tenant="a"))
+            q.submit(job(tenant="b"))
+        served: list[str] = []
+        for _ in range(6):
+            rec = q.take(0)
+            served.append(rec.spec.tenant)
+            if rec.spec.tenant == "a":
+                q.requeue(rec)  # tenant a's jobs always die
+        assert served == ["a", "b", "a", "b", "a", "b"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n_ops=st.integers(20, 200))
+    def test_conservation_holds_under_requeue_storms(self, seed, n_ops):
+        """Heavy, biased requeueing (the crash-loop regime the breaker
+        exists for) still conserves every accepted job."""
+        q, _ = make_queue(max_depth=16, per_tenant_limit=8)
+        rng = random.Random(seed)
+        requeues = 0
+        for _ in range(n_ops):
+            if rng.random() < 0.4:
+                try:
+                    q.submit(job(tenant=rng.choice(["sick", "ok"]),
+                                 priority=rng.randrange(3)))
+                except AdmissionRejected:
+                    pass
+            else:
+                rec = q.take(0)
+                if rec is not None and (
+                    rec.spec.tenant == "sick" and rng.random() < 0.8
+                ):
+                    q.requeue(rec)
+                    requeues += 1
+        s = q.stats()
+        assert s["accepted"] + requeues == (
+            s["taken"] + s["cancelled"] + s["depth"]
+        )
+
+
+class TestRotationRebalance:
+    """Quarantine removes a job from circulation with no requeue; the
+    tenant's stale rotation counter must not penalize its next visit."""
+
+    def _serve_both(self, q: JobQueue) -> None:
+        """Give both tenants a take-counter entry, `quiet` older."""
+        q.submit(job(tenant="quiet"))
+        q.submit(job(tenant="busy"))
+        q.submit(job(tenant="busy"))
+        assert q.take(0).spec.tenant == "busy"    # lexicographic first turn
+        assert q.take(0).spec.tenant == "quiet"
+        assert q.take(0).spec.tenant == "busy"    # busy has the newest count
+
+    def test_rebalance_forgets_empty_tenants(self):
+        q, _ = make_queue()
+        self._serve_both(q)
+        # Without rebalance, busy's stale (newest) counter would push it
+        # behind quiet forever even after its poison job is quarantined.
+        q.rebalance_rotation()  # both lanes empty -> both forgotten
+        q.submit(job(tenant="busy"))
+        q.submit(job(tenant="quiet"))
+        # Ties broken lexicographically between forgotten tenants.
+        assert q.take(0).spec.tenant == "busy"
+
+    def test_rebalance_keeps_live_tenants(self):
+        q, _ = make_queue()
+        self._serve_both(q)
+        q.submit(job(tenant="quiet"))  # quiet still has work queued
+        q.rebalance_rotation()         # only busy (drained) is forgotten
+        q.submit(job(tenant="busy"))
+        # The drained tenant re-enters the rotation as *new* -- served
+        # first on return -- while quiet's live counter survived.
+        assert q.take(0).spec.tenant == "busy"
+        assert q.take(0).spec.tenant == "quiet"
+        # quiet's counter was kept, not reset: a fresh pair of
+        # submissions serves busy first again (its counter is now older).
+        q.submit(job(tenant="quiet"))
+        q.submit(job(tenant="busy"))
+        assert q.take(0).spec.tenant == "busy"
+
+    def test_rebalance_noop_on_empty_queue(self):
+        q, _ = make_queue()
+        q.rebalance_rotation()
+        rec = q.submit(job())
+        assert q.take(0).id == rec.id
+
+
 class TestShutdown:
     def test_drain_returns_everything_in_seq_order(self):
         q, _ = make_queue()

@@ -172,9 +172,27 @@ class TestMetricsEndpoints:
     def test_healthz(self, client, dataset_dir):
         client.submit({"dataset": dataset_dir})
         health = client.health()
-        assert health["ok"] is True
+        # The pool is deliberately cold in these tests, and /healthz is
+        # honest about it: zero live workers is a brownout condition.
+        assert health["ok"] is False
+        assert health["status"] == "browned_out"
+        assert any("no live workers" in r for r in health["reasons"])
         assert health["queue_depth"] == 1
         assert health["jobs"]["queued"] == 1
+        assert health["breaker"]["state"] == "closed"
+
+    def test_healthz_ok_with_live_workers(self, tmp_path, dataset_dir):
+        svc = StitchService(tmp_path / "spool", workers=1)
+        svc.start()
+        svc.start_http()
+        try:
+            host, port = svc.address
+            health = ServiceClient(host, port).health()
+            assert health["ok"] is True
+            assert health["status"] == "ok"
+            assert health["reasons"] == []
+        finally:
+            svc.stop()
 
     def test_metrics_json_sections(self, client, dataset_dir):
         client.submit({"dataset": dataset_dir})
