@@ -27,10 +27,8 @@ therefore configurable and defaults to ``float32`` accumulation.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from enum import Enum
-from pathlib import Path
 
 import numpy as np
 
@@ -102,7 +100,12 @@ def _render_stripe(
         if by1 <= by0:
             continue
         try:
-            tile = np.asarray(load_tile(r, c), dtype=np.float64)
+            # Native dtype: the canvas is float64, and numpy's promotion
+            # rules make uint8/uint16 arithmetic in float64 value-exact,
+            # so skipping the explicit conversion avoids a 4x-sized
+            # float64 copy of every uint16 tile without changing a bit
+            # of the output.
+            tile = np.asarray(load_tile(r, c))
         except Exception:
             if on_tile_error == "skip":
                 continue
@@ -325,23 +328,36 @@ def compose_to_tiff(
     scale: float | None = None,
     skip_tiles=None,
     on_tile_error: str = "abort",
+    memory_budget: int | None = None,
+    pyramid_levels: int = 0,
+    metrics=None,
+    tracer=None,
 ) -> tuple[int, int]:
-    """Compose directly to a TIFF file in row bands (bounded memory).
+    """Compose directly to a TIFF/BigTIFF file in row bands (bounded memory).
 
     The paper's full-scale mosaic is 17k x 22k pixels (~750 MB at 16-bit);
     Fiji takes 1.5 h to compose and save it largely because it
     materializes everything.  This streams: for each horizontal band only
     the tiles intersecting it are loaded, blended, quantized and appended
     through :class:`repro.io.tiff.TiffStripWriter`.  Peak memory is one
-    band plus one tile.
+    band plus the tile cache.
 
-    ``scale`` maps pixel values to the integer range (``None`` = identity
-    with clipping to the dtype's range).  ``band_rows`` defaults to twice
-    the tile height.  Returns the mosaic shape.  OVERLAY, AVERAGE and
-    MAXIMUM blends are supported; LINEAR feathering is rejected because
-    its normalization needs cross-band weights (use :func:`compose`).
-    ``skip_tiles``/``on_tile_error`` mirror :func:`compose` for partial
-    mosaics (a skipped tile is simply left out of every band).
+    This is a thin front end over
+    :func:`repro.core.streamcompose.stream_compose_to_tiff`, kept for its
+    stable ``(height, width)`` return; see that function for the full
+    contract.  Highlights:
+
+    - all four blend modes stream bit-identically to :func:`compose`
+      (LINEAR feathering normalizes per stripe, which is exactly the
+      row-restriction of the global normalization);
+    - ``memory_budget`` (bytes) derives the stripe height and funds an
+      LRU tile cache; without it ``band_rows`` defaults to twice the
+      tile height;
+    - ``pyramid_levels`` streams 2x block-mean levels next to ``path``;
+    - ``scale`` maps pixel values to the integer range (``None`` =
+      identity with clipping to the dtype's range);
+    - ``skip_tiles``/``on_tile_error`` mirror :func:`compose` for
+      partial mosaics (a skipped tile is simply left out of every band).
 
     Every argument is validated *before* any output I/O, and the strips
     stream into a same-directory ``<name>.part`` file that is renamed
@@ -350,83 +366,23 @@ def compose_to_tiff(
     error, kill) never leaves a partial mosaic at ``path`` -- readers
     see the old complete file or the new one, nothing in between.
     """
-    from repro.io.tiff import TiffStripWriter
+    from repro.core.streamcompose import stream_compose_to_tiff
+    from repro.observe.tracer import NULL_TRACER
 
-    # -- validate everything up front: no strip I/O until the request is
-    # known-good, so a rejection can never leave output behind.
-    blend = BlendMode(blend)
-    if blend not in (BlendMode.OVERLAY, BlendMode.AVERAGE, BlendMode.MAXIMUM):
-        raise ValueError(
-            f"streaming compose supports OVERLAY/AVERAGE/MAXIMUM, not "
-            f"{blend} (LINEAR needs cross-band weights; use compose())"
-        )
-    if on_tile_error not in ("abort", "skip"):
-        raise ValueError(
-            f"unknown on_tile_error {on_tile_error!r} (use 'abort' or 'skip')"
-        )
-    skip = {(int(r), int(c)) for r, c in (skip_tiles or ())}
-    dtype = np.dtype(dtype)
-    if dtype.kind not in "iu":
-        raise ValueError(f"streaming compose needs an integer dtype, got {dtype}")
-    th, tw = (int(v) for v in tile_shape)
-    if th < 1 or tw < 1:
-        raise ValueError(f"bad tile shape {tile_shape}")
-    height, width = positions.mosaic_shape(tile_shape)
-    if band_rows is None:
-        band_rows = 2 * th
-    band_rows = max(1, min(int(band_rows), height))
-    limit = float(np.iinfo(dtype).max)
-
-    # Row-band index: which tiles intersect each band (tiles sorted
-    # row-major so OVERLAY keeps the same painter's order as compose()).
-    tiles_by_order = [
-        (r, c, int(positions.positions[r, c][0]), int(positions.positions[r, c][1]))
-        for r in range(positions.rows)
-        for c in range(positions.cols)
-        if (r, c) not in skip
-    ]
-
-    path = Path(path)
-    tmp = path.with_name(path.name + ".part")
-    try:
-        with TiffStripWriter(tmp, height, width, dtype) as writer:
-            for y0 in range(0, height, band_rows):
-                y1 = min(height, y0 + band_rows)
-                band = np.zeros((y1 - y0, width), dtype=np.float64)
-                weight = (
-                    np.zeros_like(band) if blend is BlendMode.AVERAGE else None
-                )
-                for r, c, ty, tx in tiles_by_order:
-                    by0, by1 = max(ty, y0), min(ty + th, y1)
-                    if by1 <= by0:
-                        continue
-                    try:
-                        tile = np.asarray(load_tile(r, c), dtype=np.float64)
-                    except Exception:
-                        if on_tile_error == "skip":
-                            continue
-                        raise
-                    src = tile[by0 - ty : by1 - ty, :]
-                    dst = (slice(by0 - y0, by1 - y0), slice(tx, tx + tw))
-                    if blend is BlendMode.OVERLAY:
-                        band[dst] = src
-                    elif blend is BlendMode.MAXIMUM:
-                        # Per-pixel max is band-local (each pixel's
-                        # contributors all intersect its band), so MAXIMUM
-                        # streams safely where LINEAR cannot.
-                        np.maximum(band[dst], src, out=band[dst])
-                    else:
-                        band[dst] += src
-                        weight[dst] += 1.0
-                if weight is not None:
-                    covered = weight > 0
-                    band[covered] /= weight[covered]
-                if scale is not None:
-                    band *= scale
-                np.clip(band, 0, limit, out=band)
-                writer.write_rows(band.astype(dtype))
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-    return height, width
+    result = stream_compose_to_tiff(
+        path,
+        load_tile,
+        positions,
+        tile_shape,
+        blend=blend,
+        memory_budget=memory_budget,
+        band_rows=band_rows,
+        dtype=dtype,
+        scale=scale,
+        skip_tiles=skip_tiles,
+        on_tile_error=on_tile_error,
+        pyramid_levels=pyramid_levels,
+        metrics=metrics,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    return result.shape

@@ -110,7 +110,7 @@ class StitchResult:
         (bit-identical to sequential; see :func:`repro.core.compose.compose`).
         """
         return compose(
-            self.dataset.load,
+            self._load_native,
             self.positions,
             self.dataset.tile_shape,
             blend=blend,
@@ -120,6 +120,64 @@ class StitchResult:
             on_tile_error=self.on_tile_error,
             return_mask=return_mask,
             workers=workers,
+        )
+
+    def _load_native(self, row: int, col: int) -> np.ndarray:
+        """Tile pixels in their stored dtype (no float64 promotion).
+
+        Composition blends into float64 canvases/bands either way, and
+        numpy's promotion makes uint8/uint16 arithmetic there value-exact
+        -- so handing compose the native array is bit-identical while
+        skipping a 4x-sized float64 copy per tile.  Registration paths
+        keep requesting float64 explicitly.
+        """
+        return self.dataset.load(row, col, dtype=None)
+
+    def compose_to_tiff(
+        self,
+        path,
+        blend: BlendMode = BlendMode.OVERLAY,
+        memory_budget: int | None = None,
+        pyramid_levels: int = 0,
+        band_rows: int | None = None,
+        dtype=np.uint16,
+        scale: float | None = None,
+        metrics=None,
+        tracer=None,
+    ):
+        """Phase 3 straight to disk under a memory budget (out-of-core).
+
+        Streams the mosaic to ``path`` in bounded stripes through
+        :func:`repro.core.streamcompose.stream_compose_to_tiff` --
+        bit-identical to :meth:`compose` + quantization for every blend
+        mode, but peak memory is the budget, not the canvas.
+        ``memory_budget`` (bytes) sizes the stripes and the LRU tile
+        cache; ``pyramid_levels`` also writes 2x block-mean levels next
+        to ``path`` for :class:`repro.core.pyramid.DiskPyramid` viewers.
+        Tiles phase 1 dropped are left as holes, as in :meth:`compose`.
+
+        Returns the :class:`repro.core.streamcompose.StreamComposeResult`
+        (mosaic shape, stripe/cache/peak-memory accounting, pyramid
+        paths).
+        """
+        from repro.core.streamcompose import stream_compose_to_tiff
+        from repro.observe.tracer import NULL_TRACER
+
+        return stream_compose_to_tiff(
+            path,
+            self._load_native,
+            self.positions,
+            self.dataset.tile_shape,
+            blend=blend,
+            memory_budget=memory_budget,
+            band_rows=band_rows,
+            dtype=dtype,
+            scale=scale,
+            skip_tiles=self.skipped_tiles(),
+            on_tile_error=self.on_tile_error,
+            pyramid_levels=pyramid_levels,
+            metrics=metrics,
+            tracer=tracer if tracer is not None else NULL_TRACER,
         )
 
     def position_errors(self, exclude_degraded: bool = False) -> np.ndarray | None:

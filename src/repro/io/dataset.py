@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
 
@@ -19,6 +20,81 @@ import numpy as np
 from repro.io.tiff import read_tiff, write_tiff
 
 METADATA_FILENAME = "dataset.json"
+
+
+class TileCache:
+    """Byte-budgeted LRU cache in front of a ``(row, col) -> array`` loader.
+
+    Memory policy for out-of-core composition: the streaming canvas visits
+    each tile once per stripe it spans, so without caching a tile crossing
+    k stripes is decoded k times.  A small LRU keyed on grid position keeps
+    the working set (roughly one tile row) resident and makes decodes O(1)
+    amortized, the same role feabas gives ``loader_config.cache_size``.
+
+    ``capacity_bytes`` bounds the sum of cached ``arr.nbytes``; entries are
+    evicted least-recently-used.  Tiles larger than the whole budget are
+    served load-through without being cached.  Cached arrays are returned
+    read-only (they are shared between calls); callers that need to mutate
+    must copy.
+
+    Counters (``hits``/``misses``/``evictions``/``current_bytes``/
+    ``peak_bytes``) feed the observability gauges; :meth:`stats` snapshots
+    them.
+    """
+
+    def __init__(self, loader, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        self._loader = loader
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.current_bytes = 0
+        self.peak_bytes = 0
+
+    def load(self, row: int, col: int) -> np.ndarray:
+        key = (row, col)
+        arr = self._entries.get(key)
+        if arr is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return arr
+        self.misses += 1
+        arr = np.asarray(self._loader(row, col))
+        if arr.nbytes > self.capacity_bytes:
+            return arr  # load-through: would evict the entire cache for nothing
+        while self._entries and self.current_bytes + arr.nbytes > self.capacity_bytes:
+            _, old = self._entries.popitem(last=False)
+            self.current_bytes -= old.nbytes
+            self.evictions += 1
+        arr = arr.view()
+        arr.setflags(write=False)
+        self._entries[key] = arr
+        self.current_bytes += arr.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        return arr
+
+    __call__ = load
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "current_bytes": self.current_bytes,
+            "peak_bytes": self.peak_bytes,
+            "capacity_bytes": self.capacity_bytes,
+        }
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,11 @@
-"""Minimal TIFF 6.0 codec for microscope tiles.
+"""Minimal TIFF 6.0 / BigTIFF codec for microscope tiles and mosaics.
 
 Scope (everything the paper's datasets need, nothing more):
 
-- baseline TIFF, little- or big-endian, classic (non-BigTIFF) headers;
+- baseline TIFF, little- or big-endian, classic *or* BigTIFF headers
+  (BigTIFF carries 64-bit offsets, so >4 GiB mosaics -- the paper's
+  42x59-tile grids compose far past the classic 32-bit limit -- are
+  writable and readable at all);
 - single image (first IFD read; chained IFDs ignored on read);
 - grayscale (``PhotometricInterpretation`` 0/1), 1 sample/pixel;
 - 8- or 16-bit unsigned integer samples;
@@ -11,9 +14,15 @@ Scope (everything the paper's datasets need, nothing more):
 - strip-based layout (any ``RowsPerStrip``).
 
 Unsupported structure raises :class:`TiffError` with a precise message; a
-truncated or corrupt file never produces silently wrong pixels.  The writer
-always emits little-endian, single-IFD, striped files that this reader (and
+truncated or corrupt file never produces silently wrong pixels.  The writers
+always emit little-endian, single-IFD, striped files that this reader (and
 libTIFF/ImageJ) can read back bit-exactly.
+
+Two readers exist: :func:`read_tiff` materializes the whole image (tiles),
+while :class:`TiffReader` is a seek-based windowed reader -- it parses the
+header/IFD once and serves arbitrary row bands without ever holding more
+than the requested window, which is what lets the mosaic pyramid and the
+out-of-core composition path work against images far larger than RAM.
 """
 
 from __future__ import annotations
@@ -42,12 +51,35 @@ TYPE_BYTE = 1
 TYPE_ASCII = 2
 TYPE_SHORT = 3
 TYPE_LONG = 4
+#: BigTIFF 64-bit unsigned (and its signed / IFD-pointer siblings).
+TYPE_LONG8 = 16
+TYPE_SLONG8 = 17
+TYPE_IFD8 = 18
 
-_TYPE_SIZE = {TYPE_BYTE: 1, TYPE_ASCII: 1, TYPE_SHORT: 2, TYPE_LONG: 4}
-
+_TYPE_SIZE = {
+    TYPE_BYTE: 1,
+    TYPE_ASCII: 1,
+    TYPE_SHORT: 2,
+    TYPE_LONG: 4,
+    TYPE_LONG8: 8,
+    TYPE_SLONG8: 8,
+    TYPE_IFD8: 8,
+}
+_TYPE_FMT = {
+    TYPE_BYTE: "B",
+    TYPE_ASCII: "B",
+    TYPE_SHORT: "H",
+    TYPE_LONG: "I",
+    TYPE_LONG8: "Q",
+    TYPE_SLONG8: "q",
+    TYPE_IFD8: "Q",
+}
 
 COMPRESSION_NONE = 1
 COMPRESSION_PACKBITS = 32773
+
+#: Classic TIFF cannot address bytes at or past 4 GiB.
+_CLASSIC_LIMIT = 2**32 - 1
 
 
 class TiffError(Exception):
@@ -129,134 +161,297 @@ class _Entry:
     values: tuple
 
 
-def _read_exact(data: bytes, offset: int, n: int, what: str) -> bytes:
-    if offset < 0 or offset + n > len(data):
+def _read_at(f, offset: int, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes at ``offset`` or raise a truncation error."""
+    if offset < 0:
         raise TiffError(f"truncated file while reading {what} "
-                        f"(need {n} bytes at offset {offset}, file is {len(data)})")
-    return data[offset:offset + n]
+                        f"(negative offset {offset})")
+    f.seek(offset)
+    data = f.read(n)
+    if len(data) != n:
+        raise TiffError(f"truncated file while reading {what} "
+                        f"(need {n} bytes at offset {offset})")
+    return data
 
 
-def _parse_ifd_entry(data: bytes, off: int, bo: str) -> _Entry:
-    raw = _read_exact(data, off, 12, "IFD entry")
-    tag, typ, count = struct.unpack(bo + "HHI", raw[:8])
+def _parse_header(f):
+    """Parse the TIFF/BigTIFF header; returns ``(bo, bigtiff, ifd_offset)``."""
+    f.seek(0)
+    head = f.read(8)
+    if len(head) < 8:
+        raise TiffError("file too small to hold a TIFF header")
+    if head[:2] == b"II":
+        bo = "<"
+    elif head[:2] == b"MM":
+        bo = ">"
+    else:
+        raise TiffError(f"bad byte-order mark {head[:2]!r}")
+    (magic,) = struct.unpack(bo + "H", head[2:4])
+    if magic == 42:
+        (ifd_off,) = struct.unpack(bo + "I", head[4:8])
+        return bo, False, ifd_off
+    if magic == 43:
+        offsize, reserved = struct.unpack(bo + "HH", head[4:8])
+        if offsize != 8 or reserved != 0:
+            raise TiffError(
+                f"bad BigTIFF header (offset size {offsize}, "
+                f"reserved {reserved}; expected 8, 0)"
+            )
+        (ifd_off,) = struct.unpack(
+            bo + "Q", _read_at(f, 8, 8, "BigTIFF IFD offset")
+        )
+        return bo, True, ifd_off
+    raise TiffError(f"bad TIFF magic {magic} (42=classic, 43=BigTIFF)")
+
+
+def _parse_ifd_entry(f, off: int, bo: str, bigtiff: bool) -> _Entry:
+    entry_size = 20 if bigtiff else 12
+    raw = _read_at(f, off, entry_size, "IFD entry")
+    if bigtiff:
+        tag, typ = struct.unpack(bo + "HH", raw[:4])
+        (count,) = struct.unpack(bo + "Q", raw[4:12])
+        inline, inline_max, ptr_fmt = raw[12:20], 8, "Q"
+    else:
+        tag, typ, count = struct.unpack(bo + "HHI", raw[:8])
+        inline, inline_max, ptr_fmt = raw[8:12], 4, "I"
     size = _TYPE_SIZE.get(typ)
     if size is None:
         # Unknown value types are legal TIFF; carry no values.
         return _Entry(tag, typ, count, ())
     total = size * count
-    if total <= 4:
-        payload = raw[8:8 + total]
+    if total <= inline_max:
+        payload = inline[:total]
     else:
-        (ptr,) = struct.unpack(bo + "I", raw[8:12])
-        payload = _read_exact(data, ptr, total, f"tag {tag} values")
-    fmt = {TYPE_BYTE: "B", TYPE_ASCII: "B", TYPE_SHORT: "H", TYPE_LONG: "I"}[typ]
+        (ptr,) = struct.unpack(bo + ptr_fmt, inline)
+        payload = _read_at(f, ptr, total, f"tag {tag} values")
+    fmt = _TYPE_FMT[typ]
     values = struct.unpack(bo + fmt * count, payload)
     return _Entry(tag, typ, count, values)
 
 
-def read_tiff(path: str | Path, return_description: bool = False):
-    """Read a grayscale TIFF into a NumPy array.
-
-    Returns the pixel array (``uint8`` or ``uint16``, shape ``(h, w)``), or a
-    ``(array, description)`` tuple when ``return_description`` is set (the
-    description is the ``ImageDescription`` tag contents, ``""`` if absent).
-    """
-    data = Path(path).read_bytes()
-    if len(data) < 8:
-        raise TiffError("file too small to hold a TIFF header")
-    if data[:2] == b"II":
-        bo = "<"
-    elif data[:2] == b"MM":
-        bo = ">"
+def _parse_first_ifd(f, bo: str, bigtiff: bool, ifd_off: int) -> dict[int, _Entry]:
+    if bigtiff:
+        (n_entries,) = struct.unpack(
+            bo + "Q", _read_at(f, ifd_off, 8, "IFD count")
+        )
+        base, entry_size = ifd_off + 8, 20
     else:
-        raise TiffError(f"bad byte-order mark {data[:2]!r}")
-    (magic, ifd_off) = struct.unpack(bo + "HI", data[2:8])
-    if magic != 42:
-        raise TiffError(f"bad TIFF magic {magic} (BigTIFF is not supported)")
-
-    (n_entries,) = struct.unpack(bo + "H", _read_exact(data, ifd_off, 2, "IFD count"))
+        (n_entries,) = struct.unpack(
+            bo + "H", _read_at(f, ifd_off, 2, "IFD count")
+        )
+        base, entry_size = ifd_off + 2, 12
+    if n_entries > 65536:
+        raise TiffError(f"implausible IFD entry count {n_entries}")
     entries: dict[int, _Entry] = {}
-    for i in range(n_entries):
-        e = _parse_ifd_entry(data, ifd_off + 2 + 12 * i, bo)
+    for i in range(int(n_entries)):
+        e = _parse_ifd_entry(f, base + entry_size * i, bo, bigtiff)
         entries[e.tag] = e
+    return entries
 
-    def one(tag: int, default=None):
-        e = entries.get(tag)
+
+class TiffReader:
+    """Windowed, seek-based reader for striped grayscale TIFF/BigTIFF.
+
+    Parses the header and first IFD once; :meth:`read_rows` /
+    :meth:`read_region` then touch only the strip bytes the requested
+    window needs.  For uncompressed files the read is exact (partial
+    strips are sliced by arithmetic, so a 4 GiB mosaic costs one band of
+    memory to window into); PackBits files decode whole strips
+    intersecting the window.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._f = open(self.path, "rb")
+        try:
+            self._bo, self.bigtiff, ifd_off = _parse_header(self._f)
+            self._entries = _parse_first_ifd(
+                self._f, self._bo, self.bigtiff, ifd_off
+            )
+            self._validate()
+        except BaseException:
+            self._f.close()
+            raise
+
+    # -- IFD digestion -----------------------------------------------------
+
+    def _one(self, tag: int, default=None):
+        e = self._entries.get(tag)
         if e is None or not e.values:
             if default is None:
                 raise TiffError(f"required tag {tag} missing")
             return default
         return e.values[0]
 
-    width = int(one(TAG_IMAGE_WIDTH))
-    height = int(one(TAG_IMAGE_LENGTH))
-    bits = int(one(TAG_BITS_PER_SAMPLE, 1))
-    compression = int(one(TAG_COMPRESSION, 1))
-    photometric = int(one(TAG_PHOTOMETRIC, 1))
-    spp = int(one(TAG_SAMPLES_PER_PIXEL, 1))
-    planar = int(one(TAG_PLANAR_CONFIG, 1))
-    sample_format = int(one(TAG_SAMPLE_FORMAT, 1))
+    def _validate(self) -> None:
+        self.width = int(self._one(TAG_IMAGE_WIDTH))
+        self.height = int(self._one(TAG_IMAGE_LENGTH))
+        self._bits = int(self._one(TAG_BITS_PER_SAMPLE, 1))
+        self._compression = int(self._one(TAG_COMPRESSION, 1))
+        self._photometric = int(self._one(TAG_PHOTOMETRIC, 1))
+        spp = int(self._one(TAG_SAMPLES_PER_PIXEL, 1))
+        planar = int(self._one(TAG_PLANAR_CONFIG, 1))
+        sample_format = int(self._one(TAG_SAMPLE_FORMAT, 1))
 
-    if compression not in (COMPRESSION_NONE, COMPRESSION_PACKBITS):
-        raise TiffError(
-            f"unsupported compression {compression} (1=None, 32773=PackBits)"
-        )
-    if photometric not in (0, 1):
-        raise TiffError(f"unsupported photometric {photometric} (grayscale only)")
-    if spp != 1:
-        raise TiffError(f"unsupported samples/pixel {spp} (grayscale only)")
-    if planar != 1:
-        raise TiffError(f"unsupported planar configuration {planar}")
-    if sample_format != 1:
-        raise TiffError(f"unsupported sample format {sample_format} (uint only)")
-    if bits not in (8, 16):
-        raise TiffError(f"unsupported bit depth {bits} (8/16 only)")
-    if width <= 0 or height <= 0:
-        raise TiffError(f"bad dimensions {width}x{height}")
+        if self._compression not in (COMPRESSION_NONE, COMPRESSION_PACKBITS):
+            raise TiffError(
+                f"unsupported compression {self._compression} "
+                f"(1=None, 32773=PackBits)"
+            )
+        if self._photometric not in (0, 1):
+            raise TiffError(
+                f"unsupported photometric {self._photometric} (grayscale only)"
+            )
+        if spp != 1:
+            raise TiffError(f"unsupported samples/pixel {spp} (grayscale only)")
+        if planar != 1:
+            raise TiffError(f"unsupported planar configuration {planar}")
+        if sample_format != 1:
+            raise TiffError(
+                f"unsupported sample format {sample_format} (uint only)"
+            )
+        if self._bits not in (8, 16):
+            raise TiffError(f"unsupported bit depth {self._bits} (8/16 only)")
+        if self.width <= 0 or self.height <= 0:
+            raise TiffError(f"bad dimensions {self.width}x{self.height}")
 
-    offsets_e = entries.get(TAG_STRIP_OFFSETS)
-    counts_e = entries.get(TAG_STRIP_BYTE_COUNTS)
-    if offsets_e is None or counts_e is None:
-        raise TiffError("strip offsets/byte-counts missing (tiled TIFF unsupported)")
-    if len(offsets_e.values) != len(counts_e.values):
-        raise TiffError("strip offset/count tables disagree in length")
+        offsets_e = self._entries.get(TAG_STRIP_OFFSETS)
+        counts_e = self._entries.get(TAG_STRIP_BYTE_COUNTS)
+        if offsets_e is None or counts_e is None:
+            raise TiffError(
+                "strip offsets/byte-counts missing (tiled TIFF unsupported)"
+            )
+        if len(offsets_e.values) != len(counts_e.values):
+            raise TiffError("strip offset/count tables disagree in length")
+        self.offsets = tuple(int(v) for v in offsets_e.values)
+        self.byte_counts = tuple(int(v) for v in counts_e.values)
+        self.rows_per_strip = int(self._one(TAG_ROWS_PER_STRIP, self.height))
+        if self.rows_per_strip < 1:
+            raise TiffError(f"bad RowsPerStrip {self.rows_per_strip}")
+        self.bytes_per_row = self.width * (self._bits // 8)
+        needed = -(-self.height // self.rows_per_strip)
+        if len(self.offsets) < needed:
+            raise TiffError(
+                f"pixel data size mismatch: {len(self.offsets)} strips cover "
+                f"{len(self.offsets) * self.rows_per_strip} rows, image "
+                f"needs {self.height}"
+            )
+        if len(self.offsets) > needed:
+            raise TiffError("more strips than image rows")
 
-    bytes_per_row = width * (bits // 8)
-    expected = height * bytes_per_row
-    rows_per_strip = int(one(TAG_ROWS_PER_STRIP, height))
-    if rows_per_strip < 1:
-        raise TiffError(f"bad RowsPerStrip {rows_per_strip}")
-    chunks = []
-    total = 0
-    for s, (off, cnt) in enumerate(zip(offsets_e.values, counts_e.values)):
-        raw = _read_exact(data, off, cnt, "strip data")
-        if compression == COMPRESSION_PACKBITS:
-            r0 = s * rows_per_strip
-            r1 = min(height, r0 + rows_per_strip)
-            if r1 <= r0:
-                raise TiffError("more strips than image rows")
-            raw = packbits_decode(raw, (r1 - r0) * bytes_per_row)
-        chunks.append(raw)
-        total += len(raw)
-    if total != expected:
-        raise TiffError(
-            f"pixel data size mismatch: strips hold {total} bytes, "
-            f"image needs {expected}"
-        )
-    buf = b"".join(chunks)
-    dtype = np.dtype("u1") if bits == 8 else np.dtype(bo + "u2")
-    arr = np.frombuffer(buf, dtype=dtype).reshape(height, width)
-    arr = arr.astype(arr.dtype.newbyteorder("="), copy=True)
-    if photometric == 0:  # WhiteIsZero: invert to the usual BlackIsZero sense
-        arr = (np.iinfo(arr.dtype).max - arr).astype(arr.dtype)
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype("u1" if self._bits == 8 else "u2")
 
-    if return_description:
-        desc_e = entries.get(TAG_IMAGE_DESCRIPTION)
-        desc = ""
-        if desc_e is not None and desc_e.values:
-            desc = bytes(desc_e.values).rstrip(b"\x00").decode("ascii", "replace")
-        return arr, desc
-    return arr
+    def _strip_rows(self, s: int) -> tuple[int, int]:
+        r0 = s * self.rows_per_strip
+        return r0, min(self.height, r0 + self.rows_per_strip)
+
+    def _decoded_strip(self, s: int) -> bytes:
+        r0, r1 = self._strip_rows(s)
+        expected = (r1 - r0) * self.bytes_per_row
+        raw = _read_at(self._f, self.offsets[s], self.byte_counts[s],
+                       "strip data")
+        if self._compression == COMPRESSION_PACKBITS:
+            return packbits_decode(raw, expected)
+        if len(raw) != expected:
+            raise TiffError(
+                f"pixel data size mismatch: strip {s} holds {len(raw)} "
+                f"bytes, needs {expected}"
+            )
+        return raw
+
+    # -- windowed access ---------------------------------------------------
+
+    def read_rows(self, y0: int, y1: int) -> np.ndarray:
+        """Decode rows ``[y0, y1)`` into a native-endian 2-D array.
+
+        Peak memory is the window itself (uncompressed files seek straight
+        to the needed row bytes; PackBits decodes the strips the window
+        intersects).
+        """
+        if not 0 <= y0 < y1 <= self.height:
+            raise ValueError(
+                f"row window [{y0}, {y1}) outside image of {self.height} rows"
+            )
+        bpr = self.bytes_per_row
+        chunks: list[bytes] = []
+        s0 = y0 // self.rows_per_strip
+        s1 = (y1 - 1) // self.rows_per_strip
+        for s in range(s0, s1 + 1):
+            r0, r1 = self._strip_rows(s)
+            a, b = max(r0, y0), min(r1, y1)
+            if self._compression == COMPRESSION_NONE:
+                # Exact partial-strip read: row n of strip s lives at a
+                # fixed arithmetic offset, no need to touch the rest.
+                expected = (r1 - r0) * bpr
+                if self.byte_counts[s] != expected:
+                    raise TiffError(
+                        f"pixel data size mismatch: strip {s} holds "
+                        f"{self.byte_counts[s]} bytes, needs {expected}"
+                    )
+                chunks.append(_read_at(
+                    self._f, self.offsets[s] + (a - r0) * bpr,
+                    (b - a) * bpr, "strip data",
+                ))
+            else:
+                data = self._decoded_strip(s)
+                chunks.append(data[(a - r0) * bpr : (b - r0) * bpr])
+        buf = b"".join(chunks)
+        dtype = (np.dtype("u1") if self._bits == 8
+                 else np.dtype(self._bo + "u2"))
+        arr = np.frombuffer(buf, dtype=dtype).reshape(y1 - y0, self.width)
+        arr = arr.astype(arr.dtype.newbyteorder("="), copy=True)
+        if self._photometric == 0:  # WhiteIsZero -> BlackIsZero sense
+            arr = (np.iinfo(arr.dtype).max - arr).astype(arr.dtype)
+        return arr
+
+    def read_region(self, y: int, x: int, height: int, width: int) -> np.ndarray:
+        """Decode the window ``[y, y+height) x [x, x+width)``."""
+        if height < 1 or width < 1:
+            raise ValueError("region must be at least 1x1")
+        if not (0 <= x and x + width <= self.width):
+            raise ValueError(
+                f"column window [{x}, {x + width}) outside image of "
+                f"{self.width} columns"
+            )
+        return self.read_rows(y, y + height)[:, x : x + width].copy()
+
+    def read(self) -> np.ndarray:
+        """The whole image (equivalent to :func:`read_tiff`)."""
+        return self.read_rows(0, self.height)
+
+    def description(self) -> str:
+        """``ImageDescription`` contents, ``""`` when absent."""
+        e = self._entries.get(TAG_IMAGE_DESCRIPTION)
+        if e is None or not e.values:
+            return ""
+        return bytes(e.values).rstrip(b"\x00").decode("ascii", "replace")
+
+    def close(self) -> None:
+        self._f.close()
+
+    def __enter__(self) -> "TiffReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_tiff(path: str | Path, return_description: bool = False):
+    """Read a grayscale TIFF/BigTIFF into a NumPy array.
+
+    Returns the pixel array (``uint8`` or ``uint16``, shape ``(h, w)``), or a
+    ``(array, description)`` tuple when ``return_description`` is set (the
+    description is the ``ImageDescription`` tag contents, ``""`` if absent).
+    """
+    with TiffReader(path) as reader:
+        arr = reader.read()
+        if return_description:
+            return arr, reader.description()
+        return arr
 
 
 def write_tiff(
@@ -266,11 +461,13 @@ def write_tiff(
     rows_per_strip: int | None = None,
     compression: str = "none",
 ) -> None:
-    """Write a grayscale ``uint8``/``uint16`` array as a TIFF.
+    """Write a grayscale ``uint8``/``uint16`` array as a classic TIFF.
 
     Output is little-endian, single IFD, strip-based.  ``rows_per_strip``
     defaults to roughly 8 KiB strips (libTIFF's default policy).
-    ``compression`` is ``"none"`` or ``"packbits"``.
+    ``compression`` is ``"none"`` or ``"packbits"``.  For images too large
+    to materialize (or past the classic 4 GiB limit) use
+    :class:`TiffStripWriter`, which streams row bands and can emit BigTIFF.
     """
     if compression == "none":
         comp_tag = COMPRESSION_NONE
@@ -399,14 +596,25 @@ def write_tiff(
 
 
 class TiffStripWriter:
-    """Incremental row-band TIFF writer for images too large for RAM.
+    """Incremental row-band TIFF/BigTIFF writer for images too large for RAM.
 
     The paper's mosaics reach 17k x 22k pixels (Fiji needs 1.5 h to
-    compose *and save* one).  Writing such an image should never require
-    materializing it: this writer emits an uncompressed striped TIFF whose
-    layout is fully determined up front (strip offsets are arithmetic for
-    uncompressed data), so callers push row bands top to bottom and the
-    peak memory is one band.
+    compose *and save* one), and out-of-core composition pushes far past
+    that.  Writing such an image must never require materializing it:
+    the header, IFD and strip tables are fully determined up front
+    (strip offsets are arithmetic for uncompressed data) and written
+    first; callers then push row bands top to bottom, each flushed to
+    the file as it completes, so peak memory is one band.
+
+    ``bigtiff`` selects the header: ``True``/``False`` force the format,
+    ``"auto"`` (default) emits BigTIFF exactly when the classic 32-bit
+    offsets could not address the pixel data.  ``rows_per_strip`` sizes
+    the strip table (default: the whole image as one strip descriptor,
+    which windowed readers of uncompressed data handle exactly).
+
+    ``skip_rows`` advances over all-zero rows without writing them --
+    the file stays sparse where the filesystem supports it, which is how
+    the >4 GiB-offset test fixtures stay cheap on disk.
 
     Usage::
 
@@ -418,7 +626,15 @@ class TiffStripWriter:
     rows arrived.
     """
 
-    def __init__(self, path: str | Path, height: int, width: int, dtype) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        height: int,
+        width: int,
+        dtype,
+        rows_per_strip: int | None = None,
+        bigtiff: bool | str = "auto",
+    ) -> None:
         if height < 1 or width < 1:
             raise ValueError(f"bad dimensions {height}x{width}")
         dtype = np.dtype(dtype)
@@ -431,45 +647,130 @@ class TiffStripWriter:
         self.height = height
         self.width = width
         self.dtype = dtype
-        self._rows_written = 0
         self._bytes_per_row = width * (self._bits // 8)
-        self._file = open(path, "wb")
+        total_bytes = height * self._bytes_per_row
+        if rows_per_strip is None:
+            rows_per_strip = height
+        rows_per_strip = max(1, min(int(rows_per_strip), height))
+        self._rows_per_strip = rows_per_strip
+        self._n_strips = (height + rows_per_strip - 1) // rows_per_strip
+        if bigtiff == "auto":
+            # Conservative: header + IFD + strip tables stay far below
+            # 1 MiB, so the pixel payload decides the format.
+            bigtiff = total_bytes + (1 << 20) > _CLASSIC_LIMIT
+        self.bigtiff = bool(bigtiff)
+        self._rows_written = 0
         self._closed = False
-        self._write_header()
+        self._file = open(path, "wb")
+        try:
+            self._write_header()
+        except BaseException:
+            self._file.close()
+            raise
+
+    # -- layout ------------------------------------------------------------
+
+    def _strip_counts(self) -> list[int]:
+        counts = []
+        for s in range(self._n_strips):
+            r0 = s * self._rows_per_strip
+            r1 = min(self.height, r0 + self._rows_per_strip)
+            counts.append((r1 - r0) * self._bytes_per_row)
+        return counts
 
     def _write_header(self) -> None:
-        # One strip per row band is wasteful in tag space; use fixed
-        # rows-per-strip = whole image as a single strip *descriptor* with
-        # offsets known a priori: a single strip spanning the image keeps
-        # the IFD tiny and is legal TIFF (readers stream it fine).
-        entries = [
+        big = self.bigtiff
+        counts = self._strip_counts()
+        table_typ = TYPE_LONG8 if big else TYPE_LONG
+        entries: list[tuple[int, int, int, tuple | None]] = [
             (TAG_IMAGE_WIDTH, TYPE_LONG, 1, (self.width,)),
             (TAG_IMAGE_LENGTH, TYPE_LONG, 1, (self.height,)),
             (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, (self._bits,)),
             (TAG_COMPRESSION, TYPE_SHORT, 1, (COMPRESSION_NONE,)),
             (TAG_PHOTOMETRIC, TYPE_SHORT, 1, (1,)),
-            (TAG_STRIP_OFFSETS, TYPE_LONG, 1, None),  # patched below
+            (TAG_STRIP_OFFSETS, table_typ, self._n_strips, None),  # patched
             (TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, (1,)),
-            (TAG_ROWS_PER_STRIP, TYPE_LONG, 1, (self.height,)),
-            (TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1,
-             (self.height * self._bytes_per_row,)),
+            (TAG_ROWS_PER_STRIP, TYPE_LONG, 1, (self._rows_per_strip,)),
+            (TAG_STRIP_BYTE_COUNTS, table_typ, self._n_strips, tuple(counts)),
             (TAG_PLANAR_CONFIG, TYPE_SHORT, 1, (1,)),
             (TAG_SAMPLE_FORMAT, TYPE_SHORT, 1, (1,)),
         ]
-        data_start = 8 + 2 + 12 * len(entries) + 4
-        ifd = struct.pack("<H", len(entries))
-        for tag, typ, cnt, values in entries:
+        header_size = 16 if big else 8
+        entry_size = 20 if big else 12
+        count_size = 8 if big else 2
+        next_size = 8 if big else 4
+        inline_max = 8 if big else 4
+        ifd_size = count_size + entry_size * len(entries) + next_size
+
+        # Overflow area: out-of-line payloads, each padded to word length.
+        overflow_bytes = 0
+        for tag, typ, count, _values in entries:
+            n = _TYPE_SIZE[typ] * count
+            if n > inline_max:
+                overflow_bytes += n + (n % 2)
+        data_start = header_size + ifd_size + overflow_bytes
+        self._data_start = data_start
+
+        offsets = []
+        pos = data_start
+        for cnt in counts:
+            offsets.append(pos)
+            pos += cnt
+        end = pos
+        if not big and end > _CLASSIC_LIMIT:
+            raise TiffError(
+                f"image needs BigTIFF: pixel data ends at byte {end}, past "
+                f"the classic 32-bit limit (pass bigtiff=True)"
+            )
+
+        # Serialize: IFD entries in tag order, overflow payloads after.
+        overflow: list[bytes] = []
+        overflow_at = header_size + ifd_size
+        if big:
+            ifd = struct.pack("<Q", len(entries))
+        else:
+            ifd = struct.pack("<H", len(entries))
+        for tag, typ, count, values in entries:
             if values is None:
-                values = (data_start,)
-            fmt = {TYPE_SHORT: "H", TYPE_LONG: "I"}[typ]
-            payload = struct.pack("<" + fmt * cnt, *values)
-            payload += b"\x00" * (4 - len(payload))
-            ifd += struct.pack("<HHI", tag, typ, cnt) + payload
-        ifd += struct.pack("<I", 0)
-        self._file.write(struct.pack("<2sHI", b"II", 42, 8) + ifd)
+                values = tuple(offsets)
+            payload = struct.pack(
+                "<" + _TYPE_FMT[typ] * count, *values
+            )
+            if len(payload) <= inline_max:
+                inline = payload + b"\x00" * (inline_max - len(payload))
+                if big:
+                    ifd += struct.pack("<HHQ", tag, typ, count) + inline
+                else:
+                    ifd += struct.pack("<HHI", tag, typ, count) + inline
+            else:
+                off = overflow_at
+                overflow.append(payload)
+                overflow_at += len(payload)
+                if overflow_at % 2:
+                    overflow.append(b"\x00")
+                    overflow_at += 1
+                if big:
+                    ifd += struct.pack("<HHQQ", tag, typ, count, off)
+                else:
+                    ifd += struct.pack("<HHII", tag, typ, count, off)
+        ifd += struct.pack("<Q" if big else "<I", 0)  # no next IFD
+
+        if big:
+            head = struct.pack("<2sHHHQ", b"II", 43, 8, 0, 16)
+        else:
+            head = struct.pack("<2sHI", b"II", 42, 8)
+        blob = head + ifd + b"".join(overflow)
+        if len(blob) != data_start:
+            raise AssertionError(
+                f"TIFF layout bug: header+IFD+overflow is {len(blob)} bytes, "
+                f"expected {data_start}"
+            )
+        self._file.write(blob)
+
+    # -- streaming ---------------------------------------------------------
 
     def write_rows(self, band: np.ndarray) -> None:
-        """Append a 2-D row band (must match width and dtype)."""
+        """Append a 2-D row band (must match width and dtype); flushed."""
         if self._closed:
             raise ValueError("writer already closed")
         band = np.asarray(band)
@@ -486,7 +787,27 @@ class TiffStripWriter:
             )
         self._file.write(band.astype("<" + ("u1" if self._bits == 8 else "u2"),
                                      copy=False).tobytes())
+        self._file.flush()
         self._rows_written += band.shape[0]
+
+    def skip_rows(self, n: int) -> None:
+        """Advance over ``n`` all-zero rows without writing their bytes.
+
+        The skipped region reads back as zeros; on filesystems with
+        sparse-file support it occupies no disk blocks, which keeps
+        >4 GiB-offset fixtures cheap.
+        """
+        if self._closed:
+            raise ValueError("writer already closed")
+        if n < 0:
+            raise ValueError(f"cannot skip {n} rows")
+        if self._rows_written + n > self.height:
+            raise ValueError(
+                f"band overruns image: {self._rows_written} + {n} "
+                f"> {self.height}"
+            )
+        self._file.seek(n * self._bytes_per_row, 1)
+        self._rows_written += n
 
     def close(self) -> None:
         if self._closed:
@@ -498,6 +819,11 @@ class TiffStripWriter:
                     f"image incomplete: {self._rows_written} of "
                     f"{self.height} rows written"
                 )
+            # A trailing skip_rows leaves the file short of its logical
+            # size; extend it so every strip is addressable (zeros).
+            end = self._data_start + self.height * self._bytes_per_row
+            self._file.truncate(end)
+            self._file.flush()
         finally:
             self._file.close()
 

@@ -42,10 +42,18 @@ ALLOWED_OPTIONS = frozenset({
     "coarse",
     "coarse_scale",
     "coarse_conf_thresh",
+    #: Out-of-core composition: hard byte budget for the compose stage
+    #: (stripe buffers + LRU tile cache), and streamed 2x pyramid levels
+    #: written next to the output mosaic.
+    "memory_budget",
+    "pyramid_levels",
 })
 
 #: Output blend modes a job may request for its optional mosaic.
-ALLOWED_BLENDS = ("overlay", "average", "maximum")
+#: All four stream bit-identically to the in-memory path (LINEAR
+#: feathering normalizes per stripe, the row-restriction of the global
+#: computation).
+ALLOWED_BLENDS = ("overlay", "average", "maximum", "linear")
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 _JOB_ID_RE = re.compile(r"^[a-f0-9]{12}$")

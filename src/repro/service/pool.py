@@ -104,7 +104,7 @@ def _execute_job(msg: dict, warm: dict) -> dict:
     """Run one job in the worker; returns the reply summary payload."""
     import numpy as np
 
-    from repro.core.compose import BlendMode, compose_to_tiff
+    from repro.core.compose import BlendMode
     from repro.core.global_opt import GlobalPositions
     from repro.io.dataset import TileDataset
 
@@ -183,15 +183,31 @@ def _execute_job(msg: dict, warm: dict) -> dict:
         }),
     )
     if spec.get("output"):
-        compose_to_tiff(
-            spec["output"], dataset.load, gp, dataset.tile_shape,
+        from repro.core.streamcompose import stream_compose_to_tiff
+
+        options = spec.get("options", {})
+        memory_budget = options.get("memory_budget")
+        sres = stream_compose_to_tiff(
+            spec["output"],
+            lambda r, c: dataset.load(r, c, dtype=None),
+            gp, dataset.tile_shape,
             blend=BlendMode(spec.get("blend", "overlay")),
-            skip_tiles=skipped,
-            on_tile_error=spec.get("options", {}).get(
-                "on_tile_error", "abort"
+            memory_budget=(
+                int(memory_budget) if memory_budget is not None else None
             ),
+            pyramid_levels=int(options.get("pyramid_levels", 0) or 0),
+            skip_tiles=skipped,
+            on_tile_error=options.get("on_tile_error", "abort"),
         )
         summary["output"] = spec["output"]
+        summary["compose"] = {
+            "stripes": sres.stripes,
+            "band_rows": sres.band_rows,
+            "peak_bytes": sres.peak_bytes,
+            "memory_budget": sres.memory_budget,
+            "cache": sres.cache,
+            "pyramid": [str(p) for p in sres.pyramid_paths],
+        }
 
     warm["jobs_served"] += 1
     summary.update({

@@ -419,6 +419,11 @@ class BrownoutPolicy:
     ``ewma_high``
         per-job EWMA service seconds that alone marks the service
         degraded (None = ignore service time).
+    ``degraded_compose_budget``
+        in ``degrade`` mode, admitted jobs in the *degraded* state keep
+        their compose output but run it out-of-core under this byte
+        budget -- a cheap middle tier between full service and the
+        browned-out ``skip_compose``.
     """
 
     mode: str = "shed"
@@ -427,6 +432,7 @@ class BrownoutPolicy:
     shed_priority_degraded: int = 2
     shed_priority_brownout: int = 5
     ewma_high: float | None = None
+    degraded_compose_budget: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.mode not in ("off", "shed", "degrade"):
@@ -441,6 +447,11 @@ class BrownoutPolicy:
         if not 0 <= self.shed_priority_degraded <= self.shed_priority_brownout <= 10:
             raise ValueError("shed priority floors must satisfy "
                              "0 <= degraded <= brownout <= 10")
+        if self.degraded_compose_budget < 1:
+            raise ValueError(
+                f"degraded_compose_budget must be positive, got "
+                f"{self.degraded_compose_budget}"
+            )
 
     @classmethod
     def parse(cls, spec: str) -> "BrownoutPolicy":
@@ -462,6 +473,8 @@ class BrownoutPolicy:
                 kwargs["shed_priority_brownout"] = int(value)
             elif key == "ewma-high":
                 kwargs["ewma_high"] = float(value)
+            elif key == "compose-budget":
+                kwargs["degraded_compose_budget"] = int(value)
             else:
                 raise ValueError(f"unknown brownout key {key!r}")
         return cls(**kwargs)
@@ -568,14 +581,20 @@ class LoadShedder:
     def degrade_options(self, report: HealthReport) -> list[str] | None:
         """Degradations to apply to an admitted job, or None.
 
-        Only the ``degrade`` mode while browned out touches jobs: coarse
-        registration (4x less FFT work at the default 0.5x scale) is
-        forced on, and compose output is skipped -- both reversible by
-        resubmitting after recovery.
+        Only the ``degrade`` mode touches jobs, in two tiers.  Browned
+        out: coarse registration (4x less FFT work at the default 0.5x
+        scale) is forced on and compose output is skipped.  Merely
+        degraded: the job keeps its output but the compose stage runs
+        out-of-core under ``degraded_compose_budget`` bytes -- same
+        pixels (the streaming path is bit-identical), just a capped
+        memory footprint per worker.  All reversible by resubmitting
+        after recovery.
         """
-        if self.policy.mode != "degrade" or report.status != "browned_out":
+        if self.policy.mode != "degrade" or report.ok:
             return None
-        return ["coarse", "skip_compose"]
+        if report.status == "browned_out":
+            return ["coarse", "skip_compose"]
+        return [f"compose_budget:{self.policy.degraded_compose_budget}"]
 
 
 # -- spool disk budget -------------------------------------------------------

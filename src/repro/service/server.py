@@ -238,6 +238,11 @@ class StitchService:
         actually changed it -- forcing coarse on a job already running
         coarse, or skipping compose on a job with no output, is a no-op
         the record should not advertise.
+
+        ``compose_budget:<bytes>`` is the degraded-tier middle ground:
+        the job keeps its output, but the compose stage streams
+        out-of-core under the given byte budget (never *raising* a
+        budget the client already set lower).
         """
         fields = spec.to_dict()
         applied: list[str] = []
@@ -247,6 +252,18 @@ class StitchService:
         if "skip_compose" in degradations and fields["output"] is not None:
             fields["output"] = None
             applied.append("skip_compose")
+        for d in degradations:
+            if not d.startswith("compose_budget:"):
+                continue
+            budget = int(d.partition(":")[2])
+            current = fields["options"].get("memory_budget")
+            if fields["output"] is not None and (
+                current is None or int(current) > budget
+            ):
+                fields["options"] = {
+                    **fields["options"], "memory_budget": budget,
+                }
+                applied.append(f"compose_budget:{budget}")
         if not applied:
             return spec, []
         return JobSpec(**fields), applied

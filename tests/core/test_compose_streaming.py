@@ -102,16 +102,26 @@ class TestComposeToTiff:
         assert streamed.shape == shape
         assert np.array_equal(streamed, np.clip(ref, 0, 65535).astype(np.uint16))
 
-    def test_linear_blend_rejected(self, tmp_path):
-        gp = grid_positions(1, 1, 0)
-        with pytest.raises(ValueError, match="OVERLAY/AVERAGE/MAXIMUM"):
-            compose_to_tiff(tmp_path / "m.tif", self.make_tiles(1, 1), gp,
-                            (16, 16), blend=BlendMode.LINEAR)
+    @pytest.mark.parametrize("band_rows", [1, 5, 16, 1000])
+    def test_linear_blend_matches_in_memory(self, tmp_path, band_rows):
+        """LINEAR feathering streams: every tile covering a pixel intersects
+        that pixel's band, so per-band weighted accumulation + normalization
+        is the row-restriction of the global computation."""
+        load = self.make_tiles()
+        gp = grid_positions(3, 3, 12)
+        p = tmp_path / "m.tif"
+        shape = compose_to_tiff(p, load, gp, (16, 16),
+                                blend=BlendMode.LINEAR, band_rows=band_rows)
+        streamed = read_tiff(p)
+        ref = compose(load, gp, (16, 16), blend=BlendMode.LINEAR,
+                      dtype=np.float64)
+        assert streamed.shape == shape
+        assert np.array_equal(streamed, np.clip(ref, 0, 65535).astype(np.uint16))
 
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"blend": BlendMode.LINEAR},
+            {"pyramid_levels": -1},
             {"on_tile_error": "retry-forever"},
             {"dtype": np.float32},
             {"blend": "no-such-blend"},

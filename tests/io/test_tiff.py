@@ -122,8 +122,15 @@ class TestMalformedInputs:
 
     def test_bad_magic(self, tmp_path):
         p = tmp_path / "t.tif"
-        p.write_bytes(struct.pack("<2sHI", b"II", 43, 8) + b"\x00" * 16)
+        p.write_bytes(struct.pack("<2sHI", b"II", 44, 8) + b"\x00" * 16)
         with pytest.raises(TiffError, match="magic"):
+            read_tiff(p)
+
+    def test_bad_bigtiff_header(self, tmp_path):
+        p = tmp_path / "t.tif"
+        # Magic 43 is BigTIFF, but the offset size must be 8.
+        p.write_bytes(struct.pack("<2sHHH", b"II", 43, 4, 0) + b"\x00" * 16)
+        with pytest.raises(TiffError, match="BigTIFF"):
             read_tiff(p)
 
     def test_truncated_pixel_data(self, tmp_path):

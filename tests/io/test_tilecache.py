@@ -1,0 +1,100 @@
+"""Byte-budgeted LRU tile cache: bounds, eviction order, counters."""
+
+import numpy as np
+import pytest
+
+from repro.io.dataset import TileCache
+
+
+def make_loader(nbytes_per_tile=128):
+    calls = []
+
+    def load(r, c):
+        calls.append((r, c))
+        return np.full(nbytes_per_tile, r * 16 + c, dtype=np.uint8)
+
+    return load, calls
+
+
+class TestTileCache:
+    def test_hit_avoids_reload(self):
+        load, calls = make_loader()
+        cache = TileCache(load, 1024)
+        a = cache.load(0, 0)
+        b = cache.load(0, 0)
+        assert calls == [(0, 0)]
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_byte_budget_is_hard(self):
+        load, _ = make_loader(128)
+        cache = TileCache(load, 300)  # fits two 128-B tiles, not three
+        for c in range(5):
+            cache.load(0, c)
+            assert cache.current_bytes <= 300
+        assert cache.evictions == 3
+        assert cache.peak_bytes <= 300
+
+    def test_lru_eviction_order(self):
+        load, calls = make_loader(128)
+        cache = TileCache(load, 256)  # exactly two tiles
+        cache.load(0, 0)
+        cache.load(0, 1)
+        cache.load(0, 0)  # refresh (0,0): now (0,1) is LRU
+        cache.load(0, 2)  # evicts (0,1)
+        calls.clear()
+        cache.load(0, 0)
+        assert calls == []  # still cached
+        cache.load(0, 1)
+        assert calls == [(0, 1)]  # was evicted, reloaded
+
+    def test_oversized_tile_served_load_through(self):
+        load, calls = make_loader(512)
+        cache = TileCache(load, 300)
+        cache.load(0, 0)
+        cache.load(0, 0)
+        assert len(calls) == 2  # never cached
+        assert cache.current_bytes == 0
+        assert len(cache) == 0
+
+    def test_cached_arrays_are_read_only(self):
+        load, _ = make_loader()
+        cache = TileCache(load, 1024)
+        arr = cache.load(0, 0)
+        with pytest.raises(ValueError):
+            arr[0] = 99
+
+    def test_stats_snapshot(self):
+        load, _ = make_loader(128)
+        cache = TileCache(load, 256)
+        cache.load(0, 0)
+        cache.load(0, 0)
+        cache.load(0, 1)
+        cache.load(0, 2)
+        s = cache.stats()
+        assert s["hits"] == 1
+        assert s["misses"] == 3
+        assert s["evictions"] == 1
+        assert s["entries"] == 2
+        assert s["current_bytes"] == 256
+        assert s["peak_bytes"] == 256
+        assert s["capacity_bytes"] == 256
+
+    def test_clear(self):
+        load, _ = make_loader()
+        cache = TileCache(load, 1024)
+        cache.load(0, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TileCache(lambda r, c: None, -1)
+
+    def test_zero_capacity_is_pure_passthrough(self):
+        load, calls = make_loader()
+        cache = TileCache(load, 0)
+        cache.load(0, 0)
+        cache.load(0, 0)
+        assert len(calls) == 2

@@ -32,7 +32,7 @@ class TestJobSpec:
         ({"dataset": "/d", "tenant": "bad tenant!"}, "tenant"),
         ({"dataset": "/d", "priority": 11}, "priority"),
         ({"dataset": "/d", "options": {"checkpoint": "/x"}}, "unknown job options"),
-        ({"dataset": "/d", "blend": "linear"}, "blend"),
+        ({"dataset": "/d", "blend": "feather-max"}, "blend"),
         ({"dataset": "/d", "reuse_positions_from": "../etc"}, "job id"),
         ({"dataset": "/d", "deadline_seconds": -1}, "deadline"),
         ({"dataset": "/d", "retry_budget": -1}, "retry_budget"),

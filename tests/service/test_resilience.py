@@ -322,14 +322,28 @@ class TestLoadShedder:
         assert metrics.counter("service.shed_requests").value == 1
         assert s.shed_requests == 1
 
-    def test_degrade_options_only_in_degrade_mode_brownout(self):
+    def test_degrade_options_only_in_degrade_mode(self):
         browned = HealthReport("browned_out", ("q",))
         degraded = HealthReport("degraded", ("q",))
+        ok = HealthReport("ok")
         assert LoadShedder(BrownoutPolicy(mode="shed")).degrade_options(
             browned) is None
         d = LoadShedder(BrownoutPolicy(mode="degrade"))
-        assert d.degrade_options(degraded) is None
+        assert d.degrade_options(ok) is None
+        # Middle tier: degraded keeps the output but caps compose memory.
+        assert d.degrade_options(degraded) == [
+            f"compose_budget:{64 * 1024 * 1024}"
+        ]
         assert d.degrade_options(browned) == ["coarse", "skip_compose"]
+
+    def test_degraded_compose_budget_configurable(self):
+        d = LoadShedder(BrownoutPolicy.parse(
+            "degrade:compose-budget=1048576"))
+        assert d.degrade_options(HealthReport("degraded", ("q",))) == [
+            "compose_budget:1048576"
+        ]
+        with pytest.raises(ValueError, match="compose_budget"):
+            BrownoutPolicy(mode="degrade", degraded_compose_budget=0)
 
 
 class TestSpoolBudget:
@@ -381,3 +395,52 @@ class TestSpoolBudget:
         (tmp_path / "a").write_bytes(b"x" * 42)
         budget.refresh()
         assert metrics.gauge("service.spool_bytes").value == 42
+
+
+class TestDegradeSpec:
+    """Server-side application of brownout degradations to job specs."""
+
+    def make_spec(self, **kw):
+        from repro.service.jobs import JobSpec
+
+        kw.setdefault("dataset", "/d")
+        return JobSpec(**kw)
+
+    def degrade(self, spec, degradations):
+        from repro.service.server import StitchService
+
+        return StitchService._degrade_spec(spec, degradations)
+
+    def test_compose_budget_caps_output_jobs(self):
+        spec = self.make_spec(output="/out/m.tif")
+        new, applied = self.degrade(spec, ["compose_budget:1048576"])
+        assert applied == ["compose_budget:1048576"]
+        assert new.output == "/out/m.tif"  # output kept: middle tier
+        assert new.options["memory_budget"] == 1048576
+
+    def test_compose_budget_never_raises_client_budget(self):
+        spec = self.make_spec(output="/out/m.tif",
+                              options={"memory_budget": 1000})
+        new, applied = self.degrade(spec, ["compose_budget:1048576"])
+        assert applied == []
+        assert new.options["memory_budget"] == 1000
+
+    def test_compose_budget_tightens_looser_client_budget(self):
+        spec = self.make_spec(output="/out/m.tif",
+                              options={"memory_budget": 10**9})
+        new, applied = self.degrade(spec, ["compose_budget:1048576"])
+        assert applied == ["compose_budget:1048576"]
+        assert new.options["memory_budget"] == 1048576
+
+    def test_compose_budget_noop_without_output(self):
+        spec = self.make_spec()
+        new, applied = self.degrade(spec, ["compose_budget:1048576"])
+        assert applied == []
+        assert new is spec
+
+    def test_brownout_tier_still_skips_compose(self):
+        spec = self.make_spec(output="/out/m.tif")
+        new, applied = self.degrade(spec, ["coarse", "skip_compose"])
+        assert applied == ["coarse", "skip_compose"]
+        assert new.output is None
+        assert new.options["coarse"] is True

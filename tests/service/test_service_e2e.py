@@ -219,3 +219,48 @@ class TestBackpressureLifecycle:
             assert jobs["cancelled"] == 1 and jobs["done"] == 1
         finally:
             svc.stop()
+
+
+class TestOutOfCoreJobOptions:
+    def test_budgeted_compose_job_reports_stats(self, tmp_path, e2e_ds):
+        svc, client = start_service(tmp_path, workers=1)
+        try:
+            out = tmp_path / "job-mosaic.tif"
+            rec = client.wait(
+                client.submit({
+                    "dataset": str(e2e_ds.directory),
+                    "output": str(out),
+                    "options": {"memory_budget": 512 * 1024,
+                                "pyramid_levels": 1},
+                })["id"],
+                timeout=120,
+            )
+            assert rec["state"] == "done"
+            stats = rec["result"]["compose"]
+            assert stats["memory_budget"] == 512 * 1024
+            assert stats["peak_bytes"] <= 512 * 1024
+            assert stats["cache"]["capacity_bytes"] > 0
+            assert out.exists()
+            assert len(stats["pyramid"]) == 1
+            from repro.core.streamcompose import pyramid_level_path
+
+            assert pyramid_level_path(out, 1).exists()
+        finally:
+            svc.stop()
+
+    def test_linear_blend_job_accepted(self, tmp_path, e2e_ds):
+        svc, client = start_service(tmp_path, workers=1)
+        try:
+            out = tmp_path / "feathered.tif"
+            rec = client.wait(
+                client.submit({
+                    "dataset": str(e2e_ds.directory),
+                    "output": str(out),
+                    "blend": "linear",
+                })["id"],
+                timeout=120,
+            )
+            assert rec["state"] == "done"
+            assert out.exists()
+        finally:
+            svc.stop()
